@@ -1,0 +1,182 @@
+// Command lambada runs SQL queries on a simulated serverless deployment:
+// it generates TPC-H LINEITEM data, uploads it to simulated S3 as lpq files,
+// installs the worker function, executes the query on the fleet, and prints
+// the result with a latency and cost report.
+//
+// Usage:
+//
+//	lambada -sf 0.01 -files 16 -query q1
+//	lambada -query "SELECT COUNT(*) AS n FROM lineitem" -mode des
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lambada/internal/awssim/simenv"
+	"lambada/internal/columnar"
+	"lambada/internal/driver"
+	"lambada/internal/lpq"
+	"lambada/internal/simclock"
+	"lambada/internal/sqlfe"
+	"lambada/internal/tpch"
+)
+
+const q1SQL = `
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc, COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`
+
+const q6SQL = `
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.0499999 AND 0.0700001 AND l_quantity < 24`
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0.005, "TPC-H scale factor of the generated LINEITEM data")
+		files   = flag.Int("files", 8, "number of lpq files the table is stored as")
+		query   = flag.String("query", "q1", "q1, q6, or a SQL string")
+		memory  = flag.Int("m", 1792, "worker memory in MiB")
+		fPerW   = flag.Int("f", 1, "files per worker")
+		tree    = flag.Bool("tree", true, "use the two-level invocation tree")
+		gz      = flag.Bool("gzip", true, "GZIP-compress column chunks")
+		mode    = flag.String("mode", "local", "local (goroutine workers) or des (virtual-time simulation)")
+		seed    = flag.Int64("seed", 42, "data generation seed")
+		explain = flag.Bool("v", false, "print per-worker processing times")
+		useXchg = flag.Bool("exchange", false, "merge grouped aggregations through the serverless exchange instead of the driver")
+	)
+	flag.Parse()
+
+	sql := *query
+	switch strings.ToLower(sql) {
+	case "q1":
+		sql = q1SQL
+	case "q6":
+		sql = q6SQL
+	}
+
+	comp := lpq.None
+	if *gz {
+		comp = lpq.Gzip
+	}
+	cfg := driver.DefaultConfig()
+	cfg.WorkerMemoryMiB = *memory
+	cfg.FilesPerWorker = *fPerW
+	cfg.TreeInvoke = *tree
+
+	run := func(dep *driver.Deployment, env simenv.Env) error {
+		d := driver.New(dep, env, cfg)
+		if err := d.Install(); err != nil {
+			return err
+		}
+		fmt.Printf("generating LINEITEM at SF %g (%d rows)...\n", *sf, tpch.Gen{SF: *sf}.NumRows())
+		data := tpch.Gen{SF: *sf, Seed: *seed}.Generate()
+		refs, err := d.UploadTable("tpch", "lineitem", data, *files, lpq.WriterOptions{RowGroupRows: 65536, Compression: comp})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("uploaded %d files (%s total)\n", len(refs), byteSize(dep.S3.TotalBytes("tpch")))
+		var out *columnar.Chunk
+		var rep *driver.Report
+		if *useXchg {
+			plan, perr := sqlfe.Parse(sql)
+			if perr != nil {
+				return perr
+			}
+			out, rep, err = d.RunPlanExchanged(plan, "lineitem", refs, driver.DefaultExchangeConfig())
+		} else {
+			out, rep, err = d.RunSQL(sql, "lineitem", refs)
+		}
+		if err != nil {
+			return err
+		}
+		printChunk(out)
+		fmt.Printf("\nworkers: %d   latency: %v   invocation: %v   cold: %d\n",
+			rep.Workers, rep.Duration.Round(time.Millisecond), rep.Invocation.Round(time.Millisecond), rep.ColdWorkers)
+		fmt.Printf("query cost: $%.6f\n", rep.TotalCost)
+		for _, l := range sortedKeys(rep.CostDelta) {
+			fmt.Printf("  %-20s $%.6f\n", l, rep.CostDelta[l])
+		}
+		if *explain {
+			fmt.Println("worker processing times (sorted):")
+			for i, t := range rep.WorkerProcessing {
+				fmt.Printf("  worker[%3d] %v\n", i, t.Round(time.Millisecond))
+			}
+		}
+		return nil
+	}
+
+	var err error
+	if *mode == "des" {
+		k := simclock.New()
+		k.Go("driver", func(p *simclock.Proc) {
+			if e := run(driver.NewSimulated(k, *seed), p); e != nil {
+				err = e
+			}
+		})
+		k.Run()
+	} else {
+		err = run(driver.NewLocal(), simenv.NewImmediate())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lambada:", err)
+		os.Exit(1)
+	}
+}
+
+func printChunk(c *columnar.Chunk) {
+	for _, f := range c.Schema.Fields {
+		fmt.Printf("%-18s", f.Name)
+	}
+	fmt.Println()
+	for i := 0; i < c.NumRows(); i++ {
+		for j, col := range c.Columns {
+			switch c.Schema.Fields[j].Type {
+			case columnar.Int64:
+				fmt.Printf("%-18d", col.Int64s[i])
+			case columnar.Float64:
+				fmt.Printf("%-18.4f", col.Float64s[i])
+			default:
+				fmt.Printf("%-18v", col.Bools[i])
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n > 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n > 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,13 @@
+// Package lambada is a reproduction of "Lambada: Interactive Data Analytics
+// on Cold Data using Serverless Cloud Infrastructure" (Müller, Marroquín,
+// Alonso; SIGMOD 2020): a purely serverless query processing system — a
+// local driver, thousands of FaaS workers, and communication exclusively
+// through shared serverless storage — together with the simulated AWS
+// substrate (S3, Lambda, SQS, DynamoDB on a deterministic discrete-event
+// kernel) that the paper's evaluation is reproduced on.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for paper-vs-
+// measured results. The benchmarks in bench_test.go regenerate every table
+// and figure of the paper's evaluation section.
+package lambada

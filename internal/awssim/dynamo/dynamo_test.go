@@ -1,0 +1,101 @@
+package dynamo
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"lambada/internal/awssim/pricing"
+	"lambada/internal/awssim/simenv"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New(Config{})
+	env := simenv.NewImmediate()
+	s.CreateTable("t")
+	if err := s.Put(env, "t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get(env, "t", "k")
+	if err != nil || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+	if err := s.Delete(env, "t", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(env, "t", "k"); !errors.Is(err, ErrNoSuchItem) {
+		t.Errorf("after delete: %v", err)
+	}
+}
+
+func TestMissingTable(t *testing.T) {
+	s := New(Config{})
+	env := simenv.NewImmediate()
+	if err := s.Put(env, "nope", "k", nil); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("put err = %v", err)
+	}
+	if _, err := s.Get(env, "nope", "k"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("get err = %v", err)
+	}
+	if _, err := s.Scan(env, "nope", ""); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("scan err = %v", err)
+	}
+}
+
+func TestScanPrefixSorted(t *testing.T) {
+	s := New(Config{})
+	env := simenv.NewImmediate()
+	s.CreateTable("t")
+	for i := 3; i >= 0; i-- {
+		s.Put(env, "t", fmt.Sprintf("job/%d", i), []byte{byte(i)})
+	}
+	s.Put(env, "t", "other", []byte("x"))
+	items, err := s.Scan(env, "t", "job/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 {
+		t.Fatalf("got %d items", len(items))
+	}
+	for i, it := range items {
+		if it.Key != fmt.Sprintf("job/%d", i) {
+			t.Errorf("item %d = %q", i, it.Key)
+		}
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	s := New(Config{})
+	env := simenv.NewImmediate()
+	s.CreateTable("t")
+	v := []byte("orig")
+	s.Put(env, "t", "k", v)
+	v[0] = 'X'
+	got, _ := s.Get(env, "t", "k")
+	if string(got) != "orig" {
+		t.Error("Put did not copy")
+	}
+	got[0] = 'Y'
+	got2, _ := s.Get(env, "t", "k")
+	if string(got2) != "orig" {
+		t.Error("Get did not copy")
+	}
+}
+
+func TestPricing(t *testing.T) {
+	meter := pricing.NewCostMeter()
+	s := New(Config{Meter: meter})
+	env := simenv.NewImmediate()
+	s.CreateTable("t")
+	s.Put(env, "t", "a", []byte("1"))
+	s.Put(env, "t", "b", []byte("2"))
+	s.Get(env, "t", "a")
+	s.Scan(env, "t", "") // 2 items → 2 read units
+	if got := meter.Count(pricing.LabelDynamoWrite); got != 2 {
+		t.Errorf("writes = %d", got)
+	}
+	if got := meter.Count(pricing.LabelDynamoRead); got != 3 {
+		t.Errorf("reads = %d, want 3 (1 get + 2 scan units)", got)
+	}
+}

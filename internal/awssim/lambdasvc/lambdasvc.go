@@ -1,0 +1,291 @@
+// Package lambdasvc simulates AWS Lambda: function registration with a
+// memory size that determines the CPU share (§4.1, Figure 4), cold and warm
+// starts, a concurrency limit, invocation latencies (Table 1), and GB-second
+// billing.
+//
+// Workers execute on a Runtime: either the deterministic DES kernel
+// (performance experiments) or real goroutines (functional tests and
+// examples).
+package lambdasvc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lambada/internal/awssim/pricing"
+	"lambada/internal/awssim/simenv"
+	"lambada/internal/netmodel"
+	"lambada/internal/simclock"
+)
+
+// Errors returned by the service.
+var (
+	ErrNoSuchFunction  = errors.New("lambda: no such function")
+	ErrTooManyRequests = errors.New("lambda: too many requests (concurrency limit)")
+	ErrTimeout         = errors.New("lambda: function timed out")
+)
+
+// MaxMemoryMiB is the largest configurable function size in the era the
+// paper measures.
+const MaxMemoryMiB = 3008
+
+// Handler is the worker entry point. The returned error is delivered to
+// whatever completion callback the invoker registered.
+type Handler func(ctx *Ctx, payload []byte) error
+
+// Ctx is the per-invocation context handed to handlers.
+type Ctx struct {
+	Env       simenv.Env
+	Function  string
+	MemoryMiB int
+	Cold      bool
+	// WorkerID is a caller-assigned identifier carried in InvokeOptions.
+	WorkerID int
+
+	svc *Service
+}
+
+// Compute charges the time of oneVCPUSeconds of single-core work executed
+// with the given number of threads on this function's CPU share.
+func (c *Ctx) Compute(oneVCPUSeconds float64, threads int) {
+	c.Env.Sleep(netmodel.ComputeTime(oneVCPUSeconds, c.MemoryMiB, threads))
+}
+
+// CPUShare returns the vCPU fraction of this function.
+func (c *Ctx) CPUShare() float64 { return netmodel.CPUShare(c.MemoryMiB) }
+
+// Runtime abstracts how worker bodies execute.
+type Runtime interface {
+	// Spawn starts fn; fn receives the environment the worker runs in.
+	Spawn(name string, fn func(env simenv.Env))
+	// WaitIdle blocks until all spawned work completed. On the DES runtime
+	// this is a no-op (the kernel's Run drives completion).
+	WaitIdle()
+}
+
+// SimRuntime executes workers as DES processes.
+type SimRuntime struct{ K *simclock.Kernel }
+
+// Spawn starts a DES process.
+func (r SimRuntime) Spawn(name string, fn func(env simenv.Env)) {
+	r.K.Go(name, func(p *simclock.Proc) { fn(p) })
+}
+
+// WaitIdle is a no-op; kernel.Run drives the simulation.
+func (r SimRuntime) WaitIdle() {}
+
+// GoRuntime executes workers as real goroutines, each with its own
+// Immediate environment (modeled latencies accumulate without blocking).
+type GoRuntime struct{ wg sync.WaitGroup }
+
+// Spawn starts a goroutine.
+func (r *GoRuntime) Spawn(name string, fn func(env simenv.Env)) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		fn(simenv.NewImmediate())
+	}()
+}
+
+// WaitIdle blocks until all spawned goroutines returned.
+func (r *GoRuntime) WaitIdle() { r.wg.Wait() }
+
+// Config controls service behaviour. The zero value gives instant starts,
+// no concurrency limit, and no billing.
+type Config struct {
+	// ConcurrencyLimit is the maximum number of concurrently running
+	// instances (AWS default: 1000; the paper raised it via support
+	// ticket). Zero disables the limit.
+	ConcurrencyLimit int
+	// ColdStart is the extra delay of a cold container start
+	// (dependency-layer load etc.). Nil means zero.
+	ColdStart netmodel.Dist
+	// WarmStart is the start delay of a warm container. Nil means zero.
+	WarmStart netmodel.Dist
+	// InvokeLatency is the round trip of one Invoke API call charged to
+	// the caller. Nil means zero.
+	InvokeLatency netmodel.Dist
+	// Meter receives duration and request charges.
+	Meter *pricing.CostMeter
+	// Seed seeds latency sampling.
+	Seed int64
+}
+
+// DefaultAWSConfig returns calibration matching the paper: ~250 ms cold
+// starts, ~15 ms warm starts, eu-region invoke latency.
+func DefaultAWSConfig(meter *pricing.CostMeter, seed int64) Config {
+	prof := netmodel.InvokeProfiles[netmodel.RegionEU]
+	return Config{
+		ConcurrencyLimit: 10000,
+		ColdStart:        netmodel.Uniform{Min: 180 * time.Millisecond, Max: 320 * time.Millisecond},
+		WarmStart:        netmodel.Uniform{Min: 8 * time.Millisecond, Max: 25 * time.Millisecond},
+		InvokeLatency:    netmodel.Uniform{Min: prof.SingleLatency - 6*time.Millisecond, Max: prof.SingleLatency + 10*time.Millisecond},
+		Meter:            meter,
+		Seed:             seed,
+	}
+}
+
+// Function is a registered function.
+type Function struct {
+	Name      string
+	MemoryMiB int
+	Timeout   time.Duration
+	Handler   Handler
+
+	warm int // warm container pool
+}
+
+// Service is a simulated Lambda endpoint.
+type Service struct {
+	mu      sync.Mutex
+	cfg     Config
+	rt      Runtime
+	fns     map[string]*Function
+	running int
+	peak    int
+	invokes int64
+	colds   int64
+	rng     *rand.Rand
+}
+
+// New returns a service running workers on rt.
+func New(cfg Config, rt Runtime) *Service {
+	return &Service{
+		cfg: cfg,
+		rt:  rt,
+		fns: make(map[string]*Function),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// CreateFunction registers (or replaces) a function. Replacing resets the
+// warm pool — the paper creates a fresh function to force cold runs.
+func (s *Service) CreateFunction(name string, memoryMiB int, timeout time.Duration, h Handler) error {
+	if memoryMiB < 128 || memoryMiB > MaxMemoryMiB {
+		return fmt.Errorf("lambda: memory %d MiB outside [128, %d]", memoryMiB, MaxMemoryMiB)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fns[name] = &Function{Name: name, MemoryMiB: memoryMiB, Timeout: timeout, Handler: h}
+	return nil
+}
+
+// Warm pre-warms n containers of a function (models a prior hot run).
+func (s *Service) Warm(name string, n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.fns[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchFunction, name)
+	}
+	f.warm += n
+	return nil
+}
+
+// InvokeOptions carries per-invocation metadata.
+type InvokeOptions struct {
+	WorkerID int
+	// OnDone, if non-nil, runs in the worker's context after the handler
+	// returns (success or error). Used by tests and the driver simulators.
+	OnDone func(env simenv.Env, err error)
+	// Pipelined skips the caller-side round-trip sleep: the caller issues
+	// invocations from a pool of requester threads and paces itself (the
+	// mass-invocation mode of §4.2). The worker still starts after the
+	// request leg plus its container start delay.
+	Pipelined bool
+}
+
+// Invoke performs an asynchronous invocation: the caller pays the Invoke
+// API round trip; the worker body is spawned on the runtime. It returns
+// ErrTooManyRequests if the concurrency limit is reached.
+func (s *Service) Invoke(env simenv.Env, name string, payload []byte, opts InvokeOptions) error {
+	s.mu.Lock()
+	f, ok := s.fns[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoSuchFunction, name)
+	}
+	if s.cfg.ConcurrencyLimit > 0 && s.running >= s.cfg.ConcurrencyLimit {
+		s.mu.Unlock()
+		return ErrTooManyRequests
+	}
+	s.running++
+	if s.running > s.peak {
+		s.peak = s.running
+	}
+	s.invokes++
+	cold := f.warm <= 0
+	if !cold {
+		f.warm--
+	} else {
+		s.colds++
+	}
+	var startDelay time.Duration
+	if cold && s.cfg.ColdStart != nil {
+		startDelay = s.cfg.ColdStart.Sample(s.rng)
+	} else if !cold && s.cfg.WarmStart != nil {
+		startDelay = s.cfg.WarmStart.Sample(s.rng)
+	}
+	var invokeRTT time.Duration
+	if s.cfg.InvokeLatency != nil {
+		invokeRTT = s.cfg.InvokeLatency.Sample(s.rng)
+	}
+	s.mu.Unlock()
+
+	s.cfg.Meter.Charge(pricing.LabelLambdaRequests, pricing.LambdaPerRequest)
+
+	// The worker begins after roughly half the caller's round trip (the
+	// request leg) plus its container start delay.
+	s.rt.Spawn(fmt.Sprintf("%s#%d", name, opts.WorkerID), func(wenv simenv.Env) {
+		wenv.Sleep(invokeRTT/2 + startDelay)
+		ctx := &Ctx{Env: wenv, Function: f.Name, MemoryMiB: f.MemoryMiB, Cold: cold, WorkerID: opts.WorkerID, svc: s}
+		begin := wenv.Now()
+		err := f.Handler(ctx, payload)
+		dur := wenv.Now() - begin
+		if f.Timeout > 0 && dur > f.Timeout {
+			dur = f.Timeout
+			err = fmt.Errorf("%w after %v", ErrTimeout, f.Timeout)
+		}
+		s.cfg.Meter.Charge(pricing.LabelLambdaDuration, pricing.LambdaDuration(f.MemoryMiB, dur))
+		s.mu.Lock()
+		s.running--
+		f.warm++ // container stays warm for subsequent invocations
+		s.mu.Unlock()
+		if opts.OnDone != nil {
+			opts.OnDone(wenv, err)
+		}
+	})
+
+	// Caller pays the full API round trip unless it pipelines requests.
+	if invokeRTT > 0 && !opts.Pipelined {
+		env.Sleep(invokeRTT)
+	}
+	return nil
+}
+
+// Running returns the number of currently executing instances.
+func (s *Service) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// PeakConcurrency returns the maximum simultaneous instances observed.
+func (s *Service) PeakConcurrency() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peak
+}
+
+// Invocations returns total and cold invocation counts.
+func (s *Service) Invocations() (total, cold int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.invokes, s.colds
+}
+
+// Runtime returns the service's runtime.
+func (s *Service) Runtime() Runtime { return s.rt }

@@ -1,0 +1,74 @@
+// Package simenv defines the execution-environment abstraction shared by all
+// cloud-service simulators: a virtual clock the service charges latencies to.
+//
+// Two implementations matter:
+//   - *simclock.Proc (the DES kernel) — performance experiments run here;
+//     Sleep advances virtual time deterministically.
+//   - Immediate — the functional layer; latencies are skipped so correctness
+//     tests and examples on real data run instantly.
+package simenv
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Env is a virtual clock. Services call Sleep to charge request latencies
+// and transfer times to the caller.
+type Env interface {
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// Sleep suspends the caller for d of virtual time.
+	Sleep(d time.Duration)
+}
+
+// Immediate is an Env whose Sleep is a no-op but which still accumulates the
+// total virtual time that would have elapsed, so functional-mode runs can
+// report modeled durations without waiting for them.
+type Immediate struct {
+	elapsed atomic.Int64
+}
+
+// NewImmediate returns an Immediate env at time zero.
+func NewImmediate() *Immediate { return &Immediate{} }
+
+// Now returns the accumulated virtual time.
+func (e *Immediate) Now() time.Duration { return time.Duration(e.elapsed.Load()) }
+
+// Sleep accumulates d without blocking. It yields the processor so that
+// poll loops spinning on an Immediate env stay cooperative with the real
+// goroutines they are waiting on.
+func (e *Immediate) Sleep(d time.Duration) {
+	if d > 0 {
+		e.elapsed.Add(int64(d))
+	}
+	runtime.Gosched()
+}
+
+// Wall is an Env backed by the real clock; Sleep really sleeps. Useful for
+// interactive demos at scaled-down latencies.
+type Wall struct {
+	start time.Time
+	// Scale divides every sleep; 1 means real time, 1000 means sleeps are
+	// a thousandfold shorter.
+	Scale int64
+}
+
+// NewWall returns a wall-clock env with the given time scale (>= 1).
+func NewWall(scale int64) *Wall {
+	if scale < 1 {
+		scale = 1
+	}
+	return &Wall{start: time.Now(), Scale: scale}
+}
+
+// Now returns scaled time since construction.
+func (w *Wall) Now() time.Duration { return time.Since(w.start) * time.Duration(w.Scale) }
+
+// Sleep sleeps d divided by the scale.
+func (w *Wall) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d / time.Duration(w.Scale))
+	}
+}

@@ -1,0 +1,53 @@
+package simenv
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestImmediateAccumulates(t *testing.T) {
+	e := NewImmediate()
+	e.Sleep(3 * time.Second)
+	e.Sleep(2 * time.Second)
+	if e.Now() != 5*time.Second {
+		t.Errorf("now = %v, want 5s", e.Now())
+	}
+	e.Sleep(-time.Second) // negative is ignored
+	if e.Now() != 5*time.Second {
+		t.Errorf("now = %v after negative sleep", e.Now())
+	}
+}
+
+func TestImmediateConcurrent(t *testing.T) {
+	e := NewImmediate()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				e.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Now() != 8*time.Second {
+		t.Errorf("now = %v, want 8s", e.Now())
+	}
+}
+
+func TestWallScales(t *testing.T) {
+	w := NewWall(1000)
+	start := time.Now()
+	w.Sleep(100 * time.Millisecond) // real 100µs
+	if real := time.Since(start); real > 50*time.Millisecond {
+		t.Errorf("scaled sleep took %v of real time", real)
+	}
+	if w.Now() <= 0 {
+		t.Error("wall Now not advancing")
+	}
+	if NewWall(0).Scale != 1 {
+		t.Error("scale floor missing")
+	}
+}

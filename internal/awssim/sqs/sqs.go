@@ -1,0 +1,169 @@
+// Package sqs simulates Amazon SQS: named queues with send and
+// (non-blocking) receive plus per-request pricing. Lambada uses SQS as the
+// result channel: every worker posts a success or error message, and the
+// driver polls until it has heard back from all workers (§3.3).
+//
+// Receive is non-blocking by design; callers implement poll loops with
+// env.Sleep so that both the DES kernel and the functional goroutine layer
+// work with the same code.
+package sqs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lambada/internal/awssim/pricing"
+	"lambada/internal/awssim/simenv"
+	"lambada/internal/netmodel"
+)
+
+// ErrNoSuchQueue is returned for operations on missing queues.
+var ErrNoSuchQueue = errors.New("sqs: no such queue")
+
+// Message is one queue entry.
+type Message struct {
+	Body []byte
+	// SentAt is the virtual send time.
+	SentAt time.Duration
+}
+
+// Config controls latency and pricing. Zero value: free, instant.
+type Config struct {
+	// SendLatency and ReceiveLatency are per-request round trips.
+	SendLatency    netmodel.Dist
+	ReceiveLatency netmodel.Dist
+	Meter          *pricing.CostMeter
+	Seed           int64
+}
+
+// DefaultAWSConfig returns typical intra-region SQS latencies.
+func DefaultAWSConfig(meter *pricing.CostMeter, seed int64) Config {
+	return Config{
+		SendLatency:    netmodel.Uniform{Min: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		ReceiveLatency: netmodel.Uniform{Min: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		Meter:          meter,
+		Seed:           seed,
+	}
+}
+
+// Service is a simulated SQS endpoint, safe for concurrent use.
+type Service struct {
+	mu     sync.Mutex
+	cfg    Config
+	queues map[string][]Message
+	rng    *lockedRand
+}
+
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) sample(d netmodel.Dist) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return d.Sample(l.rng)
+}
+
+// New returns a service with the given configuration.
+func New(cfg Config) *Service {
+	return &Service{cfg: cfg, queues: make(map[string][]Message), rng: newLockedRand(cfg.Seed)}
+}
+
+// CreateQueue creates an empty queue (idempotent, free).
+func (s *Service) CreateQueue(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.queues[name]; !ok {
+		s.queues[name] = nil
+	}
+}
+
+// Send appends a message.
+func (s *Service) Send(env simenv.Env, queue string, body []byte) error {
+	s.mu.Lock()
+	if _, ok := s.queues[queue]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoSuchQueue, queue)
+	}
+	cp := make([]byte, len(body))
+	copy(cp, body)
+	s.queues[queue] = append(s.queues[queue], Message{Body: cp, SentAt: env.Now()})
+	s.mu.Unlock()
+
+	s.cfg.Meter.Charge(pricing.LabelSQS, pricing.SQSPerRequest)
+	s.sleep(env, s.cfg.SendLatency)
+	return nil
+}
+
+// Receive removes and returns up to max messages (possibly none). Each call
+// is one billed request.
+func (s *Service) Receive(env simenv.Env, queue string, max int) ([]Message, error) {
+	if max < 1 {
+		max = 1
+	}
+	if max > 10 {
+		max = 10 // AWS caps batch receives at ten messages
+	}
+	s.mu.Lock()
+	q, ok := s.queues[queue]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchQueue, queue)
+	}
+	n := len(q)
+	if n > max {
+		n = max
+	}
+	out := make([]Message, n)
+	copy(out, q[:n])
+	s.queues[queue] = q[n:]
+	s.mu.Unlock()
+
+	s.cfg.Meter.Charge(pricing.LabelSQS, pricing.SQSPerRequest)
+	s.sleep(env, s.cfg.ReceiveLatency)
+	return out, nil
+}
+
+// PollAll receives until want messages arrived or maxWait virtual time
+// passed, polling every poll.
+func (s *Service) PollAll(env simenv.Env, queue string, want int, poll, maxWait time.Duration) ([]Message, error) {
+	deadline := env.Now() + maxWait
+	var got []Message
+	for len(got) < want {
+		ms, err := s.Receive(env, queue, 10)
+		if err != nil {
+			return got, err
+		}
+		got = append(got, ms...)
+		if len(got) >= want {
+			break
+		}
+		if env.Now() >= deadline {
+			return got, fmt.Errorf("sqs: poll timeout with %d/%d messages", len(got), want)
+		}
+		env.Sleep(poll)
+	}
+	return got, nil
+}
+
+// Len returns the number of queued messages.
+func (s *Service) Len(queue string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues[queue])
+}
+
+func (s *Service) sleep(env simenv.Env, d netmodel.Dist) {
+	if d == nil {
+		return
+	}
+	env.Sleep(s.rng.sample(d))
+}

@@ -1,0 +1,133 @@
+package sqs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"lambada/internal/awssim/pricing"
+	"lambada/internal/awssim/simenv"
+	"lambada/internal/simclock"
+)
+
+func TestSendReceiveFIFO(t *testing.T) {
+	s := New(Config{})
+	env := simenv.NewImmediate()
+	s.CreateQueue("q")
+	for i := 0; i < 3; i++ {
+		if err := s.Send(env, "q", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms, err := s.Receive(env, "q", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("got %d messages", len(ms))
+	}
+	for i, m := range ms {
+		if m.Body[0] != byte(i) {
+			t.Errorf("message %d = %v", i, m.Body)
+		}
+	}
+	if s.Len("q") != 0 {
+		t.Error("queue not drained")
+	}
+}
+
+func TestReceiveBatchCap(t *testing.T) {
+	s := New(Config{})
+	env := simenv.NewImmediate()
+	s.CreateQueue("q")
+	for i := 0; i < 15; i++ {
+		s.Send(env, "q", []byte("m"))
+	}
+	ms, _ := s.Receive(env, "q", 100)
+	if len(ms) != 10 {
+		t.Errorf("batch = %d, want capped at 10", len(ms))
+	}
+}
+
+func TestMissingQueue(t *testing.T) {
+	s := New(Config{})
+	env := simenv.NewImmediate()
+	if err := s.Send(env, "nope", nil); !errors.Is(err, ErrNoSuchQueue) {
+		t.Errorf("send err = %v", err)
+	}
+	if _, err := s.Receive(env, "nope", 1); !errors.Is(err, ErrNoSuchQueue) {
+		t.Errorf("receive err = %v", err)
+	}
+}
+
+func TestPricing(t *testing.T) {
+	meter := pricing.NewCostMeter()
+	s := New(Config{Meter: meter})
+	env := simenv.NewImmediate()
+	s.CreateQueue("q")
+	s.Send(env, "q", []byte("x"))
+	s.Receive(env, "q", 1)
+	s.Receive(env, "q", 1) // empty receive still billed
+	if got := meter.Count(pricing.LabelSQS); got != 3 {
+		t.Errorf("requests = %d, want 3", got)
+	}
+}
+
+func TestPollAllDriverPattern(t *testing.T) {
+	// The driver polls the result queue until it has heard from all
+	// workers (§3.3).
+	s := New(Config{})
+	k := simclock.New()
+	s.CreateQueue("results")
+	const workers = 50
+	for i := 0; i < workers; i++ {
+		i := i
+		k.Go("worker", func(p *simclock.Proc) {
+			p.Sleep(time.Duration(i%10+1) * 100 * time.Millisecond)
+			s.Send(p, "results", []byte(fmt.Sprintf("worker-%d", i)))
+		})
+	}
+	var got []Message
+	var err error
+	k.Go("driver", func(p *simclock.Proc) {
+		got, err = s.PollAll(p, "results", workers, 50*time.Millisecond, time.Minute)
+	})
+	k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != workers {
+		t.Errorf("got %d messages", len(got))
+	}
+}
+
+func TestPollAllTimesOut(t *testing.T) {
+	s := New(Config{})
+	k := simclock.New()
+	s.CreateQueue("results")
+	var err error
+	k.Go("driver", func(p *simclock.Proc) {
+		_, err = s.PollAll(p, "results", 5, 10*time.Millisecond, 200*time.Millisecond)
+	})
+	k.Run()
+	if err == nil {
+		t.Error("expected timeout error")
+	}
+}
+
+func TestSentAtRecordsVirtualTime(t *testing.T) {
+	s := New(Config{})
+	k := simclock.New()
+	s.CreateQueue("q")
+	k.Go("p", func(p *simclock.Proc) {
+		p.Sleep(3 * time.Second)
+		s.Send(p, "q", []byte("x"))
+	})
+	k.Run()
+	env := simenv.NewImmediate()
+	ms, _ := s.Receive(env, "q", 1)
+	if len(ms) != 1 || ms[0].SentAt != 3*time.Second {
+		t.Errorf("messages = %+v", ms)
+	}
+}

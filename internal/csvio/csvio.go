@@ -1,0 +1,229 @@
+// Package csvio reads and writes relations as CSV, the uncompressed
+// baseline format of the paper's evaluation (§5.1: "in uncompressed CSV,
+// the size of the relation is 705 GiB"). It provides the ingestion path a
+// deployment needs: CSV → columnar chunks → lpq files, plus an engine
+// source for querying CSV directly (at CSV prices: no projection push-down,
+// no pruning — every byte is read, which is exactly why Parquet wins).
+package csvio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"lambada/internal/columnar"
+	"lambada/internal/lpq"
+)
+
+// Write serializes a chunk as CSV with a header row.
+func Write(w io.Writer, c *columnar.Chunk) error {
+	bw := bufio.NewWriter(w)
+	for i, f := range c.Schema.Fields {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(f.Name); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	n := c.NumRows()
+	for row := 0; row < n; row++ {
+		for j, col := range c.Columns {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			var s string
+			switch c.Schema.Fields[j].Type {
+			case columnar.Int64:
+				s = strconv.FormatInt(col.Int64s[row], 10)
+			case columnar.Float64:
+				s = strconv.FormatFloat(col.Float64s[row], 'g', -1, 64)
+			default:
+				s = strconv.FormatBool(col.Bools[row])
+			}
+			if _, err := bw.WriteString(s); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadOptions configure parsing.
+type ReadOptions struct {
+	// Schema gives the expected columns. If nil, the header is parsed and
+	// all columns default to Float64 unless every value of a column parses
+	// as an integer (schema inference on the first chunk).
+	Schema *columnar.Schema
+	// ChunkRows is the number of rows per yielded chunk (default 65536).
+	ChunkRows int
+}
+
+// Read parses CSV (with header) into chunks, yielding every ChunkRows rows.
+func Read(r io.Reader, opts ReadOptions, yield func(*columnar.Chunk) error) error {
+	if opts.ChunkRows <= 0 {
+		opts.ChunkRows = 65536
+	}
+	br := bufio.NewReaderSize(r, 1<<20)
+	header, err := readLine(br)
+	if err != nil {
+		return fmt.Errorf("csvio: reading header: %w", err)
+	}
+	names := strings.Split(header, ",")
+	schema := opts.Schema
+	if schema != nil {
+		if schema.Len() != len(names) {
+			return fmt.Errorf("csvio: header has %d columns, schema %d", len(names), schema.Len())
+		}
+		for i, n := range names {
+			if schema.Fields[i].Name != strings.TrimSpace(n) {
+				return fmt.Errorf("csvio: header column %d is %q, schema says %q", i, n, schema.Fields[i].Name)
+			}
+		}
+	} else {
+		schema = &columnar.Schema{}
+		for _, n := range names {
+			schema.Fields = append(schema.Fields, columnar.Field{Name: strings.TrimSpace(n), Type: columnar.Float64})
+		}
+	}
+
+	chunk := columnar.NewChunk(schema, opts.ChunkRows)
+	lineNo := 1
+	for {
+		line, err := readLine(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		lineNo++
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != schema.Len() {
+			return fmt.Errorf("csvio: line %d has %d fields, want %d", lineNo, len(fields), schema.Len())
+		}
+		for j, s := range fields {
+			s = strings.TrimSpace(s)
+			switch schema.Fields[j].Type {
+			case columnar.Int64:
+				v, err := strconv.ParseInt(s, 10, 64)
+				if err != nil {
+					return fmt.Errorf("csvio: line %d column %q: %w", lineNo, schema.Fields[j].Name, err)
+				}
+				chunk.Columns[j].AppendInt64(v)
+			case columnar.Float64:
+				v, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					return fmt.Errorf("csvio: line %d column %q: %w", lineNo, schema.Fields[j].Name, err)
+				}
+				chunk.Columns[j].AppendFloat64(v)
+			default:
+				v, err := strconv.ParseBool(s)
+				if err != nil {
+					return fmt.Errorf("csvio: line %d column %q: %w", lineNo, schema.Fields[j].Name, err)
+				}
+				chunk.Columns[j].AppendBool(v)
+			}
+		}
+		if chunk.NumRows() >= opts.ChunkRows {
+			if err := yield(chunk); err != nil {
+				return err
+			}
+			chunk = columnar.NewChunk(schema, opts.ChunkRows)
+		}
+	}
+	if chunk.NumRows() > 0 {
+		return yield(chunk)
+	}
+	return nil
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err == io.EOF && line != "" {
+		return strings.TrimRight(line, "\r\n"), nil
+	}
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// ReadAll parses the whole input into one chunk.
+func ReadAll(r io.Reader, schema *columnar.Schema) (*columnar.Chunk, error) {
+	out := columnar.NewChunk(schema, 0)
+	err := Read(r, ReadOptions{Schema: schema}, func(c *columnar.Chunk) error {
+		for j := range out.Columns {
+			switch out.Columns[j].Type {
+			case columnar.Int64:
+				out.Columns[j].Int64s = append(out.Columns[j].Int64s, c.Columns[j].Int64s...)
+			case columnar.Float64:
+				out.Columns[j].Float64s = append(out.Columns[j].Float64s, c.Columns[j].Float64s...)
+			default:
+				out.Columns[j].Bools = append(out.Columns[j].Bools, c.Columns[j].Bools...)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Convert re-encodes CSV into an lpq file, the ETL step a Lambada adopter
+// runs once so that queries benefit from column pruning and statistics.
+func Convert(r io.Reader, w io.Writer, schema *columnar.Schema, opts lpq.WriterOptions) (rows int64, err error) {
+	lw := lpq.NewWriter(w, schema, opts)
+	err = Read(r, ReadOptions{Schema: schema}, func(c *columnar.Chunk) error {
+		rows += int64(c.NumRows())
+		return lw.Write(c)
+	})
+	if err != nil {
+		return rows, err
+	}
+	return rows, lw.Close()
+}
+
+// Source serves an in-memory CSV payload as an engine scan source. CSV has
+// no column chunks or statistics, so projection happens after full parsing
+// and prune predicates are ignored — the cost structure the paper's Parquet
+// choice avoids.
+type Source struct {
+	Data        []byte
+	TableSchema *columnar.Schema
+	ChunkRows   int
+}
+
+// Schema returns the declared schema.
+func (s *Source) Schema() (*columnar.Schema, error) { return s.TableSchema, nil }
+
+// Scan parses the entire payload, then projects.
+func (s *Source) Scan(proj []string, _ []lpq.Predicate, yield func(*columnar.Chunk) error) error {
+	return Read(strings.NewReader(string(s.Data)), ReadOptions{Schema: s.TableSchema, ChunkRows: s.ChunkRows},
+		func(c *columnar.Chunk) error {
+			if proj != nil {
+				p, err := c.Project(proj...)
+				if err != nil {
+					return err
+				}
+				c = p
+			}
+			return yield(c)
+		})
+}

@@ -1,0 +1,195 @@
+package csvio
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lambada/internal/columnar"
+	"lambada/internal/engine"
+	"lambada/internal/lpq"
+	"lambada/internal/tpch"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	data := tpch.Gen{SF: 0.001, Seed: 2}.Generate()
+	var buf bytes.Buffer
+	if err := Write(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()), tpch.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != data.NumRows() {
+		t.Fatalf("rows = %d, want %d", got.NumRows(), data.NumRows())
+	}
+	for j := range data.Columns {
+		for i := 0; i < data.NumRows(); i++ {
+			a, b := data.Columns[j].Float64At(i), got.Columns[j].Float64At(i)
+			if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+				t.Fatalf("col %d row %d: %v != %v", j, i, a, b)
+			}
+		}
+	}
+}
+
+func TestReadChunking(t *testing.T) {
+	data := tpch.Gen{SF: 0.001, Seed: 2}.Generate()
+	var buf bytes.Buffer
+	Write(&buf, data)
+	var sizes []int
+	err := Read(bytes.NewReader(buf.Bytes()), ReadOptions{Schema: tpch.Schema(), ChunkRows: 1000},
+		func(c *columnar.Chunk) error {
+			sizes = append(sizes, c.NumRows())
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, s := range sizes {
+		total += s
+		if i < len(sizes)-1 && s != 1000 {
+			t.Errorf("chunk %d = %d rows", i, s)
+		}
+	}
+	if total != data.NumRows() {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	schema := columnar.NewSchema(
+		columnar.Field{Name: "a", Type: columnar.Int64},
+		columnar.Field{Name: "b", Type: columnar.Float64},
+	)
+	cases := []struct {
+		name, csv string
+	}{
+		{"bad header", "x,b\n1,2\n"},
+		{"wrong arity", "a,b\n1\n"},
+		{"bad int", "a,b\nfoo,2.5\n"},
+		{"bad float", "a,b\n1,bar\n"},
+		{"wrong column count", "a\n1\n"},
+	}
+	for _, c := range cases {
+		err := Read(strings.NewReader(c.csv), ReadOptions{Schema: schema}, func(*columnar.Chunk) error { return nil })
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestHeaderOnlyAndBlankLines(t *testing.T) {
+	schema := columnar.NewSchema(columnar.Field{Name: "a", Type: columnar.Int64})
+	got, err := ReadAll(strings.NewReader("a\n"), schema)
+	if err != nil || got.NumRows() != 0 {
+		t.Errorf("header-only: %v rows, err %v", got.NumRows(), err)
+	}
+	got, err = ReadAll(strings.NewReader("a\n1\n\n2\n"), schema)
+	if err != nil || got.NumRows() != 2 {
+		t.Errorf("blank lines: %v rows, err %v", got.NumRows(), err)
+	}
+	// Missing trailing newline.
+	got, err = ReadAll(strings.NewReader("a\n1\n2"), schema)
+	if err != nil || got.NumRows() != 2 {
+		t.Errorf("no trailing newline: %v rows, err %v", got.NumRows(), err)
+	}
+}
+
+func TestConvertToLpq(t *testing.T) {
+	data := tpch.Gen{SF: 0.001, Seed: 5}.Generate()
+	var csvBuf bytes.Buffer
+	Write(&csvBuf, data)
+	var lpqBuf bytes.Buffer
+	rows, err := Convert(bytes.NewReader(csvBuf.Bytes()), &lpqBuf, tpch.Schema(),
+		lpq.WriterOptions{RowGroupRows: 2000, Compression: lpq.Gzip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != int64(data.NumRows()) {
+		t.Errorf("converted %d rows, want %d", rows, data.NumRows())
+	}
+	// The lpq file is much smaller than the CSV (the paper: 705 GiB CSV vs
+	// 151 GiB Parquet).
+	if lpqBuf.Len() >= csvBuf.Len() {
+		t.Errorf("lpq (%d) not smaller than CSV (%d)", lpqBuf.Len(), csvBuf.Len())
+	}
+	r, err := lpq.OpenReader(bytes.NewReader(lpqBuf.Bytes()), int64(lpqBuf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Column("l_shipdate").Int64s, data.Column("l_shipdate").Int64s) {
+		t.Error("shipdates corrupted in conversion")
+	}
+}
+
+func TestCSVSourceQueries(t *testing.T) {
+	data := tpch.Gen{SF: 0.001, Seed: 5}.Generate()
+	var buf bytes.Buffer
+	Write(&buf, data)
+	src := &Source{Data: buf.Bytes(), TableSchema: tpch.Schema()}
+	cat := engine.Catalog{"lineitem": src}
+	plan := &engine.AggregatePlan{
+		Aggs: []engine.AggSpec{{Func: engine.AggCount, Name: "n"}},
+		In: &engine.FilterPlan{
+			Pred: engine.NewBin(engine.OpGE, engine.Col("l_shipdate"), engine.ConstInt(tpch.Q6ShipDateLo)),
+			In:   &engine.ScanPlan{Table: "lineitem"},
+		},
+	}
+	opt, err := engine.Optimize(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := engine.Execute(opt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, s := range data.Column("l_shipdate").Int64s {
+		if s >= tpch.Q6ShipDateLo {
+			want++
+		}
+	}
+	if got := out.Column("n").Int64s[0]; got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+}
+
+// Property: any int64 matrix round-trips through CSV exactly.
+func TestPropertyIntRoundTrip(t *testing.T) {
+	schema := columnar.NewSchema(
+		columnar.Field{Name: "a", Type: columnar.Int64},
+		columnar.Field{Name: "b", Type: columnar.Int64},
+	)
+	f := func(as, bs []int64) bool {
+		n := len(as)
+		if len(bs) < n {
+			n = len(bs)
+		}
+		c := columnar.NewChunk(schema, n)
+		c.Columns[0].Int64s = append(c.Columns[0].Int64s, as[:n]...)
+		c.Columns[1].Int64s = append(c.Columns[1].Int64s, bs[:n]...)
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			return false
+		}
+		got, err := ReadAll(bytes.NewReader(buf.Bytes()), schema)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Columns[0].Int64s, c.Columns[0].Int64s) &&
+			reflect.DeepEqual(got.Columns[1].Int64s, c.Columns[1].Int64s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package driver implements the Lambada system core (§3): the driver that
+// runs on the data scientist's machine, compiles queries into distributed
+// plans, invokes serverless workers (directly or through the two-level
+// invocation tree of §4.2), and collects their results through the SQS
+// result queue. Workers execute plan fragments against S3 through the
+// cost-aware scan operator and report back via shared serverless storage —
+// no always-on infrastructure anywhere.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"lambada/internal/awssim/dynamo"
+	"lambada/internal/awssim/lambdasvc"
+	"lambada/internal/awssim/pricing"
+	"lambada/internal/awssim/s3"
+	"lambada/internal/awssim/simenv"
+	"lambada/internal/awssim/sqs"
+	"lambada/internal/columnar"
+	"lambada/internal/engine"
+	"lambada/internal/invoke"
+	"lambada/internal/lpq"
+	"lambada/internal/netmodel"
+	"lambada/internal/scan"
+	"lambada/internal/simclock"
+)
+
+// Deployment bundles the serverless services of Figure 3.
+type Deployment struct {
+	S3     *s3.Service
+	Lambda *lambdasvc.Service
+	SQS    *sqs.Service
+	Dynamo *dynamo.Service
+	Meter  *pricing.CostMeter
+	Net    netmodel.LambdaNet
+
+	// Deterministic is true for DES deployments: worker-side code must not
+	// spawn goroutines, so scan concurrency is disabled (its timing effect
+	// is modeled by the bandwidth shaper instead).
+	Deterministic bool
+	// Shaped enables per-worker bandwidth shaping of S3 transfers.
+	Shaped bool
+}
+
+// NewLocal returns a functional-layer deployment: real goroutine workers,
+// zero latencies, no rate limits — correctness testing and examples.
+func NewLocal() *Deployment {
+	meter := pricing.NewCostMeter()
+	return &Deployment{
+		S3:     s3.New(s3.Config{Meter: meter}),
+		Lambda: lambdasvc.New(lambdasvc.Config{Meter: meter}, &lambdasvc.GoRuntime{}),
+		SQS:    sqs.New(sqs.Config{Meter: meter}),
+		Dynamo: dynamo.New(dynamo.Config{Meter: meter}),
+		Meter:  meter,
+		Net:    netmodel.DefaultLambdaNet(),
+	}
+}
+
+// NewSimulated returns a DES deployment on kernel k with the calibrated AWS
+// latency, bandwidth, throttling and pricing models — the performance layer.
+func NewSimulated(k *simclock.Kernel, seed int64) *Deployment {
+	meter := pricing.NewCostMeter()
+	return &Deployment{
+		S3:            s3.New(s3.DefaultAWSConfig(meter, seed)),
+		Lambda:        lambdasvc.New(lambdasvc.DefaultAWSConfig(meter, seed+1), lambdasvc.SimRuntime{K: k}),
+		SQS:           sqs.New(sqs.DefaultAWSConfig(meter, seed+2)),
+		Dynamo:        dynamo.New(dynamo.DefaultAWSConfig(meter, seed+3)),
+		Meter:         meter,
+		Net:           netmodel.DefaultLambdaNet(),
+		Deterministic: true,
+		Shaped:        true,
+	}
+}
+
+// Config tunes a Lambada installation.
+type Config struct {
+	// FunctionName is the worker Lambda function name.
+	FunctionName string
+	// WorkerMemoryMiB is M of §5.2 (default 1792: exactly one vCPU).
+	WorkerMemoryMiB int
+	// FilesPerWorker is F of §5.2; the worker count is
+	// ceil(len(files)/F) unless Workers overrides it.
+	FilesPerWorker int
+	// Workers pins the worker count (0 = derive from FilesPerWorker).
+	Workers int
+	// TreeInvoke enables the two-level invocation tree (§4.2).
+	TreeInvoke bool
+	// InvokeThreads is the driver's requester thread count for pacing.
+	InvokeThreads int
+	// Region selects the Table 1 invocation profile.
+	Region netmodel.Region
+	// Scan configures the S3 scan operator.
+	Scan scan.Config
+	// Timeout is the worker function timeout.
+	Timeout time.Duration
+	// ResultQueue names the SQS result queue.
+	ResultQueue string
+	// PollInterval is the driver's result poll interval.
+	PollInterval time.Duration
+	// MaxWait bounds result collection.
+	MaxWait time.Duration
+	// Speculate configures driver-side straggler mitigation.
+	Speculate SpeculateConfig
+
+	// testWorkerDelay, when set by tests, stalls the given worker before
+	// it executes its fragment — the straggler-injection seam.
+	testWorkerDelay func(workerID int) time.Duration
+}
+
+// DefaultConfig mirrors the paper's default setup (M=1792, F=1).
+func DefaultConfig() Config {
+	return Config{
+		FunctionName:    "lambada-worker",
+		WorkerMemoryMiB: 1792,
+		FilesPerWorker:  1,
+		TreeInvoke:      true,
+		InvokeThreads:   1,
+		Region:          netmodel.RegionEU,
+		Scan:            scan.DefaultConfig(),
+		Timeout:         5 * time.Minute,
+		ResultQueue:     "lambada-results",
+		PollInterval:    25 * time.Millisecond,
+		MaxWait:         10 * time.Minute,
+	}
+}
+
+// Driver is a Lambada driver instance bound to one deployment.
+type Driver struct {
+	dep *Deployment
+	cfg Config
+	env simenv.Env
+
+	queryCounter int
+}
+
+// New returns a driver using env as its local clock.
+func New(dep *Deployment, env simenv.Env, cfg Config) *Driver {
+	if cfg.FunctionName == "" {
+		cfg.FunctionName = "lambada-worker"
+	}
+	if cfg.ResultQueue == "" {
+		cfg.ResultQueue = "lambada-results"
+	}
+	if cfg.WorkerMemoryMiB == 0 {
+		cfg.WorkerMemoryMiB = 1792
+	}
+	if cfg.FilesPerWorker == 0 {
+		cfg.FilesPerWorker = 1
+	}
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = 25 * time.Millisecond
+	}
+	if cfg.MaxWait == 0 {
+		cfg.MaxWait = 10 * time.Minute
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Minute
+	}
+	if cfg.Region == "" {
+		cfg.Region = netmodel.RegionEU
+	}
+	if dep.Deterministic {
+		// DES processes must stay single-threaded; the shaper models the
+		// timing effect of scan concurrency instead.
+		cfg.Scan.DoubleBuffer = false
+		cfg.Scan.ParallelColumns = false
+		cfg.Scan.MetaPrefetch = false
+	}
+	return &Driver{dep: dep, cfg: cfg, env: env}
+}
+
+// Config returns the driver's configuration.
+func (d *Driver) Config() Config { return d.cfg }
+
+// Deployment returns the bound deployment.
+func (d *Driver) Deployment() *Deployment { return d.dep }
+
+// Install registers the worker function and creates the result queue —
+// the installation step of the usage model (Figure 2), done once.
+func (d *Driver) Install() error {
+	d.dep.SQS.CreateQueue(d.cfg.ResultQueue)
+	return d.dep.Lambda.CreateFunction(d.cfg.FunctionName, d.cfg.WorkerMemoryMiB, d.cfg.Timeout, d.workerHandler)
+}
+
+// workerPayload is the invocation parameter blob (§3.3).
+type workerPayload struct {
+	QueryID     string            `json:"queryId"`
+	WorkerID    int               `json:"workerId"`
+	NumWorkers  int               `json:"numWorkers"`
+	Plan        json.RawMessage   `json:"plan"`
+	Table       string            `json:"table"`
+	Files       []scan.FileRef    `json:"files"`
+	ResultQueue string            `json:"resultQueue"`
+	Children    []json.RawMessage `json:"children,omitempty"`
+	// Exchange, when present, makes the worker shuffle its partial result
+	// through S3 by group key and finalize its partitions locally.
+	Exchange json.RawMessage `json:"exchange,omitempty"`
+	// Broadcast carries small driver-side tables (lpq blobs by table name)
+	// referenced by join plans.
+	Broadcast map[string][]byte `json:"broadcast,omitempty"`
+}
+
+// resultMsg is the worker → driver completion message.
+type resultMsg struct {
+	QueryID      string `json:"queryId"`
+	WorkerID     int    `json:"workerId"`
+	Err          string `json:"err,omitempty"`
+	Chunk        []byte `json:"chunk,omitempty"` // lpq blob
+	ProcessingNs int64  `json:"processingNs"`    // plan execution time
+	Cold         bool   `json:"cold"`
+}
+
+// workerHandler is the event handler running inside every serverless
+// worker: invoke children (tree), execute the plan fragment, post to SQS.
+func (d *Driver) workerHandler(ctx *lambdasvc.Ctx, payload []byte) error {
+	var p workerPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return err
+	}
+
+	// First-generation workers launch their children before their own
+	// fragment (§4.2).
+	if len(p.Children) > 0 {
+		pacing := invoke.WorkerPacing(d.cfg.Region)
+		for _, ch := range p.Children {
+			var cp workerPayload
+			if err := json.Unmarshal(ch, &cp); err != nil {
+				d.postResult(ctx.Env, p, fmt.Errorf("decoding child payload: %w", err), nil, 0, ctx.Cold)
+				return err
+			}
+			if err := d.dep.Lambda.Invoke(ctx.Env, d.cfg.FunctionName, ch, lambdasvc.InvokeOptions{WorkerID: cp.WorkerID, Pipelined: true}); err != nil {
+				d.postResult(ctx.Env, p, fmt.Errorf("invoking child %d: %w", cp.WorkerID, err), nil, 0, ctx.Cold)
+				return err
+			}
+			ctx.Env.Sleep(pacing.Gap())
+		}
+	}
+
+	if d.cfg.testWorkerDelay != nil {
+		ctx.Env.Sleep(d.cfg.testWorkerDelay(p.WorkerID))
+	}
+	start := ctx.Env.Now()
+	chunk, err := d.executeFragment(ctx, &p)
+	processing := ctx.Env.Now() - start
+	return d.postResult(ctx.Env, p, err, chunk, processing, ctx.Cold)
+}
+
+// ErrWorkerOOM is reported when a worker's working set exceeds its memory.
+var ErrWorkerOOM = errors.New("worker out of memory")
+
+// memGuardSource wraps a scan source and fails with an out-of-memory error
+// when a materialized chunk exceeds the execution-engine budget. §3.3: the
+// handler "starts the execution engine ... with a memory limit slightly
+// lower than that of the serverless function such that it can report
+// out-of-memory situations ... rather than dying silently".
+type memGuardSource struct {
+	engine.Source
+	budget int64
+}
+
+func (m memGuardSource) Scan(proj []string, preds []lpq.Predicate, yield func(*columnar.Chunk) error) error {
+	return m.Source.Scan(proj, preds, func(c *columnar.Chunk) error {
+		// The scan pipeline holds the decoded chunk plus the compressed
+		// download buffers and the double-buffered next group; budget 3×.
+		if need := 3 * c.ByteSize(); need > m.budget {
+			return fmt.Errorf("%w: chunk working set %d MiB exceeds engine budget %d MiB",
+				ErrWorkerOOM, need>>20, m.budget>>20)
+		}
+		return yield(c)
+	})
+}
+
+// engineMemoryBudget returns the execution-engine limit: the function's
+// memory minus a fixed headroom for the handler and runtime.
+func engineMemoryBudget(memoryMiB int) int64 {
+	const headroomMiB = 192
+	b := int64(memoryMiB-headroomMiB) << 20
+	if b < 1<<20 {
+		b = 1 << 20
+	}
+	return b
+}
+
+func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, p *workerPayload) (*columnar.Chunk, error) {
+	plan, err := engine.UnmarshalPlan(p.Plan)
+	if err != nil {
+		return nil, err
+	}
+	opts := []s3.ClientOption{}
+	if d.dep.Shaped {
+		opts = append(opts, s3.WithShaper(d.dep.Net, ctx.MemoryMiB))
+	}
+	client := s3.NewClient(d.dep.S3, ctx.Env, opts...)
+	src := scan.New(client, d.cfg.Scan, p.Files...)
+	guarded := memGuardSource{Source: src, budget: engineMemoryBudget(ctx.MemoryMiB)}
+	cat := engine.Catalog{p.Table: guarded}
+	for name, blob := range p.Broadcast {
+		r, err := lpq.OpenReader(bytes.NewReader(blob), int64(len(blob)))
+		if err != nil {
+			return nil, fmt.Errorf("decoding broadcast table %q: %w", name, err)
+		}
+		c, err := r.ReadAll()
+		if err != nil {
+			return nil, err
+		}
+		cat[name] = engine.NewMemSource(c.Schema, c)
+	}
+	partial, err := engine.Execute(plan, cat)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Exchange) == 0 {
+		return partial, nil
+	}
+	return d.runExchange(client, p, partial)
+}
+
+func (d *Driver) postResult(env simenv.Env, p workerPayload, execErr error, chunk *columnar.Chunk, processing time.Duration, cold bool) error {
+	msg := resultMsg{QueryID: p.QueryID, WorkerID: p.WorkerID, ProcessingNs: processing.Nanoseconds(), Cold: cold}
+	if execErr != nil {
+		msg.Err = execErr.Error()
+	} else if chunk != nil {
+		blob, err := lpq.WriteFile(chunk.Schema, lpq.WriterOptions{}, chunk)
+		if err != nil {
+			msg.Err = err.Error()
+		} else {
+			msg.Chunk = blob
+		}
+	}
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	return d.dep.SQS.Send(env, d.cfg.ResultQueue, body)
+}

@@ -1,0 +1,245 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"lambada/internal/awssim/s3"
+	"lambada/internal/columnar"
+	"lambada/internal/engine"
+	"lambada/internal/exchange"
+	"lambada/internal/lpq"
+	"lambada/internal/scan"
+)
+
+// ExchangeConfig enables the serverless exchange path for grouped
+// aggregations: worker partials are shuffled by group key through S3 so
+// every group is finalized on exactly one worker — the driver only
+// concatenates. Buckets must be pre-created at installation time (§4.4.1).
+type ExchangeConfig struct {
+	Variant exchange.Variant
+	// Buckets is the shard-bucket count created at Install.
+	Buckets int
+	// Poll and MaxWait configure receiver-side waiting.
+	Poll    time.Duration
+	MaxWait time.Duration
+}
+
+// DefaultExchangeConfig uses the two-level write-combining variant over
+// eight shard buckets.
+func DefaultExchangeConfig() ExchangeConfig {
+	return ExchangeConfig{
+		Variant: exchange.Variant{Levels: 2, WriteCombining: true},
+		Buckets: 8,
+		Poll:    50 * time.Millisecond,
+		MaxWait: 10 * time.Minute,
+	}
+}
+
+// exchangeSpec travels in the worker payload.
+type exchangeSpec struct {
+	Variant   exchange.Variant `json:"variant"`
+	Buckets   []string         `json:"buckets"`
+	Prefix    string           `json:"prefix"`
+	Key       string           `json:"key"`
+	FinalPlan json.RawMessage  `json:"finalPlan"`
+	PollNs    int64            `json:"pollNs"`
+	MaxWaitNs int64            `json:"maxWaitNs"`
+}
+
+// exchangeBucketName names the i-th shard bucket of an installation.
+func exchangeBucketName(fn string, i int) string {
+	return fmt.Sprintf("%s-xshard-%d", fn, i)
+}
+
+// InstallExchange creates the shard buckets (free, done once, §4.4.1).
+func (d *Driver) InstallExchange(cfg ExchangeConfig) []string {
+	buckets := make([]string, cfg.Buckets)
+	for i := range buckets {
+		buckets[i] = exchangeBucketName(d.cfg.FunctionName, i)
+		d.dep.S3.MustCreateBucket(buckets[i])
+	}
+	return buckets
+}
+
+// RunPlanExchanged executes a grouped aggregation with the exchange-merge
+// strategy: scan+partial aggregation per worker, serverless shuffle of the
+// partials by group key, local finalization, driver-side concatenation.
+func (d *Driver) RunPlanExchanged(plan engine.Plan, table string, files []scan.FileRef, xcfg ExchangeConfig) (*columnar.Chunk, *Report, error) {
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("driver: no input files")
+	}
+	d.queryCounter++
+	queryID := fmt.Sprintf("q%d", d.queryCounter)
+	buckets := d.InstallExchange(xcfg)
+
+	costBefore := map[string]float64{}
+	for _, l := range d.dep.Meter.Labels() {
+		costBefore[l] = float64(d.dep.Meter.Get(l))
+	}
+	startTime := d.env.Now()
+
+	driverClient := s3.NewClient(d.dep.S3, d.env)
+	metaSrc := scan.New(driverClient, d.cfg.Scan, files[0])
+	schema, err := metaSrc.Schema()
+	if err != nil {
+		return nil, nil, err
+	}
+	opt, err := engine.Optimize(plan, engine.Catalog{table: engine.NewMemSource(schema)})
+	if err != nil {
+		return nil, nil, err
+	}
+	xp, err := engine.SplitExchanged(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	workerPlanJSON, err := engine.MarshalPlan(xp.Worker)
+	if err != nil {
+		return nil, nil, err
+	}
+	finalPlanJSON, err := engine.MarshalPlan(xp.WorkerFinal)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	workers := d.cfg.Workers
+	if workers <= 0 {
+		f := d.cfg.FilesPerWorker
+		workers = (len(files) + f - 1) / f
+	}
+	if workers > len(files) {
+		workers = len(files)
+	}
+	spec := exchangeSpec{
+		Variant:   xcfg.Variant,
+		Buckets:   buckets,
+		Prefix:    d.cfg.FunctionName + "/" + queryID,
+		Key:       xp.Key,
+		FinalPlan: finalPlanJSON,
+		PollNs:    int64(xcfg.Poll),
+		MaxWaitNs: int64(xcfg.MaxWait),
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	payloads := make([][]byte, workers)
+	per := (len(files) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > len(files) {
+			hi = len(files)
+		}
+		if lo > hi {
+			lo = hi
+		}
+		body, err := json.Marshal(workerPayload{
+			QueryID:     queryID,
+			WorkerID:    w,
+			NumWorkers:  workers,
+			Plan:        workerPlanJSON,
+			Table:       table,
+			Files:       files[lo:hi],
+			ResultQueue: d.cfg.ResultQueue,
+			Exchange:    specJSON,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		payloads[w] = body
+	}
+
+	invokeStart := d.env.Now()
+	if err := d.invokeAll(payloads); err != nil {
+		return nil, nil, err
+	}
+	invocation := d.env.Now() - invokeStart
+
+	msgs, err := d.dep.SQS.PollAll(d.env, d.cfg.ResultQueue, workers, d.cfg.PollInterval, d.cfg.MaxWait)
+	if err != nil {
+		return nil, nil, fmt.Errorf("driver: collecting results: %w", err)
+	}
+	finalSchema, err := xp.WorkerFinal.OutSchema()
+	if err != nil {
+		return nil, nil, err
+	}
+	var chunks []*columnar.Chunk
+	var processing []time.Duration
+	cold := 0
+	for _, m := range msgs {
+		var rm resultMsg
+		if err := json.Unmarshal(m.Body, &rm); err != nil {
+			return nil, nil, err
+		}
+		if rm.Err != "" {
+			return nil, nil, fmt.Errorf("driver: worker %d failed: %s", rm.WorkerID, rm.Err)
+		}
+		if rm.Cold {
+			cold++
+		}
+		processing = append(processing, time.Duration(rm.ProcessingNs))
+		if len(rm.Chunk) > 0 {
+			r, err := lpq.OpenReader(bytes.NewReader(rm.Chunk), int64(len(rm.Chunk)))
+			if err != nil {
+				return nil, nil, err
+			}
+			c, err := r.ReadAll()
+			if err != nil {
+				return nil, nil, err
+			}
+			chunks = append(chunks, c)
+		}
+	}
+
+	dcat := engine.Catalog{engine.WorkerResultTable: engine.NewMemSource(finalSchema, chunks...)}
+	result, err := engine.Execute(xp.Driver, dcat)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		QueryID:          queryID,
+		Workers:          workers,
+		Duration:         d.env.Now() - startTime,
+		Invocation:       invocation,
+		WorkerProcessing: processing,
+		ColdWorkers:      cold,
+		CostDelta:        map[string]float64{},
+	}
+	for _, l := range d.dep.Meter.Labels() {
+		delta := float64(d.dep.Meter.Get(l)) - costBefore[l]
+		if delta > 0 {
+			rep.CostDelta[l] = delta
+			rep.TotalCost += delta
+		}
+	}
+	return result, rep, nil
+}
+
+// runExchange is the worker-side shuffle+finalize step.
+func (d *Driver) runExchange(client *s3.Client, p *workerPayload, partial *columnar.Chunk) (*columnar.Chunk, error) {
+	var spec exchangeSpec
+	if err := json.Unmarshal(p.Exchange, &spec); err != nil {
+		return nil, err
+	}
+	opts := exchange.Options{
+		Variant: spec.Variant,
+		Buckets: spec.Buckets,
+		Prefix:  spec.Prefix,
+		Poll:    time.Duration(spec.PollNs),
+		MaxWait: time.Duration(spec.MaxWaitNs),
+	}
+	wk := exchange.Worker{ID: p.WorkerID, P: p.NumWorkers, Client: client}
+	merged, err := wk.Run(opts, partial, spec.Key)
+	if err != nil {
+		return nil, err
+	}
+	finalPlan, err := engine.UnmarshalPlan(spec.FinalPlan)
+	if err != nil {
+		return nil, err
+	}
+	cat := engine.Catalog{engine.WorkerResultTable: engine.NewMemSource(merged.Schema, merged)}
+	return engine.Execute(finalPlan, cat)
+}

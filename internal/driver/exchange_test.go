@@ -1,0 +1,190 @@
+package driver
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lambada/internal/awssim/pricing"
+	"lambada/internal/engine"
+	"lambada/internal/exchange"
+	"lambada/internal/lpq"
+	"lambada/internal/simclock"
+	"lambada/internal/sqlfe"
+	"lambada/internal/tpch"
+)
+
+// groupBySuppkeySQL has far more groups than Q1 — the case the exchange
+// merge exists for.
+const groupBySuppkeySQL = `
+SELECT l_suppkey, SUM(l_extendedprice) AS total, COUNT(*) AS n, AVG(l_discount) AS ad
+FROM lineitem
+GROUP BY l_suppkey
+ORDER BY l_suppkey`
+
+func TestExchangedGroupByMatchesSingleNode(t *testing.T) {
+	for _, variant := range []exchange.Variant{
+		{Levels: 1, WriteCombining: false},
+		{Levels: 2, WriteCombining: true},
+	} {
+		d, refs, data := localSetup(t, DefaultConfig(), 0.002, 9)
+		plan, err := sqlfe.Parse(groupBySuppkeySQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Single-node reference through the engine.
+		cat := engine.Catalog{"lineitem": engine.NewMemSource(tpch.Schema(), data)}
+		refPlan, err := sqlfe.Parse(groupBySuppkeySQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := engine.Execute(refPlan, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		xcfg := DefaultExchangeConfig()
+		xcfg.Variant = variant
+		got, rep, err := d.RunPlanExchanged(plan, "lineitem", refs, xcfg)
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		if got.NumRows() != want.NumRows() {
+			t.Fatalf("%v: groups = %d, want %d", variant, got.NumRows(), want.NumRows())
+		}
+		for i := 0; i < want.NumRows(); i++ {
+			if got.Column("l_suppkey").Int64s[i] != want.Column("l_suppkey").Int64s[i] {
+				t.Fatalf("%v: row %d key mismatch", variant, i)
+			}
+			g, w := got.Column("total").Float64s[i], want.Column("total").Float64s[i]
+			if math.Abs(g-w) > 1e-6*math.Max(1, w) {
+				t.Errorf("%v: row %d total = %v, want %v", variant, i, g, w)
+			}
+			if got.Column("n").Int64s[i] != want.Column("n").Int64s[i] {
+				t.Errorf("%v: row %d count mismatch", variant, i)
+			}
+			ga, wa := got.Column("ad").Float64s[i], want.Column("ad").Float64s[i]
+			if math.Abs(ga-wa) > 1e-9 {
+				t.Errorf("%v: row %d avg = %v, want %v", variant, i, ga, wa)
+			}
+		}
+		if rep.Workers != 9 {
+			t.Errorf("%v: workers = %d", variant, rep.Workers)
+		}
+		// The shuffle leaves request traces: write requests beyond the
+		// table upload must have happened.
+		if rep.CostDelta[pricing.LabelS3Write] <= 0 {
+			t.Errorf("%v: no exchange writes recorded", variant)
+		}
+	}
+}
+
+func TestExchangedRejectsGlobalAggregate(t *testing.T) {
+	d, refs, _ := localSetup(t, DefaultConfig(), 0.001, 2)
+	plan, err := sqlfe.Parse("SELECT COUNT(*) AS n FROM lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.RunPlanExchanged(plan, "lineitem", refs, DefaultExchangeConfig()); err == nil {
+		t.Error("global aggregate accepted by exchange path")
+	}
+}
+
+func TestExchangedGroupByDES(t *testing.T) {
+	run := func() (int, time.Duration, float64) {
+		k := simclock.New()
+		dep := NewSimulated(k, 17)
+		var rows int
+		var dur time.Duration
+		var cost float64
+		k.Go("driver", func(p *simclock.Proc) {
+			cfg := DefaultConfig()
+			cfg.PollInterval = 50 * time.Millisecond
+			d := New(dep, p, cfg)
+			if err := d.Install(); err != nil {
+				t.Error(err)
+				return
+			}
+			data := tpch.Gen{SF: 0.002, Seed: 23}.Generate()
+			refs, err := d.UploadTable("tpch", "lineitem", data, 6, lpq.WriterOptions{RowGroupRows: 2000})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plan, err := sqlfe.Parse(`SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag`)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			xcfg := DefaultExchangeConfig()
+			xcfg.Poll = 100 * time.Millisecond
+			out, rep, err := d.RunPlanExchanged(plan, "lineitem", refs, xcfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rows = out.NumRows()
+			dur = rep.Duration
+			cost = rep.TotalCost
+			// Validate counts against the reference.
+			var total int64
+			for i := 0; i < out.NumRows(); i++ {
+				total += out.Column("n").Int64s[i]
+			}
+			if total != int64(data.NumRows()) {
+				t.Errorf("counts sum to %d, want %d", total, data.NumRows())
+			}
+		})
+		k.Run()
+		if k.Deadlocked() {
+			t.Fatal("DES deadlocked")
+		}
+		return rows, dur, cost
+	}
+	r1, d1, c1 := run()
+	r2, d2, c2 := run()
+	if r1 != 3 {
+		t.Errorf("groups = %d, want 3 return flags", r1)
+	}
+	if r1 != r2 || d1 != d2 || c1 != c2 {
+		t.Error("exchanged DES run not deterministic")
+	}
+	if d1 <= 0 || d1 > 2*time.Minute {
+		t.Errorf("virtual duration = %v", d1)
+	}
+}
+
+func TestSplitExchangedShape(t *testing.T) {
+	plan, err := sqlfe.Parse(groupBySuppkeySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := engine.Catalog{"lineitem": engine.NewMemSource(tpch.Schema())}
+	opt, err := engine.Optimize(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xp, err := engine.SplitExchanged(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xp.Key != "l_suppkey" {
+		t.Errorf("key = %q", xp.Key)
+	}
+	ws, err := xp.Worker.OutSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Index(xp.Key) < 0 {
+		t.Error("partition key missing from partial schema")
+	}
+	fs, err := xp.WorkerFinal.OutSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"l_suppkey", "total", "n", "ad"} {
+		if fs.Index(name) < 0 {
+			t.Errorf("final schema missing %q (has %v)", name, fs)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"lambada/internal/awssim/lambdasvc"
+	"lambada/internal/awssim/s3"
+	"lambada/internal/columnar"
+	"lambada/internal/engine"
+	"lambada/internal/invoke"
+	"lambada/internal/lpq"
+	"lambada/internal/scan"
+	"lambada/internal/sqlfe"
+)
+
+// Report summarizes one query execution.
+type Report struct {
+	QueryID  string
+	Workers  int
+	Duration time.Duration
+	// Invocation is the driver-side time spent launching workers.
+	Invocation time.Duration
+	// WorkerProcessing are the per-worker plan-fragment execution times,
+	// sorted ascending — the distribution of Figure 11.
+	WorkerProcessing []time.Duration
+	ColdWorkers      int
+	// Speculated counts backup invocations issued for stragglers.
+	Speculated int
+	// CostBefore/CostAfter snapshot the meter around the query; the
+	// difference is what the query cost.
+	CostDelta map[string]float64
+	TotalCost float64
+}
+
+// RunSQL parses, optimizes, distributes and runs a SQL query against the
+// lpq files of one table.
+func (d *Driver) RunSQL(sql string, table string, files []scan.FileRef) (*columnar.Chunk, *Report, error) {
+	plan, err := sqlfe.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.RunPlan(plan, table, files)
+}
+
+// RunPlan optimizes and executes a logical plan on the serverless fleet:
+// the scan/filter/partial-aggregate scope runs in the workers; the final
+// merge scope runs on the driver (§3.2).
+func (d *Driver) RunPlan(plan engine.Plan, table string, files []scan.FileRef) (*columnar.Chunk, *Report, error) {
+	return d.runPlan(plan, table, files, nil)
+}
+
+// RunPlanBroadcast runs a plan whose joins reference small driver-side
+// tables: the driver ships them inside the worker payloads (§3.2's
+// "reading small amounts of data locally that should be broadcasted into
+// the serverless workers").
+func (d *Driver) RunPlanBroadcast(plan engine.Plan, table string, files []scan.FileRef, broadcast map[string]*columnar.Chunk) (*columnar.Chunk, *Report, error) {
+	return d.runPlan(plan, table, files, broadcast)
+}
+
+func (d *Driver) runPlan(plan engine.Plan, table string, files []scan.FileRef, broadcast map[string]*columnar.Chunk) (*columnar.Chunk, *Report, error) {
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("driver: no input files")
+	}
+	d.queryCounter++
+	queryID := fmt.Sprintf("q%d", d.queryCounter)
+
+	costBefore := map[string]float64{}
+	for _, l := range d.dep.Meter.Labels() {
+		costBefore[l] = float64(d.dep.Meter.Get(l))
+	}
+	startTime := d.env.Now()
+
+	// Resolve the table schema from the first file's footer (driver-side
+	// metadata read).
+	driverClient := s3.NewClient(d.dep.S3, d.env)
+	metaSrc := scan.New(driverClient, d.cfg.Scan, files[0])
+	schema, err := metaSrc.Schema()
+	if err != nil {
+		return nil, nil, fmt.Errorf("driver: resolving schema: %w", err)
+	}
+
+	// Optimize against a schema-only catalog, then split into scopes.
+	optCat := engine.Catalog{table: engine.NewMemSource(schema)}
+	blobs := map[string][]byte{}
+	for name, chunk := range broadcast {
+		optCat[name] = engine.NewMemSource(chunk.Schema, chunk)
+		blob, err := lpq.WriteFile(chunk.Schema, lpq.WriterOptions{}, chunk)
+		if err != nil {
+			return nil, nil, err
+		}
+		blobs[name] = blob
+	}
+	opt, err := engine.Optimize(plan, optCat)
+	if err != nil {
+		return nil, nil, err
+	}
+	dist, err := engine.SplitDistributed(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	workerPlanJSON, err := engine.MarshalPlan(dist.Worker)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Assign files to workers (contiguous ranges of F files each).
+	workers := d.cfg.Workers
+	if workers <= 0 {
+		f := d.cfg.FilesPerWorker
+		workers = (len(files) + f - 1) / f
+	}
+	if workers > len(files) {
+		workers = len(files)
+	}
+	payloads := make([][]byte, workers)
+	per := (len(files) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(files) {
+			hi = len(files)
+		}
+		if lo > hi {
+			lo = hi
+		}
+		p := workerPayload{
+			QueryID:     queryID,
+			WorkerID:    w,
+			NumWorkers:  workers,
+			Plan:        workerPlanJSON,
+			Table:       table,
+			Files:       files[lo:hi],
+			ResultQueue: d.cfg.ResultQueue,
+			Broadcast:   blobs,
+		}
+		body, err := json.Marshal(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		payloads[w] = body
+	}
+
+	// Invoke the fleet.
+	invokeStart := d.env.Now()
+	if err := d.invokeAll(payloads); err != nil {
+		return nil, nil, err
+	}
+	invocation := d.env.Now() - invokeStart
+
+	// Collect results from the SQS queue (§3.3: "the driver polls until it
+	// has heard back from all workers"), with optional straggler
+	// speculation (backup requests).
+	var chunks []*columnar.Chunk
+	var processing []time.Duration
+	var cold, speculated int
+	if d.cfg.Speculate.Enabled {
+		var err error
+		chunks, processing, cold, speculated, err = d.collectWithSpeculation(queryID, payloads, invokeStart, d.cfg.Speculate)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		msgs, err := d.dep.SQS.PollAll(d.env, d.cfg.ResultQueue, workers, d.cfg.PollInterval, d.cfg.MaxWait)
+		if err != nil {
+			return nil, nil, fmt.Errorf("driver: collecting results: %w", err)
+		}
+		for _, m := range msgs {
+			var rm resultMsg
+			if err := json.Unmarshal(m.Body, &rm); err != nil {
+				return nil, nil, err
+			}
+			if rm.QueryID != queryID {
+				return nil, nil, fmt.Errorf("driver: stale result for %q", rm.QueryID)
+			}
+			if rm.Err != "" {
+				return nil, nil, fmt.Errorf("driver: worker %d failed: %s", rm.WorkerID, rm.Err)
+			}
+			if rm.Cold {
+				cold++
+			}
+			processing = append(processing, time.Duration(rm.ProcessingNs))
+			if len(rm.Chunk) > 0 {
+				r, err := lpq.OpenReader(bytes.NewReader(rm.Chunk), int64(len(rm.Chunk)))
+				if err != nil {
+					return nil, nil, err
+				}
+				c, err := r.ReadAll()
+				if err != nil {
+					return nil, nil, err
+				}
+				chunks = append(chunks, c)
+			}
+		}
+	}
+	sort.Slice(processing, func(i, j int) bool { return processing[i] < processing[j] })
+
+	// Driver scope: merge worker results.
+	ws, err := dist.Worker.OutSchema()
+	if err != nil {
+		return nil, nil, err
+	}
+	dcat := engine.Catalog{engine.WorkerResultTable: engine.NewMemSource(ws, chunks...)}
+	result, err := engine.Execute(dist.Driver, dcat)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rep := &Report{
+		QueryID:          queryID,
+		Workers:          workers,
+		Duration:         d.env.Now() - startTime,
+		Invocation:       invocation,
+		WorkerProcessing: processing,
+		ColdWorkers:      cold,
+		Speculated:       speculated,
+		CostDelta:        map[string]float64{},
+	}
+	for _, l := range d.dep.Meter.Labels() {
+		delta := float64(d.dep.Meter.Get(l)) - costBefore[l]
+		if delta > 0 {
+			rep.CostDelta[l] = delta
+			rep.TotalCost += delta
+		}
+	}
+	return result, rep, nil
+}
+
+// invokeOne launches a single worker payload (used by backup requests).
+func (d *Driver) invokeOne(payload []byte, workerID int) error {
+	return d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, payload,
+		lambdasvc.InvokeOptions{WorkerID: workerID, Pipelined: true})
+}
+
+// invokeAll launches the fleet, directly or via the two-level tree.
+func (d *Driver) invokeAll(payloads [][]byte) error {
+	if !d.cfg.TreeInvoke || len(payloads) < 4 {
+		pacing := invoke.DriverPacing(d.cfg.Region, d.cfg.InvokeThreads)
+		for i, p := range payloads {
+			// Pipelined: the driver's requester thread pool overlaps the
+			// round trips; the loop paces at the effective rate (Table 1).
+			if err := d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, p, lambdasvc.InvokeOptions{WorkerID: i, Pipelined: true}); err != nil {
+				return err
+			}
+			d.env.Sleep(pacing.Gap())
+		}
+		return nil
+	}
+
+	firstGen, children := invoke.TreeFanout(len(payloads))
+	for gi, fg := range firstGen {
+		var p workerPayload
+		if err := json.Unmarshal(payloads[fg], &p); err != nil {
+			return err
+		}
+		for _, child := range children[gi] {
+			p.Children = append(p.Children, json.RawMessage(payloads[child]))
+		}
+		body, err := json.Marshal(p)
+		if err != nil {
+			return err
+		}
+		if err := d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, body, lambdasvc.InvokeOptions{WorkerID: fg}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"lambada/internal/columnar"
+	"lambada/internal/lpq"
+)
+
+// SpeculateConfig enables driver-side straggler mitigation: once a quorum
+// of workers has reported, any worker still missing after a multiple of the
+// median response time is re-invoked ("backup requests"). The first result
+// per worker wins; duplicates are discarded. This is the driver-side
+// counterpart of the aggressive-timeouts-and-retries theme of §5.5
+// (footnote 17): tail latencies propagate, so the driver cuts the tail.
+type SpeculateConfig struct {
+	// Enabled turns speculation on.
+	Enabled bool
+	// QuorumFraction is the fraction of workers that must report before
+	// speculation arms (default 0.75).
+	QuorumFraction float64
+	// LatencyFactor multiplies the median response time to form the
+	// straggler deadline (default 3).
+	LatencyFactor float64
+	// MaxRetries bounds re-invocations per worker (default 1).
+	MaxRetries int
+}
+
+// DefaultSpeculateConfig returns the standard backup-request policy.
+func DefaultSpeculateConfig() SpeculateConfig {
+	return SpeculateConfig{Enabled: true, QuorumFraction: 0.75, LatencyFactor: 3, MaxRetries: 1}
+}
+
+// collectWithSpeculation gathers one result per worker, re-invoking
+// stragglers per cfg. It returns the first result chunk per worker plus
+// bookkeeping for the report.
+func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launchAt time.Duration, spec SpeculateConfig) ([]*columnar.Chunk, []time.Duration, int, int, error) {
+	workers := len(payloads)
+	got := make(map[int]bool, workers)
+	retried := make(map[int]int, workers)
+	var chunks []*columnar.Chunk
+	var processing []time.Duration
+	var responseTimes []time.Duration
+	cold := 0
+	speculated := 0
+
+	quorum := int(spec.QuorumFraction * float64(workers))
+	if quorum < 1 {
+		quorum = 1
+	}
+
+	for len(got) < workers {
+		msgs, err := d.dep.SQS.Receive(d.env, d.cfg.ResultQueue, 10)
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		for _, m := range msgs {
+			var rm resultMsg
+			if err := json.Unmarshal(m.Body, &rm); err != nil {
+				return nil, nil, 0, 0, err
+			}
+			if rm.QueryID != queryID || got[rm.WorkerID] {
+				continue // stale query or duplicate from a backup pair
+			}
+			if rm.Err != "" {
+				return nil, nil, 0, 0, fmt.Errorf("driver: worker %d failed: %s", rm.WorkerID, rm.Err)
+			}
+			got[rm.WorkerID] = true
+			if rm.Cold {
+				cold++
+			}
+			processing = append(processing, time.Duration(rm.ProcessingNs))
+			responseTimes = append(responseTimes, d.env.Now()-launchAt)
+			if len(rm.Chunk) > 0 {
+				r, err := lpq.OpenReader(bytes.NewReader(rm.Chunk), int64(len(rm.Chunk)))
+				if err != nil {
+					return nil, nil, 0, 0, err
+				}
+				c, err := r.ReadAll()
+				if err != nil {
+					return nil, nil, 0, 0, err
+				}
+				chunks = append(chunks, c)
+			}
+		}
+		if len(got) >= workers {
+			break
+		}
+
+		// Speculation: quorum reached and the stragglers are past the
+		// deadline — re-invoke their payloads.
+		if spec.Enabled && len(got) >= quorum {
+			sorted := append([]time.Duration(nil), responseTimes...)
+			sortDur(sorted)
+			median := sorted[len(sorted)/2]
+			deadline := launchAt + time.Duration(float64(median)*spec.LatencyFactor)
+			if d.env.Now() > deadline {
+				for w := 0; w < workers; w++ {
+					if got[w] || retried[w] >= spec.MaxRetries {
+						continue
+					}
+					retried[w]++
+					speculated++
+					if err := d.invokeOne(payloads[w], w); err != nil {
+						return nil, nil, 0, 0, fmt.Errorf("driver: backup invocation of worker %d: %w", w, err)
+					}
+				}
+			}
+		}
+		if d.env.Now()-launchAt > d.cfg.MaxWait {
+			return nil, nil, 0, 0, fmt.Errorf("driver: timed out with %d/%d workers", len(got), workers)
+		}
+		d.env.Sleep(d.cfg.PollInterval)
+	}
+	return chunks, processing, cold, speculated, nil
+}
+
+func sortDur(ds []time.Duration) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package driver
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lambada/internal/lpq"
+	"lambada/internal/simclock"
+	"lambada/internal/tpch"
+)
+
+// runWithStraggler runs Q6 on the DES deployment with worker 2 stalled for
+// stall and the given speculation policy; it returns the query latency and
+// the backup-invocation count.
+func runWithStraggler(t *testing.T, stall time.Duration, spec SpeculateConfig) (time.Duration, int, float64) {
+	t.Helper()
+	k := simclock.New()
+	dep := NewSimulated(k, 77)
+	var dur time.Duration
+	var speculated int
+	var revenue float64
+	k.Go("driver", func(p *simclock.Proc) {
+		cfg := DefaultConfig()
+		cfg.PollInterval = 50 * time.Millisecond
+		cfg.MaxWait = 5 * time.Minute
+		cfg.Speculate = spec
+		stalled := false
+		cfg.testWorkerDelay = func(workerID int) time.Duration {
+			// A degraded container stalls worker 2's first attempt; the
+			// backup lands on a healthy container.
+			if workerID == 2 && !stalled {
+				stalled = true
+				return stall
+			}
+			return 0
+		}
+		d := New(dep, p, cfg)
+		if err := d.Install(); err != nil {
+			t.Error(err)
+			return
+		}
+		data := tpch.Gen{SF: 0.002, Seed: 41}.Generate()
+		refs, err := d.UploadTable("tpch", "lineitem", data, 6, lpq.WriterOptions{RowGroupRows: 2000})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out, rep, err := d.RunSQL(q6SQL, "lineitem", refs)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dur = rep.Duration
+		speculated = rep.Speculated
+		revenue = out.Column("revenue").Float64s[0]
+	})
+	k.Run()
+	if k.Deadlocked() {
+		t.Fatal("DES deadlocked")
+	}
+	return dur, speculated, revenue
+}
+
+func TestSpeculationCutsStragglerTail(t *testing.T) {
+	const stall = 60 * time.Second
+	want := tpch.Q6Reference(tpch.Gen{SF: 0.002, Seed: 41}.Generate())
+
+	// Without speculation the query waits out the full stall.
+	noSpec, n0, rev0 := runWithStraggler(t, stall, SpeculateConfig{})
+	if n0 != 0 {
+		t.Errorf("speculation disabled but %d backups issued", n0)
+	}
+	if noSpec < stall {
+		t.Errorf("un-speculated latency %v below the stall %v", noSpec, stall)
+	}
+	if math.Abs(rev0-want) > 1e-6*want {
+		t.Errorf("revenue = %v, want %v", rev0, want)
+	}
+
+	// With backup requests the driver re-invokes the straggler's payload
+	// and finishes as soon as the backup answers.
+	withSpec, n1, rev1 := runWithStraggler(t, stall, DefaultSpeculateConfig())
+	if n1 == 0 {
+		t.Fatal("no backup invocations issued for the straggler")
+	}
+	if withSpec >= noSpec/2 {
+		t.Errorf("speculated latency %v not well below unspeculated %v", withSpec, noSpec)
+	}
+	if math.Abs(rev1-want) > 1e-6*want {
+		t.Errorf("speculated revenue = %v, want %v (duplicates must not double-count)", rev1, want)
+	}
+}
+
+func TestSpeculationIdleOnHealthyFleet(t *testing.T) {
+	// No stragglers: speculation must not fire and the answer is intact.
+	dur, n, rev := runWithStraggler(t, 0, DefaultSpeculateConfig())
+	if n != 0 {
+		t.Errorf("healthy fleet triggered %d backups", n)
+	}
+	want := tpch.Q6Reference(tpch.Gen{SF: 0.002, Seed: 41}.Generate())
+	if math.Abs(rev-want) > 1e-6*want {
+		t.Errorf("revenue = %v, want %v", rev, want)
+	}
+	if dur > 30*time.Second {
+		t.Errorf("healthy query took %v", dur)
+	}
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"testing"
+
+	"lambada/internal/tpch"
+)
+
+func benchCatalog(b *testing.B) (Catalog, int64) {
+	b.Helper()
+	data := tpch.Gen{SF: 0.01, Seed: 1}.Generate()
+	return Catalog{"lineitem": NewMemSource(tpch.Schema(), data)}, data.ByteSize()
+}
+
+func BenchmarkExecuteQ1(b *testing.B) {
+	cat, bytes := benchCatalog(b)
+	plan, err := Optimize(q1Plan(), cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(plan, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteQ6(b *testing.B) {
+	cat, bytes := benchCatalog(b)
+	plan, err := Optimize(q6Plan(), cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(plan, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterEval(b *testing.B) {
+	data := tpch.Gen{SF: 0.01, Seed: 1}.Generate()
+	pred := And(
+		NewBin(OpGE, Col("l_shipdate"), ConstInt(tpch.Q6ShipDateLo)),
+		NewBin(OpLT, Col("l_shipdate"), ConstInt(tpch.Q6ShipDateHi)),
+		NewBin(OpLT, Col("l_quantity"), ConstFloat(24)),
+	)
+	b.SetBytes(int64(data.NumRows()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pred.Eval(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupByAggregate(b *testing.B) {
+	cat, bytes := benchCatalog(b)
+	plan := &AggregatePlan{
+		GroupBy: []string{"l_suppkey"},
+		Aggs: []AggSpec{
+			{Func: AggSum, Arg: Col("l_extendedprice"), Name: "s"},
+			{Func: AggCount, Name: "n"},
+		},
+		In: &ScanPlan{Table: "lineitem"},
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(plan, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanMarshalRoundTrip(b *testing.B) {
+	cat, _ := benchCatalog(b)
+	plan, err := Optimize(q1Plan(), cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := MarshalPlan(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := UnmarshalPlan(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

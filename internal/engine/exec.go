@@ -1,0 +1,359 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"lambada/internal/columnar"
+)
+
+// Catalog maps table names to scan sources.
+type Catalog map[string]Source
+
+// Resolve fills in the table schemas of all scans in the plan (both join
+// sides included).
+func Resolve(p Plan, cat Catalog) error {
+	if p == nil {
+		return nil
+	}
+	if s, ok := p.(*ScanPlan); ok {
+		src, found := cat[s.Table]
+		if !found {
+			return fmt.Errorf("engine: unknown table %q", s.Table)
+		}
+		schema, err := src.Schema()
+		if err != nil {
+			return err
+		}
+		s.TableSchema = schema
+		return nil
+	}
+	if j, ok := p.(*JoinPlan); ok {
+		if err := Resolve(j.Right, cat); err != nil {
+			return err
+		}
+	}
+	return Resolve(p.Child(), cat)
+}
+
+// Execute runs the plan and materializes its (small) result as one chunk.
+// Pipelines between materialization points are fused: scan, filter and
+// projection run chunk-at-a-time without intermediate materialization;
+// aggregation, ordering and limits are pipeline breakers.
+func Execute(p Plan, cat Catalog) (*columnar.Chunk, error) {
+	if err := Resolve(p, cat); err != nil {
+		return nil, err
+	}
+	schema, err := p.OutSchema()
+	if err != nil {
+		return nil, err
+	}
+	out := columnar.NewChunk(schema, 0)
+	err = executePush(p, cat, func(c *columnar.Chunk) error {
+		for j := range out.Columns {
+			appendVec(out.Columns[j], c.Columns[j])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func appendVec(dst, src *columnar.Vector) {
+	switch dst.Type {
+	case columnar.Int64:
+		dst.Int64s = append(dst.Int64s, src.Int64s...)
+	case columnar.Float64:
+		dst.Float64s = append(dst.Float64s, src.Float64s...)
+	case columnar.Bool:
+		dst.Bools = append(dst.Bools, src.Bools...)
+	}
+}
+
+// executePush streams chunks bottom-up through fused pipelines.
+func executePush(p Plan, cat Catalog, yield func(*columnar.Chunk) error) error {
+	switch n := p.(type) {
+	case *ScanPlan:
+		src := cat[n.Table]
+		if src == nil {
+			return fmt.Errorf("engine: unknown table %q", n.Table)
+		}
+		return src.Scan(n.Projection, n.Prune, func(c *columnar.Chunk) error {
+			if n.Filter != nil {
+				fc, err := applyFilter(c, n.Filter)
+				if err != nil {
+					return err
+				}
+				c = fc
+			}
+			return yield(c)
+		})
+	case *FilterPlan:
+		return executePush(n.In, cat, func(c *columnar.Chunk) error {
+			fc, err := applyFilter(c, n.Pred)
+			if err != nil {
+				return err
+			}
+			return yield(fc)
+		})
+	case *ProjectPlan:
+		outSchema, err := n.OutSchema()
+		if err != nil {
+			return err
+		}
+		return executePush(n.In, cat, func(c *columnar.Chunk) error {
+			out := &columnar.Chunk{Schema: outSchema}
+			for _, e := range n.Exprs {
+				v, err := e.Eval(c)
+				if err != nil {
+					return err
+				}
+				out.Columns = append(out.Columns, v)
+			}
+			return yield(out)
+		})
+	case *AggregatePlan:
+		res, err := runAggregate(n, cat)
+		if err != nil {
+			return err
+		}
+		return yield(res)
+	case *JoinPlan:
+		return runJoin(n, cat, yield)
+	case *OrderByPlan:
+		in, err := Execute(n.In, cat)
+		if err != nil {
+			return err
+		}
+		sorted, err := sortChunk(in, n.Keys)
+		if err != nil {
+			return err
+		}
+		return yield(sorted)
+	case *LimitPlan:
+		in, err := Execute(n.In, cat)
+		if err != nil {
+			return err
+		}
+		hi := n.N
+		if hi > in.NumRows() {
+			hi = in.NumRows()
+		}
+		return yield(in.Slice(0, hi))
+	default:
+		return fmt.Errorf("engine: unknown plan node %T", p)
+	}
+}
+
+// applyFilter evaluates pred and gathers the passing rows.
+func applyFilter(c *columnar.Chunk, pred Expr) (*columnar.Chunk, error) {
+	v, err := pred.Eval(c)
+	if err != nil {
+		return nil, err
+	}
+	if v.Type != columnar.Bool {
+		return nil, fmt.Errorf("engine: filter predicate of type %v", v.Type)
+	}
+	n := c.NumRows()
+	sel := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if v.Bools[i] {
+			sel = append(sel, i)
+		}
+	}
+	if len(sel) == n {
+		return c, nil
+	}
+	return c.Gather(sel), nil
+}
+
+// aggState is the running state of one group.
+type aggState struct {
+	keys []int64 // group key values (int64-encoded)
+	// Per aggregate: sum/min/max as float64 and int64 variants plus count.
+	sums   []float64
+	isums  []int64
+	mins   []float64
+	maxs   []float64
+	counts []int64
+	seen   []bool
+}
+
+func runAggregate(p *AggregatePlan, cat Catalog) (*columnar.Chunk, error) {
+	inSchema, err := p.In.OutSchema()
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := p.OutSchema()
+	if err != nil {
+		return nil, err
+	}
+	keyIdx := make([]int, len(p.GroupBy))
+	for i, g := range p.GroupBy {
+		keyIdx[i] = inSchema.Index(g)
+		if keyIdx[i] < 0 {
+			return nil, fmt.Errorf("engine: group key %q missing", g)
+		}
+		if t := inSchema.Fields[keyIdx[i]].Type; t == columnar.Float64 {
+			return nil, fmt.Errorf("engine: float group key %q not supported", g)
+		}
+	}
+
+	groups := make(map[string]*aggState)
+	var order []string // deterministic output order (first-seen)
+
+	err = executePush(p.In, cat, func(c *columnar.Chunk) error {
+		n := c.NumRows()
+		if n == 0 {
+			return nil
+		}
+		// Evaluate aggregate arguments once per chunk (vectorized).
+		args := make([]*columnar.Vector, len(p.Aggs))
+		for ai, a := range p.Aggs {
+			if a.Arg != nil {
+				v, err := a.Arg.Eval(c)
+				if err != nil {
+					return err
+				}
+				args[ai] = v
+			}
+		}
+		var keyBuf []byte
+		for i := 0; i < n; i++ {
+			keyBuf = keyBuf[:0]
+			for _, ki := range keyIdx {
+				var tmp [8]byte
+				binary.LittleEndian.PutUint64(tmp[:], uint64(c.Columns[ki].Int64At(i)))
+				keyBuf = append(keyBuf, tmp[:]...)
+			}
+			k := string(keyBuf)
+			st := groups[k]
+			if st == nil {
+				st = &aggState{
+					keys:   make([]int64, len(keyIdx)),
+					sums:   make([]float64, len(p.Aggs)),
+					isums:  make([]int64, len(p.Aggs)),
+					mins:   make([]float64, len(p.Aggs)),
+					maxs:   make([]float64, len(p.Aggs)),
+					counts: make([]int64, len(p.Aggs)),
+					seen:   make([]bool, len(p.Aggs)),
+				}
+				for j, ki := range keyIdx {
+					st.keys[j] = c.Columns[ki].Int64At(i)
+				}
+				groups[k] = st
+				order = append(order, k)
+			}
+			for ai := range p.Aggs {
+				var fv float64
+				var iv int64
+				if args[ai] != nil {
+					fv = args[ai].Float64At(i)
+					iv = args[ai].Int64At(i)
+				}
+				st.counts[ai]++
+				st.sums[ai] += fv
+				st.isums[ai] += iv
+				if !st.seen[ai] || fv < st.mins[ai] {
+					st.mins[ai] = fv
+				}
+				if !st.seen[ai] || fv > st.maxs[ai] {
+					st.maxs[ai] = fv
+				}
+				st.seen[ai] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := columnar.NewChunk(outSchema, len(order))
+	// A global aggregate over empty input still yields one row of zeros
+	// (COUNT = 0), matching SQL semantics.
+	if len(p.GroupBy) == 0 && len(order) == 0 {
+		empty := &aggState{
+			sums:   make([]float64, len(p.Aggs)),
+			isums:  make([]int64, len(p.Aggs)),
+			mins:   make([]float64, len(p.Aggs)),
+			maxs:   make([]float64, len(p.Aggs)),
+			counts: make([]int64, len(p.Aggs)),
+		}
+		groups[""] = empty
+		order = append(order, "")
+	}
+	for _, k := range order {
+		st := groups[k]
+		col := 0
+		for range p.GroupBy {
+			out.Columns[col].AppendInt64(st.keys[col])
+			col++
+		}
+		for ai, a := range p.Aggs {
+			switch a.Func {
+			case AggCount:
+				out.Columns[col].AppendInt64(st.counts[ai])
+			case AggSum:
+				if outSchema.Fields[col].Type == columnar.Int64 {
+					out.Columns[col].AppendInt64(st.isums[ai])
+				} else {
+					out.Columns[col].AppendFloat64(st.sums[ai])
+				}
+			case AggAvg:
+				if st.counts[ai] == 0 {
+					out.Columns[col].AppendFloat64(math.NaN())
+				} else {
+					out.Columns[col].AppendFloat64(st.sums[ai] / float64(st.counts[ai]))
+				}
+			case AggMin:
+				if outSchema.Fields[col].Type == columnar.Int64 {
+					out.Columns[col].AppendInt64(int64(st.mins[ai]))
+				} else {
+					out.Columns[col].AppendFloat64(st.mins[ai])
+				}
+			case AggMax:
+				if outSchema.Fields[col].Type == columnar.Int64 {
+					out.Columns[col].AppendInt64(int64(st.maxs[ai]))
+				} else {
+					out.Columns[col].AppendFloat64(st.maxs[ai])
+				}
+			}
+			col++
+		}
+	}
+	return out, nil
+}
+
+// sortChunk sorts by keys, stable.
+func sortChunk(c *columnar.Chunk, keys []OrderKey) (*columnar.Chunk, error) {
+	idx := make([]int, c.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	cols := make([]*columnar.Vector, len(keys))
+	for i, k := range keys {
+		cols[i] = c.Column(k.Column)
+		if cols[i] == nil {
+			return nil, fmt.Errorf("engine: order key %q missing", k.Column)
+		}
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for i, k := range keys {
+			av, bv := cols[i].Float64At(idx[a]), cols[i].Float64At(idx[b])
+			if av == bv {
+				continue
+			}
+			if k.Desc {
+				return av > bv
+			}
+			return av < bv
+		}
+		return false
+	})
+	return c.Gather(idx), nil
+}

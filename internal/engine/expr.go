@@ -1,0 +1,371 @@
+// Package engine implements Lambada's query processing framework (§3.2):
+// a plan intermediate representation shared by all frontends, a common set
+// of optimizations (selection and projection push-down, data-parallel plan
+// splitting into driver and worker scopes), and vectorized execution over
+// columnar chunks.
+//
+// Where the paper lowers pipelines to LLVM IR and JIT-compiles them, this
+// implementation fuses operators into pipelines of Go closures over column
+// vectors — the same architectural property (no per-tuple interpretation,
+// materialization only at pipeline breakers) expressed in idiomatic Go.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"lambada/internal/columnar"
+)
+
+// Expr is a vectorized expression over a chunk.
+type Expr interface {
+	// Type returns the result type under the given input schema.
+	Type(schema *columnar.Schema) (columnar.Type, error)
+	// Eval evaluates the expression over all rows of the chunk.
+	Eval(c *columnar.Chunk) (*columnar.Vector, error)
+	// Columns appends the referenced column names to dst.
+	Columns(dst []string) []string
+	// String renders the expression SQL-ishly.
+	String() string
+}
+
+// Col references an input column by name.
+type Col string
+
+// Type returns the column's declared type.
+func (e Col) Type(s *columnar.Schema) (columnar.Type, error) {
+	i := s.Index(string(e))
+	if i < 0 {
+		return 0, fmt.Errorf("engine: unknown column %q", string(e))
+	}
+	return s.Fields[i].Type, nil
+}
+
+// Eval returns the column vector (shared, not copied).
+func (e Col) Eval(c *columnar.Chunk) (*columnar.Vector, error) {
+	v := c.Column(string(e))
+	if v == nil {
+		return nil, fmt.Errorf("engine: unknown column %q", string(e))
+	}
+	return v, nil
+}
+
+// Columns appends the column name.
+func (e Col) Columns(dst []string) []string { return append(dst, string(e)) }
+
+// String returns the column name.
+func (e Col) String() string { return string(e) }
+
+// ConstInt is an int64 literal.
+type ConstInt int64
+
+// Type returns Int64.
+func (e ConstInt) Type(*columnar.Schema) (columnar.Type, error) { return columnar.Int64, nil }
+
+// Eval broadcasts the literal.
+func (e ConstInt) Eval(c *columnar.Chunk) (*columnar.Vector, error) {
+	n := c.NumRows()
+	v := columnar.NewVector(columnar.Int64, n)
+	for i := 0; i < n; i++ {
+		v.Int64s = append(v.Int64s, int64(e))
+	}
+	return v, nil
+}
+
+// Columns is a no-op.
+func (e ConstInt) Columns(dst []string) []string { return dst }
+
+// String renders the literal.
+func (e ConstInt) String() string { return fmt.Sprintf("%d", int64(e)) }
+
+// ConstFloat is a float64 literal.
+type ConstFloat float64
+
+// Type returns Float64.
+func (e ConstFloat) Type(*columnar.Schema) (columnar.Type, error) { return columnar.Float64, nil }
+
+// Eval broadcasts the literal.
+func (e ConstFloat) Eval(c *columnar.Chunk) (*columnar.Vector, error) {
+	n := c.NumRows()
+	v := columnar.NewVector(columnar.Float64, n)
+	for i := 0; i < n; i++ {
+		v.Float64s = append(v.Float64s, float64(e))
+	}
+	return v, nil
+}
+
+// Columns is a no-op.
+func (e ConstFloat) Columns(dst []string) []string { return dst }
+
+// String renders the literal.
+func (e ConstFloat) String() string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", float64(e)), "0"), ".")
+}
+
+// BinOp is a binary operator kind.
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	OpEQ
+	OpNE
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpLT: "<", OpLE: "<=", OpGT: ">", OpGE: ">=",
+	OpEQ: "=", OpNE: "<>", OpAnd: "AND", OpOr: "OR",
+}
+
+// IsComparison reports whether the operator yields Bool from numerics.
+func (op BinOp) IsComparison() bool { return op >= OpLT && op <= OpNE }
+
+// IsLogical reports whether the operator combines Bools.
+func (op BinOp) IsLogical() bool { return op == OpAnd || op == OpOr }
+
+// Bin is a binary expression.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// NewBin builds a binary expression.
+func NewBin(op BinOp, l, r Expr) *Bin { return &Bin{Op: op, L: l, R: r} }
+
+// Type computes the result type with numeric promotion.
+func (e *Bin) Type(s *columnar.Schema) (columnar.Type, error) {
+	lt, err := e.L.Type(s)
+	if err != nil {
+		return 0, err
+	}
+	rt, err := e.R.Type(s)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case e.Op.IsLogical():
+		if lt != columnar.Bool || rt != columnar.Bool {
+			return 0, fmt.Errorf("engine: %s requires booleans, got %v and %v", binOpNames[e.Op], lt, rt)
+		}
+		return columnar.Bool, nil
+	case e.Op.IsComparison():
+		if lt == columnar.Bool || rt == columnar.Bool {
+			if lt != rt {
+				return 0, fmt.Errorf("engine: cannot compare %v with %v", lt, rt)
+			}
+		}
+		return columnar.Bool, nil
+	default:
+		if lt == columnar.Bool || rt == columnar.Bool {
+			return 0, fmt.Errorf("engine: arithmetic on boolean")
+		}
+		if lt == columnar.Float64 || rt == columnar.Float64 || e.Op == OpDiv {
+			return columnar.Float64, nil
+		}
+		return columnar.Int64, nil
+	}
+}
+
+// Eval evaluates both sides and applies the operator element-wise.
+func (e *Bin) Eval(c *columnar.Chunk) (*columnar.Vector, error) {
+	lv, err := e.L.Eval(c)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := e.R.Eval(c)
+	if err != nil {
+		return nil, err
+	}
+	n := lv.Len()
+	if rv.Len() != n {
+		return nil, fmt.Errorf("engine: length mismatch %d vs %d", n, rv.Len())
+	}
+	rt, err := e.Type(c.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out := columnar.NewVector(rt, n)
+	switch {
+	case e.Op.IsLogical():
+		for i := 0; i < n; i++ {
+			if e.Op == OpAnd {
+				out.Bools = append(out.Bools, lv.Bools[i] && rv.Bools[i])
+			} else {
+				out.Bools = append(out.Bools, lv.Bools[i] || rv.Bools[i])
+			}
+		}
+	case e.Op.IsComparison():
+		if lv.Type == columnar.Int64 && rv.Type == columnar.Int64 {
+			for i := 0; i < n; i++ {
+				out.Bools = append(out.Bools, cmpInt(e.Op, lv.Int64s[i], rv.Int64s[i]))
+			}
+		} else if lv.Type == columnar.Bool {
+			for i := 0; i < n; i++ {
+				li, ri := lv.Int64At(i), rv.Int64At(i)
+				out.Bools = append(out.Bools, cmpInt(e.Op, li, ri))
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				out.Bools = append(out.Bools, cmpFloat(e.Op, lv.Float64At(i), rv.Float64At(i)))
+			}
+		}
+	default:
+		if rt == columnar.Int64 {
+			for i := 0; i < n; i++ {
+				out.Int64s = append(out.Int64s, arithInt(e.Op, lv.Int64s[i], rv.Int64s[i]))
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				out.Float64s = append(out.Float64s, arithFloat(e.Op, lv.Float64At(i), rv.Float64At(i)))
+			}
+		}
+	}
+	return out, nil
+}
+
+func cmpInt(op BinOp, a, b int64) bool {
+	switch op {
+	case OpLT:
+		return a < b
+	case OpLE:
+		return a <= b
+	case OpGT:
+		return a > b
+	case OpGE:
+		return a >= b
+	case OpEQ:
+		return a == b
+	default:
+		return a != b
+	}
+}
+
+func cmpFloat(op BinOp, a, b float64) bool {
+	switch op {
+	case OpLT:
+		return a < b
+	case OpLE:
+		return a <= b
+	case OpGT:
+		return a > b
+	case OpGE:
+		return a >= b
+	case OpEQ:
+		return a == b
+	default:
+		return a != b
+	}
+}
+
+func arithInt(op BinOp, a, b int64) int64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	default:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+}
+
+func arithFloat(op BinOp, a, b float64) float64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	default:
+		return a / b
+	}
+}
+
+// Columns appends both sides' references.
+func (e *Bin) Columns(dst []string) []string { return e.R.Columns(e.L.Columns(dst)) }
+
+// String renders infix.
+func (e *Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L.String(), binOpNames[e.Op], e.R.String())
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+// Type returns Bool (the operand must be Bool).
+func (e *Not) Type(s *columnar.Schema) (columnar.Type, error) {
+	t, err := e.E.Type(s)
+	if err != nil {
+		return 0, err
+	}
+	if t != columnar.Bool {
+		return 0, fmt.Errorf("engine: NOT on %v", t)
+	}
+	return columnar.Bool, nil
+}
+
+// Eval negates element-wise.
+func (e *Not) Eval(c *columnar.Chunk) (*columnar.Vector, error) {
+	v, err := e.E.Eval(c)
+	if err != nil {
+		return nil, err
+	}
+	out := columnar.NewVector(columnar.Bool, v.Len())
+	for _, b := range v.Bools {
+		out.Bools = append(out.Bools, !b)
+	}
+	return out, nil
+}
+
+// Columns appends the operand's references.
+func (e *Not) Columns(dst []string) []string { return e.E.Columns(dst) }
+
+// String renders prefix NOT.
+func (e *Not) String() string { return "NOT " + e.E.String() }
+
+// Between builds lo <= col AND col <= hi.
+func Between(e Expr, lo, hi Expr) Expr {
+	return NewBin(OpAnd, NewBin(OpGE, e, lo), NewBin(OpLE, e, hi))
+}
+
+// And folds conjuncts into a single expression (nil for empty input).
+func And(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = NewBin(OpAnd, out, e)
+		}
+	}
+	return out
+}
+
+// SplitConjuncts flattens nested ANDs into a list.
+func SplitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*Bin); ok && b.Op == OpAnd {
+		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []Expr{e}
+}

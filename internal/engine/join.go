@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+
+	"lambada/internal/columnar"
+)
+
+// JoinPlan is an inner hash join: the Right (small) side is materialized
+// into a hash table, the Left side streams through it. In distributed
+// plans the right side is a driver-broadcast table (§3.2: small scopes run
+// on the driver to read "small amounts of data locally that should be
+// broadcasted into the serverless workers").
+type JoinPlan struct {
+	Left, Right       Plan
+	LeftKey, RightKey string
+}
+
+// OutSchema is the left schema followed by the right schema minus the
+// right join key (which duplicates the left one). Other duplicate column
+// names are rejected.
+func (p *JoinPlan) OutSchema() (*columnar.Schema, error) {
+	ls, err := p.Left.OutSchema()
+	if err != nil {
+		return nil, err
+	}
+	rs, err := p.Right.OutSchema()
+	if err != nil {
+		return nil, err
+	}
+	if ls.Index(p.LeftKey) < 0 {
+		return nil, fmt.Errorf("engine: join key %q not in left input", p.LeftKey)
+	}
+	ri := rs.Index(p.RightKey)
+	if ri < 0 {
+		return nil, fmt.Errorf("engine: join key %q not in right input", p.RightKey)
+	}
+	if t := rs.Fields[ri].Type; t == columnar.Float64 {
+		return nil, fmt.Errorf("engine: float join key %q not supported", p.RightKey)
+	}
+	out := &columnar.Schema{}
+	out.Fields = append(out.Fields, ls.Fields...)
+	for i, f := range rs.Fields {
+		if i == ri {
+			continue
+		}
+		if ls.Index(f.Name) >= 0 {
+			return nil, fmt.Errorf("engine: duplicate column %q across join sides", f.Name)
+		}
+		out.Fields = append(out.Fields, f)
+	}
+	return out, nil
+}
+
+// Child returns the probe (left) side — the primary pipeline.
+func (p *JoinPlan) Child() Plan { return p.Left }
+
+// String describes the join.
+func (p *JoinPlan) String() string {
+	return fmt.Sprintf("HashJoin %s = %s", p.LeftKey, p.RightKey)
+}
+
+// runJoin builds the hash table from the right side and streams the left.
+func runJoin(p *JoinPlan, cat Catalog, yield func(*columnar.Chunk) error) error {
+	right, err := Execute(p.Right, cat)
+	if err != nil {
+		return err
+	}
+	rs := right.Schema
+	ri := rs.Index(p.RightKey)
+	build := make(map[int64][]int, right.NumRows())
+	for i := 0; i < right.NumRows(); i++ {
+		k := right.Columns[ri].Int64At(i)
+		build[k] = append(build[k], i)
+	}
+
+	outSchema, err := p.OutSchema()
+	if err != nil {
+		return err
+	}
+	ls, err := p.Left.OutSchema()
+	if err != nil {
+		return err
+	}
+	li := ls.Index(p.LeftKey)
+	nLeft := ls.Len()
+
+	return executePush(p.Left, cat, func(c *columnar.Chunk) error {
+		out := columnar.NewChunk(outSchema, c.NumRows())
+		keys := c.Columns[li]
+		for row := 0; row < c.NumRows(); row++ {
+			matches := build[keys.Int64At(row)]
+			for _, m := range matches {
+				for j := 0; j < nLeft; j++ {
+					out.Columns[j].Append(c.Columns[j], row)
+				}
+				col := nLeft
+				for j := 0; j < rs.Len(); j++ {
+					if j == ri {
+						continue
+					}
+					out.Columns[col].Append(right.Columns[j], m)
+					col++
+				}
+			}
+		}
+		if out.NumRows() == 0 {
+			return nil
+		}
+		return yield(out)
+	})
+}

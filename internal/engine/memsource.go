@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"fmt"
+
+	"lambada/internal/columnar"
+	"lambada/internal/lpq"
+)
+
+// MemSource serves in-memory chunks as a scan source. It honors projection
+// (column subsetting) but, having no row-group statistics, ignores prune
+// predicates. Used for driver-side tables and tests.
+type MemSource struct {
+	TableSchema *columnar.Schema
+	Chunks      []*columnar.Chunk
+}
+
+// NewMemSource wraps chunks sharing one schema.
+func NewMemSource(schema *columnar.Schema, chunks ...*columnar.Chunk) *MemSource {
+	return &MemSource{TableSchema: schema, Chunks: chunks}
+}
+
+// Schema returns the table schema.
+func (m *MemSource) Schema() (*columnar.Schema, error) { return m.TableSchema, nil }
+
+// Scan yields each chunk, projected.
+func (m *MemSource) Scan(proj []string, _ []lpq.Predicate, yield func(*columnar.Chunk) error) error {
+	for _, c := range m.Chunks {
+		out := c
+		if proj != nil {
+			p, err := c.Project(proj...)
+			if err != nil {
+				return err
+			}
+			out = p
+		}
+		if err := yield(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LpqSource scans an lpq file through any io.ReaderAt, honoring projection
+// and min/max row-group pruning. It is the local (non-S3) scan path.
+type LpqSource struct {
+	Reader *lpq.Reader
+}
+
+// Schema returns the file schema.
+func (s *LpqSource) Schema() (*columnar.Schema, error) { return s.Reader.Schema(), nil }
+
+// Scan yields one chunk per non-pruned row group.
+func (s *LpqSource) Scan(proj []string, preds []lpq.Predicate, yield func(*columnar.Chunk) error) error {
+	meta := s.Reader.Meta()
+	var cols []int
+	if proj != nil {
+		for _, name := range proj {
+			i := meta.Schema.Index(name)
+			if i < 0 {
+				return fmt.Errorf("engine: column %q not in file", name)
+			}
+			cols = append(cols, i)
+		}
+	}
+	for _, g := range lpq.PruneRowGroups(meta, preds) {
+		c, err := s.Reader.ReadRowGroup(g, cols)
+		if err != nil {
+			return err
+		}
+		if err := yield(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,448 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"lambada/internal/columnar"
+	"lambada/internal/lpq"
+)
+
+// Optimize applies the common optimization set of §3.2 to a resolved plan:
+// selection push-down into scans (including extraction of min/max-prunable
+// predicates) and projection push-down.
+func Optimize(p Plan, cat Catalog) (Plan, error) {
+	if err := Resolve(p, cat); err != nil {
+		return nil, err
+	}
+	p = pushDownFilters(p)
+	if err := pushDownProjections(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// pushDownFilters moves filter predicates adjacent to scans into the scan
+// node and derives prune predicates.
+func pushDownFilters(p Plan) Plan {
+	switch n := p.(type) {
+	case *FilterPlan:
+		child := pushDownFilters(n.In)
+		if scan, ok := child.(*ScanPlan); ok {
+			scan.Filter = And(scan.Filter, n.Pred)
+			scan.Prune = append(scan.Prune, ExtractPrunePredicates(n.Pred, scan.TableSchema)...)
+			return scan
+		}
+		n.In = child
+		return n
+	case *ProjectPlan:
+		n.In = pushDownFilters(n.In)
+		return n
+	case *AggregatePlan:
+		n.In = pushDownFilters(n.In)
+		return n
+	case *OrderByPlan:
+		n.In = pushDownFilters(n.In)
+		return n
+	case *LimitPlan:
+		n.In = pushDownFilters(n.In)
+		return n
+	case *JoinPlan:
+		n.Left = pushDownFilters(n.Left)
+		n.Right = pushDownFilters(n.Right)
+		return n
+	default:
+		return p
+	}
+}
+
+// ExtractPrunePredicates turns conjuncts of the form (col cmp const) into
+// min/max range predicates testable against row-group statistics.
+func ExtractPrunePredicates(pred Expr, schema *columnar.Schema) []lpq.Predicate {
+	var out []lpq.Predicate
+	for _, e := range SplitConjuncts(pred) {
+		b, ok := e.(*Bin)
+		if !ok || !b.Op.IsComparison() {
+			continue
+		}
+		col, cok := b.L.(Col)
+		val, vok := constValue(b.R)
+		op := b.Op
+		if !cok || !vok {
+			// Try the mirrored form (const cmp col).
+			col, cok = b.R.(Col)
+			val, vok = constValue(b.L)
+			if !cok || !vok {
+				continue
+			}
+			op = mirror(op)
+		}
+		if schema != nil && schema.Index(string(col)) < 0 {
+			continue
+		}
+		p := lpq.Predicate{Column: string(col), Min: math.Inf(-1), Max: math.Inf(1)}
+		switch op {
+		case OpEQ:
+			p.Min, p.Max = val, val
+		case OpLT, OpLE:
+			p.Max = val
+		case OpGT, OpGE:
+			p.Min = val
+		default: // OpNE prunes nothing
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func constValue(e Expr) (float64, bool) {
+	switch v := e.(type) {
+	case ConstInt:
+		return float64(v), true
+	case ConstFloat:
+		return float64(v), true
+	default:
+		return 0, false
+	}
+}
+
+func mirror(op BinOp) BinOp {
+	switch op {
+	case OpLT:
+		return OpGT
+	case OpLE:
+		return OpGE
+	case OpGT:
+		return OpLT
+	case OpGE:
+		return OpLE
+	default:
+		return op
+	}
+}
+
+// pushDownProjections computes the columns each scan actually needs and
+// restricts the scan projection accordingly.
+func pushDownProjections(p Plan) error {
+	needed, all := requiredColumns(p)
+	for n := p; n != nil; n = n.Child() {
+		if scan, ok := n.(*ScanPlan); ok && scan.Projection == nil && !all {
+			// Preserve schema order for readability.
+			var cols []string
+			for _, f := range scan.TableSchema.Fields {
+				if needed[f.Name] {
+					cols = append(cols, f.Name)
+				}
+			}
+			scan.Projection = cols
+		}
+	}
+	return nil
+}
+
+// requiredColumns walks the plan and collects every referenced column name.
+// all=true means some node needs the entire input (e.g. a bare scan result).
+func requiredColumns(p Plan) (map[string]bool, bool) {
+	needed := map[string]bool{}
+	all := false
+	var walk func(Plan, bool)
+	walk = func(n Plan, parentNeedsAll bool) {
+		switch t := n.(type) {
+		case *ScanPlan:
+			if t.Filter != nil {
+				for _, c := range t.Filter.Columns(nil) {
+					needed[c] = true
+				}
+			}
+			if parentNeedsAll && t.Projection == nil {
+				all = true
+			}
+		case *FilterPlan:
+			for _, c := range t.Pred.Columns(nil) {
+				needed[c] = true
+			}
+			walk(t.In, parentNeedsAll)
+		case *ProjectPlan:
+			for _, e := range t.Exprs {
+				for _, c := range e.Columns(nil) {
+					needed[c] = true
+				}
+			}
+			walk(t.In, false)
+		case *AggregatePlan:
+			for _, g := range t.GroupBy {
+				needed[g] = true
+			}
+			for _, a := range t.Aggs {
+				if a.Arg != nil {
+					for _, c := range a.Arg.Columns(nil) {
+						needed[c] = true
+					}
+				}
+			}
+			walk(t.In, false)
+		case *OrderByPlan:
+			for _, k := range t.Keys {
+				needed[k.Column] = true
+			}
+			walk(t.In, parentNeedsAll)
+		case *LimitPlan:
+			walk(t.In, parentNeedsAll)
+		case *JoinPlan:
+			needed[t.LeftKey] = true
+			needed[t.RightKey] = true
+			walk(t.Left, parentNeedsAll)
+			// The broadcast side is small; keep it whole so its columns
+			// survive into the join output regardless of what the parent
+			// referenced.
+			walk(t.Right, true)
+		}
+	}
+	walk(p, true)
+	return needed, all
+}
+
+// DistributedPlan is the result of splitting a plan into a worker scope and
+// a driver scope (§3.2: "a query plan is divided into scopes, each of which
+// may run on a different target platform").
+type DistributedPlan struct {
+	// Worker runs on every serverless worker against its file subset.
+	Worker Plan
+	// Driver merges the materialized worker results; its catalog must bind
+	// WorkerResultTable to the concatenated worker outputs.
+	Driver Plan
+}
+
+// WorkerResultTable is the driver-scope table name bound to collected
+// worker results.
+const WorkerResultTable = "__worker_results"
+
+// SplitDistributed converts an optimized single-node plan into a
+// distributed one. Supported shapes: Scan[-Filter][-Project][-Aggregate]
+// [-OrderBy][-Limit]. Aggregations split into worker partials and a driver
+// final merge; plans without aggregation concatenate worker outputs on the
+// driver.
+func SplitDistributed(p Plan) (*DistributedPlan, error) {
+	// Peel driver-only tail (OrderBy, Limit).
+	var tail []Plan
+	cur := p
+	for {
+		switch n := cur.(type) {
+		case *OrderByPlan:
+			tail = append(tail, n)
+			cur = n.In
+			continue
+		case *LimitPlan:
+			tail = append(tail, n)
+			cur = n.In
+			continue
+		}
+		break
+	}
+
+	var worker Plan
+	var driver Plan
+	switch n := cur.(type) {
+	case *AggregatePlan:
+		partial, final, err := SplitAggregate(n)
+		if err != nil {
+			return nil, err
+		}
+		worker = partial
+		driver = final
+	case *ProjectPlan:
+		// The SQL frontend emits Project(Aggregate(...)); the projection
+		// belongs to the driver scope, on top of the final merge.
+		if agg, ok := n.In.(*AggregatePlan); ok {
+			partial, final, err := SplitAggregate(agg)
+			if err != nil {
+				return nil, err
+			}
+			worker = partial
+			driver = &ProjectPlan{In: final, Exprs: n.Exprs, Names: n.Names}
+			break
+		}
+		worker = cur
+		ws, err := cur.OutSchema()
+		if err != nil {
+			return nil, err
+		}
+		driver = &ScanPlan{Table: WorkerResultTable, TableSchema: ws}
+	case *ScanPlan, *FilterPlan, *JoinPlan:
+		worker = cur
+		ws, err := cur.OutSchema()
+		if err != nil {
+			return nil, err
+		}
+		driver = &ScanPlan{Table: WorkerResultTable, TableSchema: ws}
+	default:
+		return nil, fmt.Errorf("engine: cannot distribute plan node %T", cur)
+	}
+
+	// Re-attach the driver-only tail (in original order).
+	for i := len(tail) - 1; i >= 0; i-- {
+		switch t := tail[i].(type) {
+		case *OrderByPlan:
+			driver = &OrderByPlan{In: driver, Keys: t.Keys}
+		case *LimitPlan:
+			driver = &LimitPlan{In: driver, N: t.N}
+		}
+	}
+	return &DistributedPlan{Worker: worker, Driver: driver}, nil
+}
+
+// SplitAggregate decomposes an aggregation into a worker partial and a
+// driver final merge. AVG becomes SUM+COUNT partials recombined by a final
+// projection; SUM/COUNT/MIN/MAX merge with SUM/SUM/MIN/MAX.
+func SplitAggregate(p *AggregatePlan) (partial *AggregatePlan, final Plan, err error) {
+	partial = &AggregatePlan{In: p.In, GroupBy: p.GroupBy}
+	mergeAggs := []AggSpec{}
+	// Final projection reconstructing the requested outputs.
+	var exprs []Expr
+	var names []string
+	for _, g := range p.GroupBy {
+		exprs = append(exprs, Col(g))
+		names = append(names, g)
+	}
+	for i, a := range p.Aggs {
+		switch a.Func {
+		case AggSum:
+			name := partialName(a.Name, i, "sum")
+			partial.Aggs = append(partial.Aggs, AggSpec{Func: AggSum, Arg: a.Arg, Name: name})
+			mergeAggs = append(mergeAggs, AggSpec{Func: AggSum, Arg: Col(name), Name: name})
+			exprs = append(exprs, Col(name))
+		case AggCount:
+			name := partialName(a.Name, i, "cnt")
+			partial.Aggs = append(partial.Aggs, AggSpec{Func: AggCount, Arg: nil, Name: name})
+			mergeAggs = append(mergeAggs, AggSpec{Func: AggSum, Arg: Col(name), Name: name})
+			exprs = append(exprs, Col(name))
+		case AggAvg:
+			sname := partialName(a.Name, i, "sum")
+			cname := partialName(a.Name, i, "cnt")
+			partial.Aggs = append(partial.Aggs,
+				AggSpec{Func: AggSum, Arg: a.Arg, Name: sname},
+				AggSpec{Func: AggCount, Arg: nil, Name: cname},
+			)
+			mergeAggs = append(mergeAggs,
+				AggSpec{Func: AggSum, Arg: Col(sname), Name: sname},
+				AggSpec{Func: AggSum, Arg: Col(cname), Name: cname},
+			)
+			exprs = append(exprs, NewBin(OpDiv, Col(sname), Col(cname)))
+		case AggMin:
+			name := partialName(a.Name, i, "min")
+			partial.Aggs = append(partial.Aggs, AggSpec{Func: AggMin, Arg: a.Arg, Name: name})
+			mergeAggs = append(mergeAggs, AggSpec{Func: AggMin, Arg: Col(name), Name: name})
+			exprs = append(exprs, Col(name))
+		case AggMax:
+			name := partialName(a.Name, i, "max")
+			partial.Aggs = append(partial.Aggs, AggSpec{Func: AggMax, Arg: a.Arg, Name: name})
+			mergeAggs = append(mergeAggs, AggSpec{Func: AggMax, Arg: Col(name), Name: name})
+			exprs = append(exprs, Col(name))
+		default:
+			return nil, nil, fmt.Errorf("engine: cannot split aggregate %v", a.Func)
+		}
+		names = append(names, a.Name)
+	}
+	ws, err := partial.OutSchema()
+	if err != nil {
+		return nil, nil, err
+	}
+	merge := &AggregatePlan{
+		In:      &ScanPlan{Table: WorkerResultTable, TableSchema: ws},
+		GroupBy: p.GroupBy,
+		Aggs:    mergeAggs,
+	}
+	final = &ProjectPlan{In: merge, Exprs: exprs, Names: names}
+	return partial, final, nil
+}
+
+func partialName(name string, i int, kind string) string {
+	return fmt.Sprintf("__p%d_%s_%s", i, kind, name)
+}
+
+// ExchangedPlan is a distributed plan whose aggregation merges through the
+// serverless exchange operator instead of the driver: workers compute
+// partial aggregates, shuffle them by group key so each group lands on
+// exactly one worker, finalize locally, and the driver only concatenates
+// (plus any ORDER BY / LIMIT tail). This is the scalable path for
+// high-cardinality GROUP BY, where a driver-side merge would not fit.
+type ExchangedPlan struct {
+	// Worker computes per-file partial aggregates.
+	Worker Plan
+	// WorkerFinal merges the exchanged partials on each worker; its scan
+	// of WorkerResultTable is bound to the worker's post-shuffle chunk.
+	WorkerFinal Plan
+	// Driver concatenates worker outputs and applies the tail; its scan of
+	// WorkerResultTable is bound to the collected worker results.
+	Driver Plan
+	// Key is the partition column (the first group key, present in the
+	// partial output schema).
+	Key string
+}
+
+// SplitExchanged converts an optimized plan with a grouped aggregation into
+// an exchange-merged distributed plan. Plans without GROUP BY (global
+// aggregates) do not need an exchange; use SplitDistributed.
+func SplitExchanged(p Plan) (*ExchangedPlan, error) {
+	var tail []Plan
+	cur := p
+	for {
+		switch n := cur.(type) {
+		case *OrderByPlan:
+			tail = append(tail, n)
+			cur = n.In
+			continue
+		case *LimitPlan:
+			tail = append(tail, n)
+			cur = n.In
+			continue
+		}
+		break
+	}
+	var agg *AggregatePlan
+	var topProject *ProjectPlan
+	switch n := cur.(type) {
+	case *AggregatePlan:
+		agg = n
+	case *ProjectPlan:
+		inner, ok := n.In.(*AggregatePlan)
+		if !ok {
+			return nil, fmt.Errorf("engine: exchange split needs an aggregation, got %T under project", n.In)
+		}
+		agg = inner
+		topProject = n
+	default:
+		return nil, fmt.Errorf("engine: exchange split needs an aggregation, got %T", cur)
+	}
+	if len(agg.GroupBy) == 0 {
+		return nil, fmt.Errorf("engine: exchange split needs GROUP BY (use SplitDistributed for global aggregates)")
+	}
+	partial, final, err := SplitAggregate(agg)
+	if err != nil {
+		return nil, err
+	}
+	workerFinal := final
+	if topProject != nil {
+		workerFinal = &ProjectPlan{In: final, Exprs: topProject.Exprs, Names: topProject.Names}
+	}
+	outSchema, err := workerFinal.OutSchema()
+	if err != nil {
+		return nil, err
+	}
+	var driver Plan = &ScanPlan{Table: WorkerResultTable, TableSchema: outSchema}
+	for i := len(tail) - 1; i >= 0; i-- {
+		switch t := tail[i].(type) {
+		case *OrderByPlan:
+			driver = &OrderByPlan{In: driver, Keys: t.Keys}
+		case *LimitPlan:
+			driver = &LimitPlan{In: driver, N: t.N}
+		}
+	}
+	return &ExchangedPlan{
+		Worker:      partial,
+		WorkerFinal: workerFinal,
+		Driver:      driver,
+		Key:         agg.GroupBy[0],
+	}, nil
+}

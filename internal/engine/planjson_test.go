@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"lambada/internal/lpq"
+	"lambada/internal/tpch"
+)
+
+func TestPlanJSONRoundTripQ1(t *testing.T) {
+	src := NewMemSource(tpch.Schema(), tpch.Gen{SF: 0.001, Seed: 3}.Generate())
+	cat := Catalog{"lineitem": src}
+	plan, err := Optimize(q1Plan(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Explain(back) != Explain(plan) {
+		t.Errorf("explain mismatch:\n%s\nvs\n%s", Explain(back), Explain(plan))
+	}
+	// Both must produce identical results.
+	a, err := Execute(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(back, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != b.NumRows() {
+		t.Fatalf("row counts differ: %d vs %d", a.NumRows(), b.NumRows())
+	}
+	for j := range a.Columns {
+		for i := 0; i < a.NumRows(); i++ {
+			if av, bv := a.Columns[j].Float64At(i), b.Columns[j].Float64At(i); math.Abs(av-bv) > 1e-9*math.Max(1, math.Abs(av)) {
+				t.Fatalf("col %d row %d differ: %v vs %v", j, i, av, bv)
+			}
+		}
+	}
+}
+
+func TestPlanJSONInfinitePruneBounds(t *testing.T) {
+	scan := &ScanPlan{
+		Table:       "t",
+		TableSchema: tpch.Schema(),
+		Prune: []lpq.Predicate{
+			{Column: "l_shipdate", Min: math.Inf(-1), Max: 100},
+			{Column: "l_quantity", Min: 5, Max: math.Inf(1)},
+		},
+	}
+	data, err := MarshalPlan(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := back.(*ScanPlan)
+	if !math.IsInf(bs.Prune[0].Min, -1) || bs.Prune[0].Max != 100 {
+		t.Errorf("prune[0] = %+v", bs.Prune[0])
+	}
+	if bs.Prune[1].Min != 5 || !math.IsInf(bs.Prune[1].Max, 1) {
+		t.Errorf("prune[1] = %+v", bs.Prune[1])
+	}
+}
+
+func TestPlanJSONAllNodeKinds(t *testing.T) {
+	plan := &LimitPlan{
+		N: 3,
+		In: &OrderByPlan{
+			Keys: []OrderKey{{Column: "y", Desc: true}},
+			In: &ProjectPlan{
+				Exprs: []Expr{&Not{E: NewBin(OpGT, Col("x"), ConstFloat(1.5))}},
+				Names: []string{"y"},
+				In: &FilterPlan{
+					Pred: NewBin(OpNE, Col("x"), ConstInt(0)),
+					In:   &ScanPlan{Table: "t"},
+				},
+			},
+		},
+	}
+	data, err := MarshalPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Explain(back) != Explain(plan) {
+		t.Errorf("mismatch:\n%s\nvs\n%s", Explain(back), Explain(plan))
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalPlan([]byte("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := UnmarshalPlan([]byte(`{"kind":"mystery"}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := UnmarshalPlan([]byte(`{"kind":"filter"}`)); err == nil {
+		t.Error("filter without input accepted")
+	}
+}

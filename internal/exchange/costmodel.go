@@ -1,0 +1,137 @@
+// Package exchange implements Lambada's purely serverless exchange
+// operator family (§4.4): workers that cannot accept connections shuffle
+// data through S3. The basic algorithm needs a quadratic number of requests;
+// the paper's two optimizations — multi-level exchange and write combining —
+// reduce the request complexity to sub-quadratic, bringing request costs
+// below worker costs (Figure 9) and bypassing S3 rate limits via bucket
+// sharding (§4.4.1).
+package exchange
+
+import (
+	"fmt"
+	"math"
+
+	"lambada/internal/awssim/pricing"
+)
+
+// Variant identifies one exchange algorithm of Table 2.
+type Variant struct {
+	// Levels is the number of exchange rounds (1 = BasicExchange).
+	Levels int
+	// WriteCombining writes all partitions of a worker into a single file
+	// whose part offsets are encoded in the file name (§4.4.3).
+	WriteCombining bool
+}
+
+// String renders like the paper: "1l", "2l-wc", ...
+func (v Variant) String() string {
+	s := fmt.Sprintf("%dl", v.Levels)
+	if v.WriteCombining {
+		s += "-wc"
+	}
+	return s
+}
+
+// AllVariants lists the six algorithms of Table 2 / Figure 9.
+var AllVariants = []Variant{
+	{1, false}, {1, true},
+	{2, false}, {2, true},
+	{3, false}, {3, true},
+}
+
+// Reads returns the total read-request count for P workers (Table 2):
+// k·P·P^(1/k).
+func (v Variant) Reads(p int) float64 {
+	k := float64(v.Levels)
+	return k * float64(p) * math.Pow(float64(p), 1/k)
+}
+
+// Writes returns the total write-request count (Table 2): k·P·P^(1/k), or
+// k·P with write combining.
+func (v Variant) Writes(p int) float64 {
+	k := float64(v.Levels)
+	if v.WriteCombining {
+		return k * float64(p)
+	}
+	return k * float64(p) * math.Pow(float64(p), 1/k)
+}
+
+// Lists returns the list-request count, O(P) for all variants (write
+// combining discovers file names and offsets via lists).
+func (v Variant) Lists(p int) float64 {
+	return float64(v.Levels) * float64(p)
+}
+
+// Scans returns how many times the algorithm reads and writes the input
+// (one per level).
+func (v Variant) Scans() int { return v.Levels }
+
+// RequestCost prices all requests of one exchange of P workers, including
+// the list requests of write combining.
+func (v Variant) RequestCost(p int) pricing.USD {
+	c := v.ReadWriteCost(p)
+	if v.WriteCombining {
+		c += pricing.USD(v.Lists(p)) * pricing.S3List
+	}
+	return c
+}
+
+// ReadWriteCost prices only reads and writes — the two bar components
+// Figure 9 plots.
+func (v Variant) ReadWriteCost(p int) pricing.USD {
+	return pricing.USD(v.Reads(p))*pricing.S3Read +
+		pricing.USD(v.Writes(p))*pricing.S3Write
+}
+
+// WorkerCost estimates the cost of running the P workers for the exchange
+// itself, as in Figure 9's horizontal band: each worker moves bytesPerWorker
+// per scan at 85 MiB/s and costs $3.3e-5 per second (2 GiB workers).
+func (v Variant) WorkerCost(p int, bytesPerWorker int64) pricing.USD {
+	const rate = 85 * (1 << 20) // 85 MiB/s
+	const usdPerWorkerSecond = 3.3e-5
+	// Each level reads and writes the partitions once.
+	seconds := float64(v.Scans()) * 2 * float64(bytesPerWorker) / rate
+	return pricing.USD(float64(p) * seconds * usdPerWorkerSecond)
+}
+
+// RequestsPerBucketPerRound returns the per-bucket request rate pressure of
+// one round: P workers spreading P^(1/k) requests each over B buckets
+// (§4.4.2: "P·sqrt(P)/B per round" for two levels).
+func (v Variant) RequestsPerBucketPerRound(p, buckets int) float64 {
+	k := float64(v.Levels)
+	if buckets < 1 {
+		buckets = 1
+	}
+	return float64(p) * math.Pow(float64(p), 1/k) / float64(buckets)
+}
+
+// Factorize splits P into k near-equal factors (s1 ≥ s2 ≥ ... with
+// s1·s2·...·sk = P), the grid side lengths of the k-level exchange. The
+// factors are chosen greedily as the divisor of the remaining product
+// closest to its k-th root, which degrades gracefully for awkward P (a
+// prime P yields P×1×...; the algorithm then equals fewer levels).
+func Factorize(p, k int) []int {
+	out := make([]int, 0, k)
+	rem := p
+	for level := k; level >= 1; level-- {
+		if level == 1 {
+			out = append(out, rem)
+			break
+		}
+		target := math.Pow(float64(rem), 1/float64(level))
+		best := 1
+		bestDist := math.Inf(1)
+		for d := 1; d <= rem; d++ {
+			if rem%d != 0 {
+				continue
+			}
+			dist := math.Abs(float64(d) - target)
+			if dist < bestDist {
+				best, bestDist = d, dist
+			}
+		}
+		out = append(out, best)
+		rem /= best
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+// Package experiments reproduces every table and figure of the Lambada
+// paper's evaluation. Each experiment returns a structured result and can
+// render the same rows/series the paper reports; cmd/lambada-bench and the
+// top-level benchmarks drive them.
+//
+// Analytic experiments (Figures 1, 4, 6, 7, 9; Tables 1, 2) evaluate the
+// calibrated models directly — exactly how the paper produced Figure 1
+// ("obtained through simulation"). System experiments (Figures 5, 10, 11,
+// 12, 13; Table 3) execute the real request patterns on the DES kernel.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"lambada/internal/awssim/simenv"
+)
+
+// deterministicRand returns a per-worker seeded source.
+func deterministicRand(seed int64, worker int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(worker)))
+}
+
+// newZeroEnv returns an env for setup operations outside the kernel.
+func newZeroEnv() simenv.Env { return simenv.NewImmediate() }
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labeled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a set of series with axis labels.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render prints the figure as aligned text columns.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "-- %s (%s → %s)\n", s.Label, f.XLabel, f.YLabel)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "   %14.6g  %14.6g\n", p.X, p.Y)
+		}
+	}
+	return b.String()
+}
+
+// Table is a rectangular result with headers.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Render prints the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// secs formats a duration in seconds with 3 significant digits.
+func secs(d time.Duration) string { return fmt.Sprintf("%.3gs", d.Seconds()) }
+
+// percentile returns the p-quantile (0..1) of sorted durations.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// sortDurations sorts ascending in place and returns the slice.
+func sortDurations(ds []time.Duration) []time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFigure1aShape(t *testing.T) {
+	iaas, faas := Figure1a(DefaultFigure1a())
+	// Adding resources monotonically reduces running time in both models.
+	for i := 1; i < len(iaas); i++ {
+		if iaas[i].Time >= iaas[i-1].Time {
+			t.Errorf("IaaS time not decreasing at %d VMs", iaas[i].Resources)
+		}
+	}
+	for i := 1; i < len(faas); i++ {
+		if faas[i].Time >= faas[i-1].Time {
+			t.Errorf("FaaS time not decreasing at %d workers", faas[i].Resources)
+		}
+	}
+	// IaaS times asymptote at the 2 min startup; FaaS at 4 s.
+	if last := iaas[len(iaas)-1].Time; last < 2*time.Minute {
+		t.Errorf("IaaS floor %v below startup", last)
+	}
+	if last := faas[len(faas)-1].Time; last < 4*time.Second || last > 10*time.Second {
+		t.Errorf("FaaS floor %v, want a few seconds", last)
+	}
+	// The cheapest IaaS config is up to an order of magnitude cheaper than
+	// the cheapest FaaS config ("IaaS is thus more attractive, being up to
+	// an order of magnitude cheaper").
+	minI, minF := iaas[0].Cost, faas[0].Cost
+	for _, p := range iaas {
+		if p.Cost < minI {
+			minI = p.Cost
+		}
+	}
+	for _, p := range faas {
+		if p.Cost < minF {
+			minF = p.Cost
+		}
+	}
+	if ratio := float64(minF) / float64(minI); ratio < 2 || ratio > 20 {
+		t.Errorf("FaaS/IaaS min-cost ratio = %.1f, want roughly an order of magnitude", ratio)
+	}
+	// FaaS reaches interactive latencies IaaS cannot (any FaaS config beats
+	// the IaaS startup floor).
+	if faas[len(faas)-1].Time >= 2*time.Minute {
+		t.Error("FaaS cannot beat the VM startup floor")
+	}
+}
+
+func TestFigure1bShape(t *testing.T) {
+	f := Figure1b(DefaultFigure1b())
+	if len(f.Series) != 5 {
+		t.Fatalf("series = %d, want 5", len(f.Series))
+	}
+	bySeries := map[string]Series{}
+	for _, s := range f.Series {
+		bySeries[strings.SplitN(s.Label, " x", 2)[0]] = s
+	}
+	// VM lines are flat; FaaS/QaaS grow linearly.
+	vm := bySeries["VMs (S3)"]
+	if vm.Points[0].Y != vm.Points[len(vm.Points)-1].Y {
+		t.Error("VM hourly cost not flat")
+	}
+	faas := bySeries["FaaS (S3)"]
+	if faas.Points[0].Y >= faas.Points[len(faas.Points)-1].Y {
+		t.Error("FaaS cost not growing with query rate")
+	}
+	qaas := bySeries["QaaS (S3)"]
+	// QaaS is the most expensive usage-priced option at every rate.
+	for i := range qaas.Points {
+		if qaas.Points[i].Y <= faas.Points[i].Y {
+			t.Errorf("QaaS (%v) not above FaaS (%v) at rate %v", qaas.Points[i].Y, faas.Points[i].Y, qaas.Points[i].X)
+		}
+	}
+	// At one query/hour FaaS is far below always-on VMs; at high rates the
+	// VM line wins — the crossover that defines the sporadic-use sweet spot.
+	if faas.Points[0].Y >= vm.Points[0].Y {
+		t.Error("FaaS at 1 query/h should cost less than 13 always-on VMs")
+	}
+	last := len(faas.Points) - 1
+	if dram := bySeries["VMs (DRAM)"]; faas.Points[last].Y <= dram.Points[last].Y {
+		t.Error("at 64 queries/h, always-on DRAM VMs should beat FaaS")
+	}
+}
+
+func TestTable1MatchesProfiles(t *testing.T) {
+	tb := Table1()
+	if len(tb.Rows) != 3 || len(tb.Headers) != 5 {
+		t.Fatalf("table shape %dx%d", len(tb.Rows), len(tb.Headers))
+	}
+	if tb.Rows[0][1] != "36" {
+		t.Errorf("eu single latency cell = %q", tb.Rows[0][1])
+	}
+	if tb.Rows[1][1] != "294" || tb.Rows[2][4] != "81" {
+		t.Errorf("rate cells wrong: %v", tb.Rows)
+	}
+	if !strings.Contains(tb.Render(), "eu") {
+		t.Error("render missing region")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	f := Figure4()
+	one, two := f.Series[0], f.Series[1]
+	// At 1792 MiB both are ~100 %.
+	for _, s := range []Series{one, two} {
+		for _, p := range s.Points {
+			if p.X == 1792 && (p.Y < 90 || p.Y > 105) {
+				t.Errorf("%s at 1792 = %.1f%%", s.Label, p.Y)
+			}
+		}
+	}
+	// Single thread plateaus at 100 %; two threads reach ~167 % at 3008.
+	last1 := one.Points[len(one.Points)-1]
+	if last1.Y > 102 {
+		t.Errorf("1 thread at 3008 = %.1f%%, should not exceed one vCPU", last1.Y)
+	}
+	last2 := two.Points[len(two.Points)-1]
+	if last2.Y < 160 || last2.Y > 175 {
+		t.Errorf("2 threads at 3008 = %.1f%%, want ~167%%", last2.Y)
+	}
+	// Below 1792 performance is proportional to memory.
+	for _, p := range one.Points {
+		if p.X <= 1792 {
+			want := 100 * p.X / 1792
+			if p.Y > want*1.05 || p.Y < want*0.7 {
+				t.Errorf("1 thread at %v = %.1f%%, want ≈ %.1f%%", p.X, p.Y, want)
+			}
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	large, small := Figure6()
+	// Large files: stable ~90 MiB/s for all connection counts.
+	for _, s := range large.Series {
+		for _, p := range s.Points {
+			if p.Y < 70 || p.Y > 110 {
+				t.Errorf("large files %s at %v MiB: %.0f MiB/s, want ~90", s.Label, p.X, p.Y)
+			}
+		}
+	}
+	// Small files: 4 connections on big workers approach 300 MiB/s; one
+	// connection stays near 95.
+	find := func(f *Figure, label string, x float64) float64 {
+		for _, s := range f.Series {
+			if s.Label != label {
+				continue
+			}
+			for _, p := range s.Points {
+				if p.X == x {
+					return p.Y
+				}
+			}
+		}
+		return -1
+	}
+	if bw := find(small, "4 connections", 3008); bw < 250 {
+		t.Errorf("small files, 4 conns, 3008 MiB: %.0f MiB/s, want ~300", bw)
+	}
+	if bw := find(small, "1 connections", 3008); bw > 110 {
+		t.Errorf("small files, 1 conn: %.0f MiB/s, want ~95", bw)
+	}
+	if lo, hi := find(small, "4 connections", 512), find(small, "4 connections", 3008); lo >= hi {
+		t.Error("small-memory workers should see lower burst bandwidth")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	rows := Figure7(DefaultFigure7())
+	byKey := map[[2]int]Figure7Row{}
+	for _, r := range rows {
+		byKey[[2]int{int(r.ChunkMiB * 2), r.Conns}] = r // 0.5→1, 1→2, ...
+	}
+	// One connection needs 16 MiB chunks to approach peak; 4 connections
+	// reach it at 1 MiB.
+	one16 := byKey[[2]int{32, 1}]
+	one1 := byKey[[2]int{2, 1}]
+	four1 := byKey[[2]int{2, 4}]
+	if one16.BandwidthMB < 80 {
+		t.Errorf("1 conn @ 16 MiB: %.0f MB/s, want near max", one16.BandwidthMB)
+	}
+	if one1.BandwidthMB > 0.8*one16.BandwidthMB {
+		t.Errorf("1 conn @ 1 MiB (%.0f) should be well below 16 MiB (%.0f)", one1.BandwidthMB, one16.BandwidthMB)
+	}
+	if four1.BandwidthMB < 0.9*one16.BandwidthMB {
+		t.Errorf("4 conns @ 1 MiB (%.0f) should reach peak (%.0f)", four1.BandwidthMB, one16.BandwidthMB)
+	}
+	// Request cost inversely proportional to chunk size; the paper's 1 MiB
+	// annotation: requests ≈ 1.7× worker cost.
+	half := byKey[[2]int{1, 4}]
+	if half.Requests != 2000-0 && half.Requests != 1908 { // 1 GB / 0.5 MiB
+		// 1e9 / (0.5*2^20) = 1907.3 → 1908 requests
+		t.Errorf("0.5 MiB chunk requests = %d", half.Requests)
+	}
+	r1 := byKey[[2]int{2, 4}]
+	if r1.WorkerCostRatio < 0.8 || r1.WorkerCostRatio > 3.5 {
+		t.Errorf("1 MiB request/worker cost ratio = %.2f, want ~1.7", r1.WorkerCostRatio)
+	}
+	r16 := byKey[[2]int{32, 4}]
+	if r16.WorkerCostRatio > 0.3 {
+		t.Errorf("16 MiB ratio = %.2f, want ~0.11", r16.WorkerCostRatio)
+	}
+}
+
+func TestFigure5TreeInvocation(t *testing.T) {
+	res := Figure5(Figure5Config{Workers: 4096, Region: "eu", Seed: 1})
+	if len(res.FirstGen) != 64 {
+		t.Fatalf("first generation = %d", len(res.FirstGen))
+	}
+	// "The invocation of the last worker was initiated after about 2.5 s."
+	if res.LastInitiated < 1500*time.Millisecond || res.LastInitiated > 4*time.Second {
+		t.Errorf("last initiated at %v, want ~2.5-3.5 s", res.LastInitiated)
+	}
+	// "Lambada managing to start several thousand workers in under 4 s."
+	if res.AllRunning > 5*time.Second {
+		t.Errorf("all running at %v, want < ~4-5 s", res.AllRunning)
+	}
+	// Tremendously faster than the 13-18 s the driver alone would need.
+	if res.DirectEstimate < 13*time.Second || res.DirectEstimate > 18*time.Second {
+		t.Errorf("direct estimate = %v, want 13-18 s", res.DirectEstimate)
+	}
+	// The driver ramp is visible: the last first-gen worker waits ~2.3 s.
+	ramp := res.FirstGen[len(res.FirstGen)-1].BeforeOwnInvocation
+	if ramp < 1500*time.Millisecond || ramp > 3500*time.Millisecond {
+		t.Errorf("driver ramp = %v, want ~2.3 s", ramp)
+	}
+	fig := Figure5Figure(res)
+	if len(fig.Series) != 3 {
+		t.Error("figure missing phases")
+	}
+}
+
+func TestFigure5Deterministic(t *testing.T) {
+	a := Figure5(Figure5Config{Workers: 1024, Region: "eu", Seed: 7})
+	b := Figure5(Figure5Config{Workers: 1024, Region: "eu", Seed: 7})
+	if a.AllRunning != b.AllRunning || a.LastInitiated != b.LastInitiated {
+		t.Error("Figure 5 not deterministic")
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"time"
+
+	"lambada/internal/awssim/pricing"
+	"lambada/internal/netmodel"
+)
+
+// Figure1aConfig parameterizes the job-scoped-resources simulation: a query
+// scanning 1 TB stored on S3, executed either on a fleet of c5n.xlarge VMs
+// (2 min start-up) or on 2 GiB serverless workers (4 s start-up).
+type Figure1aConfig struct {
+	DataBytes    int64
+	VMStartup    time.Duration
+	FaaSStartup  time.Duration
+	VMScanBps    float64 // per-VM S3 scan bandwidth
+	WorkerBps    float64 // per-worker S3 scan bandwidth
+	WorkerGiB    float64 // worker memory for pricing
+	VMCounts     []int
+	WorkerCounts []int
+}
+
+// DefaultFigure1a mirrors the paper's footnotes: 1–256 c5n.xlarge, 8–4096
+// workers with 2 GiB, 2 min vs 4 s startup.
+func DefaultFigure1a() Figure1aConfig {
+	return Figure1aConfig{
+		DataBytes:    1e12,
+		VMStartup:    2 * time.Minute,
+		FaaSStartup:  4 * time.Second,
+		VMScanBps:    2.4e9, // ~25 Gbit/s NIC minus protocol overhead
+		WorkerBps:    85 * netmodel.MiB,
+		WorkerGiB:    2,
+		VMCounts:     []int{1, 2, 4, 8, 16, 32, 64, 128, 256},
+		WorkerCounts: []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096},
+	}
+}
+
+// JobCost is one point of Figure 1a: running time and monetary cost of one
+// job-scoped execution.
+type JobCost struct {
+	Resources int
+	Time      time.Duration
+	Cost      pricing.USD
+}
+
+// Figure1a computes the cost/running-time frontier of job-scoped IaaS vs
+// FaaS for a 1 TB scan.
+func Figure1a(cfg Figure1aConfig) (iaas, faas []JobCost) {
+	for _, n := range cfg.VMCounts {
+		scan := time.Duration(float64(cfg.DataBytes) / (float64(n) * cfg.VMScanBps) * float64(time.Second))
+		total := cfg.VMStartup + scan
+		iaas = append(iaas, JobCost{
+			Resources: n,
+			Time:      total,
+			Cost:      pricing.VMCost(pricing.C5NXLarge, n, total),
+		})
+	}
+	for _, w := range cfg.WorkerCounts {
+		scan := time.Duration(float64(cfg.DataBytes) / (float64(w) * cfg.WorkerBps) * float64(time.Second))
+		total := cfg.FaaSStartup + scan
+		cost := pricing.USD(float64(w)*cfg.WorkerGiB*total.Seconds()) * pricing.LambdaGBSecond
+		faas = append(faas, JobCost{Resources: w, Time: total, Cost: cost})
+	}
+	return iaas, faas
+}
+
+// Figure1aFigure renders the two frontiers as a Figure.
+func Figure1aFigure() *Figure {
+	iaas, faas := Figure1a(DefaultFigure1a())
+	f := &Figure{ID: "Figure 1a", Title: "Job-scoped resources: cost vs running time (1 TB scan)",
+		XLabel: "cost [$]", YLabel: "running time [s]"}
+	var si, sf Series
+	si.Label = "IaaS (c5n.xlarge)"
+	for _, p := range iaas {
+		si.Points = append(si.Points, Point{X: float64(p.Cost), Y: p.Time.Seconds()})
+	}
+	sf.Label = "FaaS (2 GiB workers)"
+	for _, p := range faas {
+		sf.Points = append(sf.Points, Point{X: float64(p.Cost), Y: p.Time.Seconds()})
+	}
+	f.Series = []Series{si, sf}
+	return f
+}
+
+// AlwaysOnConfig parameterizes Figure 1b: a system sized to answer the 1 TB
+// scan in under 10 s, kept always on, vs usage-priced FaaS and QaaS.
+type AlwaysOnConfig struct {
+	DataBytes     int64
+	LatencyTarget time.Duration
+	QueryRates    []float64 // queries per hour
+}
+
+// DefaultFigure1b mirrors the paper: 3 r5.12xlarge (DRAM), 7 i3.16xlarge
+// (NVMe), 13 c5n.18xlarge (S3), QaaS at $5/TiB, FaaS per query.
+func DefaultFigure1b() AlwaysOnConfig {
+	return AlwaysOnConfig{
+		DataBytes:     1e12,
+		LatencyTarget: 10 * time.Second,
+		QueryRates:    []float64{1, 2, 4, 8, 16, 32, 64},
+	}
+}
+
+// Figure1b returns hourly cost series per architecture.
+func Figure1b(cfg AlwaysOnConfig) *Figure {
+	f := &Figure{ID: "Figure 1b", Title: "Always-on resources: hourly cost vs query rate",
+		XLabel: "queries per hour", YLabel: "hourly cost [$]"}
+
+	vmConfigs := []struct {
+		label string
+		vm    pricing.VMType
+	}{
+		{"VMs (DRAM)", pricing.R512XLarge},
+		{"VMs (NVMe)", pricing.I316XLarge},
+		{"VMs (S3)", pricing.C5N18XLarge},
+	}
+	for _, vc := range vmConfigs {
+		// Enough instances to hit the 10 s target at the tier's bandwidth.
+		n := int(float64(cfg.DataBytes)/(vc.vm.ScanBps*cfg.LatencyTarget.Seconds()) + 0.999)
+		if n < 1 {
+			n = 1
+		}
+		hourly := float64(pricing.VMCost(vc.vm, n, time.Hour))
+		var s Series
+		s.Label = vc.label + " x" + itoa(n)
+		for _, q := range cfg.QueryRates {
+			s.Points = append(s.Points, Point{X: q, Y: hourly})
+		}
+		f.Series = append(f.Series, s)
+	}
+
+	// QaaS: $5/TiB per query.
+	var qs Series
+	qs.Label = "QaaS (S3)"
+	perQuery := float64(pricing.QaaSScan(cfg.DataBytes))
+	for _, q := range cfg.QueryRates {
+		qs.Points = append(qs.Points, Point{X: q, Y: perQuery * q})
+	}
+	f.Series = append(f.Series, qs)
+
+	// FaaS: workers sized for the 10 s target, billed per query.
+	var fs Series
+	fs.Label = "FaaS (S3)"
+	workerBps := 85.0 * netmodel.MiB
+	workers := float64(cfg.DataBytes) / (workerBps * cfg.LatencyTarget.Seconds())
+	costPerQuery := workers * 2 /*GiB*/ * cfg.LatencyTarget.Seconds() * float64(pricing.LambdaGBSecond)
+	// Request costs of the scan (16 MiB chunks).
+	costPerQuery += float64(cfg.DataBytes) / (16 << 20) * float64(pricing.S3Read)
+	for _, q := range cfg.QueryRates {
+		fs.Points = append(fs.Points, Point{X: q, Y: costPerQuery * q})
+	}
+	f.Series = append(f.Series, fs)
+	return f
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := ""
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return digits
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lambada/internal/awssim/pricing"
+	"lambada/internal/netmodel"
+)
+
+// Table1 reproduces the invocation characteristics per region.
+func Table1() *Table {
+	t := &Table{
+		ID:      "Table 1",
+		Title:   "Characteristics of function invocations",
+		Headers: []string{"Metric", "eu", "us", "sa", "ap"},
+	}
+	regions := []netmodel.Region{netmodel.RegionEU, netmodel.RegionUS, netmodel.RegionSA, netmodel.RegionAP}
+	single := []string{"Single invocation time [ms]"}
+	concurrent := []string{"Concurrent inv. rate [inv./s]"}
+	intra := []string{"Intra-region rate [inv./s]"}
+	for _, r := range regions {
+		p := netmodel.InvokeProfiles[r]
+		single = append(single, fmt.Sprintf("%d", p.SingleLatency.Milliseconds()))
+		concurrent = append(concurrent, fmt.Sprintf("%.0f", p.DriverRate))
+		intra = append(intra, fmt.Sprintf("%.0f", p.IntraRegionRate))
+	}
+	t.Rows = [][]string{single, concurrent, intra}
+	return t
+}
+
+// Figure4 reproduces the relative compute performance vs memory size for
+// one and two threads, normalized to one vCPU (M = 1792 MiB, 1 thread).
+func Figure4() *Figure {
+	f := &Figure{ID: "Figure 4", Title: "Relative compute performance vs memory size",
+		XLabel: "memory [MiB]", YLabel: "performance [% of 1 vCPU]"}
+	sizes := []int{256, 512, 768, 1024, 1280, 1536, 1792, 2048, 2304, 2560, 2816, 3008}
+	base := netmodel.ComputeTime(1.0, 1792, 1)
+	for _, threads := range []int{1, 2} {
+		var s Series
+		s.Label = fmt.Sprintf("%d threads", threads)
+		for _, m := range sizes {
+			d := netmodel.ComputeTime(1.0, m, threads)
+			s.Points = append(s.Points, Point{X: float64(m), Y: 100 * base.Seconds() / d.Seconds()})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Figure6 reproduces the per-worker S3 ingress bandwidth for large (1 GB)
+// and small (100 MB) objects across memory sizes and connection counts,
+// using the paper's methodology (median of three back-to-back runs).
+func Figure6() (large, small *Figure) {
+	ln := netmodel.DefaultLambdaNet()
+	sizes := []int{512, 1024, 2048, 3008}
+	conns := []int{1, 2, 4}
+	run := func(id, title string, objBytes int64) *Figure {
+		f := &Figure{ID: id, Title: title, XLabel: "memory [MiB]", YLabel: "bandwidth [MiB/s]"}
+		for _, c := range conns {
+			var s Series
+			s.Label = fmt.Sprintf("%d connections", c)
+			for _, m := range sizes {
+				b := ln.NewBucket(m)
+				var now time.Duration
+				var effs []float64
+				for i := 0; i < 3; i++ {
+					d := b.Transfer(now, objBytes, ln.RequestRate(c, m))
+					effs = append(effs, float64(objBytes)/d.Seconds()/netmodel.MiB)
+					now += d
+				}
+				// median of three
+				med := effs[0] + effs[1] + effs[2] - maxf(effs) - minf(effs)
+				s.Points = append(s.Points, Point{X: float64(m), Y: med})
+			}
+			f.Series = append(f.Series, s)
+		}
+		return f
+	}
+	large = run("Figure 6a", "Scan bandwidth, large files (1 GB)", 1*netmodel.GB)
+	small = run("Figure 6b", "Scan bandwidth, small files (100 MB)", 100*netmodel.MB)
+	return large, small
+}
+
+func maxf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Figure7Config parameterizes the chunk-size experiment: downloading a 1 GB
+// object with requests of varying size over 1/2/4 connections on the
+// largest worker (3008 MiB).
+type Figure7Config struct {
+	ObjectBytes int64
+	GetLatency  time.Duration
+	ChunksMiB   []float64
+	Conns       []int
+	// CostRuns is how many times the scan is priced (the paper annotates
+	// the cost of one thousand runs).
+	CostRuns int
+}
+
+// DefaultFigure7 mirrors the paper's setup.
+func DefaultFigure7() Figure7Config {
+	return Figure7Config{
+		ObjectBytes: 1 * netmodel.GB,
+		GetLatency:  18 * time.Millisecond,
+		ChunksMiB:   []float64{0.5, 1, 2, 4, 8, 16},
+		Conns:       []int{1, 2, 4},
+		CostRuns:    1000,
+	}
+}
+
+// Figure7Row is one (chunk size, conns) sample.
+type Figure7Row struct {
+	ChunkMiB    float64
+	Conns       int
+	BandwidthMB float64 // MB/s as in the paper's axis
+	Requests    int64
+	RequestCost pricing.USD // for CostRuns runs
+	// WorkerCostRatio is how much more expensive the requests are than the
+	// workers for the same scan (the paper's bar annotations: 3.4×, 1.7×,
+	// 0.87×, ...).
+	WorkerCostRatio float64
+}
+
+// Figure7 computes scan bandwidth and request cost per chunk size: pipelined
+// chunked requests on each connection, shaped by the worker's token bucket.
+func Figure7(cfg Figure7Config) []Figure7Row {
+	ln := netmodel.DefaultLambdaNet()
+	var rows []Figure7Row
+	for _, chunkMiB := range cfg.ChunksMiB {
+		chunk := int64(chunkMiB * netmodel.MiB)
+		requests := (cfg.ObjectBytes + chunk - 1) / chunk
+		for _, conns := range cfg.Conns {
+			// One connection sustains chunk/(latency + chunk/perConn);
+			// conns connections multiply it, capped by the bucket.
+			perConn := float64(chunk) / (cfg.GetLatency.Seconds() + float64(chunk)/float64(ln.PerConnection))
+			reqRate := netmodel.Rate(perConn * float64(conns))
+			b := ln.NewBucket(3008)
+			// Paper methodology: repeated runs; report the steady-state
+			// (post-burst) bandwidth via a warm-up transfer.
+			b.Transfer(0, cfg.ObjectBytes, reqRate)
+			d := b.Transfer(time.Duration(1)*time.Second*20, cfg.ObjectBytes, reqRate)
+			bw := float64(cfg.ObjectBytes) / d.Seconds() / 1e6
+
+			reqCost := pricing.USD(float64(requests*int64(cfg.CostRuns))) * pricing.S3Read
+			// Worker cost of the same 1000 scans on a 2 GiB worker.
+			scanSeconds := d.Seconds() * float64(cfg.CostRuns)
+			workerCost := pricing.USD(2*scanSeconds) * pricing.LambdaGBSecond
+			rows = append(rows, Figure7Row{
+				ChunkMiB:        chunkMiB,
+				Conns:           conns,
+				BandwidthMB:     bw,
+				Requests:        requests,
+				RequestCost:     reqCost,
+				WorkerCostRatio: float64(reqCost) / float64(workerCost),
+			})
+		}
+	}
+	return rows
+}
+
+// Figure7Table renders the rows.
+func Figure7Table() *Table {
+	rows := Figure7(DefaultFigure7())
+	t := &Table{ID: "Figure 7", Title: "Impact of the chunk size on scan characteristics (1 GB object, 3008 MiB worker)",
+		Headers: []string{"chunk [MiB]", "conns", "bandwidth [MB/s]", "requests", "cost of 1000 runs", "req/worker cost"}}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", r.ChunkMiB),
+			fmt.Sprintf("%d", r.Conns),
+			fmt.Sprintf("%.0f", r.BandwidthMB),
+			fmt.Sprintf("%d", r.Requests),
+			r.RequestCost.String(),
+			fmt.Sprintf("%.2fx", r.WorkerCostRatio),
+		})
+	}
+	return t
+}

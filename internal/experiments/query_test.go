@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"lambada/internal/exchange"
+	"lambada/internal/netmodel"
+)
+
+func TestQueryModelQ1Anchors(t *testing.T) {
+	m := DefaultLambadaModel()
+	hot := m.Run(RunConfig{Query: SpecQ1, SF: 1000, M: 1792, F: 1, Seed: 1})
+	if hot.Workers != 320 {
+		t.Fatalf("workers = %d, want 320", hot.Workers)
+	}
+	// "Both hot and cold execution return in less than 10 s."
+	if hot.Total > 10*time.Second {
+		t.Errorf("Q1 hot total = %v, want < 10 s", hot.Total)
+	}
+	cold := m.Run(RunConfig{Query: SpecQ1, SF: 1000, M: 1792, F: 1, Cold: true, Seed: 1})
+	if cold.Total > 12*time.Second {
+		t.Errorf("Q1 cold total = %v, want < ~12 s", cold.Total)
+	}
+	// ~20% cold penalty.
+	penalty := cold.Total.Seconds() / hot.Total.Seconds()
+	if penalty < 1.02 || penalty > 1.5 {
+		t.Errorf("cold penalty = %.2fx, want ~1.2x", penalty)
+	}
+	// Cost in the single-digit-cent range (Figure 10's axis is 0-5¢).
+	if hot.Cost < 0.005 || hot.Cost > 0.06 {
+		t.Errorf("Q1 cost = %v, want a few cents", hot.Cost)
+	}
+	// Processing band: full workers take ~2-3 s (Figure 11).
+	med := hot.WorkerTimes[len(hot.WorkerTimes)/2]
+	if med < 1500*time.Millisecond || med > 3500*time.Millisecond {
+		t.Errorf("median worker processing = %v, want 2-3 s", med)
+	}
+}
+
+func TestQueryModelMemorySweep(t *testing.T) {
+	m := DefaultLambadaModel()
+	t512 := m.Run(RunConfig{Query: SpecQ1, SF: 1000, M: 512, F: 1, Seed: 1})
+	t1792 := m.Run(RunConfig{Query: SpecQ1, SF: 1000, M: 1792, F: 1, Seed: 1})
+	t3008 := m.Run(RunConfig{Query: SpecQ1, SF: 1000, M: 3008, F: 1, Seed: 1})
+	// 512 → 1792 MiB: significantly faster (CPU-bound GZIP scan).
+	if t512.Total.Seconds() < 2*t1792.Total.Seconds() {
+		t.Errorf("512 MiB (%v) should be much slower than 1792 (%v)", t512.Total, t1792.Total)
+	}
+	// Beyond 1792: no speedup, higher price.
+	if t3008.Total < t1792.Total/2 {
+		t.Errorf("3008 MiB (%v) should not be much faster than 1792 (%v)", t3008.Total, t1792.Total)
+	}
+	if t3008.Cost <= t1792.Cost {
+		t.Errorf("3008 MiB cost (%v) should exceed 1792 (%v)", t3008.Cost, t1792.Cost)
+	}
+}
+
+func TestQueryModelFileSweep(t *testing.T) {
+	m := DefaultLambadaModel()
+	// Fewer workers (higher F): slower but cheaper-ish — Figure 10b.
+	f1 := m.Run(RunConfig{Query: SpecQ1, SF: 1000, M: 1792, F: 1, Seed: 1})
+	f4 := m.Run(RunConfig{Query: SpecQ1, SF: 1000, M: 1792, F: 4, Seed: 1})
+	if f4.Workers != 80 || f1.Workers != 320 {
+		t.Fatalf("workers = %d/%d", f4.Workers, f1.Workers)
+	}
+	if f4.Total <= f1.Total {
+		t.Errorf("F=4 (%v) should be slower than F=1 (%v)", f4.Total, f1.Total)
+	}
+	if f4.CostLambda >= f1.CostLambda*12/10 {
+		t.Errorf("F=4 lambda cost (%v) should not exceed F=1 (%v) by much", f4.CostLambda, f1.CostLambda)
+	}
+}
+
+func TestFigure11Bands(t *testing.T) {
+	m := DefaultLambadaModel()
+	q1 := m.Run(RunConfig{Query: SpecQ1, SF: 1000, M: 1792, F: 1, Seed: 1})
+	q6 := m.Run(RunConfig{Query: SpecQ6, SF: 1000, M: 1792, F: 1, Seed: 1})
+	countFast := func(ts []time.Duration) int {
+		n := 0
+		for _, t := range ts {
+			if t < 400*time.Millisecond {
+				n++
+			}
+		}
+		return n
+	}
+	// ~2% of Q1 workers prune everything; ~80% of Q6 workers do.
+	fq1 := float64(countFast(q1.WorkerTimes)) / float64(len(q1.WorkerTimes))
+	fq6 := float64(countFast(q6.WorkerTimes)) / float64(len(q6.WorkerTimes))
+	if fq1 > 0.1 {
+		t.Errorf("Q1 fast band = %.2f, want ~0.02", fq1)
+	}
+	if fq6 < 0.6 || fq6 > 0.95 {
+		t.Errorf("Q6 fast band = %.2f, want ~0.8", fq6)
+	}
+	fig := Figure11(DefaultLambadaModel(), 1)
+	if len(fig.Series) != 2 {
+		t.Error("figure 11 missing series")
+	}
+}
+
+func TestFigure12PaperRatios(t *testing.T) {
+	rows := Figure12(DefaultLambadaModel(), 1)
+	get := func(system, query string, sf float64, run string) Figure12Row {
+		for _, r := range rows {
+			if r.System == system && r.Query == query && r.SF == sf && r.Run == run {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s/%v/%s missing", system, query, sf, run)
+		return Figure12Row{}
+	}
+	lamQ1a := get("Lambada(M=1792)", "Q1", 1000, "hot")
+	athQ1a := get("Athena", "Q1", 1000, "")
+	// "The faster configurations of Lambada are about 4× faster for Q1 at SF 1k."
+	if r := athQ1a.Latency.Seconds() / lamQ1a.Latency.Seconds(); r < 2.5 || r > 7 {
+		t.Errorf("Athena/Lambada Q1 SF1k latency ratio = %.1f, want ~4", r)
+	}
+	// "At SF 10k, Lambada is about 26× faster" (Q1).
+	lamQ1b := get("Lambada(M=1792)", "Q1", 10000, "hot")
+	athQ1b := get("Athena", "Q1", 10000, "")
+	if r := athQ1b.Latency.Seconds() / lamQ1b.Latency.Seconds(); r < 15 || r > 40 {
+		t.Errorf("Athena/Lambada Q1 SF10k ratio = %.1f, want ~26", r)
+	}
+	// BigQuery hot is faster at SF 1k, ~2.3× slower at SF 10k (Q1).
+	bqQ1a := get("BigQuery", "Q1", 1000, "hot")
+	if bqQ1a.Latency >= lamQ1a.Latency {
+		t.Errorf("BigQuery Q1 SF1k (%v) should beat Lambada (%v)", bqQ1a.Latency, lamQ1a.Latency)
+	}
+	bqQ1b := get("BigQuery", "Q1", 10000, "hot")
+	if r := bqQ1b.Latency.Seconds() / lamQ1b.Latency.Seconds(); r < 1.3 || r > 4 {
+		t.Errorf("BigQuery/Lambada Q1 SF10k ratio = %.1f, want ~2.3", r)
+	}
+	// Cost: one to two orders of magnitude cheaper than QaaS for Q1.
+	if r := float64(athQ1a.Cost) / float64(lamQ1a.Cost); r < 10 || r > 500 {
+		t.Errorf("Athena/Lambada Q1 cost ratio = %.0f, want 1-2 orders of magnitude", r)
+	}
+	bqCost := get("BigQuery", "Q1", 1000, "hot")
+	if r := float64(bqCost.Cost) / float64(lamQ1a.Cost); r < 30 {
+		t.Errorf("BigQuery/Lambada Q1 cost ratio = %.0f, want ~2 orders", r)
+	}
+	// Q6: Athena's row-selective billing makes it only slightly more
+	// expensive than Lambada.
+	lamQ6 := get("Lambada(M=1792)", "Q6", 1000, "hot")
+	athQ6 := get("Athena", "Q6", 1000, "")
+	if r := float64(athQ6.Cost) / float64(lamQ6.Cost); r < 0.5 || r > 20 {
+		t.Errorf("Athena/Lambada Q6 cost ratio = %.1f, want small", r)
+	}
+	// BigQuery load step dominates cold latency (~40 min at SF 1k).
+	bqCold := get("BigQuery", "Q1", 1000, "cold")
+	if bqCold.Latency < 35*time.Minute || bqCold.Latency > 50*time.Minute {
+		t.Errorf("BigQuery cold Q1 SF1k = %v, want ~40 min", bqCold.Latency)
+	}
+}
+
+func TestFigure9AndTable2Render(t *testing.T) {
+	f9 := Figure9()
+	if len(f9.Rows) != 5*6 {
+		t.Errorf("figure 9 rows = %d", len(f9.Rows))
+	}
+	t2 := Table2()
+	if len(t2.Rows) != 6 {
+		t.Errorf("table 2 rows = %d", len(t2.Rows))
+	}
+	if t2.Rows[0][1] != "1048576" { // 1l reads at P=1024: P²
+		t.Errorf("1l reads cell = %q", t2.Rows[0][1])
+	}
+}
+
+func TestTable3ExchangeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DES exchange sweep in -short mode")
+	}
+	res250, err := RunExchangeDES(ExchangeRunConfig{
+		Workers: 250, TotalBytes: 100 * netmodel.GB,
+		Variant: exchange.Variant{Levels: 2, WriteCombining: true},
+		Buckets: 32, MemoryMiB: 2048, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1000, err := RunExchangeDES(ExchangeRunConfig{
+		Workers: 1000, TotalBytes: 100 * netmodel.GB,
+		Variant: exchange.Variant{Levels: 2, WriteCombining: true},
+		Buckets: 32, MemoryMiB: 2048, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 22 s at 250 workers, 13 s at 1000 — same ballpark and
+	// monotone scaling; and 5× faster than the 98 s S3 baseline of Pocket.
+	if res250.Duration < 10*time.Second || res250.Duration > 45*time.Second {
+		t.Errorf("250 workers: %v, want ~22 s ballpark", res250.Duration)
+	}
+	if res1000.Duration >= res250.Duration {
+		t.Errorf("1000 workers (%v) not faster than 250 (%v)", res1000.Duration, res250.Duration)
+	}
+	if res250.Duration > 98*time.Second/2 {
+		t.Errorf("250 workers (%v) should clearly beat the 98 s baseline", res250.Duration)
+	}
+}
+
+func TestFigure13Stragglers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TB-scale DES in -short mode")
+	}
+	small, err := Figure13(1*netmodel.TB, 1250, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Figure13(3*netmodel.TB, 2500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 56 s for 1 TB / 1250 workers; 159 s for 3 TB / 2500.
+	if small.Run.Duration < 30*time.Second || small.Run.Duration > 120*time.Second {
+		t.Errorf("1 TB duration = %v, want ~56 s ballpark", small.Run.Duration)
+	}
+	if big.Run.Duration < 100*time.Second || big.Run.Duration > 400*time.Second {
+		t.Errorf("3 TB duration = %v, want ~159 s ballpark", big.Run.Duration)
+	}
+	// Straggler shape: slowest write ~30 % above median at 1 TB; much
+	// worse (multiples) at 3 TB.
+	smallRatio := small.SlowestWrite.Seconds() / small.MedianWrite.Seconds()
+	bigRatio := big.SlowestWrite.Seconds() / big.MedianWrite.Seconds()
+	if smallRatio < 1.05 || smallRatio > 2.2 {
+		t.Errorf("1 TB slow/median write = %.2f, want ~1.3", smallRatio)
+	}
+	if bigRatio < 2 || bigRatio > 8 {
+		t.Errorf("3 TB slow/median write = %.2f, want ~4", bigRatio)
+	}
+	if bigRatio <= smallRatio {
+		t.Error("straggler effect should grow with scale")
+	}
+	// The fastest worker is well below the end-to-end time on the big
+	// dataset ("more than half of the total execution time is due to
+	// stragglers and waiting").
+	if big.Run.Fastest.Seconds() > 0.7*big.Run.Duration.Seconds() {
+		t.Errorf("3 TB fastest worker %v vs end-to-end %v: stragglers missing", big.Run.Fastest, big.Run.Duration)
+	}
+}

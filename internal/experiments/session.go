@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lambada/internal/awssim/pricing"
+	"lambada/internal/qaas"
+)
+
+// SessionConfig describes one work session of the usage model (Figure 2):
+// a user runs Queries queries with ThinkTime between them, on a dataset of
+// the given scale factor. Serverless systems bill only the queries; an
+// always-on cluster bills wall-clock time including think time.
+type SessionConfig struct {
+	Queries   int
+	ThinkTime time.Duration
+	SF        float64
+	Query     QuerySpec
+	Seed      int64
+}
+
+// DefaultSession is a plausible exploratory session: a dozen queries with
+// two minutes of think time on SF 1000.
+func DefaultSession() SessionConfig {
+	return SessionConfig{Queries: 12, ThinkTime: 2 * time.Minute, SF: 1000, Query: SpecQ1, Seed: 1}
+}
+
+// SessionCost is the outcome for one architecture.
+type SessionCost struct {
+	System   string
+	Duration time.Duration // wall-clock session length
+	Cost     pricing.USD
+}
+
+// SessionCosts compares Lambada, Athena, BigQuery and an always-on VM
+// cluster (sized to the interactive latency target) for one session. It is
+// the usage-model-level synthesis of Figure 1b: serverless architectures
+// pay per query, the cluster pays for think time too.
+func SessionCosts(cfg SessionConfig) []SessionCost {
+	model := DefaultLambadaModel()
+	var out []SessionCost
+
+	// Lambada: first query cold, the rest hot.
+	var lamCost pricing.USD
+	var lamQuery time.Duration
+	for q := 0; q < cfg.Queries; q++ {
+		est := model.Run(RunConfig{Query: cfg.Query, SF: cfg.SF, M: 1792, F: 1, Cold: q == 0, Seed: cfg.Seed + int64(q)})
+		lamCost += est.Cost
+		lamQuery += est.Total
+	}
+	out = append(out, SessionCost{
+		System:   "Lambada",
+		Duration: lamQuery + time.Duration(cfg.Queries-1)*cfg.ThinkTime,
+		Cost:     lamCost,
+	})
+
+	// Athena: per-query billing, no load step.
+	athena := qaas.DefaultAthena()
+	var athCost pricing.USD
+	var athQuery time.Duration
+	for q := 0; q < cfg.Queries; q++ {
+		r := athena.Run(cfg.Query.QuerySpec, cfg.SF)
+		athCost += r.Cost
+		athQuery += r.Latency
+	}
+	out = append(out, SessionCost{
+		System:   "Athena",
+		Duration: athQuery + time.Duration(cfg.Queries-1)*cfg.ThinkTime,
+		Cost:     athCost,
+	})
+
+	// BigQuery: load once, then fast queries.
+	bq := qaas.DefaultBigQuery()
+	var bqCost pricing.USD
+	var bqQuery time.Duration
+	var load time.Duration
+	for q := 0; q < cfg.Queries; q++ {
+		r := bq.Run(cfg.Query.QuerySpec, cfg.SF)
+		bqCost += r.Cost
+		bqQuery += r.Latency
+		load = r.LoadTime
+	}
+	out = append(out, SessionCost{
+		System:   "BigQuery",
+		Duration: load + bqQuery + time.Duration(cfg.Queries-1)*cfg.ThinkTime,
+		Cost:     bqCost,
+	})
+
+	// Always-on VM cluster sized for a 10 s scan of the Parquet bytes from
+	// S3 (13 c5n.18xlarge as in Figure 1b), billed for the whole session
+	// including think time.
+	vm := pricing.C5N18XLarge
+	dataBytes := float64(qaas.ParquetBytesSF1k) * cfg.SF / 1000
+	n := int(dataBytes/(vm.ScanBps*10) + 0.999)
+	if n < 1 {
+		n = 1
+	}
+	perQuery := time.Duration(dataBytes / (float64(n) * vm.ScanBps) * float64(time.Second))
+	dur := time.Duration(cfg.Queries)*perQuery + time.Duration(cfg.Queries-1)*cfg.ThinkTime
+	out = append(out, SessionCost{
+		System:   fmt.Sprintf("VMs (%d x %s)", n, vm.Name),
+		Duration: dur,
+		Cost:     pricing.VMCost(vm, n, dur),
+	})
+	return out
+}
+
+// SessionTable renders the comparison.
+func SessionTable(cfg SessionConfig) *Table {
+	t := &Table{
+		ID: "Usage model",
+		Title: fmt.Sprintf("Session of %d × %s queries on SF %.0f with %v think time",
+			cfg.Queries, cfg.Query.Name, cfg.SF, cfg.ThinkTime),
+		Headers: []string{"system", "session length", "session cost"},
+	}
+	for _, r := range SessionCosts(cfg) {
+		t.Rows = append(t.Rows, []string{r.System, secs(r.Duration), r.Cost.String()})
+	}
+	return t
+}

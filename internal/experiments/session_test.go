@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sessionBySystem(t *testing.T, cfg SessionConfig) map[string]SessionCost {
+	t.Helper()
+	out := map[string]SessionCost{}
+	for _, r := range SessionCosts(cfg) {
+		key := r.System
+		if strings.HasPrefix(key, "VMs") {
+			key = "VMs"
+		}
+		out[key] = r
+	}
+	return out
+}
+
+func TestSessionLoneWolfEconomics(t *testing.T) {
+	// The paper's stellar use case: "the lone-wolf data scientist, who runs
+	// a small number of interactive queries". For such a session, Lambada
+	// must beat both QaaS systems on cost, and the VM cluster too (think
+	// time is billed on VMs, not on serverless).
+	by := sessionBySystem(t, DefaultSession())
+	lam := by["Lambada"]
+	if lam.Cost >= by["Athena"].Cost {
+		t.Errorf("Lambada session (%v) not cheaper than Athena (%v)", lam.Cost, by["Athena"].Cost)
+	}
+	if lam.Cost >= by["BigQuery"].Cost {
+		t.Errorf("Lambada session (%v) not cheaper than BigQuery (%v)", lam.Cost, by["BigQuery"].Cost)
+	}
+	if lam.Cost >= by["VMs"].Cost {
+		t.Errorf("Lambada session (%v) not cheaper than always-on VMs (%v)", lam.Cost, by["VMs"].Cost)
+	}
+	// Orders of magnitude, as in §5.4.3.
+	if ratio := float64(by["Athena"].Cost) / float64(lam.Cost); ratio < 10 {
+		t.Errorf("Athena/Lambada session cost ratio = %.1f, want >= 10", ratio)
+	}
+	// BigQuery's load step dominates its session length.
+	if by["BigQuery"].Duration < 40*time.Minute {
+		t.Errorf("BigQuery session = %v, should include the ~40 min load", by["BigQuery"].Duration)
+	}
+	// Lambada's session is interactive end to end.
+	want := time.Duration(DefaultSession().Queries-1) * DefaultSession().ThinkTime
+	if lam.Duration > want+3*time.Minute {
+		t.Errorf("Lambada session %v adds too much beyond think time %v", lam.Duration, want)
+	}
+}
+
+func TestSessionHeavyUseFavorsVMs(t *testing.T) {
+	// The flip side of Figure 1b: hammering the system continuously makes
+	// the always-on cluster competitive — serverless is for sporadic use.
+	cfg := DefaultSession()
+	cfg.Queries = 2000
+	cfg.ThinkTime = 0
+	by := sessionBySystem(t, cfg)
+	if by["VMs"].Cost >= by["Athena"].Cost {
+		t.Errorf("at heavy use, VMs (%v) should beat Athena (%v)", by["VMs"].Cost, by["Athena"].Cost)
+	}
+	// Per-query VM cost approaches the flat rate; QaaS stays linear.
+	athenaPer := float64(by["Athena"].Cost) / float64(cfg.Queries)
+	vmPer := float64(by["VMs"].Cost) / float64(cfg.Queries)
+	if vmPer >= athenaPer {
+		t.Errorf("per-query: VMs %.4f vs Athena %.4f", vmPer, athenaPer)
+	}
+}
+
+func TestSessionTableRenders(t *testing.T) {
+	s := SessionTable(DefaultSession()).Render()
+	for _, want := range []string{"Lambada", "Athena", "BigQuery", "VMs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}

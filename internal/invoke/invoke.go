@@ -1,0 +1,126 @@
+// Package invoke implements Lambada's worker invocation strategies (§4.2):
+// direct invocation from the driver (paced by the measured per-region
+// invocation rates of Table 1) and the two-level invocation tree, in which
+// the driver starts ~√P first-generation workers that each start ~√P
+// second-generation workers before running their own query fragment —
+// "an approach with sublinear runtime that can spawn 4k functions in 3 s".
+package invoke
+
+import (
+	"time"
+
+	"lambada/internal/netmodel"
+)
+
+// Pacing models the caller-side invocation throughput: issuing one Invoke
+// API call takes SingleLatency; Threads calls overlap; the API caps the
+// aggregate at Rate invocations/s (Table 1).
+type Pacing struct {
+	SingleLatency time.Duration
+	Threads       int
+	Rate          float64 // aggregate cap (invocations/s); 0 = uncapped
+}
+
+// Gap returns the effective time between consecutive invocation issues.
+func (p Pacing) Gap() time.Duration {
+	threads := p.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	if p.SingleLatency <= 0 {
+		if p.Rate > 0 {
+			return time.Duration(float64(time.Second) / p.Rate)
+		}
+		return 0
+	}
+	rate := float64(threads) / p.SingleLatency.Seconds()
+	if p.Rate > 0 && rate > p.Rate {
+		rate = p.Rate
+	}
+	return time.Duration(float64(time.Second) / rate)
+}
+
+// DriverPacing returns the pacing of a driver in the given region using
+// the given number of requester threads.
+func DriverPacing(region netmodel.Region, threads int) Pacing {
+	prof := netmodel.InvokeProfiles[region]
+	return Pacing{SingleLatency: prof.SingleLatency, Threads: threads, Rate: prof.DriverRate}
+}
+
+// WorkerPacing returns the pacing of invocations issued from inside a
+// serverless worker (intra-region, Table 1's third row).
+func WorkerPacing(region netmodel.Region) Pacing {
+	prof := netmodel.InvokeProfiles[region]
+	// The intra-region rate is what a worker achieves in aggregate; model
+	// it directly as the cap.
+	return Pacing{SingleLatency: time.Duration(float64(time.Second) / prof.IntraRegionRate), Threads: 1, Rate: prof.IntraRegionRate}
+}
+
+// TreeFanout splits worker IDs 0..total-1 into a two-level tree: the driver
+// invokes the first ceil(√total) workers; worker i of that first generation
+// additionally receives the IDs of its second-generation children
+// (contiguous ranges), "about √P invocations each".
+func TreeFanout(total int) (firstGen []int, children [][]int) {
+	if total <= 0 {
+		return nil, nil
+	}
+	g := intSqrtCeil(total)
+	if g > total {
+		g = total
+	}
+	firstGen = make([]int, g)
+	children = make([][]int, g)
+	for i := 0; i < g; i++ {
+		firstGen[i] = i
+	}
+	rem := total - g
+	per := (rem + g - 1) / g
+	if per == 0 {
+		return firstGen, children
+	}
+	next := g
+	for i := 0; i < g && next < total; i++ {
+		hi := next + per
+		if hi > total {
+			hi = total
+		}
+		for id := next; id < hi; id++ {
+			children[i] = append(children[i], id)
+		}
+		next = hi
+	}
+	return firstGen, children
+}
+
+func intSqrtCeil(n int) int {
+	if n <= 1 {
+		return n
+	}
+	x := 1
+	for x*x < n {
+		x++
+	}
+	return x
+}
+
+// DirectDuration estimates the time to invoke total workers straight from
+// the driver (Table 1 extrapolation: "invoking 1000 workers from the driver
+// still takes 3.4 s to 4.4 s and linearly more for more workers").
+func DirectDuration(p Pacing, total int) time.Duration {
+	return time.Duration(total) * p.Gap()
+}
+
+// TreeDuration estimates the end-to-end time of the two-level tree: the
+// driver's sequential first-generation launches plus one worker start plus
+// that worker's child launches.
+func TreeDuration(driver, worker Pacing, coldStart time.Duration, total int) time.Duration {
+	firstGen, children := TreeFanout(total)
+	d := time.Duration(len(firstGen)) * driver.Gap()
+	maxChildren := 0
+	for _, c := range children {
+		if len(c) > maxChildren {
+			maxChildren = len(c)
+		}
+	}
+	return d + driver.SingleLatency/2 + coldStart + time.Duration(maxChildren)*worker.Gap()
+}

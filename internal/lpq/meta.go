@@ -1,0 +1,254 @@
+package lpq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lambada/internal/columnar"
+)
+
+// Magic is the file trailer magic.
+var Magic = [4]byte{'L', 'P', 'Q', '1'}
+
+// Compression identifies the heavy-weight compression applied after
+// encoding.
+type Compression uint8
+
+// Supported compressions.
+const (
+	None Compression = iota
+	Gzip
+)
+
+// String names the compression.
+func (c Compression) String() string {
+	switch c {
+	case None:
+		return "NONE"
+	case Gzip:
+		return "GZIP"
+	default:
+		return fmt.Sprintf("Compression(%d)", uint8(c))
+	}
+}
+
+// Stats hold the min/max statistics of one column chunk for numeric types.
+type Stats struct {
+	HasMinMax bool
+	// MinInt/MaxInt are valid for Int64 columns, MinF/MaxF for Float64.
+	MinInt, MaxInt int64
+	MinF, MaxF     float64
+}
+
+// ColumnChunkMeta locates one column chunk inside the file.
+type ColumnChunkMeta struct {
+	Offset          int64
+	CompressedLen   int64
+	UncompressedLen int64
+	Encoding        Encoding
+	Compression     Compression
+	Stats           Stats
+}
+
+// RowGroupMeta describes one row group.
+type RowGroupMeta struct {
+	NumRows int64
+	Columns []ColumnChunkMeta
+}
+
+// ByteRange returns the file range [lo, hi) covered by the row group's
+// column chunks.
+func (rg *RowGroupMeta) ByteRange() (lo, hi int64) {
+	lo = math.MaxInt64
+	for _, c := range rg.Columns {
+		if c.Offset < lo {
+			lo = c.Offset
+		}
+		if end := c.Offset + c.CompressedLen; end > hi {
+			hi = end
+		}
+	}
+	if lo == math.MaxInt64 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// FileMeta is the parsed footer.
+type FileMeta struct {
+	Schema    *columnar.Schema
+	RowGroups []RowGroupMeta
+	TotalRows int64
+}
+
+// NumRowGroups returns the row-group count.
+func (m *FileMeta) NumRowGroups() int { return len(m.RowGroups) }
+
+// encodeFooter serializes the footer body (without length/magic trailer).
+func encodeFooter(m *FileMeta) []byte {
+	var out []byte
+	out = putUvarint(out, uint64(m.Schema.Len()))
+	for _, f := range m.Schema.Fields {
+		out = putUvarint(out, uint64(len(f.Name)))
+		out = append(out, f.Name...)
+		out = append(out, byte(f.Type))
+	}
+	out = putUvarint(out, uint64(len(m.RowGroups)))
+	for _, rg := range m.RowGroups {
+		out = putUvarint(out, uint64(rg.NumRows))
+		for _, c := range rg.Columns {
+			out = putUvarint(out, uint64(c.Offset))
+			out = putUvarint(out, uint64(c.CompressedLen))
+			out = putUvarint(out, uint64(c.UncompressedLen))
+			out = append(out, byte(c.Encoding), byte(c.Compression))
+			if c.Stats.HasMinMax {
+				out = append(out, 1)
+				var tmp [16]byte
+				binary.LittleEndian.PutUint64(tmp[0:], uint64(c.Stats.MinInt))
+				binary.LittleEndian.PutUint64(tmp[8:], uint64(c.Stats.MaxInt))
+				out = append(out, tmp[:]...)
+				binary.LittleEndian.PutUint64(tmp[0:], math.Float64bits(c.Stats.MinF))
+				binary.LittleEndian.PutUint64(tmp[8:], math.Float64bits(c.Stats.MaxF))
+				out = append(out, tmp[:]...)
+			} else {
+				out = append(out, 0)
+			}
+		}
+	}
+	out = putUvarint(out, uint64(m.TotalRows))
+	return out
+}
+
+// decodeFooter parses a footer body.
+func decodeFooter(data []byte) (*FileMeta, error) {
+	r := &byteReader{b: data}
+	nf, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nf == 0 || nf > 1<<16 {
+		return nil, fmt.Errorf("lpq: implausible field count %d", nf)
+	}
+	schema := &columnar.Schema{}
+	for i := uint64(0); i < nf; i++ {
+		nameLen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		name, err := r.bytes(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		tb, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if tb > byte(columnar.Bool) {
+			return nil, fmt.Errorf("lpq: unknown type byte %d", tb)
+		}
+		schema.Fields = append(schema.Fields, columnar.Field{Name: string(name), Type: columnar.Type(tb)})
+	}
+	nrg, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	m := &FileMeta{Schema: schema}
+	for g := uint64(0); g < nrg; g++ {
+		var rg RowGroupMeta
+		rows, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rg.NumRows = int64(rows)
+		for c := 0; c < schema.Len(); c++ {
+			var cc ColumnChunkMeta
+			off, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			clen, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			ulen, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			eb, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			cb, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			hs, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			cc.Offset, cc.CompressedLen, cc.UncompressedLen = int64(off), int64(clen), int64(ulen)
+			cc.Encoding, cc.Compression = Encoding(eb), Compression(cb)
+			if hs == 1 {
+				b, err := r.bytes(32)
+				if err != nil {
+					return nil, err
+				}
+				cc.Stats.HasMinMax = true
+				cc.Stats.MinInt = int64(binary.LittleEndian.Uint64(b[0:]))
+				cc.Stats.MaxInt = int64(binary.LittleEndian.Uint64(b[8:]))
+				cc.Stats.MinF = math.Float64frombits(binary.LittleEndian.Uint64(b[16:]))
+				cc.Stats.MaxF = math.Float64frombits(binary.LittleEndian.Uint64(b[24:]))
+			}
+			rg.Columns = append(rg.Columns, cc)
+		}
+		m.RowGroups = append(m.RowGroups, rg)
+	}
+	total, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	m.TotalRows = int64(total)
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("lpq: %d trailing footer bytes", r.remaining())
+	}
+	return m, nil
+}
+
+// computeStats derives min/max statistics for a vector.
+func computeStats(v *columnar.Vector) Stats {
+	var s Stats
+	switch v.Type {
+	case columnar.Int64:
+		if len(v.Int64s) == 0 {
+			return s
+		}
+		s.HasMinMax = true
+		s.MinInt, s.MaxInt = v.Int64s[0], v.Int64s[0]
+		for _, x := range v.Int64s {
+			if x < s.MinInt {
+				s.MinInt = x
+			}
+			if x > s.MaxInt {
+				s.MaxInt = x
+			}
+		}
+		s.MinF, s.MaxF = float64(s.MinInt), float64(s.MaxInt)
+	case columnar.Float64:
+		if len(v.Float64s) == 0 {
+			return s
+		}
+		s.HasMinMax = true
+		s.MinF, s.MaxF = v.Float64s[0], v.Float64s[0]
+		for _, x := range v.Float64s {
+			if x < s.MinF {
+				s.MinF = x
+			}
+			if x > s.MaxF {
+				s.MaxF = x
+			}
+		}
+		s.MinInt, s.MaxInt = int64(s.MinF), int64(s.MaxF)
+	}
+	return s
+}

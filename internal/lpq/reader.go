@@ -1,0 +1,191 @@
+package lpq
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"lambada/internal/columnar"
+)
+
+// FooterGuess is how many trailing bytes the reader speculatively fetches;
+// when the footer fits (the common case) opening costs a single ranged read,
+// matching the paper's "loads this metadata with a single file read".
+const FooterGuess = 64 * 1024
+
+// Reader reads an lpq file from any io.ReaderAt — an in-memory buffer, an
+// OS file, or an S3-backed random-access file.
+type Reader struct {
+	r    io.ReaderAt
+	size int64
+	meta *FileMeta
+	// MetadataReads counts how many ReadAt calls opening the footer took.
+	MetadataReads int
+}
+
+// OpenReader parses the footer and returns a reader.
+func OpenReader(r io.ReaderAt, size int64) (*Reader, error) {
+	if size < 8 {
+		return nil, fmt.Errorf("lpq: file too small (%d bytes)", size)
+	}
+	rd := &Reader{r: r, size: size}
+	guess := int64(FooterGuess)
+	if guess > size {
+		guess = size
+	}
+	tail := make([]byte, guess)
+	if _, err := r.ReadAt(tail, size-guess); err != nil {
+		return nil, fmt.Errorf("lpq: reading footer: %w", err)
+	}
+	rd.MetadataReads = 1
+	trailer := tail[len(tail)-8:]
+	if !bytes.Equal(trailer[4:], Magic[:]) {
+		return nil, fmt.Errorf("lpq: bad magic %q", trailer[4:])
+	}
+	footerLen := int64(binary.LittleEndian.Uint32(trailer[:4]))
+	if footerLen+8 > size {
+		return nil, fmt.Errorf("lpq: footer length %d exceeds file size %d", footerLen, size)
+	}
+	var footer []byte
+	if footerLen+8 <= guess {
+		footer = tail[guess-8-footerLen : guess-8]
+	} else {
+		footer = make([]byte, footerLen)
+		if _, err := r.ReadAt(footer, size-8-footerLen); err != nil {
+			return nil, fmt.Errorf("lpq: reading long footer: %w", err)
+		}
+		rd.MetadataReads = 2
+	}
+	meta, err := decodeFooter(footer)
+	if err != nil {
+		return nil, err
+	}
+	rd.meta = meta
+	return rd, nil
+}
+
+// Meta returns the file metadata.
+func (r *Reader) Meta() *FileMeta { return r.meta }
+
+// Schema returns the file schema.
+func (r *Reader) Schema() *columnar.Schema { return r.meta.Schema }
+
+// ReadColumn reads, decompresses and decodes one column chunk.
+func (r *Reader) ReadColumn(rowGroup, col int) (*columnar.Vector, error) {
+	if rowGroup < 0 || rowGroup >= len(r.meta.RowGroups) {
+		return nil, fmt.Errorf("lpq: row group %d out of range", rowGroup)
+	}
+	rg := &r.meta.RowGroups[rowGroup]
+	if col < 0 || col >= len(rg.Columns) {
+		return nil, fmt.Errorf("lpq: column %d out of range", col)
+	}
+	cc := rg.Columns[col]
+	stored := make([]byte, cc.CompressedLen)
+	if _, err := r.r.ReadAt(stored, cc.Offset); err != nil {
+		return nil, fmt.Errorf("lpq: reading column chunk: %w", err)
+	}
+	return DecodeColumnChunk(stored, r.meta.Schema.Fields[col].Type, cc, rg.NumRows)
+}
+
+// DecodeColumnChunk decompresses and decodes stored column-chunk bytes. It
+// is exported so the S3 scan operator can download bytes itself (with its
+// own concurrency strategy) and still reuse the decode path.
+func DecodeColumnChunk(stored []byte, t columnar.Type, cc ColumnChunkMeta, numRows int64) (*columnar.Vector, error) {
+	raw := stored
+	if cc.Compression == Gzip {
+		zr, err := gzip.NewReader(bytes.NewReader(stored))
+		if err != nil {
+			return nil, fmt.Errorf("lpq: gzip: %w", err)
+		}
+		raw, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("lpq: gunzip: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, err
+		}
+	}
+	if int64(len(raw)) != cc.UncompressedLen {
+		return nil, fmt.Errorf("lpq: uncompressed length %d != expected %d", len(raw), cc.UncompressedLen)
+	}
+	return DecodeColumn(raw, t, cc.Encoding, int(numRows))
+}
+
+// ReadRowGroup reads the given columns (by index; nil means all) of one row
+// group into a chunk.
+func (r *Reader) ReadRowGroup(rowGroup int, cols []int) (*columnar.Chunk, error) {
+	if cols == nil {
+		cols = make([]int, r.meta.Schema.Len())
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	fields := make([]columnar.Field, len(cols))
+	for i, c := range cols {
+		fields[i] = r.meta.Schema.Fields[c]
+	}
+	out := &columnar.Chunk{Schema: columnar.NewSchema(fields...)}
+	for _, c := range cols {
+		v, err := r.ReadColumn(rowGroup, c)
+		if err != nil {
+			return nil, err
+		}
+		out.Columns = append(out.Columns, v)
+	}
+	return out, nil
+}
+
+// ReadAll reads the whole file into one chunk (convenience for tests and
+// small driver-side scans).
+func (r *Reader) ReadAll() (*columnar.Chunk, error) {
+	out := columnar.NewChunk(r.meta.Schema, int(r.meta.TotalRows))
+	for g := range r.meta.RowGroups {
+		c, err := r.ReadRowGroup(g, nil)
+		if err != nil {
+			return nil, err
+		}
+		for j := range out.Columns {
+			appendAll(out.Columns[j], c.Columns[j])
+		}
+	}
+	return out, nil
+}
+
+// Predicate is a min/max-testable condition on one column, used for
+// row-group pruning (selection push-down, §4.3.2 / Figure 11).
+type Predicate struct {
+	Column string
+	// Min and Max bound the values selected by the predicate; a row group
+	// whose [min,max] statistics do not intersect [Min,Max] is pruned.
+	Min, Max float64
+}
+
+// PruneRowGroups returns the row-group indices that may contain matching
+// rows, using footer statistics. Row groups without statistics are kept.
+func PruneRowGroups(meta *FileMeta, preds []Predicate) []int {
+	var keep []int
+	for g := range meta.RowGroups {
+		rg := &meta.RowGroups[g]
+		match := true
+		for _, p := range preds {
+			ci := meta.Schema.Index(p.Column)
+			if ci < 0 {
+				continue
+			}
+			st := rg.Columns[ci].Stats
+			if !st.HasMinMax {
+				continue
+			}
+			if st.MinF > p.Max || st.MaxF < p.Min {
+				match = false
+				break
+			}
+		}
+		if match {
+			keep = append(keep, g)
+		}
+	}
+	return keep
+}

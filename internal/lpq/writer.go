@@ -1,0 +1,193 @@
+package lpq
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"lambada/internal/columnar"
+)
+
+// WriterOptions configure file layout.
+type WriterOptions struct {
+	// RowGroupRows is the number of rows per row group (default 131072).
+	RowGroupRows int
+	// Compression is the heavy-weight scheme applied to every column chunk
+	// after encoding (default None).
+	Compression Compression
+	// ForceEncoding, if non-nil, overrides the per-column automatic
+	// encoding choice (keyed by column index).
+	ForceEncoding map[int]Encoding
+	// DisableStats omits min/max statistics (used for pruning ablations).
+	DisableStats bool
+}
+
+// DefaultRowGroupRows is the default row-group size.
+const DefaultRowGroupRows = 131072
+
+// Writer writes an lpq file. Rows are buffered and flushed as row groups.
+type Writer struct {
+	w      io.Writer
+	opts   WriterOptions
+	schema *columnar.Schema
+	buf    *columnar.Chunk
+	meta   FileMeta
+	offset int64
+	closed bool
+}
+
+// NewWriter returns a writer emitting to w with the given schema.
+func NewWriter(w io.Writer, schema *columnar.Schema, opts WriterOptions) *Writer {
+	if opts.RowGroupRows <= 0 {
+		opts.RowGroupRows = DefaultRowGroupRows
+	}
+	return &Writer{
+		w:      w,
+		opts:   opts,
+		schema: schema,
+		buf:    columnar.NewChunk(schema, opts.RowGroupRows),
+		meta:   FileMeta{Schema: schema},
+	}
+}
+
+// Write appends the chunk's rows, flushing full row groups.
+func (w *Writer) Write(c *columnar.Chunk) error {
+	if w.closed {
+		return fmt.Errorf("lpq: write after close")
+	}
+	if !c.Schema.Equal(w.schema) {
+		return fmt.Errorf("lpq: chunk schema %q != file schema %q", c.Schema, w.schema)
+	}
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	for row := 0; row < c.NumRows(); {
+		space := w.opts.RowGroupRows - w.buf.NumRows()
+		take := c.NumRows() - row
+		if take > space {
+			take = space
+		}
+		part := c.Slice(row, row+take)
+		for j := range w.buf.Columns {
+			appendAll(w.buf.Columns[j], part.Columns[j])
+		}
+		row += take
+		if w.buf.NumRows() >= w.opts.RowGroupRows {
+			if err := w.flushRowGroup(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func appendAll(dst, src *columnar.Vector) {
+	switch dst.Type {
+	case columnar.Int64:
+		dst.Int64s = append(dst.Int64s, src.Int64s...)
+	case columnar.Float64:
+		dst.Float64s = append(dst.Float64s, src.Float64s...)
+	case columnar.Bool:
+		dst.Bools = append(dst.Bools, src.Bools...)
+	}
+}
+
+func (w *Writer) flushRowGroup() error {
+	n := w.buf.NumRows()
+	if n == 0 {
+		return nil
+	}
+	rg := RowGroupMeta{NumRows: int64(n)}
+	for j, col := range w.buf.Columns {
+		enc := ChooseEncoding(col)
+		if forced, ok := w.opts.ForceEncoding[j]; ok {
+			enc = forced
+		}
+		raw, err := EncodeColumn(col, enc)
+		if err != nil {
+			// Fall back to Plain for unsupported forced combinations.
+			enc = Plain
+			raw, err = EncodeColumn(col, enc)
+			if err != nil {
+				return err
+			}
+		}
+		stored := raw
+		if w.opts.Compression == Gzip {
+			var zbuf bytes.Buffer
+			zw := gzip.NewWriter(&zbuf)
+			if _, err := zw.Write(raw); err != nil {
+				return err
+			}
+			if err := zw.Close(); err != nil {
+				return err
+			}
+			stored = zbuf.Bytes()
+		}
+		cc := ColumnChunkMeta{
+			Offset:          w.offset,
+			CompressedLen:   int64(len(stored)),
+			UncompressedLen: int64(len(raw)),
+			Encoding:        enc,
+			Compression:     w.opts.Compression,
+		}
+		if !w.opts.DisableStats {
+			cc.Stats = computeStats(col)
+		}
+		if _, err := w.w.Write(stored); err != nil {
+			return err
+		}
+		w.offset += int64(len(stored))
+		rg.Columns = append(rg.Columns, cc)
+	}
+	w.meta.RowGroups = append(w.meta.RowGroups, rg)
+	w.meta.TotalRows += int64(n)
+	w.buf = columnar.NewChunk(w.schema, w.opts.RowGroupRows)
+	return nil
+}
+
+// Close flushes the pending row group and writes the footer trailer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	if err := w.flushRowGroup(); err != nil {
+		return err
+	}
+	footer := encodeFooter(&w.meta)
+	if _, err := w.w.Write(footer); err != nil {
+		return err
+	}
+	var trailer [8]byte
+	binary.LittleEndian.PutUint32(trailer[0:], uint32(len(footer)))
+	copy(trailer[4:], Magic[:])
+	if _, err := w.w.Write(trailer[:]); err != nil {
+		return err
+	}
+	w.offset += int64(len(footer)) + 8
+	w.closed = true
+	return nil
+}
+
+// Meta returns the accumulated metadata (valid after Close).
+func (w *Writer) Meta() *FileMeta { return &w.meta }
+
+// Size returns the bytes written so far (the final file size after Close).
+func (w *Writer) Size() int64 { return w.offset }
+
+// WriteFile serializes chunks into one in-memory lpq file.
+func WriteFile(schema *columnar.Schema, opts WriterOptions, chunks ...*columnar.Chunk) ([]byte, error) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, schema, opts)
+	for _, c := range chunks {
+		if err := w.Write(c); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

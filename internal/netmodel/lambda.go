@@ -1,0 +1,131 @@
+package netmodel
+
+import "time"
+
+// Region identifies an AWS region group as used in the paper's Table 1.
+type Region string
+
+// Regions measured by the paper (from a driver in Zurich).
+const (
+	RegionEU Region = "eu"
+	RegionUS Region = "us"
+	RegionSA Region = "sa"
+	RegionAP Region = "ap"
+)
+
+// InvokeProfile captures the invocation characteristics of AWS Lambda for
+// one region as measured in Table 1 of the paper.
+type InvokeProfile struct {
+	// SingleLatency is the round-trip time of one synchronous invocation
+	// issued from the driver's location.
+	SingleLatency time.Duration
+	// DriverRate is the aggregate invocation rate achievable from the
+	// driver with 128 concurrent requester threads (invocations/s).
+	DriverRate float64
+	// IntraRegionRate is the invocation rate achievable from inside a
+	// serverless worker in the same region (invocations/s).
+	IntraRegionRate float64
+}
+
+// InvokeProfiles reproduces Table 1.
+var InvokeProfiles = map[Region]InvokeProfile{
+	RegionEU: {SingleLatency: 36 * time.Millisecond, DriverRate: 294, IntraRegionRate: 81},
+	RegionUS: {SingleLatency: 363 * time.Millisecond, DriverRate: 276, IntraRegionRate: 79},
+	RegionSA: {SingleLatency: 474 * time.Millisecond, DriverRate: 243, IntraRegionRate: 84},
+	RegionAP: {SingleLatency: 536 * time.Millisecond, DriverRate: 222, IntraRegionRate: 81},
+}
+
+// LambdaNet models per-function network and CPU characteristics as measured
+// in §4.1 and §4.3.1 of the paper.
+type LambdaNet struct {
+	// PerConnection is the per-TCP-connection S3 download capacity.
+	PerConnection Rate
+	// Sustained is the long-run per-function ingress bandwidth.
+	Sustained Rate
+	// Burst is the short-term per-function ingress ceiling reachable with
+	// several concurrent connections on large-memory functions.
+	Burst Rate
+	// BurstWindow is how long the burst may exceed the sustained rate.
+	BurstWindow time.Duration
+	// SmallMemoryPenalty is the bandwidth factor applied to functions with
+	// less than 1 GiB of memory ("slightly lower ingress bandwidth").
+	SmallMemoryPenalty float64
+}
+
+// DefaultLambdaNet returns the calibration used throughout: ~90 MiB/s
+// sustained, ~300 MiB/s burst for a few seconds, ~95 MiB/s per connection.
+func DefaultLambdaNet() LambdaNet {
+	return LambdaNet{
+		PerConnection:      95 * MiB,
+		Sustained:          90 * MiB,
+		Burst:              300 * MiB,
+		BurstWindow:        3 * time.Second,
+		SmallMemoryPenalty: 0.88,
+	}
+}
+
+// RequestRate returns the rate ceiling for a transfer using conns parallel
+// connections on a function with memoryMiB of main memory.
+func (ln LambdaNet) RequestRate(conns int, memoryMiB int) Rate {
+	if conns < 1 {
+		conns = 1
+	}
+	r := ln.PerConnection * Rate(conns)
+	if r > ln.Burst {
+		r = ln.Burst
+	}
+	if memoryMiB < 1024 {
+		r = r * Rate(ln.SmallMemoryPenalty)
+	}
+	return r
+}
+
+// NewBucket returns a fresh token bucket for one function instance with
+// memoryMiB of memory.
+func (ln LambdaNet) NewBucket(memoryMiB int) *TokenBucket {
+	sustained, burst := ln.Sustained, ln.Burst
+	if memoryMiB < 1024 {
+		sustained = sustained * Rate(ln.SmallMemoryPenalty)
+		burst = burst * Rate(ln.SmallMemoryPenalty)
+	}
+	return NewTokenBucket(sustained, burst, ln.BurstWindow)
+}
+
+// CPUShare returns the fraction of vCPUs allocated to a function with the
+// given memory size: memory/1792 MiB, i.e. exactly one vCPU at 1792 MiB and
+// proportionally more above (§4.1, Figure 4). AWS caps Lambda at two cores
+// in the era the paper measures (3008 MiB max ⇒ 1.68 vCPU).
+func CPUShare(memoryMiB int) float64 {
+	return float64(memoryMiB) / 1792.0
+}
+
+// ComputeTime returns the time to execute work that takes oneVCPUSeconds on
+// one dedicated vCPU, on a function with memoryMiB memory using threads
+// threads. A single thread can use at most one vCPU; two threads can use up
+// to two. Thread-scheduling overhead on multi-threaded configurations that
+// cannot exploit a second core is modeled by ThreadOverhead.
+func ComputeTime(oneVCPUSeconds float64, memoryMiB, threads int) time.Duration {
+	share := CPUShare(memoryMiB)
+	if threads < 1 {
+		threads = 1
+	}
+	usable := share
+	if usable > float64(threads) {
+		usable = float64(threads)
+	}
+	if usable > 1 && threads == 1 {
+		usable = 1
+	}
+	if threads > 1 && share <= 1 {
+		// Multi-threading overhead with no extra core to gain.
+		usable = share * (1 - ThreadOverhead)
+	}
+	if usable <= 0 {
+		usable = 1e-9
+	}
+	return time.Duration(oneVCPUSeconds / usable * float64(time.Second))
+}
+
+// ThreadOverhead is the efficiency loss of running two threads on less than
+// one core (observed as Q1 getting "marginally cheaper" with one thread).
+const ThreadOverhead = 0.04

@@ -1,0 +1,148 @@
+// Package qaas models the two commercial Query-as-a-Service systems the
+// paper compares against (§5.4): Amazon Athena and Google BigQuery. Both
+// charge $5 per TiB of input, but differ in what counts as input — Athena
+// bills only the selected rows of the used columns ("selections are pushed
+// into the cost model"), BigQuery always bills whole columns — and in their
+// scaling behaviour: Athena's latency grows linearly with the data size,
+// BigQuery's sublinearly, plus a long load step into its proprietary format.
+//
+// The latency calibrations anchor on the paper's reported numbers (Q1/Q6 at
+// SF 1k and 10k); costs follow directly from the published pricing rules.
+package qaas
+
+import (
+	"math"
+	"time"
+
+	"lambada/internal/awssim/pricing"
+)
+
+// Dataset size constants at scale factor 1000 (§5.1, §5.4.1).
+const (
+	// ParquetBytesSF1k is the LINEITEM table in Parquet+GZIP (151 GiB).
+	ParquetBytesSF1k = 151 << 30
+	// CSVBytesSF1k is the uncompressed CSV size (705 GiB).
+	CSVBytesSF1k = 705 << 30
+	// BigQueryBytesSF1k is the table loaded into BigQuery's proprietary
+	// format ("823 GiB ... over 5× larger than our Parquet files").
+	BigQueryBytesSF1k = 823 << 30
+	// UncompressedBytesSF1k approximates the raw column bytes QaaS billing
+	// applies to (both systems bill uncompressed data): ~705 GiB.
+	UncompressedBytesSF1k = CSVBytesSF1k
+)
+
+// QuerySpec describes a query's billing-relevant properties.
+type QuerySpec struct {
+	Name string
+	// UsedColumnFraction is the byte fraction of the columns the query
+	// touches (Q1 uses seven attributes, Q6 four).
+	UsedColumnFraction float64
+	// Selectivity is the row fraction passing the predicates (Q1 ≈ 0.98,
+	// Q6 ≈ 0.02) — Athena's billing input.
+	Selectivity float64
+}
+
+// The paper's two benchmark queries. Column fractions follow the numeric
+// LINEITEM layout (13 equal-width columns).
+var (
+	Q1 = QuerySpec{Name: "Q1", UsedColumnFraction: 7.0 / 13.0, Selectivity: 0.98}
+	Q6 = QuerySpec{Name: "Q6", UsedColumnFraction: 4.0 / 13.0, Selectivity: 0.02}
+)
+
+// Result is one QaaS execution estimate.
+type Result struct {
+	System  string
+	Latency time.Duration
+	Cost    pricing.USD
+	// LoadTime is the one-off ETL delay before the first query (BigQuery
+	// only); "cold" latency is Latency+LoadTime.
+	LoadTime time.Duration
+}
+
+// ColdLatency includes the load step.
+func (r Result) ColdLatency() time.Duration { return r.Latency + r.LoadTime }
+
+// Athena models Amazon Athena: in-situ Parquet scans whose latency grows
+// linearly with the data size ("Amazon Athena does not seem to dedicate
+// more resources for the larger data sets since their running time
+// increases linearly"). Latencies anchor on the paper's observations: Q1 at
+// SF 1k takes ~40 s (Lambada's fastest configuration is ~4× faster), Q6 is
+// on par with Lambada (~9 s).
+type Athena struct {
+	Startup time.Duration
+	// Q1Base and Q6Base are the SF 1k latencies (beyond startup).
+	Q1Base, Q6Base time.Duration
+}
+
+// DefaultAthena returns the calibrated model.
+func DefaultAthena() Athena {
+	return Athena{Startup: 2 * time.Second, Q1Base: 38 * time.Second, Q6Base: 7 * time.Second}
+}
+
+// Run estimates one query at the given scale factor (1000 = SF 1k).
+func (a Athena) Run(q QuerySpec, sf float64) Result {
+	base := a.Q1Base
+	if q.Name == "Q6" {
+		base = a.Q6Base
+	}
+	lat := a.Startup + time.Duration(float64(base)*sf/1000)
+	// Billing: selected rows of the used columns, on uncompressed bytes.
+	billed := float64(UncompressedBytesSF1k) * sf / 1000 * q.UsedColumnFraction * q.Selectivity
+	return Result{
+		System:  "Athena",
+		Latency: lat,
+		Cost:    pricing.QaaSScan(int64(billed)),
+	}
+}
+
+// BigQuery models Google BigQuery: a load step into the proprietary format,
+// then fast, sublinearly-scaling queries.
+type BigQuery struct {
+	// LoadRate is the ETL throughput ("loading ... takes about 40 min"
+	// for SF 1k: 823 GiB / 2400 s ≈ 0.34 GiB/s; SF 10k takes 6.7 h).
+	LoadRate float64 // bytes/s
+	// Q1Base and Q6Base anchor query latencies at SF 1k (3.9 s and 1.6 s).
+	Q1Base, Q6Base time.Duration
+	// Q1Exp and Q6Exp capture the per-query sublinear growth: Q1 becomes
+	// ~2.3× slower than Lambada at SF 10k (≈ 34 s ⇒ exponent 0.94), Q6
+	// stays ~2× faster (≈ 7.5 s ⇒ exponent 0.67).
+	Q1Exp, Q6Exp float64
+}
+
+// DefaultBigQuery returns the calibrated model.
+func DefaultBigQuery() BigQuery {
+	return BigQuery{
+		LoadRate: float64(BigQueryBytesSF1k) / (40 * 60), // 40 min at SF 1k
+		Q1Base:   3900 * time.Millisecond,
+		Q6Base:   1600 * time.Millisecond,
+		Q1Exp:    0.94,
+		Q6Exp:    0.67,
+	}
+}
+
+// Run estimates one query at the given scale factor.
+func (b BigQuery) Run(q QuerySpec, sf float64) Result {
+	base, exp := b.Q1Base, b.Q1Exp
+	if q.Name == "Q6" {
+		base, exp = b.Q6Base, b.Q6Exp
+	}
+	scale := pow(sf/1000, exp)
+	lat := time.Duration(float64(base) * scale)
+	loadBytes := float64(BigQueryBytesSF1k) * sf / 1000
+	// Billing: whole used columns, all rows, on the (larger) proprietary
+	// format ("all columns are always counted in their entirety").
+	billed := loadBytes * q.UsedColumnFraction
+	return Result{
+		System:   "BigQuery",
+		Latency:  lat,
+		Cost:     pricing.QaaSScan(int64(billed)),
+		LoadTime: time.Duration(loadBytes / b.LoadRate * float64(time.Second)),
+	}
+}
+
+func pow(x, e float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, e)
+}

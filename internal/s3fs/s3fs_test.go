@@ -1,0 +1,94 @@
+package s3fs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"lambada/internal/awssim/s3"
+	"lambada/internal/awssim/simenv"
+)
+
+func setup(t *testing.T, data []byte) *File {
+	t.Helper()
+	svc := s3.New(s3.Config{})
+	svc.MustCreateBucket("b")
+	env := simenv.NewImmediate()
+	if err := svc.Put(env, "b", "k", data); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(s3.NewClient(svc, simenv.NewImmediate()), "b", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestOpenMissing(t *testing.T) {
+	svc := s3.New(s3.Config{})
+	svc.MustCreateBucket("b")
+	if _, err := Open(s3.NewClient(svc, simenv.NewImmediate()), "b", "nope"); err == nil {
+		t.Error("opened missing object")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	f := setup(t, []byte("hello"))
+	if f.Size() != 5 || f.Bucket() != "b" || f.Key() != "k" {
+		t.Errorf("accessors: %d %q %q", f.Size(), f.Bucket(), f.Key())
+	}
+}
+
+func TestReadRange(t *testing.T) {
+	f := setup(t, []byte("0123456789"))
+	got, err := f.ReadRange(3, 4)
+	if err != nil || string(got) != "3456" {
+		t.Errorf("ReadRange = %q, %v", got, err)
+	}
+	// Truncated at the end.
+	got, err = f.ReadRange(8, 10)
+	if err != nil || string(got) != "89" {
+		t.Errorf("tail ReadRange = %q, %v", got, err)
+	}
+	// Empty beyond the end.
+	got, err = f.ReadRange(20, 5)
+	if err != nil || got != nil {
+		t.Errorf("past-end ReadRange = %q, %v", got, err)
+	}
+}
+
+func TestNegativeOffset(t *testing.T) {
+	f := setup(t, []byte("abc"))
+	if _, err := f.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+// Property: ReaderAt semantics match bytes.Reader for any data/offset/len
+// and any chunk size.
+func TestPropertyMatchesBytesReader(t *testing.T) {
+	check := func(data []byte, off16 uint16, n8, chunk8 uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		f := setup(&testing.T{}, data)
+		f.ChunkBytes = int64(chunk8%16) + 1
+		ref := bytes.NewReader(data)
+		off := int64(off16) % int64(len(data)+4)
+		buf1 := make([]byte, int(n8%64)+1)
+		buf2 := make([]byte, len(buf1))
+		n1, err1 := f.ReadAt(buf1, off)
+		n2, err2 := ref.ReadAt(buf2, off)
+		if n1 != n2 {
+			return false
+		}
+		if (err1 == io.EOF) != (err2 == io.EOF) {
+			return false
+		}
+		return bytes.Equal(buf1[:n1], buf2[:n2])
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package scan implements Lambada's S3-based Parquet scan operator
+// (§4.3.2, Figure 8). It exploits concurrency at the four levels the paper
+// identifies, in the priority order the paper prescribes:
+//
+//	(4) metadata of all files prefetched eagerly in a dedicated thread;
+//	(3) up to two row groups downloaded asynchronously (double buffering),
+//	    overlapping download with decompression of the previous group;
+//	(2) column chunks of small/single-row-group files fetched in parallel;
+//	(1) multiple chunked requests per read, only as a fallback, since extra
+//	    requests cost money (Figure 7).
+//
+// The operator implements engine.Source, so optimized plans push selections
+// (as min/max prune predicates) and projections into it.
+package scan
+
+import (
+	"fmt"
+	"sync"
+
+	"lambada/internal/awssim/s3"
+	"lambada/internal/columnar"
+	"lambada/internal/engine"
+	"lambada/internal/lpq"
+	"lambada/internal/s3fs"
+)
+
+// Config tunes the operator.
+type Config struct {
+	// ChunkBytes is the per-request range size (level 1). Default 16 MiB.
+	ChunkBytes int64
+	// Conns is the number of concurrent connections modeled per transfer.
+	Conns int
+	// DoubleBuffer enables row-group prefetch (level 3). The paper
+	// disables it on workers with too little main memory.
+	DoubleBuffer bool
+	// ParallelColumns enables concurrent column-chunk downloads (level 2).
+	ParallelColumns bool
+	// MetaPrefetch fetches all files' footers eagerly (level 4).
+	MetaPrefetch bool
+}
+
+// DefaultConfig mirrors the paper's operator: all levels enabled, 16 MiB
+// chunks, four connections.
+func DefaultConfig() Config {
+	return Config{
+		ChunkBytes:      s3fs.DefaultChunkBytes,
+		Conns:           4,
+		DoubleBuffer:    true,
+		ParallelColumns: true,
+		MetaPrefetch:    true,
+	}
+}
+
+// FileRef names one S3 object holding an lpq file.
+type FileRef struct {
+	Bucket string
+	Key    string
+}
+
+// Source scans a list of lpq files from S3. It implements engine.Source.
+type Source struct {
+	Client *s3.Client
+	Files  []FileRef
+	Cfg    Config
+
+	mu      sync.Mutex
+	readers map[string]*lpq.Reader
+	handles map[string]*s3fs.File
+
+	// Stats.
+	rowGroupsRead   int64
+	rowGroupsPruned int64
+	filesAllPruned  int64
+}
+
+// New returns a source over files.
+func New(client *s3.Client, cfg Config, files ...FileRef) *Source {
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = s3fs.DefaultChunkBytes
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	return &Source{
+		Client:  client,
+		Files:   files,
+		Cfg:     cfg,
+		readers: make(map[string]*lpq.Reader),
+		handles: make(map[string]*s3fs.File),
+	}
+}
+
+// Stats reports scan counters.
+type Stats struct {
+	RowGroupsRead   int64
+	RowGroupsPruned int64
+	FilesAllPruned  int64
+}
+
+// Stats returns the operator's counters.
+func (s *Source) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{RowGroupsRead: s.rowGroupsRead, RowGroupsPruned: s.rowGroupsPruned, FilesAllPruned: s.filesAllPruned}
+}
+
+func (s *Source) open(f FileRef) (*lpq.Reader, *s3fs.File, error) {
+	id := f.Bucket + "/" + f.Key
+	s.mu.Lock()
+	if r, ok := s.readers[id]; ok {
+		h := s.handles[id]
+		s.mu.Unlock()
+		return r, h, nil
+	}
+	s.mu.Unlock()
+
+	h, err := s3fs.Open(s.Client, f.Bucket, f.Key)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.ChunkBytes = s.Cfg.ChunkBytes
+	h.Conns = s.Cfg.Conns
+	r, err := lpq.OpenReader(h, h.Size())
+	if err != nil {
+		return nil, nil, fmt.Errorf("scan: opening %s: %w", id, err)
+	}
+	s.mu.Lock()
+	s.readers[id] = r
+	s.handles[id] = h
+	s.mu.Unlock()
+	return r, h, nil
+}
+
+// Schema returns the schema of the first file.
+func (s *Source) Schema() (*columnar.Schema, error) {
+	if len(s.Files) == 0 {
+		return nil, fmt.Errorf("scan: no files")
+	}
+	r, _, err := s.open(s.Files[0])
+	if err != nil {
+		return nil, err
+	}
+	return r.Schema(), nil
+}
+
+// Scan yields the projected columns of every non-pruned row group of every
+// file, exploiting the configured concurrency levels.
+func (s *Source) Scan(proj []string, preds []lpq.Predicate, yield func(*columnar.Chunk) error) error {
+	// Level 4: prefetch metadata of all files in a dedicated goroutine so
+	// the footer round trips of file k+1... hide behind file k's data.
+	if s.Cfg.MetaPrefetch && len(s.Files) > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, f := range s.Files[1:] {
+				s.open(f) // errors resurface on the synchronous path
+			}
+		}()
+		defer wg.Wait()
+	}
+
+	for _, f := range s.Files {
+		if err := s.scanFile(f, proj, preds, yield); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Source) scanFile(f FileRef, proj []string, preds []lpq.Predicate, yield func(*columnar.Chunk) error) error {
+	r, h, err := s.open(f)
+	if err != nil {
+		return err
+	}
+	meta := r.Meta()
+	cols, outSchema, err := resolveProjection(meta.Schema, proj)
+	if err != nil {
+		return err
+	}
+	keep := lpq.PruneRowGroups(meta, preds)
+	s.mu.Lock()
+	s.rowGroupsPruned += int64(meta.NumRowGroups() - len(keep))
+	if len(keep) == 0 {
+		s.filesAllPruned++
+	}
+	s.mu.Unlock()
+	if len(keep) == 0 {
+		// The worker loaded only the footer, pruned everything, and
+		// returns an empty result — the 100–200 ms workers of Figure 11.
+		return nil
+	}
+
+	type fetched struct {
+		chunk *columnar.Chunk
+		err   error
+	}
+	fetch := func(g int) fetched {
+		c, err := s.readRowGroup(r, h, meta, g, cols, outSchema)
+		return fetched{chunk: c, err: err}
+	}
+
+	if !s.Cfg.DoubleBuffer {
+		for _, g := range keep {
+			res := fetch(g)
+			if res.err != nil {
+				return res.err
+			}
+			s.mu.Lock()
+			s.rowGroupsRead++
+			s.mu.Unlock()
+			if err := yield(res.chunk); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Level 3: double buffering — download row group g+1 while the
+	// consumer processes g.
+	next := make(chan fetched, 1)
+	go func() { next <- fetch(keep[0]) }()
+	for i := range keep {
+		res := <-next
+		if i+1 < len(keep) {
+			g := keep[i+1]
+			go func() { next <- fetch(g) }()
+		}
+		if res.err != nil {
+			if i+1 < len(keep) {
+				<-next // drain the in-flight prefetch
+			}
+			return res.err
+		}
+		s.mu.Lock()
+		s.rowGroupsRead++
+		s.mu.Unlock()
+		if err := yield(res.chunk); err != nil {
+			if i+1 < len(keep) {
+				<-next
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// readRowGroup downloads the projected column chunks of one row group
+// (level 2: in parallel when configured) and decodes them.
+func (s *Source) readRowGroup(r *lpq.Reader, h *s3fs.File, meta *lpq.FileMeta, g int, cols []int, outSchema *columnar.Schema) (*columnar.Chunk, error) {
+	rg := &meta.RowGroups[g]
+	out := &columnar.Chunk{Schema: outSchema, Columns: make([]*columnar.Vector, len(cols))}
+
+	readOne := func(slot int, ci int) error {
+		cc := rg.Columns[ci]
+		stored, err := h.ReadRange(cc.Offset, cc.CompressedLen)
+		if err != nil {
+			return err
+		}
+		v, err := lpq.DecodeColumnChunk(stored, meta.Schema.Fields[ci].Type, cc, rg.NumRows)
+		if err != nil {
+			return err
+		}
+		out.Columns[slot] = v
+		return nil
+	}
+
+	if !s.Cfg.ParallelColumns || len(cols) == 1 {
+		for slot, ci := range cols {
+			if err := readOne(slot, ci); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(cols))
+	for slot, ci := range cols {
+		slot, ci := slot, ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[slot] = readOne(slot, ci)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func resolveProjection(schema *columnar.Schema, proj []string) ([]int, *columnar.Schema, error) {
+	if proj == nil {
+		cols := make([]int, schema.Len())
+		for i := range cols {
+			cols[i] = i
+		}
+		return cols, schema, nil
+	}
+	cols := make([]int, len(proj))
+	fields := make([]columnar.Field, len(proj))
+	for i, name := range proj {
+		ci := schema.Index(name)
+		if ci < 0 {
+			return nil, nil, fmt.Errorf("scan: column %q not in file", name)
+		}
+		cols[i] = ci
+		fields[i] = schema.Fields[ci]
+	}
+	return cols, columnar.NewSchema(fields...), nil
+}
+
+// Ensure interface compliance.
+var _ engine.Source = (*Source)(nil)

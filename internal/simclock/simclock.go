@@ -1,0 +1,190 @@
+// Package simclock provides a deterministic discrete-event simulation (DES)
+// kernel with virtual time.
+//
+// Processes are ordinary goroutines scheduled cooperatively: exactly one
+// process runs at any instant, and control returns to the kernel whenever a
+// process blocks on virtual time (Sleep) or on a synchronization primitive
+// (Signal, Semaphore, WaitGroup, Queue, Future). Events at the same virtual
+// instant are ordered by creation sequence, which makes every run
+// deterministic regardless of how the Go runtime schedules goroutines.
+//
+// The kernel is the substrate for the cloud-service simulators in
+// internal/awssim: worker fleets of thousands of serverless functions and
+// multi-terabyte shuffles execute in milliseconds of wall-clock time while
+// observing the calibrated latency, bandwidth, and pricing models.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Kernel is a discrete-event simulation scheduler. Construct with New.
+type Kernel struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	parked chan struct{}
+	live   int
+	steps  uint64
+	limits Limits
+}
+
+// Limits bounds a simulation run to protect against runaway models.
+type Limits struct {
+	// MaxSteps aborts Run (with a panic) after this many dispatched events.
+	// Zero means no limit.
+	MaxSteps uint64
+	// MaxTime aborts Run once virtual time passes this horizon. Zero means
+	// no limit.
+	MaxTime time.Duration
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// New returns an empty kernel at virtual time zero.
+func New() *Kernel {
+	return &Kernel{parked: make(chan struct{})}
+}
+
+// SetLimits installs run limits. Must be called before Run.
+func (k *Kernel) SetLimits(l Limits) { k.limits = l }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Steps returns the number of events dispatched so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Proc is a simulated process. All methods must be called from the goroutine
+// running the process body.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	done   bool
+	// pending is true while the proc has a scheduled wake-up event; used to
+	// detect double-scheduling bugs in primitives.
+	pending bool
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Go spawns a process that starts at the current virtual time. It may be
+// called before Run or from within a running process.
+func (k *Kernel) Go(name string, fn func(*Proc)) *Proc {
+	return k.GoAt(k.now, name, fn)
+}
+
+// GoAt spawns a process that starts at the given absolute virtual time (or
+// the current time, whichever is later).
+func (k *Kernel) GoAt(at time.Duration, name string, fn func(*Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.live++
+	if at < k.now {
+		at = k.now
+	}
+	k.scheduleAt(at, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			p.done = true
+			k.live--
+			k.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	return p
+}
+
+func (k *Kernel) scheduleAt(at time.Duration, p *Proc) {
+	if p.pending {
+		panic(fmt.Sprintf("simclock: process %q scheduled twice", p.name))
+	}
+	p.pending = true
+	k.seq++
+	heap.Push(&k.events, event{at: at, seq: k.seq, p: p})
+}
+
+// Run dispatches events until no process has a scheduled wake-up. It returns
+// the final virtual time. If processes remain alive but blocked on
+// primitives that will never fire, Run returns anyway; Deadlocked reports it.
+func (k *Kernel) Run() time.Duration {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(event)
+		if e.p.done {
+			continue
+		}
+		k.steps++
+		if k.limits.MaxSteps > 0 && k.steps > k.limits.MaxSteps {
+			panic("simclock: MaxSteps exceeded")
+		}
+		if k.limits.MaxTime > 0 && e.at > k.limits.MaxTime {
+			panic("simclock: MaxTime exceeded")
+		}
+		k.now = e.at
+		e.p.pending = false
+		e.p.resume <- struct{}{}
+		<-k.parked
+	}
+	return k.now
+}
+
+// Deadlocked reports whether live processes remain after Run returned, i.e.
+// processes blocked on primitives that never fired.
+func (k *Kernel) Deadlocked() bool { return k.live > 0 }
+
+// yield parks the process and hands control back to the kernel. The process
+// must have arranged to be woken (a scheduled event or a waiter-list entry).
+func (p *Proc) yield() {
+	p.k.parked <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations sleep
+// zero time (the process still yields, letting same-instant events run in
+// sequence order).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.scheduleAt(p.k.now+d, p)
+	p.yield()
+}
+
+// Yield lets other processes scheduled at the same instant run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// wake schedules a parked process to resume at the current instant.
+func (k *Kernel) wake(p *Proc) { k.scheduleAt(k.now, p) }

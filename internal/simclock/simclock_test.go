@@ -1,0 +1,413 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	k := New()
+	var woke time.Duration
+	k.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		woke = p.Now()
+	})
+	end := k.Run()
+	if woke != 5*time.Second {
+		t.Errorf("woke at %v, want 5s", woke)
+	}
+	if end != 5*time.Second {
+		t.Errorf("run ended at %v, want 5s", end)
+	}
+}
+
+func TestZeroAndNegativeSleep(t *testing.T) {
+	k := New()
+	order := []string{}
+	k.Go("a", func(p *Proc) {
+		p.Sleep(-time.Second)
+		order = append(order, "a")
+	})
+	k.Go("b", func(p *Proc) {
+		p.Yield()
+		order = append(order, "b")
+	})
+	k.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("order = %v, want [a b]", order)
+	}
+	if k.Now() != 0 {
+		t.Errorf("time advanced to %v on zero sleeps", k.Now())
+	}
+}
+
+func TestDeterministicSameInstantOrder(t *testing.T) {
+	// Processes scheduled at the same instant must run in spawn order,
+	// every time.
+	for trial := 0; trial < 20; trial++ {
+		k := New()
+		var order []int
+		for i := 0; i < 50; i++ {
+			i := i
+			k.Go("p", func(p *Proc) {
+				p.Sleep(time.Second)
+				order = append(order, i)
+			})
+		}
+		k.Run()
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("trial %d: order[%d] = %d", trial, i, v)
+			}
+		}
+	}
+}
+
+func TestGoFromRunningProcess(t *testing.T) {
+	k := New()
+	var childRan bool
+	var childTime time.Duration
+	k.Go("parent", func(p *Proc) {
+		p.Sleep(time.Minute)
+		k.Go("child", func(c *Proc) {
+			c.Sleep(time.Second)
+			childRan = true
+			childTime = c.Now()
+		})
+		p.Sleep(time.Hour)
+	})
+	k.Run()
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+	if want := time.Minute + time.Second; childTime != want {
+		t.Errorf("child finished at %v, want %v", childTime, want)
+	}
+}
+
+func TestGoAt(t *testing.T) {
+	k := New()
+	var at time.Duration
+	k.GoAt(3*time.Second, "late", func(p *Proc) { at = p.Now() })
+	k.Run()
+	if at != 3*time.Second {
+		t.Errorf("started at %v, want 3s", at)
+	}
+}
+
+func TestSignalBroadcastWakesAll(t *testing.T) {
+	k := New()
+	s := k.NewSignal()
+	woken := 0
+	for i := 0; i < 10; i++ {
+		k.Go("w", func(p *Proc) {
+			s.Wait(p)
+			woken++
+		})
+	}
+	k.Go("broadcaster", func(p *Proc) {
+		p.Sleep(time.Second)
+		if s.Waiting() != 10 {
+			t.Errorf("waiting = %d, want 10", s.Waiting())
+		}
+		s.Broadcast()
+	})
+	k.Run()
+	if woken != 10 {
+		t.Errorf("woken = %d, want 10", woken)
+	}
+	if k.Deadlocked() {
+		t.Error("kernel reports deadlock")
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	k := New()
+	sem := k.NewSemaphore(3)
+	inUse, maxInUse := 0, 0
+	for i := 0; i < 10; i++ {
+		k.Go("w", func(p *Proc) {
+			sem.Acquire(p)
+			inUse++
+			if inUse > maxInUse {
+				maxInUse = inUse
+			}
+			p.Sleep(time.Second)
+			inUse--
+			sem.Release()
+		})
+	}
+	end := k.Run()
+	if maxInUse != 3 {
+		t.Errorf("max concurrent = %d, want 3", maxInUse)
+	}
+	// 10 jobs of 1s through 3 slots: ceil(10/3) = 4 waves.
+	if want := 4 * time.Second; end != want {
+		t.Errorf("end = %v, want %v", end, want)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	k := New()
+	sem := k.NewSemaphore(1)
+	k.Go("p", func(p *Proc) {
+		if !sem.TryAcquire() {
+			t.Error("first TryAcquire failed")
+		}
+		if sem.TryAcquire() {
+			t.Error("second TryAcquire succeeded on full semaphore")
+		}
+		sem.Release()
+		if !sem.TryAcquire() {
+			t.Error("TryAcquire after release failed")
+		}
+		sem.Release()
+	})
+	k.Run()
+}
+
+func TestSemaphoreFIFO(t *testing.T) {
+	k := New()
+	sem := k.NewSemaphore(1)
+	var order []int
+	k.Go("holder", func(p *Proc) {
+		sem.Acquire(p)
+		p.Sleep(time.Second)
+		sem.Release()
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Go("w", func(p *Proc) {
+			p.Sleep(time.Duration(i+1) * time.Millisecond) // arrive in order
+			sem.Acquire(p)
+			order = append(order, i)
+			p.Sleep(time.Second)
+			sem.Release()
+		})
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := New()
+	wg := k.NewWaitGroup()
+	wg.Add(5)
+	var doneAt time.Duration
+	for i := 1; i <= 5; i++ {
+		i := i
+		k.Go("worker", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Second)
+			wg.Done()
+		})
+	}
+	k.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	k.Run()
+	if doneAt != 5*time.Second {
+		t.Errorf("waiter released at %v, want 5s", doneAt)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	k := New()
+	wg := k.NewWaitGroup()
+	ran := false
+	k.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		ran = true
+	})
+	k.Run()
+	if !ran {
+		t.Error("Wait on zero counter blocked")
+	}
+}
+
+func TestQueueFIFOAndBlocking(t *testing.T) {
+	k := New()
+	q := k.NewQueue()
+	var got []int
+	k.Go("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p).(int))
+		}
+	})
+	k.Go("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(time.Second)
+			q.Put(i)
+		}
+	})
+	k.Run()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("got %v, want [0 1 2]", got)
+	}
+}
+
+func TestQueueBurstDrainsAllConsumers(t *testing.T) {
+	k := New()
+	q := k.NewQueue()
+	received := 0
+	for i := 0; i < 4; i++ {
+		k.Go("consumer", func(p *Proc) {
+			q.Get(p)
+			received++
+		})
+	}
+	k.Go("producer", func(p *Proc) {
+		p.Sleep(time.Second)
+		for i := 0; i < 4; i++ {
+			q.Put(i)
+		}
+	})
+	k.Run()
+	if received != 4 {
+		t.Errorf("received = %d, want 4", received)
+	}
+	if k.Deadlocked() {
+		t.Error("deadlocked")
+	}
+}
+
+func TestFuture(t *testing.T) {
+	k := New()
+	f := k.NewFuture()
+	var got interface{}
+	var gotAt time.Duration
+	k.Go("reader", func(p *Proc) {
+		got = f.Get(p)
+		gotAt = p.Now()
+	})
+	k.Go("writer", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		f.Set(42)
+	})
+	k.Run()
+	if got != 42 {
+		t.Errorf("got %v, want 42", got)
+	}
+	if gotAt != 2*time.Second {
+		t.Errorf("gotAt = %v, want 2s", gotAt)
+	}
+	if !f.IsSet() {
+		t.Error("future not set")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := New()
+	s := k.NewSignal()
+	k.Go("stuck", func(p *Proc) { s.Wait(p) })
+	k.Run()
+	if !k.Deadlocked() {
+		t.Error("expected deadlock report for waiter with no broadcaster")
+	}
+}
+
+func TestMaxStepsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic from MaxSteps")
+		}
+	}()
+	k := New()
+	k.SetLimits(Limits{MaxSteps: 10})
+	k.Go("spinner", func(p *Proc) {
+		for {
+			p.Sleep(time.Second)
+		}
+	})
+	k.Run()
+}
+
+func TestStepsCounted(t *testing.T) {
+	k := New()
+	k.Go("p", func(p *Proc) {
+		p.Sleep(time.Second)
+		p.Sleep(time.Second)
+	})
+	k.Run()
+	// spawn event + two sleeps = 3 dispatches
+	if k.Steps() != 3 {
+		t.Errorf("steps = %d, want 3", k.Steps())
+	}
+}
+
+// Property: for any set of sleep durations, the kernel finishes at the
+// maximum duration and every process observes its own total.
+func TestPropertyParallelSleepsFinishAtMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		k := New()
+		var max time.Duration
+		ok := true
+		for _, r := range raw {
+			d := time.Duration(r) * time.Millisecond
+			if d > max {
+				max = d
+			}
+			k.Go("p", func(p *Proc) {
+				start := p.Now()
+				p.Sleep(d)
+				if p.Now()-start != d {
+					ok = false
+				}
+			})
+		}
+		return k.Run() == max && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sequential sleeps accumulate exactly.
+func TestPropertySequentialSleepsAccumulate(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 128 {
+			raw = raw[:128]
+		}
+		k := New()
+		var want time.Duration
+		for _, r := range raw {
+			want += time.Duration(r) * time.Microsecond
+		}
+		k.Go("p", func(p *Proc) {
+			for _, r := range raw {
+				p.Sleep(time.Duration(r) * time.Microsecond)
+			}
+		})
+		return k.Run() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManyProcessesScale(t *testing.T) {
+	k := New()
+	const n = 10000
+	count := 0
+	for i := 0; i < n; i++ {
+		k.Go("p", func(p *Proc) {
+			p.Sleep(time.Second)
+			count++
+		})
+	}
+	k.Run()
+	if count != n {
+		t.Errorf("count = %d, want %d", count, n)
+	}
+}

@@ -1,0 +1,214 @@
+package simclock
+
+// Synchronization primitives for simulated processes. All primitives are
+// cooperative: they must only be used from running processes (or, for
+// non-blocking operations such as Signal.Broadcast and Future.Set, from any
+// point where the caller holds the single execution token — i.e. from a
+// running process).
+
+// Signal is a broadcast condition: processes wait until another process
+// broadcasts. Each broadcast wakes every currently waiting process at the
+// current virtual instant.
+type Signal struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewSignal returns a Signal bound to k.
+func (k *Kernel) NewSignal() *Signal { return &Signal{k: k} }
+
+// Wait parks p until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.yield()
+}
+
+// Broadcast wakes all waiting processes at the current instant.
+func (s *Signal) Broadcast() {
+	for _, w := range s.waiters {
+		s.k.wake(w)
+	}
+	s.waiters = nil
+}
+
+// Waiting returns the number of processes currently parked on the signal.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// Semaphore is a counting semaphore with FIFO wake-up order.
+type Semaphore struct {
+	k        *Kernel
+	capacity int
+	inUse    int
+	queue    []*Proc
+}
+
+// NewSemaphore returns a semaphore with the given capacity.
+func (k *Kernel) NewSemaphore(capacity int) *Semaphore {
+	if capacity < 1 {
+		panic("simclock: semaphore capacity must be >= 1")
+	}
+	return &Semaphore{k: k, capacity: capacity}
+}
+
+// Acquire blocks p until a slot is free, then takes it.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.inUse >= s.capacity {
+		s.queue = append(s.queue, p)
+		p.yield()
+	}
+	s.inUse++
+}
+
+// TryAcquire takes a slot if one is free and reports whether it did.
+func (s *Semaphore) TryAcquire() bool {
+	if s.inUse >= s.capacity {
+		return false
+	}
+	s.inUse++
+	return true
+}
+
+// Release frees a slot and wakes the longest-waiting process, if any.
+func (s *Semaphore) Release() {
+	if s.inUse <= 0 {
+		panic("simclock: semaphore released below zero")
+	}
+	s.inUse--
+	if len(s.queue) > 0 {
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		s.k.wake(w)
+	}
+}
+
+// InUse returns the number of held slots.
+func (s *Semaphore) InUse() int { return s.inUse }
+
+// WaitGroup waits for a counter to reach zero.
+type WaitGroup struct {
+	k       *Kernel
+	n       int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a WaitGroup bound to k.
+func (k *Kernel) NewWaitGroup() *WaitGroup { return &WaitGroup{k: k} }
+
+// Add increments the counter by delta.
+func (wg *WaitGroup) Add(delta int) {
+	wg.n += delta
+	if wg.n < 0 {
+		panic("simclock: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		wg.release()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait parks p until the counter reaches zero. Returns immediately if it
+// already is zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.n > 0 {
+		wg.waiters = append(wg.waiters, p)
+		p.yield()
+	}
+}
+
+func (wg *WaitGroup) release() {
+	for _, w := range wg.waiters {
+		wg.k.wake(w)
+	}
+	wg.waiters = nil
+}
+
+// Queue is an unbounded FIFO of arbitrary items with blocking Get, modeling
+// e.g. a message queue's receive path.
+type Queue struct {
+	k       *Kernel
+	items   []interface{}
+	waiters []*Proc
+}
+
+// NewQueue returns an empty queue bound to k.
+func (k *Kernel) NewQueue() *Queue { return &Queue{k: k} }
+
+// Put appends an item and wakes one waiting consumer, if any.
+func (q *Queue) Put(v interface{}) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.k.wake(w)
+	}
+}
+
+// Get blocks p until an item is available, then removes and returns the
+// oldest one.
+func (q *Queue) Get(p *Proc) interface{} {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.yield()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	// If items remain and other consumers wait, cascade a wake-up so that
+	// bursts of Puts before any consumer ran are fully drained.
+	if len(q.items) > 0 && len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.k.wake(w)
+	}
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue) TryGet() (interface{}, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Future is a write-once value that processes can wait for.
+type Future struct {
+	k       *Kernel
+	set     bool
+	val     interface{}
+	waiters []*Proc
+}
+
+// NewFuture returns an unset future bound to k.
+func (k *Kernel) NewFuture() *Future { return &Future{k: k} }
+
+// Set stores the value and wakes all waiters. Setting twice panics.
+func (f *Future) Set(v interface{}) {
+	if f.set {
+		panic("simclock: future set twice")
+	}
+	f.set = true
+	f.val = v
+	for _, w := range f.waiters {
+		f.k.wake(w)
+	}
+	f.waiters = nil
+}
+
+// IsSet reports whether the future has a value.
+func (f *Future) IsSet() bool { return f.set }
+
+// Get blocks p until the future is set and returns the value.
+func (f *Future) Get(p *Proc) interface{} {
+	for !f.set {
+		f.waiters = append(f.waiters, p)
+		p.yield()
+	}
+	return f.val
+}

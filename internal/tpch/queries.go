@@ -1,0 +1,160 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+
+	"lambada/internal/columnar"
+)
+
+// Q1Row is one output group of TPC-H Query 1.
+type Q1Row struct {
+	ReturnFlag, LineStatus    int64
+	SumQty, SumBasePrice      float64
+	SumDiscPrice, SumCharge   float64
+	AvgQty, AvgPrice, AvgDisc float64
+	Count                     int64
+}
+
+// Q1Agg is the partial aggregate state for one Query 1 group; partial states
+// from distributed workers merge exactly.
+type Q1Agg struct {
+	SumQty, SumBase, SumDisc, SumCharge, SumDiscount float64
+	Count                                            int64
+}
+
+// Merge folds other into a.
+func (a *Q1Agg) Merge(other Q1Agg) {
+	a.SumQty += other.SumQty
+	a.SumBase += other.SumBase
+	a.SumDisc += other.SumDisc
+	a.SumCharge += other.SumCharge
+	a.SumDiscount += other.SumDiscount
+	a.Count += other.Count
+}
+
+// Q1GroupKey identifies one Query 1 group.
+type Q1GroupKey struct{ ReturnFlag, LineStatus int64 }
+
+// Q1Partial computes per-group partial aggregates of Query 1 over chunks:
+//
+//	SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice),
+//	       SUM(l_extendedprice*(1-l_discount)),
+//	       SUM(l_extendedprice*(1-l_discount)*(1+l_tax)),
+//	       AVG(l_quantity), AVG(l_extendedprice), AVG(l_discount), COUNT(*)
+//	FROM lineitem WHERE l_shipdate <= DATE '1998-12-01' - 90 DAY
+//	GROUP BY l_returnflag, l_linestatus
+func Q1Partial(chunks ...*columnar.Chunk) map[Q1GroupKey]Q1Agg {
+	out := make(map[Q1GroupKey]Q1Agg)
+	for _, c := range chunks {
+		ship := c.Column("l_shipdate").Int64s
+		qty := c.Column("l_quantity").Float64s
+		price := c.Column("l_extendedprice").Float64s
+		disc := c.Column("l_discount").Float64s
+		tax := c.Column("l_tax").Float64s
+		rflag := c.Column("l_returnflag").Int64s
+		lstatus := c.Column("l_linestatus").Int64s
+		for i := range ship {
+			if ship[i] > Q1ShipDateCutoff {
+				continue
+			}
+			k := Q1GroupKey{ReturnFlag: rflag[i], LineStatus: lstatus[i]}
+			a := out[k]
+			a.SumQty += qty[i]
+			a.SumBase += price[i]
+			dp := price[i] * (1 - disc[i])
+			a.SumDisc += dp
+			a.SumCharge += dp * (1 + tax[i])
+			a.SumDiscount += disc[i]
+			a.Count++
+			out[k] = a
+		}
+	}
+	return out
+}
+
+// Q1Finalize turns merged partials into sorted result rows.
+func Q1Finalize(partials map[Q1GroupKey]Q1Agg) []Q1Row {
+	rows := make([]Q1Row, 0, len(partials))
+	for k, a := range partials {
+		if a.Count == 0 {
+			continue
+		}
+		rows = append(rows, Q1Row{
+			ReturnFlag:   k.ReturnFlag,
+			LineStatus:   k.LineStatus,
+			SumQty:       a.SumQty,
+			SumBasePrice: a.SumBase,
+			SumDiscPrice: a.SumDisc,
+			SumCharge:    a.SumCharge,
+			AvgQty:       a.SumQty / float64(a.Count),
+			AvgPrice:     a.SumBase / float64(a.Count),
+			AvgDisc:      a.SumDiscount / float64(a.Count),
+			Count:        a.Count,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ReturnFlag != rows[j].ReturnFlag {
+			return rows[i].ReturnFlag < rows[j].ReturnFlag
+		}
+		return rows[i].LineStatus < rows[j].LineStatus
+	})
+	return rows
+}
+
+// Q1Reference computes the full Query 1 result.
+func Q1Reference(chunks ...*columnar.Chunk) []Q1Row {
+	return Q1Finalize(Q1Partial(chunks...))
+}
+
+// Q6Reference computes TPC-H Query 6:
+//
+//	SELECT SUM(l_extendedprice * l_discount) FROM lineitem
+//	WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+//	  AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24
+func Q6Reference(chunks ...*columnar.Chunk) float64 {
+	var sum float64
+	for _, c := range chunks {
+		ship := c.Column("l_shipdate").Int64s
+		qty := c.Column("l_quantity").Float64s
+		price := c.Column("l_extendedprice").Float64s
+		disc := c.Column("l_discount").Float64s
+		for i := range ship {
+			if ship[i] >= Q6ShipDateLo && ship[i] < Q6ShipDateHi &&
+				disc[i] >= 0.0499999 && disc[i] <= 0.0700001 && qty[i] < 24 {
+				sum += price[i] * disc[i]
+			}
+		}
+	}
+	return sum
+}
+
+// Selectivity returns the fraction of rows passing the Q1 and Q6 filters —
+// §5.3 reports ~98 % for Q1 and ~2 % for Q6.
+func Selectivity(c *columnar.Chunk) (q1, q6 float64) {
+	ship := c.Column("l_shipdate").Int64s
+	qty := c.Column("l_quantity").Float64s
+	disc := c.Column("l_discount").Float64s
+	var n1, n6 int
+	for i := range ship {
+		if ship[i] <= Q1ShipDateCutoff {
+			n1++
+		}
+		if ship[i] >= Q6ShipDateLo && ship[i] < Q6ShipDateHi &&
+			disc[i] >= 0.0499999 && disc[i] <= 0.0700001 && qty[i] < 24 {
+			n6++
+		}
+	}
+	total := float64(len(ship))
+	return float64(n1) / total, float64(n6) / total
+}
+
+// FormatQ1 renders Query 1 rows like the TPC-H answer set.
+func FormatQ1(rows []Q1Row) string {
+	s := "l_returnflag | l_linestatus | sum_qty | sum_base_price | sum_disc_price | sum_charge | count\n"
+	for _, r := range rows {
+		s += fmt.Sprintf("%12d | %12d | %7.0f | %14.2f | %14.2f | %10.2f | %5d\n",
+			r.ReturnFlag, r.LineStatus, r.SumQty, r.SumBasePrice, r.SumDiscPrice, r.SumCharge, r.Count)
+	}
+	return s
+}
