@@ -6,6 +6,36 @@
 // substrate (S3, Lambda, SQS, DynamoDB on a deterministic discrete-event
 // kernel) that the paper's evaluation is reproduced on.
 //
+// # Concurrency levels
+//
+// Each worker exploits concurrency at five levels — the paper's four scan
+// levels (§4.3.2, Figure 8) plus a morsel-driven execution layer on top:
+//
+//	(5) file/pipeline parallelism: a bounded worker pool scans multiple lpq
+//	    files concurrently (scan.Config.ParallelFiles) and the engine fans
+//	    scan chunks out to N pipeline goroutines for filter/projection and
+//	    partition-parallel aggregation (engine.ExecuteParallel,
+//	    driver.Config.PipelineParallelism);
+//	(4) metadata of all files prefetched eagerly in a dedicated thread;
+//	(3) row groups double-buffered: download overlaps decompression;
+//	(2) column chunks of a row group fetched in parallel;
+//	(1) multiple chunked requests per read, only as a fallback, since
+//	    extra requests cost money (Figure 7).
+//
+// Everything above level 1 is deterministic in its results: parallel scans
+// deliver chunks in serial order, and parallel aggregation folds per-chunk
+// partials in sequence order, so outputs are byte-identical to serial
+// execution. In discrete-event-simulated deployments all levels are forced
+// off (worker code must not spawn goroutines); the bandwidth shaper models
+// their timing effect instead.
+//
+// # Chunk pooling
+//
+// Hot paths avoid the allocator: columnar.Pool recycles vectors and chunks
+// between morsels. The ownership contract is documented on columnar.Pool —
+// in short, only the operator that got a chunk from the pool may recycle
+// it, and only at a pipeline breaker once the morsel is fully consumed.
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for paper-vs-
 // measured results. The benchmarks in bench_test.go regenerate every table

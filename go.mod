@@ -1,0 +1,3 @@
+module lambada
+
+go 1.22

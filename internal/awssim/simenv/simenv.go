@@ -36,14 +36,24 @@ func NewImmediate() *Immediate { return &Immediate{} }
 // Now returns the accumulated virtual time.
 func (e *Immediate) Now() time.Duration { return time.Duration(e.elapsed.Load()) }
 
-// Sleep accumulates d without blocking. It yields the processor so that
+// Sleep accumulates d without blocking (virtual time), yielding so that
 // poll loops spinning on an Immediate env stay cooperative with the real
-// goroutines they are waiting on.
+// goroutines they are waiting on. For poll-sized sleeps the yield must be
+// real time, not just the processor: with GOMAXPROCS > 1 a bare Gosched
+// lets a waiter burn through minutes of virtual timeout in milliseconds of
+// real time while the worker goroutines it awaits have barely run — the
+// driver's SQS result poll would time out under 0/N messages. A microsecond
+//-scale real sleep per virtual millisecond keeps waiting loops honest
+// without materially slowing functional-mode runs.
 func (e *Immediate) Sleep(d time.Duration) {
 	if d > 0 {
 		e.elapsed.Add(int64(d))
 	}
-	runtime.Gosched()
+	if d >= time.Millisecond {
+		time.Sleep(50 * time.Microsecond)
+	} else {
+		runtime.Gosched()
+	}
 }
 
 // Wall is an Env backed by the real clock; Sleep really sleeps. Useful for

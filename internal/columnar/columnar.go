@@ -183,6 +183,43 @@ func (v *Vector) Append(src *Vector, i int) {
 	}
 }
 
+// AppendVector bulk-appends all values of src (same type) onto v.
+func (v *Vector) AppendVector(src *Vector) {
+	switch v.Type {
+	case Int64:
+		v.Int64s = append(v.Int64s, src.Int64s...)
+	case Float64:
+		v.Float64s = append(v.Float64s, src.Float64s...)
+	case Bool:
+		v.Bools = append(v.Bools, src.Bools...)
+	}
+}
+
+// AppendGather bulk-appends the rows of src selected by idx onto v.
+func (v *Vector) AppendGather(src *Vector, idx []int) {
+	switch v.Type {
+	case Int64:
+		for _, i := range idx {
+			v.Int64s = append(v.Int64s, src.Int64s[i])
+		}
+	case Float64:
+		for _, i := range idx {
+			v.Float64s = append(v.Float64s, src.Float64s[i])
+		}
+	case Bool:
+		for _, i := range idx {
+			v.Bools = append(v.Bools, src.Bools[i])
+		}
+	}
+}
+
+// Reset truncates the vector to zero length, keeping its capacity.
+func (v *Vector) Reset() {
+	v.Int64s = v.Int64s[:0]
+	v.Float64s = v.Float64s[:0]
+	v.Bools = v.Bools[:0]
+}
+
 // Slice returns a view of rows [lo, hi).
 func (v *Vector) Slice(lo, hi int) *Vector {
 	out := &Vector{Type: v.Type}
@@ -283,6 +320,20 @@ func (c *Chunk) Column(name string) *Vector {
 func (c *Chunk) AppendRow(src *Chunk, i int) {
 	for j, col := range c.Columns {
 		col.Append(src.Columns[j], i)
+	}
+}
+
+// AppendChunk bulk-appends all rows of src (same schema order) onto c.
+func (c *Chunk) AppendChunk(src *Chunk) {
+	for j, col := range c.Columns {
+		col.AppendVector(src.Columns[j])
+	}
+}
+
+// AppendGather bulk-appends the rows of src selected by idx onto c.
+func (c *Chunk) AppendGather(src *Chunk, idx []int) {
+	for j, col := range c.Columns {
+		col.AppendGather(src.Columns[j], idx)
 	}
 }
 

@@ -1,0 +1,81 @@
+package columnar
+
+import "sync"
+
+// Pool recycles vectors and chunks across morsels of a query pipeline,
+// keeping the hot path allocation-free once warm.
+//
+// Ownership contract (who may recycle, and when):
+//
+//   - Only the operator that obtained a chunk from the pool (via GetChunk)
+//     may return it (via PutChunk), and only after every consumer of the
+//     morsel it belongs to has finished reading it. In the morsel-driven
+//     executor that point is the pipeline breaker: the aggregation operator
+//     recycles a gathered chunk right after folding it into its hash table.
+//   - Chunks obtained from a scan source, schema projections, and Slice
+//     views must never be recycled: their vectors are shared with (or owned
+//     by) someone else. PutChunk on an aliased chunk is a use-after-free.
+//   - After PutChunk returns, the caller must not touch the chunk or any of
+//     its vectors again.
+type Pool struct {
+	vecs   [3]sync.Pool // indexed by Type
+	chunks sync.Pool
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// GetVector returns an empty vector of type t, reusing a recycled one when
+// available (its capacity is whatever its previous life grew to; n is only a
+// hint for fresh allocations).
+func (p *Pool) GetVector(t Type, n int) *Vector {
+	if x := p.vecs[t].Get(); x != nil {
+		v := x.(*Vector)
+		v.Type = t
+		v.Reset()
+		return v
+	}
+	return NewVector(t, n)
+}
+
+// PutVector recycles v. The caller must not use v afterwards.
+func (p *Pool) PutVector(v *Vector) {
+	if v == nil {
+		return
+	}
+	p.vecs[v.Type].Put(v)
+}
+
+// GetChunk returns an empty chunk for schema with capacity hint n, reusing
+// recycled vectors and chunk shells when available.
+func (p *Pool) GetChunk(schema *Schema, n int) *Chunk {
+	var c *Chunk
+	if x := p.chunks.Get(); x != nil {
+		c = x.(*Chunk)
+		if cap(c.Columns) < schema.Len() {
+			c.Columns = make([]*Vector, schema.Len())
+		}
+		c.Columns = c.Columns[:schema.Len()]
+	} else {
+		c = &Chunk{Columns: make([]*Vector, schema.Len())}
+	}
+	c.Schema = schema
+	for i, f := range schema.Fields {
+		c.Columns[i] = p.GetVector(f.Type, n)
+	}
+	return c
+}
+
+// PutChunk recycles c and all its vectors. See the ownership contract above:
+// c must have come from GetChunk and must no longer be referenced anywhere.
+func (p *Pool) PutChunk(c *Chunk) {
+	if c == nil {
+		return
+	}
+	for i, v := range c.Columns {
+		p.PutVector(v)
+		c.Columns[i] = nil
+	}
+	c.Schema = nil
+	p.chunks.Put(c)
+}

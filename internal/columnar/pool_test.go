@@ -1,0 +1,72 @@
+package columnar
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolRecyclesVectorsAndChunks(t *testing.T) {
+	p := NewPool()
+	schema := NewSchema(
+		Field{Name: "a", Type: Int64},
+		Field{Name: "b", Type: Float64},
+		Field{Name: "c", Type: Bool},
+	)
+	c := p.GetChunk(schema, 16)
+	for i := 0; i < 16; i++ {
+		c.Columns[0].AppendInt64(int64(i))
+		c.Columns[1].AppendFloat64(float64(i))
+		c.Columns[2].AppendBool(i%2 == 0)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.PutChunk(c)
+
+	// A recycled chunk comes back empty, with matching column types.
+	c2 := p.GetChunk(schema, 4)
+	if c2.NumRows() != 0 {
+		t.Fatalf("recycled chunk has %d rows", c2.NumRows())
+	}
+	if err := c2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c2.Columns[0].AppendInt64(7)
+	if got := c2.Columns[0].Int64s[0]; got != 7 {
+		t.Fatalf("append after recycle = %d", got)
+	}
+	p.PutChunk(c2)
+
+	v := p.GetVector(Float64, 8)
+	if v.Type != Float64 || v.Len() != 0 {
+		t.Fatalf("GetVector = %v len %d", v.Type, v.Len())
+	}
+	p.PutVector(v)
+}
+
+func TestPoolConcurrentUse(t *testing.T) {
+	p := NewPool()
+	schema := NewSchema(Field{Name: "x", Type: Int64})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := p.GetChunk(schema, 32)
+				for j := 0; j < 32; j++ {
+					c.Columns[0].AppendInt64(int64(w*1000 + j))
+				}
+				// The chunk must be private to this goroutine until Put.
+				for j := 0; j < 32; j++ {
+					if c.Columns[0].Int64s[j] != int64(w*1000+j) {
+						t.Errorf("worker %d saw foreign data", w)
+						return
+					}
+				}
+				p.PutChunk(c)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -95,6 +95,11 @@ type Config struct {
 	Region netmodel.Region
 	// Scan configures the S3 scan operator.
 	Scan scan.Config
+	// PipelineParallelism is the number of morsel-pipeline goroutines the
+	// worker-side engine fans scan chunks out to (0 = GOMAXPROCS, 1 =
+	// serial). Forced to 1 in deterministic (DES) deployments, where
+	// worker code must not spawn goroutines.
+	PipelineParallelism int
 	// Timeout is the worker function timeout.
 	Timeout time.Duration
 	// ResultQueue names the SQS result queue.
@@ -169,6 +174,8 @@ func New(dep *Deployment, env simenv.Env, cfg Config) *Driver {
 		cfg.Scan.DoubleBuffer = false
 		cfg.Scan.ParallelColumns = false
 		cfg.Scan.MetaPrefetch = false
+		cfg.Scan.ParallelFiles = 1
+		cfg.PipelineParallelism = 1
 	}
 	return &Driver{dep: dep, cfg: cfg, env: env}
 }
@@ -309,7 +316,12 @@ func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, p *workerPayload) (*columna
 		}
 		cat[name] = engine.NewMemSource(c.Schema, c)
 	}
-	partial, err := engine.Execute(plan, cat)
+	var partial *columnar.Chunk
+	if d.cfg.PipelineParallelism == 1 {
+		partial, err = engine.Execute(plan, cat)
+	} else {
+		partial, err = engine.ExecuteParallel(plan, cat, engine.ParallelConfig{Pipelines: d.cfg.PipelineParallelism})
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 
+	"lambada/internal/columnar"
 	"lambada/internal/tpch"
 )
 
@@ -74,6 +76,38 @@ func BenchmarkGroupByAggregate(b *testing.B) {
 		if _, err := Execute(plan, cat); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelAggregate runs Q1 over a many-chunk source with the
+// morsel-driven executor at increasing pipeline counts (workers=1 is the
+// serial executor, for comparison).
+func BenchmarkParallelAggregate(b *testing.B) {
+	data := tpch.Gen{SF: 0.05, Seed: 1}.Generate()
+	const rowsPerChunk = 8192
+	var parts []*columnar.Chunk
+	for lo := 0; lo < data.NumRows(); lo += rowsPerChunk {
+		hi := lo + rowsPerChunk
+		if hi > data.NumRows() {
+			hi = data.NumRows()
+		}
+		parts = append(parts, data.Slice(lo, hi))
+	}
+	cat := Catalog{"lineitem": NewMemSource(tpch.Schema(), parts...)}
+	plan, err := Optimize(q1Plan(), cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("pipelines=%d", workers), func(b *testing.B) {
+			b.SetBytes(data.ByteSize())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ExecuteParallel(plan, cat, ParallelConfig{Pipelines: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,9 +1,7 @@
 package engine
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
 	"sort"
 
 	"lambada/internal/columnar"
@@ -52,26 +50,13 @@ func Execute(p Plan, cat Catalog) (*columnar.Chunk, error) {
 	}
 	out := columnar.NewChunk(schema, 0)
 	err = executePush(p, cat, func(c *columnar.Chunk) error {
-		for j := range out.Columns {
-			appendVec(out.Columns[j], c.Columns[j])
-		}
+		out.AppendChunk(c)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
-}
-
-func appendVec(dst, src *columnar.Vector) {
-	switch dst.Type {
-	case columnar.Int64:
-		dst.Int64s = append(dst.Int64s, src.Int64s...)
-	case columnar.Float64:
-		dst.Float64s = append(dst.Float64s, src.Float64s...)
-	case columnar.Bool:
-		dst.Bools = append(dst.Bools, src.Bools...)
-	}
 }
 
 // executePush streams chunks bottom-up through fused pipelines.
@@ -82,22 +67,25 @@ func executePush(p Plan, cat Catalog, yield func(*columnar.Chunk) error) error {
 		if src == nil {
 			return fmt.Errorf("engine: unknown table %q", n.Table)
 		}
+		var sel []int // selection vector reused across chunks
 		return src.Scan(n.Projection, n.Prune, func(c *columnar.Chunk) error {
 			if n.Filter != nil {
-				fc, err := applyFilter(c, n.Filter)
+				fc, s, _, err := applyFilter(c, n.Filter, sel, nil)
 				if err != nil {
 					return err
 				}
-				c = fc
+				c, sel = fc, s
 			}
 			return yield(c)
 		})
 	case *FilterPlan:
+		var sel []int
 		return executePush(n.In, cat, func(c *columnar.Chunk) error {
-			fc, err := applyFilter(c, n.Pred)
+			fc, s, _, err := applyFilter(c, n.Pred, sel, nil)
 			if err != nil {
 				return err
 			}
+			sel = s
 			return yield(fc)
 		})
 	case *ProjectPlan:
@@ -149,187 +137,42 @@ func executePush(p Plan, cat Catalog, yield func(*columnar.Chunk) error) error {
 	}
 }
 
-// applyFilter evaluates pred and gathers the passing rows.
-func applyFilter(c *columnar.Chunk, pred Expr) (*columnar.Chunk, error) {
+// applyFilter evaluates pred and gathers the passing rows. It is the one
+// filter kernel shared by the serial and morsel-driven executors. sel is a
+// caller-owned selection-vector scratch reused across chunks (pass nil the
+// first time); the possibly-grown scratch is returned for the next call.
+// Gather copies the selected rows, so reusing sel immediately is safe.
+// When pool is non-nil a gathered result comes from the pool (pooled=true);
+// the caller owns recycling it per the columnar.Pool contract.
+func applyFilter(c *columnar.Chunk, pred Expr, sel []int, pool *columnar.Pool) (out *columnar.Chunk, selOut []int, pooled bool, err error) {
 	v, err := pred.Eval(c)
 	if err != nil {
-		return nil, err
+		return nil, sel, false, err
 	}
 	if v.Type != columnar.Bool {
-		return nil, fmt.Errorf("engine: filter predicate of type %v", v.Type)
+		return nil, sel, false, fmt.Errorf("engine: filter predicate of type %v", v.Type)
 	}
 	n := c.NumRows()
-	sel := make([]int, 0, n)
+	sel = sel[:0]
 	for i := 0; i < n; i++ {
 		if v.Bools[i] {
 			sel = append(sel, i)
 		}
 	}
 	if len(sel) == n {
-		return c, nil
+		return c, sel, false, nil
 	}
-	return c.Gather(sel), nil
+	if pool != nil {
+		out := pool.GetChunk(c.Schema, len(sel))
+		out.AppendGather(c, sel)
+		return out, sel, true, nil
+	}
+	return c.Gather(sel), sel, false, nil
 }
 
-// aggState is the running state of one group.
-type aggState struct {
-	keys []int64 // group key values (int64-encoded)
-	// Per aggregate: sum/min/max as float64 and int64 variants plus count.
-	sums   []float64
-	isums  []int64
-	mins   []float64
-	maxs   []float64
-	counts []int64
-	seen   []bool
-}
-
-func runAggregate(p *AggregatePlan, cat Catalog) (*columnar.Chunk, error) {
-	inSchema, err := p.In.OutSchema()
-	if err != nil {
-		return nil, err
-	}
-	outSchema, err := p.OutSchema()
-	if err != nil {
-		return nil, err
-	}
-	keyIdx := make([]int, len(p.GroupBy))
-	for i, g := range p.GroupBy {
-		keyIdx[i] = inSchema.Index(g)
-		if keyIdx[i] < 0 {
-			return nil, fmt.Errorf("engine: group key %q missing", g)
-		}
-		if t := inSchema.Fields[keyIdx[i]].Type; t == columnar.Float64 {
-			return nil, fmt.Errorf("engine: float group key %q not supported", g)
-		}
-	}
-
-	groups := make(map[string]*aggState)
-	var order []string // deterministic output order (first-seen)
-
-	err = executePush(p.In, cat, func(c *columnar.Chunk) error {
-		n := c.NumRows()
-		if n == 0 {
-			return nil
-		}
-		// Evaluate aggregate arguments once per chunk (vectorized).
-		args := make([]*columnar.Vector, len(p.Aggs))
-		for ai, a := range p.Aggs {
-			if a.Arg != nil {
-				v, err := a.Arg.Eval(c)
-				if err != nil {
-					return err
-				}
-				args[ai] = v
-			}
-		}
-		var keyBuf []byte
-		for i := 0; i < n; i++ {
-			keyBuf = keyBuf[:0]
-			for _, ki := range keyIdx {
-				var tmp [8]byte
-				binary.LittleEndian.PutUint64(tmp[:], uint64(c.Columns[ki].Int64At(i)))
-				keyBuf = append(keyBuf, tmp[:]...)
-			}
-			k := string(keyBuf)
-			st := groups[k]
-			if st == nil {
-				st = &aggState{
-					keys:   make([]int64, len(keyIdx)),
-					sums:   make([]float64, len(p.Aggs)),
-					isums:  make([]int64, len(p.Aggs)),
-					mins:   make([]float64, len(p.Aggs)),
-					maxs:   make([]float64, len(p.Aggs)),
-					counts: make([]int64, len(p.Aggs)),
-					seen:   make([]bool, len(p.Aggs)),
-				}
-				for j, ki := range keyIdx {
-					st.keys[j] = c.Columns[ki].Int64At(i)
-				}
-				groups[k] = st
-				order = append(order, k)
-			}
-			for ai := range p.Aggs {
-				var fv float64
-				var iv int64
-				if args[ai] != nil {
-					fv = args[ai].Float64At(i)
-					iv = args[ai].Int64At(i)
-				}
-				st.counts[ai]++
-				st.sums[ai] += fv
-				st.isums[ai] += iv
-				if !st.seen[ai] || fv < st.mins[ai] {
-					st.mins[ai] = fv
-				}
-				if !st.seen[ai] || fv > st.maxs[ai] {
-					st.maxs[ai] = fv
-				}
-				st.seen[ai] = true
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	out := columnar.NewChunk(outSchema, len(order))
-	// A global aggregate over empty input still yields one row of zeros
-	// (COUNT = 0), matching SQL semantics.
-	if len(p.GroupBy) == 0 && len(order) == 0 {
-		empty := &aggState{
-			sums:   make([]float64, len(p.Aggs)),
-			isums:  make([]int64, len(p.Aggs)),
-			mins:   make([]float64, len(p.Aggs)),
-			maxs:   make([]float64, len(p.Aggs)),
-			counts: make([]int64, len(p.Aggs)),
-		}
-		groups[""] = empty
-		order = append(order, "")
-	}
-	for _, k := range order {
-		st := groups[k]
-		col := 0
-		for range p.GroupBy {
-			out.Columns[col].AppendInt64(st.keys[col])
-			col++
-		}
-		for ai, a := range p.Aggs {
-			switch a.Func {
-			case AggCount:
-				out.Columns[col].AppendInt64(st.counts[ai])
-			case AggSum:
-				if outSchema.Fields[col].Type == columnar.Int64 {
-					out.Columns[col].AppendInt64(st.isums[ai])
-				} else {
-					out.Columns[col].AppendFloat64(st.sums[ai])
-				}
-			case AggAvg:
-				if st.counts[ai] == 0 {
-					out.Columns[col].AppendFloat64(math.NaN())
-				} else {
-					out.Columns[col].AppendFloat64(st.sums[ai] / float64(st.counts[ai]))
-				}
-			case AggMin:
-				if outSchema.Fields[col].Type == columnar.Int64 {
-					out.Columns[col].AppendInt64(int64(st.mins[ai]))
-				} else {
-					out.Columns[col].AppendFloat64(st.mins[ai])
-				}
-			case AggMax:
-				if outSchema.Fields[col].Type == columnar.Int64 {
-					out.Columns[col].AppendInt64(int64(st.maxs[ai]))
-				} else {
-					out.Columns[col].AppendFloat64(st.maxs[ai])
-				}
-			}
-			col++
-		}
-	}
-	return out, nil
-}
-
-// sortChunk sorts by keys, stable.
+// sortChunk sorts by keys, stable. Each key column is compared in its own
+// type: int64 keys as int64 (a float64 comparison would silently collapse
+// neighbouring keys beyond 2^53), float64 as float64, bool as false < true.
 func sortChunk(c *columnar.Chunk, keys []OrderKey) (*columnar.Chunk, error) {
 	idx := make([]int, c.NumRows())
 	for i := range idx {
@@ -344,14 +187,31 @@ func sortChunk(c *columnar.Chunk, keys []OrderKey) (*columnar.Chunk, error) {
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
 		for i, k := range keys {
-			av, bv := cols[i].Float64At(idx[a]), cols[i].Float64At(idx[b])
-			if av == bv {
-				continue
+			var less bool
+			switch cols[i].Type {
+			case columnar.Int64:
+				av, bv := cols[i].Int64s[idx[a]], cols[i].Int64s[idx[b]]
+				if av == bv {
+					continue
+				}
+				less = av < bv
+			case columnar.Float64:
+				av, bv := cols[i].Float64s[idx[a]], cols[i].Float64s[idx[b]]
+				if av == bv {
+					continue
+				}
+				less = av < bv
+			default:
+				av, bv := cols[i].Bools[idx[a]], cols[i].Bools[idx[b]]
+				if av == bv {
+					continue
+				}
+				less = !av
 			}
 			if k.Desc {
-				return av > bv
+				return !less
 			}
-			return av < bv
+			return less
 		}
 		return false
 	})

@@ -8,6 +8,16 @@
 // implementation fuses operators into pipelines of Go closures over column
 // vectors — the same architectural property (no per-tuple interpretation,
 // materialization only at pipeline breakers) expressed in idiomatic Go.
+//
+// Two executors share those pipelines. Execute runs them serially.
+// ExecuteParallel adds the intra-worker fifth concurrency level (on top of
+// the scan operator's four): scan chunks become morsels fanned out to N
+// pipeline goroutines, and aggregation is partition-parallel — per-chunk
+// hash tables merged in sequence order at the pipeline breaker, which also
+// recycles chunks through columnar.Pool (see the ownership contract there:
+// the breaker is the only recycle point, after its morsel is fully
+// consumed). Results are byte-identical between the two executors; see
+// parallel.go for why that holds even for float sums.
 package engine
 
 import (
@@ -66,8 +76,9 @@ func (e ConstInt) Type(*columnar.Schema) (columnar.Type, error) { return columna
 func (e ConstInt) Eval(c *columnar.Chunk) (*columnar.Vector, error) {
 	n := c.NumRows()
 	v := columnar.NewVector(columnar.Int64, n)
-	for i := 0; i < n; i++ {
-		v.Int64s = append(v.Int64s, int64(e))
+	v.Int64s = v.Int64s[:n]
+	for i := range v.Int64s {
+		v.Int64s[i] = int64(e)
 	}
 	return v, nil
 }
@@ -88,8 +99,9 @@ func (e ConstFloat) Type(*columnar.Schema) (columnar.Type, error) { return colum
 func (e ConstFloat) Eval(c *columnar.Chunk) (*columnar.Vector, error) {
 	n := c.NumRows()
 	v := columnar.NewVector(columnar.Float64, n)
-	for i := 0; i < n; i++ {
-		v.Float64s = append(v.Float64s, float64(e))
+	v.Float64s = v.Float64s[:n]
+	for i := range v.Float64s {
+		v.Float64s[i] = float64(e)
 	}
 	return v, nil
 }
@@ -176,8 +188,43 @@ func (e *Bin) Type(s *columnar.Schema) (columnar.Type, error) {
 	}
 }
 
-// Eval evaluates both sides and applies the operator element-wise.
+// constSide extracts a literal operand, if any.
+func constSide(e Expr) (f float64, i int64, isInt, ok bool) {
+	switch v := e.(type) {
+	case ConstInt:
+		return float64(v), int64(v), true, true
+	case ConstFloat:
+		return float64(v), int64(v), false, true
+	}
+	return 0, 0, false, false
+}
+
+// Eval evaluates both sides and applies the operator element-wise. When one
+// side is a literal, the scalar is folded into the loop instead of being
+// broadcast into a throwaway vector — comparisons against constants and
+// expressions like (1 - x) are the engine's hottest filter/projection work.
 func (e *Bin) Eval(c *columnar.Chunk) (*columnar.Vector, error) {
+	if !e.Op.IsLogical() {
+		lf, li, lIsInt, lConst := constSide(e.L)
+		rf, ri, rIsInt, rConst := constSide(e.R)
+		if lConst != rConst { // exactly one literal side
+			var vec *columnar.Vector
+			var err error
+			if lConst {
+				vec, err = e.R.Eval(c)
+			} else {
+				vec, err = e.L.Eval(c)
+			}
+			if err != nil {
+				return nil, err
+			}
+			cf, ci, cIsInt := lf, li, lIsInt
+			if rConst {
+				cf, ci, cIsInt = rf, ri, rIsInt
+			}
+			return e.evalScalar(c, vec, lConst, cf, ci, cIsInt)
+		}
+	}
 	lv, err := e.L.Eval(c)
 	if err != nil {
 		return nil, err
@@ -194,39 +241,135 @@ func (e *Bin) Eval(c *columnar.Chunk) (*columnar.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Each arm bulk-writes the preallocated output by index: no per-value
+	// append bookkeeping in these hot loops.
 	out := columnar.NewVector(rt, n)
 	switch {
 	case e.Op.IsLogical():
-		for i := 0; i < n; i++ {
-			if e.Op == OpAnd {
-				out.Bools = append(out.Bools, lv.Bools[i] && rv.Bools[i])
-			} else {
-				out.Bools = append(out.Bools, lv.Bools[i] || rv.Bools[i])
+		out.Bools = out.Bools[:n]
+		if e.Op == OpAnd {
+			for i := range out.Bools {
+				out.Bools[i] = lv.Bools[i] && rv.Bools[i]
+			}
+		} else {
+			for i := range out.Bools {
+				out.Bools[i] = lv.Bools[i] || rv.Bools[i]
 			}
 		}
 	case e.Op.IsComparison():
+		out.Bools = out.Bools[:n]
 		if lv.Type == columnar.Int64 && rv.Type == columnar.Int64 {
-			for i := 0; i < n; i++ {
-				out.Bools = append(out.Bools, cmpInt(e.Op, lv.Int64s[i], rv.Int64s[i]))
+			for i := range out.Bools {
+				out.Bools[i] = cmpInt(e.Op, lv.Int64s[i], rv.Int64s[i])
 			}
 		} else if lv.Type == columnar.Bool {
-			for i := 0; i < n; i++ {
-				li, ri := lv.Int64At(i), rv.Int64At(i)
-				out.Bools = append(out.Bools, cmpInt(e.Op, li, ri))
+			for i := range out.Bools {
+				out.Bools[i] = cmpInt(e.Op, lv.Int64At(i), rv.Int64At(i))
 			}
 		} else {
-			for i := 0; i < n; i++ {
-				out.Bools = append(out.Bools, cmpFloat(e.Op, lv.Float64At(i), rv.Float64At(i)))
+			for i := range out.Bools {
+				out.Bools[i] = cmpFloat(e.Op, lv.Float64At(i), rv.Float64At(i))
 			}
 		}
 	default:
 		if rt == columnar.Int64 {
-			for i := 0; i < n; i++ {
-				out.Int64s = append(out.Int64s, arithInt(e.Op, lv.Int64s[i], rv.Int64s[i]))
+			out.Int64s = out.Int64s[:n]
+			for i := range out.Int64s {
+				out.Int64s[i] = arithInt(e.Op, lv.Int64s[i], rv.Int64s[i])
 			}
 		} else {
-			for i := 0; i < n; i++ {
-				out.Float64s = append(out.Float64s, arithFloat(e.Op, lv.Float64At(i), rv.Float64At(i)))
+			out.Float64s = out.Float64s[:n]
+			if lv.Type == columnar.Float64 && rv.Type == columnar.Float64 {
+				for i := range out.Float64s {
+					out.Float64s[i] = arithFloat(e.Op, lv.Float64s[i], rv.Float64s[i])
+				}
+			} else {
+				for i := range out.Float64s {
+					out.Float64s[i] = arithFloat(e.Op, lv.Float64At(i), rv.Float64At(i))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalScalar applies the operator between a vector and a literal scalar
+// (scalarOnLeft tells which operand the literal was), writing the output by
+// index with no broadcast vector for the literal.
+func (e *Bin) evalScalar(c *columnar.Chunk, vec *columnar.Vector, scalarOnLeft bool, cf float64, ci int64, cIsInt bool) (*columnar.Vector, error) {
+	rt, err := e.Type(c.Schema) // also validates operand types
+	if err != nil {
+		return nil, err
+	}
+	n := vec.Len()
+	out := columnar.NewVector(rt, n)
+	switch {
+	case e.Op.IsComparison():
+		out.Bools = out.Bools[:n]
+		switch {
+		case vec.Type == columnar.Int64 && cIsInt:
+			if scalarOnLeft {
+				for i := range out.Bools {
+					out.Bools[i] = cmpInt(e.Op, ci, vec.Int64s[i])
+				}
+			} else {
+				for i := range out.Bools {
+					out.Bools[i] = cmpInt(e.Op, vec.Int64s[i], ci)
+				}
+			}
+		case vec.Type == columnar.Float64:
+			if scalarOnLeft {
+				for i := range out.Bools {
+					out.Bools[i] = cmpFloat(e.Op, cf, vec.Float64s[i])
+				}
+			} else {
+				for i := range out.Bools {
+					out.Bools[i] = cmpFloat(e.Op, vec.Float64s[i], cf)
+				}
+			}
+		default:
+			if scalarOnLeft {
+				for i := range out.Bools {
+					out.Bools[i] = cmpFloat(e.Op, cf, vec.Float64At(i))
+				}
+			} else {
+				for i := range out.Bools {
+					out.Bools[i] = cmpFloat(e.Op, vec.Float64At(i), cf)
+				}
+			}
+		}
+	case rt == columnar.Int64:
+		out.Int64s = out.Int64s[:n]
+		if scalarOnLeft {
+			for i := range out.Int64s {
+				out.Int64s[i] = arithInt(e.Op, ci, vec.Int64s[i])
+			}
+		} else {
+			for i := range out.Int64s {
+				out.Int64s[i] = arithInt(e.Op, vec.Int64s[i], ci)
+			}
+		}
+	default:
+		out.Float64s = out.Float64s[:n]
+		if vec.Type == columnar.Float64 {
+			if scalarOnLeft {
+				for i := range out.Float64s {
+					out.Float64s[i] = arithFloat(e.Op, cf, vec.Float64s[i])
+				}
+			} else {
+				for i := range out.Float64s {
+					out.Float64s[i] = arithFloat(e.Op, vec.Float64s[i], cf)
+				}
+			}
+		} else {
+			if scalarOnLeft {
+				for i := range out.Float64s {
+					out.Float64s[i] = arithFloat(e.Op, cf, vec.Float64At(i))
+				}
+			} else {
+				for i := range out.Float64s {
+					out.Float64s[i] = arithFloat(e.Op, vec.Float64At(i), cf)
+				}
 			}
 		}
 	}
@@ -326,8 +469,9 @@ func (e *Not) Eval(c *columnar.Chunk) (*columnar.Vector, error) {
 		return nil, err
 	}
 	out := columnar.NewVector(columnar.Bool, v.Len())
-	for _, b := range v.Bools {
-		out.Bools = append(out.Bools, !b)
+	out.Bools = out.Bools[:v.Len()]
+	for i, b := range v.Bools {
+		out.Bools[i] = !b
 	}
 	return out, nil
 }

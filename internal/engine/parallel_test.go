@@ -1,0 +1,354 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"lambada/internal/columnar"
+	"lambada/internal/lpq"
+	"lambada/internal/tpch"
+)
+
+// chunksIdentical asserts byte-identical results: same schema, same row
+// order, float64 compared by bits.
+func chunksIdentical(t *testing.T, got, want *columnar.Chunk) {
+	t.Helper()
+	if !got.Schema.Equal(want.Schema) {
+		t.Fatalf("schema = %v, want %v", got.Schema, want.Schema)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("rows = %d, want %d", got.NumRows(), want.NumRows())
+	}
+	for j := range want.Columns {
+		g, w := got.Columns[j], want.Columns[j]
+		for i := 0; i < want.NumRows(); i++ {
+			switch w.Type {
+			case columnar.Int64:
+				if g.Int64s[i] != w.Int64s[i] {
+					t.Fatalf("col %d row %d = %d, want %d", j, i, g.Int64s[i], w.Int64s[i])
+				}
+			case columnar.Float64:
+				if math.Float64bits(g.Float64s[i]) != math.Float64bits(w.Float64s[i]) {
+					t.Fatalf("col %d row %d = %x, want %x (values %v vs %v)",
+						j, i, math.Float64bits(g.Float64s[i]), math.Float64bits(w.Float64s[i]), g.Float64s[i], w.Float64s[i])
+				}
+			case columnar.Bool:
+				if g.Bools[i] != w.Bools[i] {
+					t.Fatalf("col %d row %d = %v, want %v", j, i, g.Bools[i], w.Bools[i])
+				}
+			}
+		}
+	}
+}
+
+// chunkedLineitem splits one generated table into many chunks so the
+// parallel executor sees plenty of morsels.
+func chunkedLineitem(t *testing.T, sf float64, rowsPerChunk int) (*MemSource, *columnar.Chunk) {
+	t.Helper()
+	data := tpch.Gen{SF: sf, Seed: 7}.Generate()
+	var chunks []*columnar.Chunk
+	for lo := 0; lo < data.NumRows(); lo += rowsPerChunk {
+		hi := lo + rowsPerChunk
+		if hi > data.NumRows() {
+			hi = data.NumRows()
+		}
+		chunks = append(chunks, data.Slice(lo, hi))
+	}
+	return NewMemSource(tpch.Schema(), chunks...), data
+}
+
+func TestParallelMatchesSerialByteIdentical(t *testing.T) {
+	src, _ := chunkedLineitem(t, 0.01, 1000)
+	cat := Catalog{"lineitem": src}
+
+	plans := map[string]func() Plan{
+		"q1":     q1Plan, // two-key group by, 8 aggregates, order by
+		"q6":     q6Plan, // global float aggregate behind a filter
+		"single-int64-key": func() Plan {
+			return &AggregatePlan{
+				GroupBy: []string{"l_suppkey"},
+				Aggs: []AggSpec{
+					{Func: AggSum, Arg: Col("l_extendedprice"), Name: "s"},
+					{Func: AggCount, Name: "n"},
+					{Func: AggMin, Arg: Col("l_quantity"), Name: "mn"},
+					{Func: AggMax, Arg: Col("l_quantity"), Name: "mx"},
+					{Func: AggAvg, Arg: Col("l_discount"), Name: "av"},
+				},
+				In: &ScanPlan{Table: "lineitem"},
+			}
+		},
+		"filter-project": func() Plan {
+			return &ProjectPlan{
+				Exprs: []Expr{Col("l_orderkey"), NewBin(OpMul, Col("l_extendedprice"), Col("l_discount"))},
+				Names: []string{"k", "v"},
+				In: &FilterPlan{
+					Pred: NewBin(OpLT, Col("l_quantity"), ConstFloat(25)),
+					In:   &ScanPlan{Table: "lineitem"},
+				},
+			}
+		},
+		"order-by-limit": func() Plan {
+			return &LimitPlan{N: 100, In: &OrderByPlan{
+				Keys: []OrderKey{{Column: "l_extendedprice", Desc: true}},
+				In: &FilterPlan{
+					Pred: NewBin(OpLT, Col("l_suppkey"), ConstInt(50)),
+					In:   &ScanPlan{Table: "lineitem"},
+				},
+			}}
+		},
+	}
+	for name, mk := range plans {
+		for _, workers := range []int{2, 4, 8} {
+			serial, err := Execute(mk(), cat)
+			if err != nil {
+				t.Fatalf("%s serial: %v", name, err)
+			}
+			par, err := ExecuteParallel(mk(), cat, ParallelConfig{Pipelines: workers})
+			if err != nil {
+				t.Fatalf("%s parallel(%d): %v", name, workers, err)
+			}
+			t.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(t *testing.T) {
+				chunksIdentical(t, par, serial)
+			})
+		}
+	}
+}
+
+func TestParallelAggregatePartitionsAndTies(t *testing.T) {
+	// ≥4 distinct partitions with heavy ties: key column cycles 0..4.
+	schema := columnar.NewSchema(
+		columnar.Field{Name: "k", Type: columnar.Int64},
+		columnar.Field{Name: "v", Type: columnar.Float64},
+	)
+	var chunks []*columnar.Chunk
+	rows := 0
+	for c := 0; c < 16; c++ {
+		ch := columnar.NewChunk(schema, 64)
+		for i := 0; i < 64; i++ {
+			ch.Columns[0].AppendInt64(int64(rows % 5))
+			ch.Columns[1].AppendFloat64(float64(rows) * 0.25)
+			rows++
+		}
+		chunks = append(chunks, ch)
+	}
+	cat := Catalog{"t": NewMemSource(schema, chunks...)}
+	mk := func() Plan {
+		return &AggregatePlan{
+			GroupBy: []string{"k"},
+			Aggs: []AggSpec{
+				{Func: AggSum, Arg: Col("v"), Name: "s"},
+				{Func: AggCount, Name: "n"},
+			},
+			In: &ScanPlan{Table: "t"},
+		}
+	}
+	serial, err := Execute(mk(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.NumRows() != 5 {
+		t.Fatalf("groups = %d, want 5", serial.NumRows())
+	}
+	// First-seen order: keys 0,1,2,3,4.
+	for i := 0; i < 5; i++ {
+		if got := serial.Column("k").Int64s[i]; got != int64(i) {
+			t.Fatalf("group %d key = %d (first-seen order broken)", i, got)
+		}
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par, err := ExecuteParallel(mk(), cat, ParallelConfig{Pipelines: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunksIdentical(t, par, serial)
+	}
+}
+
+func TestParallelEmptyInput(t *testing.T) {
+	schema := columnar.NewSchema(columnar.Field{Name: "k", Type: columnar.Int64})
+	cat := Catalog{"t": NewMemSource(schema)}
+
+	// Grouped aggregate over empty input: zero rows.
+	grouped := &AggregatePlan{
+		GroupBy: []string{"k"},
+		Aggs:    []AggSpec{{Func: AggCount, Name: "n"}},
+		In:      &ScanPlan{Table: "t"},
+	}
+	out, err := ExecuteParallel(grouped, cat, ParallelConfig{Pipelines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 0 {
+		t.Errorf("grouped empty input rows = %d, want 0", out.NumRows())
+	}
+
+	// Global aggregate over empty input: one zero row, like the serial path.
+	global := &AggregatePlan{
+		Aggs: []AggSpec{{Func: AggCount, Name: "n"}, {Func: AggSum, Arg: Col("k"), Name: "s"}},
+		In:   &ScanPlan{Table: "t"},
+	}
+	serial, err := Execute(global, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ExecuteParallel(global, cat, ParallelConfig{Pipelines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunksIdentical(t, par, serial)
+	if par.NumRows() != 1 || par.Column("n").Int64s[0] != 0 {
+		t.Errorf("global empty input = %d rows, n = %v", par.NumRows(), par.Column("n").Int64s)
+	}
+}
+
+// errSource yields a few chunks, then fails.
+type errSource struct {
+	schema *columnar.Schema
+	good   []*columnar.Chunk
+	err    error
+}
+
+func (s *errSource) Schema() (*columnar.Schema, error) { return s.schema, nil }
+
+func (s *errSource) Scan(proj []string, _ []lpq.Predicate, yield func(*columnar.Chunk) error) error {
+	for _, c := range s.good {
+		if err := yield(c); err != nil {
+			return err
+		}
+	}
+	return s.err
+}
+
+func TestParallelCancelOnError(t *testing.T) {
+	schema := columnar.NewSchema(columnar.Field{Name: "k", Type: columnar.Int64})
+	var chunks []*columnar.Chunk
+	for i := 0; i < 32; i++ {
+		ch := columnar.NewChunk(schema, 8)
+		for j := 0; j < 8; j++ {
+			ch.Columns[0].AppendInt64(int64(j))
+		}
+		chunks = append(chunks, ch)
+	}
+	boom := errors.New("boom")
+	cat := Catalog{"t": &errSource{schema: schema, good: chunks, err: boom}}
+	plan := &AggregatePlan{
+		GroupBy: []string{"k"},
+		Aggs:    []AggSpec{{Func: AggCount, Name: "n"}},
+		In:      &ScanPlan{Table: "t"},
+	}
+	if _, err := ExecuteParallel(plan, cat, ParallelConfig{Pipelines: 4}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+
+	// A mid-pipeline expression error must cancel the scan, not hang.
+	badPlan := &AggregatePlan{
+		Aggs: []AggSpec{{Func: AggSum, Arg: Col("missing"), Name: "s"}},
+		In:   &ScanPlan{Table: "t"},
+	}
+	if _, err := ExecuteParallel(badPlan, cat, ParallelConfig{Pipelines: 4}); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Fatalf("err = %v, want unknown-column error", err)
+	}
+}
+
+func TestParallelJoinFallsBackToSerial(t *testing.T) {
+	src, _ := chunkedLineitem(t, 0.002, 500)
+	small := columnar.NewChunk(columnar.NewSchema(
+		columnar.Field{Name: "s_suppkey", Type: columnar.Int64},
+		columnar.Field{Name: "s_name", Type: columnar.Int64},
+	), 4)
+	for i := 0; i < 4; i++ {
+		small.Columns[0].AppendInt64(int64(i + 1))
+		small.Columns[1].AppendInt64(int64(100 + i))
+	}
+	cat := Catalog{
+		"lineitem": src,
+		"supplier": NewMemSource(small.Schema, small),
+	}
+	mk := func() Plan {
+		return &JoinPlan{
+			Left:     &ScanPlan{Table: "lineitem"},
+			Right:    &ScanPlan{Table: "supplier"},
+			LeftKey:  "l_suppkey",
+			RightKey: "s_suppkey",
+		}
+	}
+	serial, err := Execute(mk(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ExecuteParallel(mk(), cat, ParallelConfig{Pipelines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunksIdentical(t, par, serial)
+}
+
+func TestSortChunkInt64PrecisionRegression(t *testing.T) {
+	// Keys adjacent near MaxInt64 are indistinguishable as float64; the
+	// sort must compare them as int64.
+	schema := columnar.NewSchema(columnar.Field{Name: "k", Type: columnar.Int64})
+	c := columnar.NewChunk(schema, 4)
+	hi := int64(math.MaxInt64)
+	for _, k := range []int64{hi - 1, hi, hi - 2, hi - 3} {
+		c.Columns[0].AppendInt64(k)
+	}
+	sorted, err := sortChunk(c, []OrderKey{{Column: "k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{hi - 3, hi - 2, hi - 1, hi}
+	for i, w := range want {
+		if got := sorted.Column("k").Int64s[i]; got != w {
+			t.Fatalf("row %d = %d, want %d (float64 key comparison lost precision)", i, got, w)
+		}
+	}
+	desc, err := sortChunk(c, []OrderKey{{Column: "k", Desc: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range []int64{hi, hi - 1, hi - 2, hi - 3} {
+		if got := desc.Column("k").Int64s[i]; got != w {
+			t.Fatalf("desc row %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestAggregateGroupKeysBeyondFloat53(t *testing.T) {
+	// Group keys that collide as float64 must stay distinct groups.
+	schema := columnar.NewSchema(columnar.Field{Name: "k", Type: columnar.Int64})
+	c := columnar.NewChunk(schema, 6)
+	base := int64(1) << 60
+	for _, k := range []int64{base, base + 1, base, base + 1, base + 2, base} {
+		c.Columns[0].AppendInt64(k)
+	}
+	cat := Catalog{"t": NewMemSource(schema, c)}
+	plan := &AggregatePlan{
+		GroupBy: []string{"k"},
+		Aggs:    []AggSpec{{Func: AggCount, Name: "n"}},
+		In:      &ScanPlan{Table: "t"},
+	}
+	for _, exec := range []func() (*columnar.Chunk, error){
+		func() (*columnar.Chunk, error) { return Execute(plan, cat) },
+		func() (*columnar.Chunk, error) { return ExecuteParallel(plan, cat, ParallelConfig{Pipelines: 4}) },
+	} {
+		out, err := exec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.NumRows() != 3 {
+			t.Fatalf("groups = %d, want 3", out.NumRows())
+		}
+		wantKeys := []int64{base, base + 1, base + 2}
+		wantN := []int64{3, 2, 1}
+		for i := range wantKeys {
+			if out.Column("k").Int64s[i] != wantKeys[i] || out.Column("n").Int64s[i] != wantN[i] {
+				t.Fatalf("group %d = (%d, %d), want (%d, %d)",
+					i, out.Column("k").Int64s[i], out.Column("n").Int64s[i], wantKeys[i], wantN[i])
+			}
+		}
+	}
+}

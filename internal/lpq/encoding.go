@@ -153,6 +153,9 @@ func encodePlain(v *columnar.Vector) []byte {
 	}
 }
 
+// decodePlain bulk-decodes fixed-width values: one length check up front,
+// then direct index writes into the preallocated value slice (no per-value
+// append bookkeeping — this is the hottest decode loop in the system).
 func decodePlain(data []byte, t columnar.Type, n int) (*columnar.Vector, error) {
 	v := columnar.NewVector(t, n)
 	switch t {
@@ -160,22 +163,25 @@ func decodePlain(data []byte, t columnar.Type, n int) (*columnar.Vector, error) 
 		if len(data) < 8*n {
 			return nil, fmt.Errorf("lpq: plain int64 column truncated: %d < %d", len(data), 8*n)
 		}
-		for i := 0; i < n; i++ {
-			v.Int64s = append(v.Int64s, int64(binary.LittleEndian.Uint64(data[8*i:])))
+		v.Int64s = v.Int64s[:n]
+		for i := range v.Int64s {
+			v.Int64s[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
 		}
 	case columnar.Float64:
 		if len(data) < 8*n {
 			return nil, fmt.Errorf("lpq: plain float64 column truncated")
 		}
-		for i := 0; i < n; i++ {
-			v.Float64s = append(v.Float64s, math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:])))
+		v.Float64s = v.Float64s[:n]
+		for i := range v.Float64s {
+			v.Float64s[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
 		}
 	default:
 		if len(data) < n {
 			return nil, fmt.Errorf("lpq: plain bool column truncated")
 		}
-		for i := 0; i < n; i++ {
-			v.Bools = append(v.Bools, data[i] != 0)
+		v.Bools = v.Bools[:n]
+		for i := range v.Bools {
+			v.Bools[i] = data[i] != 0
 		}
 	}
 	return v, nil

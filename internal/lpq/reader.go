@@ -93,24 +93,42 @@ func (r *Reader) ReadColumn(rowGroup, col int) (*columnar.Vector, error) {
 // is exported so the S3 scan operator can download bytes itself (with its
 // own concurrency strategy) and still reuse the decode path.
 func DecodeColumnChunk(stored []byte, t columnar.Type, cc ColumnChunkMeta, numRows int64) (*columnar.Vector, error) {
+	v, _, err := DecodeColumnChunkBuf(stored, t, cc, numRows, nil)
+	return v, err
+}
+
+// DecodeColumnChunkBuf is DecodeColumnChunk with a reusable decompression
+// scratch buffer: gzip output is inflated into scratch (grown as needed)
+// instead of a fresh io.ReadAll allocation per chunk. It returns the
+// (possibly grown) scratch for the caller to thread through subsequent
+// calls. The returned vector never aliases scratch — every decoder copies
+// values out — so reusing scratch immediately is safe.
+func DecodeColumnChunkBuf(stored []byte, t columnar.Type, cc ColumnChunkMeta, numRows int64, scratch []byte) (*columnar.Vector, []byte, error) {
 	raw := stored
 	if cc.Compression == Gzip {
 		zr, err := gzip.NewReader(bytes.NewReader(stored))
 		if err != nil {
-			return nil, fmt.Errorf("lpq: gzip: %w", err)
+			return nil, scratch, fmt.Errorf("lpq: gzip: %w", err)
 		}
-		raw, err = io.ReadAll(zr)
-		if err != nil {
-			return nil, fmt.Errorf("lpq: gunzip: %w", err)
+		if int64(cap(scratch)) < cc.UncompressedLen {
+			scratch = make([]byte, cc.UncompressedLen)
+		}
+		raw = scratch[:cc.UncompressedLen]
+		if _, err := io.ReadFull(zr, raw); err != nil {
+			return nil, scratch, fmt.Errorf("lpq: gunzip: %w", err)
+		}
+		var extra [1]byte
+		if n, _ := zr.Read(extra[:]); n != 0 {
+			return nil, scratch, fmt.Errorf("lpq: uncompressed data longer than expected %d", cc.UncompressedLen)
 		}
 		if err := zr.Close(); err != nil {
-			return nil, err
+			return nil, scratch, err
 		}
+	} else if int64(len(raw)) != cc.UncompressedLen {
+		return nil, scratch, fmt.Errorf("lpq: uncompressed length %d != expected %d", len(raw), cc.UncompressedLen)
 	}
-	if int64(len(raw)) != cc.UncompressedLen {
-		return nil, fmt.Errorf("lpq: uncompressed length %d != expected %d", len(raw), cc.UncompressedLen)
-	}
-	return DecodeColumn(raw, t, cc.Encoding, int(numRows))
+	v, err := DecodeColumn(raw, t, cc.Encoding, int(numRows))
+	return v, scratch, err
 }
 
 // ReadRowGroup reads the given columns (by index; nil means all) of one row

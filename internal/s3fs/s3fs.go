@@ -9,6 +9,7 @@ package s3fs
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"lambada/internal/awssim/s3"
 )
@@ -29,7 +30,9 @@ type File struct {
 	// Conns is the number of concurrent connections modeled per read.
 	Conns int
 
-	requests int64
+	// requests is atomic: one handle serves concurrent readers (parallel
+	// column fetches, double-buffered row groups, parallel files).
+	requests atomic.Int64
 }
 
 // Open stats the object (one request) and returns a file handle.
@@ -39,7 +42,7 @@ func Open(client *s3.Client, bucket, key string) (*File, error) {
 		return nil, err
 	}
 	f := NewFile(client, bucket, key, size)
-	f.requests++ // the Head
+	f.requests.Add(1) // the Head
 	return f, nil
 }
 
@@ -59,7 +62,7 @@ func NewFile(client *s3.Client, bucket, key string, size int64) *File {
 func (f *File) Size() int64 { return f.size }
 
 // Requests returns how many S3 requests this handle has issued.
-func (f *File) Requests() int64 { return f.requests }
+func (f *File) Requests() int64 { return f.requests.Load() }
 
 // Bucket returns the bucket name.
 func (f *File) Bucket() string { return f.bucket }
@@ -92,7 +95,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			reqLen = want - n
 		}
 		data, got, err := f.client.GetRange(f.bucket, f.key, off+n, reqLen, f.Conns)
-		f.requests++
+		f.requests.Add(1)
 		if err != nil {
 			return int(n), err
 		}

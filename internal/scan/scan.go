@@ -1,7 +1,11 @@
 // Package scan implements Lambada's S3-based Parquet scan operator
-// (§4.3.2, Figure 8). It exploits concurrency at the four levels the paper
-// identifies, in the priority order the paper prescribes:
+// (§4.3.2, Figure 8). It exploits concurrency at five levels — the four the
+// paper identifies, in the priority order the paper prescribes, plus a
+// file-level worker pool on top:
 //
+//	(5) multiple lpq files scanned concurrently by a bounded worker pool
+//	    (Config.ParallelFiles), chunks delivered in file order through
+//	    per-file channels so the yield order matches the serial scan;
 //	(4) metadata of all files prefetched eagerly in a dedicated thread;
 //	(3) up to two row groups downloaded asynchronously (double buffering),
 //	    overlapping download with decompression of the previous group;
@@ -14,7 +18,9 @@
 package scan
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"lambada/internal/awssim/s3"
@@ -37,10 +43,15 @@ type Config struct {
 	ParallelColumns bool
 	// MetaPrefetch fetches all files' footers eagerly (level 4).
 	MetaPrefetch bool
+	// ParallelFiles bounds how many files are scanned concurrently
+	// (level 5). 0 or 1 scans serially; DefaultConfig uses GOMAXPROCS.
+	// Chunk delivery order is unaffected: chunks surface in file order,
+	// row groups in order within each file, exactly as a serial scan.
+	ParallelFiles int
 }
 
-// DefaultConfig mirrors the paper's operator: all levels enabled, 16 MiB
-// chunks, four connections.
+// DefaultConfig mirrors the paper's operator — all levels enabled, 16 MiB
+// chunks, four connections — plus file-level parallelism across all CPUs.
 func DefaultConfig() Config {
 	return Config{
 		ChunkBytes:      s3fs.DefaultChunkBytes,
@@ -48,6 +59,7 @@ func DefaultConfig() Config {
 		DoubleBuffer:    true,
 		ParallelColumns: true,
 		MetaPrefetch:    true,
+		ParallelFiles:   runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -63,14 +75,27 @@ type Source struct {
 	Files  []FileRef
 	Cfg    Config
 
-	mu      sync.Mutex
-	readers map[string]*lpq.Reader
-	handles map[string]*s3fs.File
+	mu    sync.Mutex
+	opens map[string]*openState
+
+	// scratch pools decompression buffers across row-group reads.
+	scratch sync.Pool
 
 	// Stats.
 	rowGroupsRead   int64
 	rowGroupsPruned int64
 	filesAllPruned  int64
+}
+
+// openState is the singleflight slot of one file's footer fetch: however
+// many goroutines race to open a file (the metadata prefetcher, level-5 file
+// workers, the synchronous path), the footer is fetched exactly once and
+// everyone shares the result.
+type openState struct {
+	once sync.Once
+	r    *lpq.Reader
+	h    *s3fs.File
+	err  error
 }
 
 // New returns a source over files.
@@ -82,11 +107,10 @@ func New(client *s3.Client, cfg Config, files ...FileRef) *Source {
 		cfg.Conns = 1
 	}
 	return &Source{
-		Client:  client,
-		Files:   files,
-		Cfg:     cfg,
-		readers: make(map[string]*lpq.Reader),
-		handles: make(map[string]*s3fs.File),
+		Client: client,
+		Files:  files,
+		Cfg:    cfg,
+		opens:  make(map[string]*openState),
 	}
 }
 
@@ -104,31 +128,40 @@ func (s *Source) Stats() Stats {
 	return Stats{RowGroupsRead: s.rowGroupsRead, RowGroupsPruned: s.rowGroupsPruned, FilesAllPruned: s.filesAllPruned}
 }
 
+// open returns the (cached) reader and handle of f. Concurrent callers for
+// the same file block on one in-flight fetch instead of issuing duplicates;
+// a failed open is forgotten so a later caller can retry.
 func (s *Source) open(f FileRef) (*lpq.Reader, *s3fs.File, error) {
 	id := f.Bucket + "/" + f.Key
 	s.mu.Lock()
-	if r, ok := s.readers[id]; ok {
-		h := s.handles[id]
-		s.mu.Unlock()
-		return r, h, nil
+	st, ok := s.opens[id]
+	if !ok {
+		st = &openState{}
+		s.opens[id] = st
 	}
 	s.mu.Unlock()
 
-	h, err := s3fs.Open(s.Client, f.Bucket, f.Key)
-	if err != nil {
-		return nil, nil, err
-	}
-	h.ChunkBytes = s.Cfg.ChunkBytes
-	h.Conns = s.Cfg.Conns
-	r, err := lpq.OpenReader(h, h.Size())
-	if err != nil {
-		return nil, nil, fmt.Errorf("scan: opening %s: %w", id, err)
-	}
-	s.mu.Lock()
-	s.readers[id] = r
-	s.handles[id] = h
-	s.mu.Unlock()
-	return r, h, nil
+	st.once.Do(func() {
+		h, err := s3fs.Open(s.Client, f.Bucket, f.Key)
+		if err != nil {
+			st.err = err
+		} else {
+			h.ChunkBytes = s.Cfg.ChunkBytes
+			h.Conns = s.Cfg.Conns
+			r, err := lpq.OpenReader(h, h.Size())
+			if err != nil {
+				st.err = fmt.Errorf("scan: opening %s: %w", id, err)
+			} else {
+				st.r, st.h = r, h
+			}
+		}
+		if st.err != nil {
+			s.mu.Lock()
+			delete(s.opens, id)
+			s.mu.Unlock()
+		}
+	})
+	return st.r, st.h, st.err
 }
 
 // Schema returns the schema of the first file.
@@ -144,10 +177,13 @@ func (s *Source) Schema() (*columnar.Schema, error) {
 }
 
 // Scan yields the projected columns of every non-pruned row group of every
-// file, exploiting the configured concurrency levels.
+// file, exploiting the configured concurrency levels. Yield order is always
+// the serial order — files in order, row groups in order within each file —
+// whatever parallelism is configured.
 func (s *Source) Scan(proj []string, preds []lpq.Predicate, yield func(*columnar.Chunk) error) error {
 	// Level 4: prefetch metadata of all files in a dedicated goroutine so
 	// the footer round trips of file k+1... hide behind file k's data.
+	// The singleflight in open dedups against the scan path's own opens.
 	if s.Cfg.MetaPrefetch && len(s.Files) > 1 {
 		var wg sync.WaitGroup
 		wg.Add(1)
@@ -160,9 +196,93 @@ func (s *Source) Scan(proj []string, preds []lpq.Predicate, yield func(*columnar
 		defer wg.Wait()
 	}
 
+	if s.Cfg.ParallelFiles > 1 && len(s.Files) > 1 {
+		return s.scanFilesParallel(proj, preds, yield)
+	}
+
 	for _, f := range s.Files {
 		if err := s.scanFile(f, proj, preds, yield); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+var errScanCanceled = errors.New("scan: canceled")
+
+// scanFilesParallel scans up to Cfg.ParallelFiles files concurrently
+// (level 5). Every file's chunks flow through its own bounded channel and
+// the consumer drains the channels in file order, so the yield sequence is
+// identical to the serial scan while downloads and decoding of later files
+// overlap with the consumption of earlier ones. The first error — a file
+// error, in file order, or a yield error — cancels all in-flight workers.
+//
+// Admission is in file order, granted by the consumer: the active files are
+// always the ParallelFiles lowest undrained ones. A plain semaphore would
+// deadlock here — workers for later files could win every slot, fill their
+// bounded channels, and block while the consumer waits on an earlier file
+// whose worker never got a slot.
+func (s *Source) scanFilesParallel(proj []string, preds []lpq.Predicate, yield func(*columnar.Chunk) error) error {
+	type item struct {
+		chunk *columnar.Chunk
+		err   error
+	}
+	n := len(s.Files)
+	width := s.Cfg.ParallelFiles
+	if width > n {
+		width = n
+	}
+	chans := make([]chan item, n)
+	starts := make([]chan struct{}, n)
+	done := make(chan struct{})
+	var cancel sync.Once
+	stop := func() { cancel.Do(func() { close(done) }) }
+	defer stop()
+
+	for i, f := range s.Files {
+		// Buffer 2: the file worker may run one chunk ahead of the
+		// consumer, mirroring the row-group double buffer's depth.
+		chans[i] = make(chan item, 2)
+		starts[i] = make(chan struct{})
+		go func(i int, f FileRef) {
+			defer close(chans[i])
+			select {
+			case <-starts[i]:
+			case <-done:
+				return
+			}
+			err := s.scanFile(f, proj, preds, func(c *columnar.Chunk) error {
+				select {
+				case chans[i] <- item{chunk: c}:
+					return nil
+				case <-done:
+					return errScanCanceled
+				}
+			})
+			if err != nil && !errors.Is(err, errScanCanceled) {
+				select {
+				case chans[i] <- item{err: err}:
+				case <-done:
+				}
+			}
+		}(i, f)
+	}
+	for i := 0; i < width; i++ {
+		close(starts[i])
+	}
+
+	for i := range chans {
+		for it := range chans[i] {
+			if it.err != nil {
+				return it.err
+			}
+			if err := yield(it.chunk); err != nil {
+				return err
+			}
+		}
+		// File i is fully drained: admit the next one.
+		if next := i + width; next < n {
+			close(starts[next])
 		}
 	}
 	return nil
@@ -257,7 +377,17 @@ func (s *Source) readRowGroup(r *lpq.Reader, h *s3fs.File, meta *lpq.FileMeta, g
 		if err != nil {
 			return err
 		}
-		v, err := lpq.DecodeColumnChunk(stored, meta.Schema.Fields[ci].Type, cc, rg.NumRows)
+		// Reuse a pooled decompression scratch buffer; decoders copy
+		// values out, so the buffer can be recycled immediately.
+		var bp *[]byte
+		if x := s.scratch.Get(); x != nil {
+			bp = x.(*[]byte)
+		} else {
+			bp = new([]byte)
+		}
+		v, buf, err := lpq.DecodeColumnChunkBuf(stored, meta.Schema.Fields[ci].Type, cc, rg.NumRows, *bp)
+		*bp = buf
+		s.scratch.Put(bp)
 		if err != nil {
 			return err
 		}
