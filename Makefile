@@ -1,6 +1,9 @@
 GO ?= go
+# bench-json knobs: the PR-numbered output file and the per-benchmark time.
+BENCH_JSON ?= BENCH_PR2.json
+BENCHTIME ?= 300ms
 
-.PHONY: build test race bench vet
+.PHONY: build test race bench bench-json vet
 
 build:
 	$(GO) build ./...
@@ -16,3 +19,10 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE ./internal/engine/ ./internal/scan/ ./internal/lpq/ .
+
+# bench-json records the engine/scan/exchange benchmarks as machine-readable
+# JSON (ns/op, B/op, allocs/op) — the repo's perf trajectory, one
+# BENCH_PR<N>.json per PR. Non-gating in CI.
+bench-json:
+	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) -benchtime $(BENCHTIME) \
+		./internal/engine ./internal/scan ./internal/exchange

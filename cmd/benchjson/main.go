@@ -1,0 +1,128 @@
+// Command benchjson runs `go test -bench` over the given packages and
+// writes the parsed results as JSON — one record per benchmark with ns/op,
+// B/op and allocs/op — so every PR can append a machine-readable point to
+// the repo's perf trajectory (BENCH_PR<N>.json files at the repo root).
+//
+// Usage:
+//
+//	benchjson [-out bench.json] [-bench regex] [-benchtime 300ms] pkg...
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	MBPerSec    float64 `json:"mb_s,omitempty"`
+	BytesPerOp  int64   `json:"b_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_op,omitempty"`
+}
+
+// Report is the emitted file.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchtime  string   `json:"benchtime"`
+	Packages   []string `json:"packages"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkHashJoin/pipelines=1-8   3  18752928 ns/op  665.63 MB/s  82427112 B/op  1247 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+var pkgLine = regexp.MustCompile(`^(?:ok|PASS|FAIL)\s+(\S+)`)
+
+func main() {
+	out := flag.String("out", "bench.json", "output JSON path")
+	bench := flag.String("bench", ".", "benchmark regex passed to -bench")
+	benchtime := flag.String("benchtime", "300ms", "benchtime passed to go test")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./internal/engine", "./internal/scan", "./internal/exchange"}
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  *benchtime,
+		Packages:   pkgs,
+	}
+	// One `go test` per package so every result line can be attributed.
+	for _, pkg := range pkgs {
+		args := []string{"test", "-run", "NONE", "-bench", *bench, "-benchmem", "-benchtime", *benchtime, pkg}
+		cmd := exec.Command("go", args...)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
+			os.Exit(1)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, parse(buf.String(), pkg)...)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parse extracts benchmark lines from go test output.
+func parse(out, fallbackPkg string) []Result {
+	var rs []Result
+	pkg := fallbackPkg
+	var pending []int // indices awaiting the package name printed at the end
+	for _, line := range strings.Split(out, "\n") {
+		if m := pkgLine.FindStringSubmatch(line); m != nil {
+			for _, i := range pending {
+				rs[i].Package = m[1]
+			}
+			pending = pending[:0]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1], Package: pkg}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.MBPerSec, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		pending = append(pending, len(rs))
+		rs = append(rs, r)
+	}
+	return rs
+}

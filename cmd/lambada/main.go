@@ -19,6 +19,7 @@ import (
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/columnar"
 	"lambada/internal/driver"
+	"lambada/internal/engine"
 	"lambada/internal/lpq"
 	"lambada/internal/simclock"
 	"lambada/internal/sqlfe"
@@ -44,11 +45,19 @@ FROM lineitem
 WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
   AND l_discount BETWEEN 0.0499999 AND 0.0700001 AND l_quantity < 24`
 
+// joinSQL is the canonical broadcast-join shape: LINEITEM (big, on S3)
+// INNER JOIN SUPPLIER (small, shipped from the driver), revenue per nation.
+const joinSQL = `
+SELECT s_nationkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue, COUNT(*) AS n
+FROM lineitem INNER JOIN supplier ON lineitem.l_suppkey = supplier.s_suppkey
+GROUP BY s_nationkey
+ORDER BY s_nationkey`
+
 func main() {
 	var (
 		sf      = flag.Float64("sf", 0.005, "TPC-H scale factor of the generated LINEITEM data")
 		files   = flag.Int("files", 8, "number of lpq files the table is stored as")
-		query   = flag.String("query", "q1", "q1, q6, or a SQL string")
+		query   = flag.String("query", "q1", "q1, q6, join, or a SQL string (join SQL may reference the broadcast table 'supplier')")
 		memory  = flag.Int("m", 1792, "worker memory in MiB")
 		fPerW   = flag.Int("f", 1, "files per worker")
 		tree    = flag.Bool("tree", true, "use the two-level invocation tree")
@@ -66,6 +75,20 @@ func main() {
 		sql = q1SQL
 	case "q6":
 		sql = q6SQL
+	case "join":
+		sql = joinSQL
+	}
+	plan, perr := sqlfe.Parse(sql)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "lambada:", perr)
+		os.Exit(2)
+	}
+	// Any query whose plan scans the supplier table gets it broadcast from
+	// the driver into the worker payloads.
+	needsSupplier := planTables(plan, nil)["supplier"]
+	if needsSupplier && *useXchg {
+		fmt.Fprintln(os.Stderr, "lambada: -exchange does not support broadcast-join queries (the exchange path ships no broadcast tables)")
+		os.Exit(2)
 	}
 
 	comp := lpq.None
@@ -91,14 +114,16 @@ func main() {
 		fmt.Printf("uploaded %d files (%s total)\n", len(refs), byteSize(dep.S3.TotalBytes("tpch")))
 		var out *columnar.Chunk
 		var rep *driver.Report
-		if *useXchg {
-			plan, perr := sqlfe.Parse(sql)
-			if perr != nil {
-				return perr
-			}
+		switch {
+		case *useXchg:
 			out, rep, err = d.RunPlanExchanged(plan, "lineitem", refs, driver.DefaultExchangeConfig())
-		} else {
-			out, rep, err = d.RunSQL(sql, "lineitem", refs)
+		case needsSupplier:
+			sup := tpch.Gen{SF: *sf, Seed: *seed}.Supplier()
+			fmt.Printf("broadcasting SUPPLIER (%d rows) with every worker payload\n", sup.NumRows())
+			out, rep, err = d.RunPlanBroadcast(plan, "lineitem", refs,
+				map[string]*columnar.Chunk{"supplier": sup})
+		default:
+			out, rep, err = d.RunPlan(plan, "lineitem", refs)
 		}
 		if err != nil {
 			return err
@@ -135,6 +160,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lambada:", err)
 		os.Exit(1)
 	}
+}
+
+// planTables collects every table the plan scans (join build sides
+// included).
+func planTables(p engine.Plan, dst map[string]bool) map[string]bool {
+	if dst == nil {
+		dst = map[string]bool{}
+	}
+	for n := p; n != nil; n = n.Child() {
+		if s, ok := n.(*engine.ScanPlan); ok {
+			dst[s.Table] = true
+		}
+		if j, ok := n.(*engine.JoinPlan); ok {
+			planTables(j.Right, dst)
+		}
+	}
+	return dst
 }
 
 func printChunk(c *columnar.Chunk) {

@@ -12,22 +12,46 @@
 // levels (§4.3.2, Figure 8) plus a morsel-driven execution layer on top:
 //
 //	(5) file/pipeline parallelism: a bounded worker pool scans multiple lpq
-//	    files concurrently (scan.Config.ParallelFiles) and the engine fans
-//	    scan chunks out to N pipeline goroutines for filter/projection and
-//	    partition-parallel aggregation (engine.ExecuteParallel,
-//	    driver.Config.PipelineParallelism);
+//	    files concurrently (scan.Config.ParallelFiles) and the engine runs
+//	    every plan on a pipeline-graph scheduler at N morsel workers
+//	    (engine.ExecuteParallel, driver.Config.PipelineParallelism);
 //	(4) metadata of all files prefetched eagerly in a dedicated thread;
 //	(3) row groups double-buffered: download overlaps decompression;
 //	(2) column chunks of a row group fetched in parallel;
 //	(1) multiple chunked requests per read, only as a fallback, since
 //	    extra requests cost money (Figure 7).
 //
+// # Pipeline-graph scheduler
+//
+// The engine has exactly one executor. A planner pass decomposes any plan
+// into a DAG of pipelines — streamable scan/filter/project/join-probe
+// chains terminated by breaker sinks (aggregate, sort, limit, collect) —
+// with dependency edges: a join's build pipeline completes and its hash
+// table seals before the probe pipeline starts. The scheduler runs ready
+// pipelines as their dependencies finish, fanning each pipeline's morsels
+// out to N workers; engine.Execute is the same scheduler at N = 1, running
+// the whole graph inline without spawning a single goroutine (the form DES
+// deployments require). There is no serial fallback path: joins, nested
+// breakers and arbitrary operator chains all run morsel-parallel.
+//
+// Hash joins build a sealed-then-shared table in one of three key modes
+// (mirroring the aggregation kernel's group-addressing matrix):
+//
+//	dense   single int64 key spanning a narrow range: direct-index CSR
+//	int64   single wide int64 key: open addressing, partition-parallel build
+//	string  multi-column keys: encoded-key map, partition-parallel build
+//
+// Float and bool join keys are rejected at planning time with
+// engine.ErrJoinKey. Probes gather matches through selection vectors in
+// (probe row, build row) order, so results are independent of worker count.
+//
 // Everything above level 1 is deterministic in its results: parallel scans
-// deliver chunks in serial order, and parallel aggregation folds per-chunk
-// partials in sequence order, so outputs are byte-identical to serial
-// execution. In discrete-event-simulated deployments all levels are forced
-// off (worker code must not spawn goroutines); the bandwidth shaper models
-// their timing effect instead.
+// deliver chunks in serial order, aggregation folds per-chunk partials in
+// sequence order, collect sinks reassemble morsels in sequence order, and
+// the limit sink takes the first N rows in sequence order — outputs are
+// byte-identical to serial execution. In discrete-event-simulated
+// deployments all levels are forced off (worker code must not spawn
+// goroutines); the bandwidth shaper models their timing effect instead.
 //
 // # Chunk pooling
 //

@@ -10,6 +10,7 @@ package simenv
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -36,24 +37,60 @@ func NewImmediate() *Immediate { return &Immediate{} }
 // Now returns the accumulated virtual time.
 func (e *Immediate) Now() time.Duration { return time.Duration(e.elapsed.Load()) }
 
-// Sleep accumulates d without blocking (virtual time), yielding so that
-// poll loops spinning on an Immediate env stay cooperative with the real
-// goroutines they are waiting on. For poll-sized sleeps the yield must be
-// real time, not just the processor: with GOMAXPROCS > 1 a bare Gosched
-// lets a waiter burn through minutes of virtual timeout in milliseconds of
-// real time while the worker goroutines it awaits have barely run — the
-// driver's SQS result poll would time out under 0/N messages. A microsecond
-//-scale real sleep per virtual millisecond keeps waiting loops honest
-// without materially slowing functional-mode runs.
+// The completion signal shared by every Immediate env: Notify rotates the
+// broadcast channel, waking every goroutine currently parked in a
+// poll-sized Sleep. GoRuntime gives each worker its own Immediate, so the
+// signal is process-wide rather than per-env — a worker's SQS Send must
+// wake the driver's poller even though they hold different clocks.
+var (
+	notifyMu sync.Mutex
+	notifyCh = make(chan struct{})
+)
+
+// Notify broadcasts a completion signal (work was produced — e.g. a
+// message arrived on an SQS queue) to every goroutine blocked in an
+// Immediate poll-sized Sleep. Spurious wakeups are harmless: Sleep credits
+// its virtual time before parking, so a woken poller simply re-checks its
+// condition.
+func Notify() {
+	notifyMu.Lock()
+	close(notifyCh)
+	notifyCh = make(chan struct{})
+	notifyMu.Unlock()
+}
+
+// pollGuard bounds the real time a poll-sized Sleep parks for when no
+// completion signal arrives: enough of a throttle that a waiter spinning
+// on a virtual timeout cannot burn through minutes of it in milliseconds
+// of real time while the worker goroutines it awaits have barely run
+// (with GOMAXPROCS > 1 a bare Gosched does exactly that — the driver's
+// SQS result poll would time out under 0/N messages), yet small enough
+// that a 10-virtual-minute timeout costs ~1 s of real time.
+const pollGuard = 50 * time.Microsecond
+
+// Sleep accumulates d without blocking on virtual time. Poll-sized sleeps
+// (≥ 1 ms of virtual time) park until the next completion signal (Notify,
+// broadcast on every SQS Send) with pollGuard as the fallback: pollers
+// wake the instant work arrives instead of burning fixed real-time
+// throttles, and waiters whose work never arrives still make bounded
+// real-time progress toward their virtual deadline.
 func (e *Immediate) Sleep(d time.Duration) {
 	if d > 0 {
 		e.elapsed.Add(int64(d))
 	}
-	if d >= time.Millisecond {
-		time.Sleep(50 * time.Microsecond)
-	} else {
+	if d < time.Millisecond {
 		runtime.Gosched()
+		return
 	}
+	notifyMu.Lock()
+	ch := notifyCh
+	notifyMu.Unlock()
+	t := time.NewTimer(pollGuard)
+	select {
+	case <-ch:
+	case <-t.C:
+	}
+	t.Stop()
 }
 
 // Wall is an Env backed by the real clock; Sleep really sleeps. Useful for

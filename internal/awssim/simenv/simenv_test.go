@@ -37,6 +37,48 @@ func TestImmediateConcurrent(t *testing.T) {
 	}
 }
 
+// TestNotifyWakesSleepers: Notify must wake concurrent poll-sized sleeps
+// promptly and race-free, and Sleep must still credit full virtual time.
+func TestNotifyWakesSleepers(t *testing.T) {
+	e := NewImmediate()
+	const iters = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			e.Sleep(5 * time.Millisecond)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			Notify()
+		}
+	}()
+	wg.Wait()
+	if e.Now() != iters*5*time.Millisecond {
+		t.Errorf("now = %v, want %v", e.Now(), iters*5*time.Millisecond)
+	}
+}
+
+// TestSleepWithoutSignalStillProgresses: a waiter whose work never arrives
+// must not block on the signal forever — the pollGuard fallback bounds each
+// poll-sized sleep.
+func TestSleepWithoutSignalStillProgresses(t *testing.T) {
+	e := NewImmediate()
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		e.Sleep(25 * time.Millisecond) // poll-sized, no Notify anywhere
+	}
+	if real := time.Since(start); real > 5*time.Second {
+		t.Errorf("100 unsignaled poll sleeps took %v of real time", real)
+	}
+	if e.Now() != 2500*time.Millisecond {
+		t.Errorf("now = %v", e.Now())
+	}
+}
+
 func TestWallScales(t *testing.T) {
 	w := NewWall(1000)
 	start := time.Now()

@@ -99,6 +99,11 @@ func (s *Service) Send(env simenv.Env, queue string, body []byte) error {
 	s.mu.Unlock()
 
 	s.cfg.Meter.Charge(pricing.LabelSQS, pricing.SQSPerRequest)
+	// Completion signal: wake Immediate-env pollers blocked in Sleep so
+	// result collectors react to the message now instead of on their next
+	// throttled poll tick. DES processes are unaffected (their Sleep is
+	// kernel-driven).
+	simenv.Notify()
 	s.sleep(env, s.cfg.SendLatency)
 	return nil
 }

@@ -3,6 +3,7 @@ package sqs
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -99,6 +100,39 @@ func TestPollAllDriverPattern(t *testing.T) {
 	}
 	if len(got) != workers {
 		t.Errorf("got %d messages", len(got))
+	}
+}
+
+// TestSendWakesImmediatePoller: a PollAll spinning on an Immediate env
+// (huge virtual budget) must complete promptly in real time once workers
+// Send — the completion signal wakes the poller instead of it riding out
+// per-poll throttles.
+func TestSendWakesImmediatePoller(t *testing.T) {
+	s := New(Config{})
+	s.CreateQueue("results")
+	const workers = 20
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			env := simenv.NewImmediate() // each worker has its own clock
+			env.Sleep(time.Duration(i+1) * 10 * time.Millisecond)
+			s.Send(env, "results", []byte(fmt.Sprintf("worker-%d", i)))
+		}(i)
+	}
+	start := time.Now()
+	driverEnv := simenv.NewImmediate()
+	got, err := s.PollAll(driverEnv, "results", workers, 25*time.Millisecond, 10*time.Minute)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != workers {
+		t.Errorf("got %d messages", len(got))
+	}
+	if real := time.Since(start); real > 5*time.Second {
+		t.Errorf("poll of %d immediate-env sends took %v of real time", workers, real)
 	}
 }
 

@@ -1,0 +1,11 @@
+package columnar
+
+// Hash64 is the partitioning hash shared by the engine's join table and
+// the serverless exchange (splitmix64 finalizer): cheap, and spreads both
+// partition and slot selections well.
+func Hash64(x int64) uint64 {
+	z := uint64(x) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -114,6 +114,52 @@ func TestBroadcastJoinDESDeterministic(t *testing.T) {
 	}
 }
 
+// TestSQLJoinEndToEnd drives the full stack from SQL: sqlfe parses the
+// INNER JOIN into a JoinPlan, the driver broadcasts the small side, and
+// worker fragments run the join on the pipeline-graph scheduler.
+func TestSQLJoinEndToEnd(t *testing.T) {
+	d, refs, data := localSetup(t, DefaultConfig(), 0.002, 8)
+	sup := tpch.Gen{SF: 0.002, Seed: 33}.Supplier()
+
+	const joinSQL = `
+SELECT s_nationkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue, COUNT(*) AS n
+FROM lineitem INNER JOIN supplier ON lineitem.l_suppkey = supplier.s_suppkey
+GROUP BY s_nationkey
+ORDER BY s_nationkey`
+	out, rep, err := d.RunSQLBroadcast(joinSQL, "lineitem", refs,
+		map[string]*columnar.Chunk{"supplier": sup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-node reference over the same plan shape.
+	cat := engine.Catalog{
+		"lineitem": engine.NewMemSource(tpch.Schema(), data),
+		"supplier": engine.NewMemSource(tpch.SupplierSchema(), sup),
+	}
+	want, err := engine.Execute(nationRevenuePlan(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != want.NumRows() {
+		t.Fatalf("nations = %d, want %d", out.NumRows(), want.NumRows())
+	}
+	for i := 0; i < want.NumRows(); i++ {
+		if out.Column("s_nationkey").Int64s[i] != want.Column("s_nationkey").Int64s[i] {
+			t.Fatalf("row %d nation mismatch", i)
+		}
+		a, b := out.Column("revenue").Float64s[i], want.Column("revenue").Float64s[i]
+		if math.Abs(a-b) > 1e-6*b {
+			t.Errorf("row %d revenue = %v, want %v", i, a, b)
+		}
+		if out.Column("n").Int64s[i] != want.Column("n").Int64s[i] {
+			t.Errorf("row %d count mismatch", i)
+		}
+	}
+	if rep.Workers != 8 {
+		t.Errorf("workers = %d", rep.Workers)
+	}
+}
+
 func TestBroadcastMissingTableFails(t *testing.T) {
 	d, refs, _ := localSetup(t, DefaultConfig(), 0.001, 2)
 	// Plan references "supplier" but nothing is broadcast: caught at

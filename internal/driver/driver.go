@@ -316,12 +316,10 @@ func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, p *workerPayload) (*columna
 		}
 		cat[name] = engine.NewMemSource(c.Schema, c)
 	}
-	var partial *columnar.Chunk
-	if d.cfg.PipelineParallelism == 1 {
-		partial, err = engine.Execute(plan, cat)
-	} else {
-		partial, err = engine.ExecuteParallel(plan, cat, engine.ParallelConfig{Pipelines: d.cfg.PipelineParallelism})
-	}
+	// Every fragment — joins included — runs on the pipeline-graph
+	// scheduler; parallelism 1 (forced in DES deployments) executes the
+	// whole graph inline without spawning goroutines.
+	partial, err := engine.ExecuteParallel(plan, cat, engine.ParallelConfig{Pipelines: d.cfg.PipelineParallelism})
 	if err != nil {
 		return nil, err
 	}

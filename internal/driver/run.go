@@ -46,6 +46,19 @@ func (d *Driver) RunSQL(sql string, table string, files []scan.FileRef) (*column
 	return d.RunPlan(plan, table, files)
 }
 
+// RunSQLBroadcast runs a SQL query whose INNER JOINs reference small
+// driver-side tables: `table` is the big S3-backed probe side, and every
+// other table in the query must appear in broadcast, shipped inside the
+// worker payloads (§3.2's "reading small amounts of data locally that
+// should be broadcasted into the serverless workers").
+func (d *Driver) RunSQLBroadcast(sql string, table string, files []scan.FileRef, broadcast map[string]*columnar.Chunk) (*columnar.Chunk, *Report, error) {
+	plan, err := sqlfe.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.runPlan(plan, table, files, broadcast)
+}
+
 // RunPlan optimizes and executes a logical plan on the serverless fleet:
 // the scan/filter/partial-aggregate scope runs in the workers; the final
 // merge scope runs on the driver (§3.2).

@@ -492,38 +492,3 @@ func (b *aggBuilder) finalize(outSchema *columnar.Schema) (*columnar.Chunk, erro
 	}
 	return out, nil
 }
-
-// runAggregate executes the aggregate serially: a per-chunk partial builder
-// folded into the master in stream order — the workers=1 instance of the
-// same reduction tree the parallel aggregate uses.
-func runAggregate(p *AggregatePlan, cat Catalog) (*columnar.Chunk, error) {
-	inSchema, err := p.In.OutSchema()
-	if err != nil {
-		return nil, err
-	}
-	outSchema, err := p.OutSchema()
-	if err != nil {
-		return nil, err
-	}
-	master, err := newAggBuilder(p, inSchema)
-	if err != nil {
-		return nil, err
-	}
-	var seq uint64
-	err = executePush(p.In, cat, func(c *columnar.Chunk) error {
-		part, err := newAggBuilder(p, inSchema)
-		if err != nil {
-			return err
-		}
-		if err := part.addChunk(c, seq); err != nil {
-			return err
-		}
-		seq++
-		master.mergeFrom(part)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return master.finalize(outSchema)
-}

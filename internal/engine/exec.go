@@ -32,118 +32,34 @@ func Resolve(p Plan, cat Catalog) error {
 		if err := Resolve(j.Right, cat); err != nil {
 			return err
 		}
+		if err := Resolve(j.Left, cat); err != nil {
+			return err
+		}
+		// Both sides' schemas are known now: repair key pairs written in
+		// the wrong orientation (SQL's unqualified `ON s_suppkey =
+		// l_suppkey` is assigned positionally by the parser).
+		j.normalizeKeys()
+		return nil
 	}
 	return Resolve(p.Child(), cat)
 }
 
 // Execute runs the plan and materializes its (small) result as one chunk.
-// Pipelines between materialization points are fused: scan, filter and
-// projection run chunk-at-a-time without intermediate materialization;
-// aggregation, ordering and limits are pipeline breakers.
+// It is the pipeline-graph scheduler at parallelism 1: the plan is
+// decomposed into a DAG of pipelines (see pipeline.go) and every pipeline
+// runs inline on the caller's goroutine, chunk-at-a-time between breakers.
+// ExecuteParallel with N pipelines produces byte-identical results.
 func Execute(p Plan, cat Catalog) (*columnar.Chunk, error) {
-	if err := Resolve(p, cat); err != nil {
-		return nil, err
-	}
-	schema, err := p.OutSchema()
-	if err != nil {
-		return nil, err
-	}
-	out := columnar.NewChunk(schema, 0)
-	err = executePush(p, cat, func(c *columnar.Chunk) error {
-		out.AppendChunk(c)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// executePush streams chunks bottom-up through fused pipelines.
-func executePush(p Plan, cat Catalog, yield func(*columnar.Chunk) error) error {
-	switch n := p.(type) {
-	case *ScanPlan:
-		src := cat[n.Table]
-		if src == nil {
-			return fmt.Errorf("engine: unknown table %q", n.Table)
-		}
-		var sel []int // selection vector reused across chunks
-		return src.Scan(n.Projection, n.Prune, func(c *columnar.Chunk) error {
-			if n.Filter != nil {
-				fc, s, _, err := applyFilter(c, n.Filter, sel, nil)
-				if err != nil {
-					return err
-				}
-				c, sel = fc, s
-			}
-			return yield(c)
-		})
-	case *FilterPlan:
-		var sel []int
-		return executePush(n.In, cat, func(c *columnar.Chunk) error {
-			fc, s, _, err := applyFilter(c, n.Pred, sel, nil)
-			if err != nil {
-				return err
-			}
-			sel = s
-			return yield(fc)
-		})
-	case *ProjectPlan:
-		outSchema, err := n.OutSchema()
-		if err != nil {
-			return err
-		}
-		return executePush(n.In, cat, func(c *columnar.Chunk) error {
-			out := &columnar.Chunk{Schema: outSchema}
-			for _, e := range n.Exprs {
-				v, err := e.Eval(c)
-				if err != nil {
-					return err
-				}
-				out.Columns = append(out.Columns, v)
-			}
-			return yield(out)
-		})
-	case *AggregatePlan:
-		res, err := runAggregate(n, cat)
-		if err != nil {
-			return err
-		}
-		return yield(res)
-	case *JoinPlan:
-		return runJoin(n, cat, yield)
-	case *OrderByPlan:
-		in, err := Execute(n.In, cat)
-		if err != nil {
-			return err
-		}
-		sorted, err := sortChunk(in, n.Keys)
-		if err != nil {
-			return err
-		}
-		return yield(sorted)
-	case *LimitPlan:
-		in, err := Execute(n.In, cat)
-		if err != nil {
-			return err
-		}
-		hi := n.N
-		if hi > in.NumRows() {
-			hi = in.NumRows()
-		}
-		return yield(in.Slice(0, hi))
-	default:
-		return fmt.Errorf("engine: unknown plan node %T", p)
-	}
+	return ExecuteParallel(p, cat, ParallelConfig{Pipelines: 1})
 }
 
 // applyFilter evaluates pred and gathers the passing rows. It is the one
-// filter kernel shared by the serial and morsel-driven executors. sel is a
-// caller-owned selection-vector scratch reused across chunks (pass nil the
-// first time); the possibly-grown scratch is returned for the next call.
-// Gather copies the selected rows, so reusing sel immediately is safe.
-// When pool is non-nil a gathered result comes from the pool (pooled=true);
-// the caller owns recycling it per the columnar.Pool contract.
+// filter kernel of the pipeline executor. sel is a caller-owned selection-
+// vector scratch reused across chunks (pass nil the first time); the
+// possibly-grown scratch is returned for the next call. Gather copies the
+// selected rows, so reusing sel immediately is safe. When pool is non-nil
+// a gathered result comes from the pool (pooled=true); the caller owns
+// recycling it per the columnar.Pool contract.
 func applyFilter(c *columnar.Chunk, pred Expr, sel []int, pool *columnar.Pool) (out *columnar.Chunk, selOut []int, pooled bool, err error) {
 	v, err := pred.Eval(c)
 	if err != nil {

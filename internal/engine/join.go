@@ -1,25 +1,88 @@
 package engine
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/bits"
+	"strings"
+	"sync"
 
 	"lambada/internal/columnar"
 )
+
+// ErrJoinKey tags OutSchema errors for join key types the hash-join table
+// does not cover (anything but BIGINT). Callers detect it with errors.Is.
+var ErrJoinKey = errors.New("unsupported join key")
 
 // JoinPlan is an inner hash join: the Right (small) side is materialized
 // into a hash table, the Left side streams through it. In distributed
 // plans the right side is a driver-broadcast table (§3.2: small scopes run
 // on the driver to read "small amounts of data locally that should be
 // broadcasted into the serverless workers").
+//
+// Keys are given either as the single-key pair LeftKey/RightKey or as the
+// equal-length lists LeftKeys/RightKeys (which take precedence when set).
+// All key columns must be Int64: single keys use the table's dense or
+// open-addressing int64 modes, multi-key joins the encoded-string mode.
 type JoinPlan struct {
 	Left, Right       Plan
 	LeftKey, RightKey string
+	// LeftKeys/RightKeys is the multi-column form: row i of the left keys
+	// joins against row i of the right keys.
+	LeftKeys, RightKeys []string
+}
+
+// keyNames returns the normalized key column lists.
+func (p *JoinPlan) keyNames() (left, right []string) {
+	if len(p.LeftKeys) > 0 || len(p.RightKeys) > 0 {
+		return p.LeftKeys, p.RightKeys
+	}
+	return []string{p.LeftKey}, []string{p.RightKey}
+}
+
+// normalizeKeys flips key pairs written in the wrong orientation: when a
+// pair's left key only resolves against the right schema and its right
+// key against the left one (e.g. SQL's unqualified `ON s_suppkey =
+// l_suppkey`, which the parser assigns positionally), the pair is
+// swapped. Called by Resolve once both sides' schemas are known; pairs
+// that resolve as written, or not at all, are left for OutSchema to
+// validate.
+func (p *JoinPlan) normalizeKeys() {
+	ls, err := p.Left.OutSchema()
+	if err != nil {
+		return
+	}
+	rs, err := p.Right.OutSchema()
+	if err != nil {
+		return
+	}
+	lk, rk := p.keyNames()
+	if len(lk) != len(rk) {
+		return
+	}
+	for i := range lk {
+		if ls.Index(lk[i]) < 0 && rs.Index(lk[i]) >= 0 &&
+			ls.Index(rk[i]) >= 0 && rs.Index(rk[i]) < 0 {
+			if len(p.LeftKeys) > 0 || len(p.RightKeys) > 0 {
+				p.LeftKeys[i], p.RightKeys[i] = p.RightKeys[i], p.LeftKeys[i]
+			} else {
+				p.LeftKey, p.RightKey = p.RightKey, p.LeftKey
+			}
+		}
+	}
 }
 
 // OutSchema is the left schema followed by the right schema minus the
-// right join key (which duplicates the left one). Other duplicate column
-// names are rejected.
+// right join keys (which duplicate the left ones). Other duplicate column
+// names are rejected, as are key types the join table does not cover
+// (ErrJoinKey): keys must be Int64 on both sides — bool and float keys
+// fail here, at planning time, instead of panicking at build time.
 func (p *JoinPlan) OutSchema() (*columnar.Schema, error) {
+	lk, rk := p.keyNames()
+	if len(lk) == 0 || len(lk) != len(rk) {
+		return nil, fmt.Errorf("engine: join needs matching key lists, got %d left / %d right", len(lk), len(rk))
+	}
 	ls, err := p.Left.OutSchema()
 	if err != nil {
 		return nil, err
@@ -28,20 +91,28 @@ func (p *JoinPlan) OutSchema() (*columnar.Schema, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ls.Index(p.LeftKey) < 0 {
-		return nil, fmt.Errorf("engine: join key %q not in left input", p.LeftKey)
-	}
-	ri := rs.Index(p.RightKey)
-	if ri < 0 {
-		return nil, fmt.Errorf("engine: join key %q not in right input", p.RightKey)
-	}
-	if t := rs.Fields[ri].Type; t == columnar.Float64 {
-		return nil, fmt.Errorf("engine: float join key %q not supported", p.RightKey)
+	rightKeys := make(map[int]bool, len(rk))
+	for i := range lk {
+		li := ls.Index(lk[i])
+		if li < 0 {
+			return nil, fmt.Errorf("engine: join key %q not in left input", lk[i])
+		}
+		ri := rs.Index(rk[i])
+		if ri < 0 {
+			return nil, fmt.Errorf("engine: join key %q not in right input", rk[i])
+		}
+		if t := ls.Fields[li].Type; t != columnar.Int64 {
+			return nil, fmt.Errorf("engine: %w: left key %q has type %v (only BIGINT keys are hashable)", ErrJoinKey, lk[i], t)
+		}
+		if t := rs.Fields[ri].Type; t != columnar.Int64 {
+			return nil, fmt.Errorf("engine: %w: right key %q has type %v (only BIGINT keys are hashable)", ErrJoinKey, rk[i], t)
+		}
+		rightKeys[ri] = true
 	}
 	out := &columnar.Schema{}
 	out.Fields = append(out.Fields, ls.Fields...)
 	for i, f := range rs.Fields {
-		if i == ri {
+		if rightKeys[i] {
 			continue
 		}
 		if ls.Index(f.Name) >= 0 {
@@ -57,56 +128,351 @@ func (p *JoinPlan) Child() Plan { return p.Left }
 
 // String describes the join.
 func (p *JoinPlan) String() string {
-	return fmt.Sprintf("HashJoin %s = %s", p.LeftKey, p.RightKey)
+	lk, rk := p.keyNames()
+	pairs := make([]string, len(lk))
+	for i := range lk {
+		r := ""
+		if i < len(rk) {
+			r = rk[i]
+		}
+		pairs[i] = lk[i] + " = " + r
+	}
+	return "HashJoin " + strings.Join(pairs, ", ")
 }
 
-// runJoin builds the hash table from the right side and streams the left.
-func runJoin(p *JoinPlan, cat Catalog, yield func(*columnar.Chunk) error) error {
-	right, err := Execute(p.Right, cat)
-	if err != nil {
-		return err
+// joinMode selects the key addressing scheme of a joinTable, mirroring the
+// aggBuilder group-addressing matrix: a direct-index table when the single
+// int64 key spans a narrow range, open addressing on the raw int64 for a
+// single wide key, and an encoded-string map only for the multi-key
+// fallback.
+type joinMode uint8
+
+const (
+	joinEmpty  joinMode = iota // empty build side: every probe misses
+	joinDense                  // single int64 key, narrow range: direct index
+	joinInt64                  // single int64 key: open addressing
+	joinString                 // multi-key: encoded-string map
+)
+
+// maxDenseJoinSlots bounds the dense mode's direct-index table.
+const maxDenseJoinSlots = 1 << 16
+
+// joinPart is one hash partition of a sealed joinTable. Bucket resolution
+// is open addressing (joinInt64: linear probing over keys/slot) or a Go map
+// over encoded composite keys (joinString); matches are CSR row lists
+// (starts/rows), ascending build-row order within every bucket so probe
+// output matches the row-at-a-time reference order.
+type joinPart struct {
+	mask   uint64  // len(keys)-1, power of two (joinInt64)
+	keys   []int64 // open-addressing key slots
+	slot   []int32 // bucket ordinal + 1; 0 = empty
+	smap   map[string]int32
+	starts []int32
+	rows   []int32
+}
+
+// joinTable is the sealed, shared build side of a hash join: built once
+// (partition-parallel for the hashed modes), read-only afterwards, probed
+// concurrently by every pipeline worker.
+type joinTable struct {
+	build  *columnar.Chunk // materialized build side, row order preserved
+	keyIdx []int           // key column positions in build
+	mode   joinMode
+
+	// dense mode
+	lo     int64
+	span   int64
+	starts []int32
+	rows   []int32
+
+	// hashed modes
+	parts  []joinPart
+	pmask  uint64   // len(parts)-1
+	logP   uint     // bits consumed by partition selection
+	hashes []uint64 // per-build-row key hashes, build-time only
+}
+
+// fnv1a hashes an encoded composite key for partition selection.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
 	}
-	rs := right.Schema
-	ri := rs.Index(p.RightKey)
-	build := make(map[int64][]int, right.NumRows())
-	for i := 0; i < right.NumRows(); i++ {
-		k := right.Columns[ri].Int64At(i)
-		build[k] = append(build[k], i)
+	return h
+}
+
+func nextPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// encodeJoinKey appends the composite key of build/probe row i to buf.
+func encodeJoinKey(buf []byte, cols []*columnar.Vector, keyIdx []int, i int) []byte {
+	for _, ki := range keyIdx {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], uint64(cols[ki].Int64s[i]))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// buildJoinTable seals the materialized build side into a shared join
+// table. workers > 1 builds the hashed modes partition-parallel: each
+// partition owns the keys hashing to it, so workers never contend and the
+// per-bucket row lists stay in ascending build-row order regardless of the
+// worker count — the probe output is byte-identical either way.
+func buildJoinTable(build *columnar.Chunk, keyIdx []int, workers int) *joinTable {
+	t := &joinTable{build: build, keyIdx: keyIdx}
+	n := build.NumRows()
+	if n == 0 {
+		t.mode = joinEmpty
+		return t
+	}
+	if len(keyIdx) == 1 {
+		keys := build.Columns[keyIdx[0]].Int64s
+		lo, hi := keys[0], keys[0]
+		for _, k := range keys {
+			if k < lo {
+				lo = k
+			}
+			if k > hi {
+				hi = k
+			}
+		}
+		if span := uint64(hi) - uint64(lo); span < maxDenseJoinSlots && int64(span) <= 4*int64(n)+64 {
+			t.buildDense(keys, lo, int64(span)+1)
+			return t
+		}
+		t.mode = joinInt64
+	} else {
+		t.mode = joinString
 	}
 
-	outSchema, err := p.OutSchema()
-	if err != nil {
-		return err
+	// Hash every build row once, up front; partitions filter on the shared
+	// hash array instead of each rehashing (or re-encoding) all n rows.
+	t.hashes = make([]uint64, n)
+	switch t.mode {
+	case joinInt64:
+		for i, k := range build.Columns[keyIdx[0]].Int64s {
+			t.hashes[i] = columnar.Hash64(k)
+		}
+	case joinString:
+		var buf []byte
+		for i := 0; i < n; i++ {
+			buf = encodeJoinKey(buf[:0], build.Columns, keyIdx, i)
+			t.hashes[i] = fnv1a(buf)
+		}
 	}
-	ls, err := p.Left.OutSchema()
-	if err != nil {
-		return err
-	}
-	li := ls.Index(p.LeftKey)
-	nLeft := ls.Len()
 
-	return executePush(p.Left, cat, func(c *columnar.Chunk) error {
-		out := columnar.NewChunk(outSchema, c.NumRows())
-		keys := c.Columns[li]
-		for row := 0; row < c.NumRows(); row++ {
-			matches := build[keys.Int64At(row)]
-			for _, m := range matches {
-				for j := 0; j < nLeft; j++ {
-					out.Columns[j].Append(c.Columns[j], row)
+	p := 1
+	if workers > 1 && n >= 1024 {
+		p = nextPow2(workers)
+		if p > 16 {
+			p = 16
+		}
+	}
+	t.parts = make([]joinPart, p)
+	t.pmask = uint64(p - 1)
+	t.logP = uint(bits.TrailingZeros(uint(p)))
+	if p == 1 {
+		t.buildPart(0)
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < p; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				t.buildPart(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	t.hashes = nil // build-time only; probes hash their own rows
+	return t
+}
+
+// buildDense builds the direct-index mode with a counting sort: two passes,
+// no hashing, per-slot row lists naturally ascending.
+func (t *joinTable) buildDense(keys []int64, lo, span int64) {
+	t.mode = joinDense
+	t.lo, t.span = lo, span
+	starts := make([]int32, span+1)
+	for _, k := range keys {
+		starts[k-lo+1]++
+	}
+	for i := int64(1); i <= span; i++ {
+		starts[i] += starts[i-1]
+	}
+	rows := make([]int32, len(keys))
+	cursor := make([]int32, span)
+	copy(cursor, starts[:span])
+	for i, k := range keys {
+		s := k - lo
+		rows[cursor[s]] = int32(i)
+		cursor[s]++
+	}
+	t.starts, t.rows = starts, rows
+}
+
+// buildPart builds hash partition p: scan the build rows in order, keep the
+// ones hashing to this partition, assign bucket ordinals, then seal the
+// bucket row lists as CSR.
+func (t *joinTable) buildPart(p int) {
+	pt := &t.parts[p]
+	var owned []int32
+	var ords []int32
+	var counts []int32
+
+	// First pass: count the partition's rows (a scan of the precomputed
+	// hash array) to size its table.
+	cnt := 0
+	for _, h := range t.hashes {
+		if h&t.pmask == uint64(p) {
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		pt.starts = []int32{0}
+		return
+	}
+	owned = make([]int32, 0, cnt)
+	ords = make([]int32, 0, cnt)
+
+	switch t.mode {
+	case joinInt64:
+		keys := t.build.Columns[t.keyIdx[0]].Int64s
+		capacity := nextPow2(2 * cnt)
+		if capacity < 8 {
+			capacity = 8
+		}
+		pt.mask = uint64(capacity - 1)
+		pt.keys = make([]int64, capacity)
+		pt.slot = make([]int32, capacity)
+		for i, h := range t.hashes {
+			if h&t.pmask != uint64(p) {
+				continue
+			}
+			k := keys[i]
+			idx := (h >> t.logP) & pt.mask
+			var ord int32
+			for {
+				s := pt.slot[idx]
+				if s == 0 {
+					ord = int32(len(counts))
+					counts = append(counts, 0)
+					pt.keys[idx] = k
+					pt.slot[idx] = ord + 1
+					break
 				}
-				col := nLeft
-				for j := 0; j < rs.Len(); j++ {
-					if j == ri {
-						continue
+				if pt.keys[idx] == k {
+					ord = s - 1
+					break
+				}
+				idx = (idx + 1) & pt.mask
+			}
+			counts[ord]++
+			owned = append(owned, int32(i))
+			ords = append(ords, ord)
+		}
+	case joinString:
+		cols := t.build.Columns
+		pt.smap = make(map[string]int32, cnt)
+		var buf []byte
+		for i, h := range t.hashes {
+			if h&t.pmask != uint64(p) {
+				continue
+			}
+			// Only owned rows are re-encoded.
+			buf = encodeJoinKey(buf[:0], cols, t.keyIdx, i)
+			ord, ok := pt.smap[string(buf)]
+			if !ok {
+				ord = int32(len(counts))
+				counts = append(counts, 0)
+				pt.smap[string(buf)] = ord
+			}
+			counts[ord]++
+			owned = append(owned, int32(i))
+			ords = append(ords, ord)
+		}
+	}
+
+	// Seal: CSR row lists, ascending build-row order within every bucket.
+	pt.starts = make([]int32, len(counts)+1)
+	for b, c := range counts {
+		pt.starts[b+1] = pt.starts[b] + c
+	}
+	pt.rows = make([]int32, len(owned))
+	cursor := make([]int32, len(counts))
+	copy(cursor, pt.starts[:len(counts)])
+	for j, i := range owned {
+		b := ords[j]
+		pt.rows[cursor[b]] = i
+		cursor[b]++
+	}
+}
+
+// probeChunk appends the (probe row, build row) match pairs of chunk c to
+// the caller-owned selection vectors lsel/rsel, reusing keyBuf as the
+// composite-key scratch. Pairs are emitted in (probe row asc, build row
+// asc) order — the same order the row-at-a-time reference kernel produced.
+func (t *joinTable) probeChunk(c *columnar.Chunk, leftKeyIdx []int, lsel, rsel []int, keyBuf []byte) ([]int, []int, []byte) {
+	switch t.mode {
+	case joinEmpty:
+	case joinDense:
+		ks := c.Columns[leftKeyIdx[0]].Int64s
+		for row, k := range ks {
+			off := k - t.lo
+			if off < 0 || off >= t.span {
+				continue
+			}
+			for _, m := range t.rows[t.starts[off]:t.starts[off+1]] {
+				lsel = append(lsel, row)
+				rsel = append(rsel, int(m))
+			}
+		}
+	case joinInt64:
+		ks := c.Columns[leftKeyIdx[0]].Int64s
+		for row, k := range ks {
+			h := columnar.Hash64(k)
+			pt := &t.parts[h&t.pmask]
+			if len(pt.slot) == 0 {
+				continue
+			}
+			idx := (h >> t.logP) & pt.mask
+			for {
+				s := pt.slot[idx]
+				if s == 0 {
+					break
+				}
+				if pt.keys[idx] == k {
+					b := s - 1
+					for _, m := range pt.rows[pt.starts[b]:pt.starts[b+1]] {
+						lsel = append(lsel, row)
+						rsel = append(rsel, int(m))
 					}
-					out.Columns[col].Append(right.Columns[j], m)
-					col++
+					break
+				}
+				idx = (idx + 1) & pt.mask
+			}
+		}
+	case joinString:
+		n := c.NumRows()
+		for row := 0; row < n; row++ {
+			keyBuf = encodeJoinKey(keyBuf[:0], c.Columns, leftKeyIdx, row)
+			pt := &t.parts[fnv1a(keyBuf)&t.pmask]
+			if pt.smap == nil {
+				continue
+			}
+			if b, ok := pt.smap[string(keyBuf)]; ok {
+				for _, m := range pt.rows[pt.starts[b]:pt.starts[b+1]] {
+					lsel = append(lsel, row)
+					rsel = append(rsel, int(m))
 				}
 			}
 		}
-		if out.NumRows() == 0 {
-			return nil
-		}
-		return yield(out)
-	})
+	}
+	return lsel, rsel, keyBuf
 }

@@ -165,6 +165,180 @@ func TestJoinFilterPushdownThroughJoin(t *testing.T) {
 	}
 }
 
+// TestJoinSwappedKeysNormalized: unqualified ON keys written build-side-
+// first (`ON s_suppkey = l_suppkey`) are assigned positionally by the
+// parser; Resolve repairs the orientation once schemas are known, so the
+// query runs instead of failing with "join key not in left input".
+func TestJoinSwappedKeysNormalized(t *testing.T) {
+	cat, _, _ := joinCatalog(t, 0.002)
+	swapped := &JoinPlan{
+		Left:    &ScanPlan{Table: "lineitem"},
+		Right:   &ScanPlan{Table: "supplier"},
+		LeftKey: "s_suppkey", RightKey: "l_suppkey",
+	}
+	got, err := Execute(swapped, cat)
+	if err != nil {
+		t.Fatalf("swapped single-key join: %v", err)
+	}
+	straight := &JoinPlan{
+		Left:    &ScanPlan{Table: "lineitem"},
+		Right:   &ScanPlan{Table: "supplier"},
+		LeftKey: "l_suppkey", RightKey: "s_suppkey",
+	}
+	want, err := Execute(straight, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunksIdentical(t, got, want)
+
+	// Multi-key form, one pair swapped.
+	multi := &JoinPlan{
+		Left:     &ScanPlan{Table: "lineitem"},
+		Right:    &ScanPlan{Table: "supplier"},
+		LeftKeys: []string{"s_suppkey"}, RightKeys: []string{"l_suppkey"},
+	}
+	got, err = Execute(multi, cat)
+	if err != nil {
+		t.Fatalf("swapped multi-key join: %v", err)
+	}
+	chunksIdentical(t, got, want)
+}
+
+// TestWhereAboveJoinPushesThroughJoin: a WHERE written after an INNER JOIN
+// (the shape sqlfe emits) must split into per-side scan filters with prune
+// predicates, not evaluate on every joined row.
+func TestWhereAboveJoinPushesThroughJoin(t *testing.T) {
+	cat, li, sup := joinCatalog(t, 0.002)
+	mkJoin := func() Plan {
+		return &JoinPlan{
+			Left:     &ScanPlan{Table: "lineitem"},
+			Right:    &ScanPlan{Table: "supplier"},
+			LeftKey:  "l_suppkey",
+			RightKey: "s_suppkey",
+		}
+	}
+	plan := &AggregatePlan{
+		Aggs: []AggSpec{{Func: AggCount, Name: "n"}},
+		In: &FilterPlan{
+			Pred: And(
+				NewBin(OpGE, Col("l_shipdate"), ConstInt(tpch.Q6ShipDateLo)),
+				NewBin(OpLT, Col("s_nationkey"), ConstInt(10)),
+			),
+			In: mkJoin(),
+		},
+	}
+	opt, err := Optimize(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explained := Explain(opt)
+	if strings.Contains(explained, "Filter ") {
+		t.Errorf("WHERE above join not pushed into scans:\n%s", explained)
+	}
+	if !strings.Contains(explained, "prune=") {
+		t.Errorf("probe-side prune predicates lost:\n%s", explained)
+	}
+	out, err := Execute(opt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unoptimized reference: filter evaluated above the join.
+	ref, err := Execute(&AggregatePlan{
+		Aggs: []AggSpec{{Func: AggCount, Name: "n"}},
+		In: &FilterPlan{
+			Pred: And(
+				NewBin(OpGE, Col("l_shipdate"), ConstInt(tpch.Q6ShipDateLo)),
+				NewBin(OpLT, Col("s_nationkey"), ConstInt(10)),
+			),
+			In: mkJoin(),
+		},
+	}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.Column("n").Int64s[0], ref.Column("n").Int64s[0]; got != want {
+		t.Errorf("pushed-down count = %d, reference %d", got, want)
+	}
+	// Scalar cross-check.
+	nation := map[int64]int64{}
+	for i := 0; i < sup.NumRows(); i++ {
+		nation[sup.Column("s_suppkey").Int64s[i]] = sup.Column("s_nationkey").Int64s[i]
+	}
+	var want int64
+	ship := li.Column("l_shipdate").Int64s
+	supk := li.Column("l_suppkey").Int64s
+	for i := range ship {
+		if nk, ok := nation[supk[i]]; ok && ship[i] >= tpch.Q6ShipDateLo && nk < 10 {
+			want++
+		}
+	}
+	if got := out.Column("n").Int64s[0]; got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+}
+
+// TestProjectionPushdownThroughJoin: the probe-side scan of a join under
+// an aggregate is restricted to its referenced columns while the broadcast
+// side stays whole — the broadcast side's "needs all" must not leak onto
+// the probe scan.
+func TestProjectionPushdownThroughJoin(t *testing.T) {
+	cat, _, _ := joinCatalog(t, 0.002)
+	opt, err := Optimize(revenueByNationPlan(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scans []*ScanPlan
+	var collect func(Plan)
+	collect = func(p Plan) {
+		for n := p; n != nil; n = n.Child() {
+			if j, ok := n.(*JoinPlan); ok {
+				collect(j.Right)
+			}
+			if s, ok := n.(*ScanPlan); ok {
+				scans = append(scans, s)
+			}
+		}
+	}
+	collect(opt)
+	var probe, build *ScanPlan
+	for _, s := range scans {
+		switch s.Table {
+		case "lineitem":
+			probe = s
+		case "supplier":
+			build = s
+		}
+	}
+	if probe == nil || build == nil {
+		t.Fatalf("scans = %v", scans)
+	}
+	if probe.Projection == nil {
+		t.Fatalf("probe-side projection not pushed down:\n%s", Explain(opt))
+	}
+	want := map[string]bool{"l_suppkey": true, "l_extendedprice": true, "l_discount": true}
+	if len(probe.Projection) != len(want) {
+		t.Errorf("probe projection = %v, want columns %v", probe.Projection, want)
+	}
+	for _, c := range probe.Projection {
+		if !want[c] {
+			t.Errorf("probe projection includes unneeded column %q", c)
+		}
+	}
+	if build.Projection != nil {
+		t.Errorf("broadcast side should stay whole, got projection %v", build.Projection)
+	}
+	// And the projected plan still computes the right answer.
+	out, err := Execute(opt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Execute(revenueByNationPlan(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunksIdentical(t, out, ref)
+}
+
 func TestJoinPlanJSONRoundTrip(t *testing.T) {
 	cat, _, _ := joinCatalog(t, 0.001)
 	plan, err := Optimize(revenueByNationPlan(), cat)

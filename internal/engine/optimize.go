@@ -23,7 +23,10 @@ func Optimize(p Plan, cat Catalog) (Plan, error) {
 }
 
 // pushDownFilters moves filter predicates adjacent to scans into the scan
-// node and derives prune predicates.
+// node and derives prune predicates. Filters sitting above a join are split
+// into conjuncts and pushed to whichever side covers their columns (WHERE
+// after INNER JOIN filters before the join, restoring scan filtering and
+// row-group pruning on the probe side).
 func pushDownFilters(p Plan) Plan {
 	switch n := p.(type) {
 	case *FilterPlan:
@@ -32,6 +35,13 @@ func pushDownFilters(p Plan) Plan {
 			scan.Filter = And(scan.Filter, n.Pred)
 			scan.Prune = append(scan.Prune, ExtractPrunePredicates(n.Pred, scan.TableSchema)...)
 			return scan
+		}
+		if j, ok := child.(*JoinPlan); ok {
+			if rest := pushThroughJoin(j, n.Pred); rest == nil {
+				return j
+			} else {
+				n.Pred = rest
+			}
 		}
 		n.In = child
 		return n
@@ -54,6 +64,46 @@ func pushDownFilters(p Plan) Plan {
 	default:
 		return p
 	}
+}
+
+// pushThroughJoin pushes the conjuncts of pred whose columns one join side
+// fully covers below the join (filtering before probing is semantics-
+// preserving for an inner join and keeps row order), re-running the scan
+// push-down on each side. It returns the conjunction of what could not be
+// pushed (nil if everything moved).
+func pushThroughJoin(j *JoinPlan, pred Expr) (rest Expr) {
+	ls, lerr := j.Left.OutSchema()
+	rs, rerr := j.Right.OutSchema()
+	if lerr != nil || rerr != nil {
+		return pred
+	}
+	covered := func(s *columnar.Schema, cols []string) bool {
+		for _, c := range cols {
+			if s.Index(c) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	var left, right Expr
+	for _, c := range SplitConjuncts(pred) {
+		cols := c.Columns(nil)
+		switch {
+		case covered(ls, cols):
+			left = And(left, c)
+		case covered(rs, cols):
+			right = And(right, c)
+		default:
+			rest = And(rest, c)
+		}
+	}
+	if left != nil {
+		j.Left = pushDownFilters(&FilterPlan{In: j.Left, Pred: left})
+	}
+	if right != nil {
+		j.Right = pushDownFilters(&FilterPlan{In: j.Right, Pred: right})
+	}
+	return rest
 }
 
 // ExtractPrunePredicates turns conjuncts of the form (col cmp const) into
@@ -123,29 +173,39 @@ func mirror(op BinOp) BinOp {
 }
 
 // pushDownProjections computes the columns each scan actually needs and
-// restricts the scan projection accordingly.
+// restricts the scan projection accordingly. "Needs everything" is tracked
+// per scan, not globally: a join's broadcast side staying whole must not
+// disable projection push-down on the probe-side scan.
 func pushDownProjections(p Plan) error {
-	needed, all := requiredColumns(p)
-	for n := p; n != nil; n = n.Child() {
-		if scan, ok := n.(*ScanPlan); ok && scan.Projection == nil && !all {
-			// Preserve schema order for readability.
-			var cols []string
-			for _, f := range scan.TableSchema.Fields {
-				if needed[f.Name] {
-					cols = append(cols, f.Name)
-				}
+	needed, needsAll := requiredColumns(p)
+	var apply func(Plan)
+	apply = func(n Plan) {
+		for ; n != nil; n = n.Child() {
+			if j, ok := n.(*JoinPlan); ok {
+				apply(j.Right)
 			}
-			scan.Projection = cols
+			if scan, ok := n.(*ScanPlan); ok && scan.Projection == nil && !needsAll[scan] {
+				// Preserve schema order for readability.
+				var cols []string
+				for _, f := range scan.TableSchema.Fields {
+					if needed[f.Name] {
+						cols = append(cols, f.Name)
+					}
+				}
+				scan.Projection = cols
+			}
 		}
 	}
+	apply(p)
 	return nil
 }
 
-// requiredColumns walks the plan and collects every referenced column name.
-// all=true means some node needs the entire input (e.g. a bare scan result).
-func requiredColumns(p Plan) (map[string]bool, bool) {
+// requiredColumns walks the plan and collects every referenced column name,
+// plus the set of scans some consumer needs whole (e.g. a bare scan
+// result, or a join's broadcast side).
+func requiredColumns(p Plan) (map[string]bool, map[*ScanPlan]bool) {
 	needed := map[string]bool{}
-	all := false
+	needsAll := map[*ScanPlan]bool{}
 	var walk func(Plan, bool)
 	walk = func(n Plan, parentNeedsAll bool) {
 		switch t := n.(type) {
@@ -156,7 +216,7 @@ func requiredColumns(p Plan) (map[string]bool, bool) {
 				}
 			}
 			if parentNeedsAll && t.Projection == nil {
-				all = true
+				needsAll[t] = true
 			}
 		case *FilterPlan:
 			for _, c := range t.Pred.Columns(nil) {
@@ -190,8 +250,13 @@ func requiredColumns(p Plan) (map[string]bool, bool) {
 		case *LimitPlan:
 			walk(t.In, parentNeedsAll)
 		case *JoinPlan:
-			needed[t.LeftKey] = true
-			needed[t.RightKey] = true
+			lk, rk := t.keyNames()
+			for _, k := range lk {
+				needed[k] = true
+			}
+			for _, k := range rk {
+				needed[k] = true
+			}
 			walk(t.Left, parentNeedsAll)
 			// The broadcast side is small; keep it whole so its columns
 			// survive into the join output regardless of what the parent
@@ -200,7 +265,7 @@ func requiredColumns(p Plan) (map[string]bool, bool) {
 		}
 	}
 	walk(p, true)
-	return needed, all
+	return needed, needsAll
 }
 
 // DistributedPlan is the result of splitting a plan into a worker scope and

@@ -1,39 +1,16 @@
 package engine
 
-// This file implements morsel-driven parallel execution (the engine's fifth
-// concurrency level, on top of the paper's four scan levels): the chunks a
-// scan source yields are treated as morsels and fanned out to N pipeline
-// goroutines that run filter and projection work, and aggregation becomes
-// partition-parallel — each goroutine folds its morsels into a private hash
-// table (no locks on the hot path) and the tables are merged once at the
-// pipeline breaker.
-//
-// Determinism: every morsel carries the sequence number of its position in
-// the serial delivery order. Non-breaking pipelines reassemble their output
-// in sequence order; the aggregate breaker orders merged groups by their
-// first-seen (sequence, row) position. Both therefore produce results
-// byte-identical to the serial executor, regardless of scheduling.
-//
-// Chunk recycling: gathered filter outputs are allocated from a per-query
-// columnar.Pool and recycled at the pipeline breaker, once the morsel they
-// belong to has been fully folded into the aggregation hash table (see the
-// ownership contract on columnar.Pool). Pipelines without a breaker return
-// their chunks as the result, so nothing is pooled there.
-
 import (
-	"errors"
-	"fmt"
 	"runtime"
-	"sort"
-	"sync"
 
 	"lambada/internal/columnar"
 )
 
-// ParallelConfig tunes morsel-driven execution.
+// ParallelConfig tunes the pipeline-graph scheduler.
 type ParallelConfig struct {
-	// Pipelines is the number of pipeline goroutines chunks fan out to.
-	// <= 0 means GOMAXPROCS; 1 degenerates to the serial executor.
+	// Pipelines is the number of pipeline goroutines morsels fan out to in
+	// every pipeline of the graph. <= 0 means GOMAXPROCS; 1 runs the whole
+	// graph inline on the caller's goroutine (no goroutines spawned).
 	Pipelines int
 }
 
@@ -42,11 +19,13 @@ func DefaultParallelConfig() ParallelConfig {
 	return ParallelConfig{Pipelines: runtime.GOMAXPROCS(0)}
 }
 
-// ExecuteParallel runs the plan like Execute, but fans scan chunks out to
-// cfg.Pipelines goroutines for filter/projection work and runs aggregation
-// partition-parallel. The result is byte-identical to Execute's. Plan
-// shapes the morsel executor does not cover (joins, nested breakers) fall
-// back to the serial executor.
+// ExecuteParallel runs the plan on the pipeline-graph scheduler at
+// cfg.Pipelines morsel workers per pipeline. Every plan shape runs here —
+// joins, nested breakers, arbitrary operator chains; there is no serial
+// fallback path. Results are byte-identical to Execute (= parallelism 1):
+// collect sinks reassemble morsels in sequence order, aggregation folds
+// per-morsel partials in sequence order, and join probes emit matches in
+// (probe row, build row) order against a sealed build table.
 func ExecuteParallel(p Plan, cat Catalog, cfg ParallelConfig) (*columnar.Chunk, error) {
 	if err := Resolve(p, cat); err != nil {
 		return nil, err
@@ -55,320 +34,9 @@ func ExecuteParallel(p Plan, cat Catalog, cfg ParallelConfig) (*columnar.Chunk, 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 {
-		return Execute(p, cat)
-	}
-	return execParallel(p, cat, workers)
-}
-
-func execParallel(p Plan, cat Catalog, workers int) (*columnar.Chunk, error) {
-	switch n := p.(type) {
-	case *OrderByPlan:
-		in, err := execParallel(n.In, cat, workers)
-		if err != nil {
-			return nil, err
-		}
-		return sortChunk(in, n.Keys)
-	case *LimitPlan:
-		in, err := execParallel(n.In, cat, workers)
-		if err != nil {
-			return nil, err
-		}
-		hi := n.N
-		if hi > in.NumRows() {
-			hi = in.NumRows()
-		}
-		return in.Slice(0, hi), nil
-	case *AggregatePlan:
-		if pipe, err := pipelineOf(n.In, cat); err != nil {
-			return nil, err
-		} else if pipe != nil {
-			return parallelAggregate(n, pipe, workers)
-		}
-		return Execute(p, cat)
-	default:
-		if pipe, err := pipelineOf(p, cat); err != nil {
-			return nil, err
-		} else if pipe != nil {
-			return parallelPipeline(p, pipe, workers)
-		}
-		return Execute(p, cat)
-	}
-}
-
-// stage is one fused non-breaking operator of a pipeline.
-type stage struct {
-	filter Expr              // filter stage when non-nil
-	exprs  []Expr            // projection stage when non-nil
-	schema *columnar.Schema  // projection output schema (precomputed)
-}
-
-// pipeline is a streamable chain — a scan followed by filter/projection
-// stages — that morsels can flow through independently.
-type pipeline struct {
-	src    Source
-	scan   *ScanPlan
-	stages []stage // in execution order (scan's pushed-down filter first)
-}
-
-// pipelineOf recognizes a chain of Filter/Project nodes over a Scan and
-// compiles it into stages. It returns nil (no error) for any other shape.
-func pipelineOf(p Plan, cat Catalog) (*pipeline, error) {
-	var nodes []Plan
-	n := p
-	for {
-		switch t := n.(type) {
-		case *ScanPlan:
-			src := cat[t.Table]
-			if src == nil {
-				return nil, fmt.Errorf("engine: unknown table %q", t.Table)
-			}
-			pipe := &pipeline{src: src, scan: t}
-			if t.Filter != nil {
-				pipe.stages = append(pipe.stages, stage{filter: t.Filter})
-			}
-			for i := len(nodes) - 1; i >= 0; i-- {
-				switch op := nodes[i].(type) {
-				case *FilterPlan:
-					pipe.stages = append(pipe.stages, stage{filter: op.Pred})
-				case *ProjectPlan:
-					schema, err := op.OutSchema()
-					if err != nil {
-						return nil, err
-					}
-					pipe.stages = append(pipe.stages, stage{exprs: op.Exprs, schema: schema})
-				}
-			}
-			return pipe, nil
-		case *FilterPlan:
-			nodes = append(nodes, t)
-			n = t.In
-		case *ProjectPlan:
-			nodes = append(nodes, t)
-			n = t.In
-		default:
-			return nil, nil
-		}
-	}
-}
-
-// morsel is one scan chunk tagged with its serial delivery position.
-type morsel struct {
-	seq uint64
-	c   *columnar.Chunk
-}
-
-var errMorselCanceled = errors.New("engine: morsel pipeline canceled")
-
-// seqError remembers the earliest-sequence failure so parallel runs report
-// the same error the serial executor would have hit first.
-type seqError struct {
-	mu  sync.Mutex
-	seq uint64
-	err error
-}
-
-func (e *seqError) record(seq uint64, err error) {
-	e.mu.Lock()
-	if e.err == nil || seq < e.seq {
-		e.seq, e.err = seq, err
-	}
-	e.mu.Unlock()
-}
-
-func (e *seqError) get() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.err
-}
-
-// forEachMorsel streams the pipeline's scan through a channel and fans the
-// morsels out to `workers` goroutines calling handle(workerIdx, m). The
-// first error (by sequence) cancels the scan and is returned.
-func forEachMorsel(pipe *pipeline, workers int, handle func(w int, m morsel) error) error {
-	ch := make(chan morsel, workers)
-	done := make(chan struct{})
-	var cancel sync.Once
-	stop := func() { cancel.Do(func() { close(done) }) }
-	var firstErr seqError
-
-	var scanErr error
-	var scanWG sync.WaitGroup
-	scanWG.Add(1)
-	go func() {
-		defer scanWG.Done()
-		defer close(ch)
-		var seq uint64
-		err := pipe.src.Scan(pipe.scan.Projection, pipe.scan.Prune, func(c *columnar.Chunk) error {
-			select {
-			case ch <- morsel{seq: seq, c: c}:
-				seq++
-				return nil
-			case <-done:
-				return errMorselCanceled
-			}
-		})
-		if err != nil && err != errMorselCanceled {
-			scanErr = err
-		}
-	}()
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for m := range ch {
-				if err := handle(w, m); err != nil {
-					firstErr.record(m.seq, err)
-					stop()
-					// Keep draining so the channel empties and peers exit.
-					for range ch {
-					}
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	stop()
-	scanWG.Wait()
-	if err := firstErr.get(); err != nil {
-		return err
-	}
-	return scanErr
-}
-
-// applyStages runs a morsel through the pipeline's stages, using the shared
-// applyFilter kernel for filter stages. Gathered filter outputs are
-// allocated from pool when non-nil (appended to *owned for the caller to
-// recycle after the morsel is consumed) and plain allocations otherwise.
-// sel is the worker's reusable selection-vector scratch.
-func applyStages(c *columnar.Chunk, stages []stage, sel []int, pool *columnar.Pool, owned *[]*columnar.Chunk) (*columnar.Chunk, []int, error) {
-	for _, st := range stages {
-		if st.filter != nil {
-			fc, s, pooled, err := applyFilter(c, st.filter, sel, pool)
-			if err != nil {
-				return nil, sel, err
-			}
-			c, sel = fc, s
-			if pooled {
-				*owned = append(*owned, fc)
-			}
-			continue
-		}
-		out := &columnar.Chunk{Schema: st.schema}
-		for _, e := range st.exprs {
-			v, err := e.Eval(c)
-			if err != nil {
-				return nil, sel, err
-			}
-			out.Columns = append(out.Columns, v)
-		}
-		c = out
-	}
-	return c, sel, nil
-}
-
-// parallelAggregate runs a partition-parallel aggregation: each pipeline
-// goroutine builds per-morsel hash tables (single-int64-key fast path
-// inside), and the pipeline breaker folds the partial tables into a master
-// table in morsel-sequence order — the same reduction tree as the serial
-// executor, so float sums combine in the same order and the result is
-// byte-identical; first-seen (sequence, row) ordering of the merged groups
-// reproduces the serial output order.
-func parallelAggregate(p *AggregatePlan, pipe *pipeline, workers int) (*columnar.Chunk, error) {
-	inSchema, err := p.In.OutSchema()
+	g, root, err := compileGraph(p, cat)
 	if err != nil {
 		return nil, err
 	}
-	outSchema, err := p.OutSchema()
-	if err != nil {
-		return nil, err
-	}
-	type partial struct {
-		seq uint64
-		b   *aggBuilder
-	}
-	pool := columnar.NewPool()
-	sels := make([][]int, workers)
-	owneds := make([][]*columnar.Chunk, workers)
-	partials := make([][]partial, workers)
-
-	err = forEachMorsel(pipe, workers, func(w int, m morsel) error {
-		owned := owneds[w][:0]
-		out, sel, err := applyStages(m.c, pipe.stages, sels[w], pool, &owned)
-		sels[w] = sel
-		owneds[w] = owned
-		if err != nil {
-			return err
-		}
-		b, err := newAggBuilder(p, inSchema)
-		if err != nil {
-			return err
-		}
-		if err := b.addChunk(out, m.seq); err != nil {
-			return err
-		}
-		partials[w] = append(partials[w], partial{seq: m.seq, b: b})
-		// The morsel is folded into its hash table: the pipeline breaker is
-		// the recycle point for every pool chunk this morsel produced.
-		for _, c := range owned {
-			pool.PutChunk(c)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	var all []partial
-	for _, ps := range partials {
-		all = append(all, ps...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
-	master, err := newAggBuilder(p, inSchema)
-	if err != nil {
-		return nil, err
-	}
-	for _, pt := range all {
-		master.mergeFrom(pt.b)
-	}
-	return master.finalize(outSchema)
-}
-
-// parallelPipeline runs a breaker-less pipeline (scan + filters +
-// projections) and materializes the result in sequence order, byte-identical
-// to the serial executor.
-func parallelPipeline(p Plan, pipe *pipeline, workers int) (*columnar.Chunk, error) {
-	schema, err := p.OutSchema()
-	if err != nil {
-		return nil, err
-	}
-	results := make([][]morsel, workers)
-	sels := make([][]int, workers)
-
-	err = forEachMorsel(pipe, workers, func(w int, m morsel) error {
-		out, sel, err := applyStages(m.c, pipe.stages, sels[w], nil, nil)
-		sels[w] = sel
-		if err != nil {
-			return err
-		}
-		results[w] = append(results[w], morsel{seq: m.seq, c: out})
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	var all []morsel
-	for _, rs := range results {
-		all = append(all, rs...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
-	out := columnar.NewChunk(schema, 0)
-	for _, m := range all {
-		out.AppendChunk(m.c)
-	}
-	return out, nil
+	return g.run(root, workers)
 }

@@ -65,8 +65,8 @@ func TestParallelMatchesSerialByteIdentical(t *testing.T) {
 	cat := Catalog{"lineitem": src}
 
 	plans := map[string]func() Plan{
-		"q1":     q1Plan, // two-key group by, 8 aggregates, order by
-		"q6":     q6Plan, // global float aggregate behind a filter
+		"q1": q1Plan, // two-key group by, 8 aggregates, order by
+		"q6": q6Plan, // global float aggregate behind a filter
 		"single-int64-key": func() Plan {
 			return &AggregatePlan{
 				GroupBy: []string{"l_suppkey"},
@@ -254,7 +254,10 @@ func TestParallelCancelOnError(t *testing.T) {
 	}
 }
 
-func TestParallelJoinFallsBackToSerial(t *testing.T) {
+// TestParallelJoinByteIdentical: joins run on the same pipeline-graph
+// scheduler as everything else (no serial fallback remains), and the
+// parallel result is byte-identical to the serial one.
+func TestParallelJoinByteIdentical(t *testing.T) {
 	src, _ := chunkedLineitem(t, 0.002, 500)
 	small := columnar.NewChunk(columnar.NewSchema(
 		columnar.Field{Name: "s_suppkey", Type: columnar.Int64},

@@ -131,10 +131,13 @@ type planJSON struct {
 	Keys    []OrderKey  `json:"keys,omitempty"`
 	N       int         `json:"n,omitempty"`
 
-	// join
-	Right    *planJSON `json:"right,omitempty"`
-	LeftKey  string    `json:"leftKey,omitempty"`
-	RightKey string    `json:"rightKey,omitempty"`
+	// join; single keys travel as leftKey/rightKey, multi-column keys as
+	// leftKeys/rightKeys (the pipeline compiler normalizes either form).
+	Right     *planJSON `json:"right,omitempty"`
+	LeftKey   string    `json:"leftKey,omitempty"`
+	RightKey  string    `json:"rightKey,omitempty"`
+	LeftKeys  []string  `json:"leftKeys,omitempty"`
+	RightKeys []string  `json:"rightKeys,omitempty"`
 }
 
 func encodeSchema(s *columnar.Schema) []fieldJSON {
@@ -247,7 +250,11 @@ func encodePlanNode(p Plan) (*planJSON, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &planJSON{Kind: "join", In: left, Right: right, LeftKey: n.LeftKey, RightKey: n.RightKey}, nil
+		return &planJSON{
+			Kind: "join", In: left, Right: right,
+			LeftKey: n.LeftKey, RightKey: n.RightKey,
+			LeftKeys: n.LeftKeys, RightKeys: n.RightKeys,
+		}, nil
 	default:
 		return nil, fmt.Errorf("engine: cannot serialize plan node %T", p)
 	}
@@ -343,7 +350,11 @@ func decodePlanNode(j *planJSON) (Plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &JoinPlan{Left: left, Right: right, LeftKey: j.LeftKey, RightKey: j.RightKey}, nil
+		return &JoinPlan{
+			Left: left, Right: right,
+			LeftKey: j.LeftKey, RightKey: j.RightKey,
+			LeftKeys: j.LeftKeys, RightKeys: j.RightKeys,
+		}, nil
 	default:
 		return nil, fmt.Errorf("engine: unknown plan kind %q", j.Kind)
 	}

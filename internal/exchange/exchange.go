@@ -88,13 +88,9 @@ func (g grid) groupMembers(id, dim int) []int {
 	return out
 }
 
-// Hash64 is the partitioning hash (splitmix64 finalizer).
-func Hash64(x int64) uint64 {
-	z := uint64(x) + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
+// Hash64 is the partitioning hash (splitmix64 finalizer), shared with the
+// engine's hash-join table.
+func Hash64(x int64) uint64 { return columnar.Hash64(x) }
 
 // PartitionOf maps a key value to its final partition in [0, P).
 func PartitionOf(key int64, p int) int { return int(Hash64(key) % uint64(p)) }

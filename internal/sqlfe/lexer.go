@@ -1,8 +1,9 @@
 // Package sqlfe is the SQL frontend of Lambada: a lexer and recursive-
 // descent parser for the analytical subset the paper's evaluation exercises
-// (SELECT with expressions and aggregates, WHERE with conjunctions and
-// BETWEEN, GROUP BY, ORDER BY, LIMIT, and DATE literals), translated into
-// the engine's plan IR where the common optimizations apply (§3.2).
+// (SELECT with expressions and aggregates, INNER JOIN … ON equi-joins with
+// optionally qualified key columns, WHERE with conjunctions and BETWEEN,
+// GROUP BY, ORDER BY, LIMIT, and DATE literals), translated into the
+// engine's plan IR where the common optimizations apply (§3.2).
 package sqlfe
 
 import (
@@ -34,6 +35,7 @@ var keywords = map[string]bool{
 	"NOT": true, "BETWEEN": true, "ASC": true, "DESC": true, "DATE": true,
 	"INTERVAL": true, "DAY": true, "SUM": true, "COUNT": true, "AVG": true,
 	"MIN": true, "MAX": true, "TRUE": true, "FALSE": true,
+	"JOIN": true, "INNER": true, "ON": true,
 }
 
 type lexer struct {
@@ -134,7 +136,7 @@ func (l *lexer) lexSymbol() error {
 	}
 	c := l.src[l.pos]
 	switch c {
-	case '+', '-', '*', '/', '<', '>', '=', '(', ')', ',':
+	case '+', '-', '*', '/', '<', '>', '=', '(', ')', ',', '.':
 		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: l.pos})
 		l.pos++
 		return nil

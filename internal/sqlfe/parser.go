@@ -97,6 +97,36 @@ func (p *parser) parseSelect() (engine.Plan, error) {
 	}
 	var plan engine.Plan = &engine.ScanPlan{Table: tbl.text}
 
+	// INNER JOIN chain: each join adds a broadcast-side scan probed by the
+	// plan built so far (left-deep).
+	tables := []string{tbl.text}
+	for {
+		if p.accept(tokKeyword, "INNER") {
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.accept(tokKeyword, "JOIN") {
+			break
+		}
+		rt, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, fmt.Errorf("sqlfe: expected join table name: %w", err)
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		lks, rks, err := p.parseJoinOn(tables, rt.text)
+		if err != nil {
+			return nil, err
+		}
+		plan = &engine.JoinPlan{
+			Left:     plan,
+			Right:    &engine.ScanPlan{Table: rt.text},
+			LeftKeys: lks, RightKeys: rks,
+		}
+		tables = append(tables, rt.text)
+	}
+
 	if p.accept(tokKeyword, "WHERE") {
 		pred, err := p.parseExpr()
 		if err != nil {
@@ -208,6 +238,86 @@ func (p *parser) buildProjection(in engine.Plan, items []selectItem, groupBy []s
 	}
 	// A projection on top restores the requested item order/names.
 	return &engine.ProjectPlan{In: agg, Exprs: exprs, Names: names}, names, nil
+}
+
+// colref is a possibly table-qualified column reference in an ON clause.
+type colref struct {
+	qual, name string
+}
+
+func (c colref) String() string {
+	if c.qual != "" {
+		return c.qual + "." + c.name
+	}
+	return c.name
+}
+
+// parseColRef parses ident or ident.ident.
+func (p *parser) parseColRef() (colref, error) {
+	id, err := p.expect(tokIdent, "")
+	if err != nil {
+		return colref{}, fmt.Errorf("sqlfe: expected column in ON clause: %w", err)
+	}
+	if p.accept(tokSymbol, ".") {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return colref{}, fmt.Errorf("sqlfe: expected column after %q.: %w", id.text, err)
+		}
+		return colref{qual: id.text, name: col.text}, nil
+	}
+	return colref{name: id.text}, nil
+}
+
+// parseJoinOn parses `a.x = b.y [AND ...]` into left/right key lists.
+// Qualified references are assigned to their side by table name (leftTables
+// are every table joined so far, rightTable the one being joined);
+// unqualified references fall back to positional order, left key first.
+func (p *parser) parseJoinOn(leftTables []string, rightTable string) (lks, rks []string, err error) {
+	side := func(c colref) (int, error) { // 0 unknown, 1 left, 2 right
+		switch {
+		case c.qual == "":
+			return 0, nil
+		case c.qual == rightTable:
+			return 2, nil
+		case contains(leftTables, c.qual):
+			return 1, nil
+		default:
+			return 0, fmt.Errorf("sqlfe: unknown table %q in ON clause", c.qual)
+		}
+	}
+	for {
+		a, err := p.parseColRef()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, nil, fmt.Errorf("sqlfe: join conditions must be equalities: %w", err)
+		}
+		b, err := p.parseColRef()
+		if err != nil {
+			return nil, nil, err
+		}
+		as, err := side(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		bs, err := side(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case as == bs && as != 0:
+			return nil, nil, fmt.Errorf("sqlfe: ON condition %s = %s references only one join side", a, b)
+		case as == 2 || bs == 1:
+			lks, rks = append(lks, b.name), append(rks, a.name)
+		default: // as == 1, bs == 2, or both unqualified: positional
+			lks, rks = append(lks, a.name), append(rks, b.name)
+		}
+		if !p.accept(tokKeyword, "AND") {
+			break
+		}
+	}
+	return lks, rks, nil
 }
 
 func contains(list []string, s string) bool {
