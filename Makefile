@@ -1,6 +1,6 @@
 GO ?= go
 # bench-json knobs: the PR-numbered output file and the per-benchmark time.
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR3.json
 BENCHTIME ?= 300ms
 
 .PHONY: build test race bench bench-json vet
@@ -25,4 +25,4 @@ bench:
 # BENCH_PR<N>.json per PR. Non-gating in CI.
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) -benchtime $(BENCHTIME) \
-		./internal/engine ./internal/scan ./internal/exchange
+		./internal/engine ./internal/scan ./internal/exchange ./internal/driver

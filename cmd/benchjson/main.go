@@ -34,7 +34,11 @@ type Result struct {
 
 // Report is the emitted file.
 type Report struct {
-	GoVersion  string   `json:"go_version"`
+	GoVersion string `json:"go_version"`
+	// NumCPU records the runner's CPU count: parallel speedups measured on
+	// a 1-CPU container are meaningless, so trajectory comparisons must
+	// only line up points with matching num_cpu.
+	NumCPU     int      `json:"num_cpu"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Benchtime  string   `json:"benchtime"`
 	Packages   []string `json:"packages"`
@@ -61,6 +65,7 @@ func main() {
 
 	rep := Report{
 		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchtime:  *benchtime,
 		Packages:   pkgs,

@@ -53,11 +53,23 @@ FROM lineitem INNER JOIN supplier ON lineitem.l_suppkey = supplier.s_suppkey
 GROUP BY s_nationkey
 ORDER BY s_nationkey`
 
+// q12SQL is the TPC-H Query 12-shaped two-large-sides join: LINEITEM
+// INNER JOIN ORDERS, late lineitems per order priority. With -exchange the
+// stage planner shuffles both sides through S3 (neither fits a broadcast
+// at scale); without it ORDERS is broadcast like any small side.
+const q12SQL = `
+SELECT o_orderpriority, COUNT(*) AS n, SUM(l_extendedprice) AS total
+FROM lineitem INNER JOIN orders ON lineitem.l_orderkey = orders.o_orderkey
+WHERE l_receiptdate >= DATE '1995-01-01' AND l_receiptdate < DATE '1996-01-01'
+  AND l_commitdate < l_receiptdate
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority`
+
 func main() {
 	var (
 		sf      = flag.Float64("sf", 0.005, "TPC-H scale factor of the generated LINEITEM data")
 		files   = flag.Int("files", 8, "number of lpq files the table is stored as")
-		query   = flag.String("query", "q1", "q1, q6, join, or a SQL string (join SQL may reference the broadcast table 'supplier')")
+		query   = flag.String("query", "q1", "q1, q6, join, q12 (two-large-sides join), or a SQL string over lineitem, supplier, orders")
 		memory  = flag.Int("m", 1792, "worker memory in MiB")
 		fPerW   = flag.Int("f", 1, "files per worker")
 		tree    = flag.Bool("tree", true, "use the two-level invocation tree")
@@ -65,7 +77,9 @@ func main() {
 		mode    = flag.String("mode", "local", "local (goroutine workers) or des (virtual-time simulation)")
 		seed    = flag.Int64("seed", 42, "data generation seed")
 		explain = flag.Bool("v", false, "print per-worker processing times")
-		useXchg = flag.Bool("exchange", false, "merge grouped aggregations through the serverless exchange instead of the driver")
+		useXchg = flag.Bool("exchange", false, "run through the stage planner: joins shuffle through the serverless exchange when both sides are large, grouped aggregations repartition on their group keys")
+		parts   = flag.Int("partitions", 4, "exchange boundary fan-in (workers per join/final-merge stage, with -exchange)")
+		bcast   = flag.Int64("broadcast-limit", 0, "build sides up to this many rows broadcast instead of shuffling (0 = default, negative = always shuffle; with -exchange)")
 	)
 	flag.Parse()
 
@@ -77,18 +91,28 @@ func main() {
 		sql = q6SQL
 	case "join":
 		sql = joinSQL
+	case "q12":
+		sql = q12SQL
 	}
 	plan, perr := sqlfe.Parse(sql)
 	if perr != nil {
 		fmt.Fprintln(os.Stderr, "lambada:", perr)
 		os.Exit(2)
 	}
-	// Any query whose plan scans the supplier table gets it broadcast from
-	// the driver into the worker payloads.
-	needsSupplier := planTables(plan, nil)["supplier"]
-	if needsSupplier && *useXchg {
-		fmt.Fprintln(os.Stderr, "lambada: -exchange does not support broadcast-join queries (the exchange path ships no broadcast tables)")
+	// Tables beyond lineitem (supplier, orders) are generated alongside it:
+	// without -exchange they broadcast from the driver; with -exchange they
+	// upload to S3 and the stage planner picks broadcast or shuffle per
+	// join from the footer row counts.
+	tables := planTables(plan, nil)
+	if !tables["lineitem"] {
+		fmt.Fprintln(os.Stderr, "lambada: query must scan the lineitem table")
 		os.Exit(2)
+	}
+	for t := range tables {
+		if t != "lineitem" && t != "supplier" && t != "orders" {
+			fmt.Fprintf(os.Stderr, "lambada: unknown table %q (have lineitem, supplier, orders)\n", t)
+			os.Exit(2)
+		}
 	}
 
 	comp := lpq.None
@@ -106,31 +130,62 @@ func main() {
 			return err
 		}
 		fmt.Printf("generating LINEITEM at SF %g (%d rows)...\n", *sf, tpch.Gen{SF: *sf}.NumRows())
-		data := tpch.Gen{SF: *sf, Seed: *seed}.Generate()
+		g := tpch.Gen{SF: *sf, Seed: *seed}
+		data := g.Generate()
 		refs, err := d.UploadTable("tpch", "lineitem", data, *files, lpq.WriterOptions{RowGroupRows: 65536, Compression: comp})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("uploaded %d files (%s total)\n", len(refs), byteSize(dep.S3.TotalBytes("tpch")))
+		aux := map[string]*columnar.Chunk{}
+		if tables["supplier"] {
+			aux["supplier"] = g.Supplier()
+		}
+		if tables["orders"] {
+			aux["orders"] = g.OrdersFor(data)
+		}
 		var out *columnar.Chunk
 		var rep *driver.Report
 		switch {
 		case *useXchg:
-			out, rep, err = d.RunPlanExchanged(plan, "lineitem", refs, driver.DefaultExchangeConfig())
-		case needsSupplier:
-			sup := tpch.Gen{SF: *sf, Seed: *seed}.Supplier()
-			fmt.Printf("broadcasting SUPPLIER (%d rows) with every worker payload\n", sup.NumRows())
-			out, rep, err = d.RunPlanBroadcast(plan, "lineitem", refs,
-				map[string]*columnar.Chunk{"supplier": sup})
+			// Staged execution: every table lives on S3; the planner picks
+			// broadcast or shuffle per join from the footer row counts.
+			tf := driver.TableFiles{"lineitem": refs}
+			for name, chunk := range aux {
+				nf := *files / 2
+				if nf < 1 {
+					nf = 1
+				}
+				fmt.Printf("uploading %s (%d rows, %d files)\n", strings.ToUpper(name), chunk.NumRows(), nf)
+				tf[name], err = d.UploadTable("tpch", name, chunk, nf, lpq.WriterOptions{RowGroupRows: 65536, Compression: comp})
+				if err != nil {
+					return err
+				}
+			}
+			fmt.Printf("uploaded %s total\n", byteSize(dep.S3.TotalBytes("tpch")))
+			scfg := driver.DefaultStageConfig()
+			scfg.Partitions = *parts
+			scfg.BroadcastRowLimit = *bcast
+			out, rep, err = d.RunPlanStaged(plan, tf, scfg)
+		case len(aux) > 0:
+			fmt.Printf("uploaded %d files (%s total)\n", len(refs), byteSize(dep.S3.TotalBytes("tpch")))
+			for name, chunk := range aux {
+				fmt.Printf("broadcasting %s (%d rows) with every worker payload\n", strings.ToUpper(name), chunk.NumRows())
+			}
+			out, rep, err = d.RunPlanBroadcast(plan, "lineitem", refs, aux)
 		default:
+			fmt.Printf("uploaded %d files (%s total)\n", len(refs), byteSize(dep.S3.TotalBytes("tpch")))
 			out, rep, err = d.RunPlan(plan, "lineitem", refs)
 		}
 		if err != nil {
 			return err
 		}
 		printChunk(out)
-		fmt.Printf("\nworkers: %d   latency: %v   invocation: %v   cold: %d\n",
-			rep.Workers, rep.Duration.Round(time.Millisecond), rep.Invocation.Round(time.Millisecond), rep.ColdWorkers)
+		stages := ""
+		if rep.Stages > 0 {
+			stages = fmt.Sprintf("   stages: %d", rep.Stages)
+		}
+		fmt.Printf("\nworkers: %d%s   latency: %v   invocation: %v   cold: %d\n",
+			rep.Workers, stages, rep.Duration.Round(time.Millisecond), rep.Invocation.Round(time.Millisecond), rep.ColdWorkers)
 		fmt.Printf("query cost: $%.6f\n", rep.TotalCost)
 		for _, l := range sortedKeys(rep.CostDelta) {
 			fmt.Printf("  %-20s $%.6f\n", l, rep.CostDelta[l])
@@ -168,14 +223,7 @@ func planTables(p engine.Plan, dst map[string]bool) map[string]bool {
 	if dst == nil {
 		dst = map[string]bool{}
 	}
-	for n := p; n != nil; n = n.Child() {
-		if s, ok := n.(*engine.ScanPlan); ok {
-			dst[s.Table] = true
-		}
-		if j, ok := n.(*engine.JoinPlan); ok {
-			planTables(j.Right, dst)
-		}
-	}
+	engine.VisitScans(p, func(s *engine.ScanPlan) { dst[s.Table] = true })
 	return dst
 }
 

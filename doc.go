@@ -53,6 +53,42 @@
 // deployments all levels are forced off (worker code must not spawn
 // goroutines); the bandwidth shaper models their timing effect instead.
 //
+// # Stage planner and exchange data flow
+//
+// Queries whose shapes exceed one distribution scope — joins with two
+// large sides, high-cardinality group-bys — run through the stage planner
+// (internal/stageplan): the optimized plan is decomposed into a DAG of
+// stages connected by exchange boundaries over S3 (§4.4).
+//
+//	scan stage      reads its file subset of one base table, applies the
+//	                pushed-down filters/projections, and hash-partitions
+//	                its output rows on the downstream join keys into P
+//	                partition files (write-combined: one object per worker
+//	                with cumulative offsets encoded in its name)
+//	join stage      P workers; worker p collects partition p of both
+//	                sides, builds the hash table on the build side and
+//	                probes with the other — no worker sees a whole table
+//	agg split       grouped aggregations split into a partial aggregate in
+//	                the row-producing stage, a repartition on the group
+//	                keys, and a final-merge stage owning each group whole
+//
+// The planner chooses broadcast-vs-shuffle per join from the lpq footer
+// row counts: a genuinely small build side ships inside worker payloads as
+// before, everything else shuffles. The driver orchestrates the DAG in
+// dependency waves with seal/ready barriers — workers report completion
+// through the SQS result queue (seal), the driver records stage readiness
+// in DynamoDB, and consumer workers verify the marker before collecting
+// their partitions. Stage fragments are ordinary engine plans executed on
+// the pipeline-graph scheduler, and every boundary preserves row order
+// (partition rows in sender order, senders in ascending ID order, driver
+// merges in worker order), so staged execution is fully deterministic and,
+// for order-insensitive aggregates (COUNT, integer SUM, MIN/MAX) under an
+// ORDER BY, byte-identical to single-node execution at any worker/
+// partition count; floating-point SUM/AVG agree to last-ulp rounding, as
+// the split changes the summation order. In functional mode
+// exchange receivers park on the completion signal s3.Put broadcasts
+// (simenv.Notify) instead of spinning on the poll interval.
+//
 // # Chunk pooling
 //
 // Hot paths avoid the allocator: columnar.Pool recycles vectors and chunks

@@ -213,6 +213,12 @@ func (s *Service) put(env simenv.Env, bucketName, key string, obj *Object) error
 	s.mu.Lock()
 	b.objects[key] = obj
 	s.mu.Unlock()
+	// Wake every goroutine parked in an Immediate poll-sized sleep: the
+	// exchange's receivers (WaitFor heads, List polls) block on exactly
+	// this event — a sender's file appearing — so they re-check on the
+	// completion signal instead of burning the fixed poll interval. The
+	// timed poll remains the fallback for waiters whose file never comes.
+	simenv.Notify()
 	return nil
 }
 

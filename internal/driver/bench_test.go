@@ -1,0 +1,85 @@
+package driver
+
+import (
+	"testing"
+
+	"lambada/internal/awssim/simenv"
+	"lambada/internal/lpq"
+	"lambada/internal/tpch"
+)
+
+// BenchmarkShuffleJoin measures the end-to-end staged shuffle join on the
+// functional deployment: two scan stages partitioning through the S3
+// exchange, a join stage per partition pair, and the partial→final
+// aggregation split (the q12 shape with integer-exact aggregates). One op
+// is a whole query: invoke, shuffle, barriers, driver merge.
+func BenchmarkShuffleJoin(b *testing.B) {
+	dep := NewLocal()
+	d := New(dep, simenv.NewImmediate(), DefaultConfig())
+	if err := d.Install(); err != nil {
+		b.Fatal(err)
+	}
+	g := tpch.Gen{SF: 0.01, Seed: 33}
+	li := g.Generate()
+	orders := g.OrdersFor(li)
+	liRefs, err := d.UploadTable("tpch", "lineitem", li, 8, lpq.WriterOptions{RowGroupRows: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ordRefs, err := d.UploadTable("tpch", "orders", orders, 4, lpq.WriterOptions{RowGroupRows: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables := TableFiles{"lineitem": liRefs, "orders": ordRefs}
+	cfg := DefaultStageConfig()
+	cfg.Partitions = 4
+	cfg.BroadcastRowLimit = -1
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := d.RunSQLStaged(q12ExactSQL, tables, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.NumRows() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkBroadcastJoin is the same query through the driver-broadcast
+// path — the baseline the shuffle pays its exchange overhead against on
+// small inputs (at scale the broadcast path stops existing: the build side
+// no longer fits the payloads).
+func BenchmarkBroadcastJoin(b *testing.B) {
+	dep := NewLocal()
+	d := New(dep, simenv.NewImmediate(), DefaultConfig())
+	if err := d.Install(); err != nil {
+		b.Fatal(err)
+	}
+	g := tpch.Gen{SF: 0.01, Seed: 33}
+	li := g.Generate()
+	orders := g.OrdersFor(li)
+	liRefs, err := d.UploadTable("tpch", "lineitem", li, 8, lpq.WriterOptions{RowGroupRows: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ordRefs, err := d.UploadTable("tpch", "orders", orders, 4, lpq.WriterOptions{RowGroupRows: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables := TableFiles{"lineitem": liRefs, "orders": ordRefs}
+	cfg := DefaultStageConfig()
+	cfg.BroadcastRowLimit = 1 << 30 // planner picks broadcast
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := d.RunSQLStaged(q12ExactSQL, tables, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.NumRows() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}

@@ -206,6 +206,12 @@ type workerPayload struct {
 	// Exchange, when present, makes the worker shuffle its partial result
 	// through S3 by group key and finalize its partitions locally.
 	Exchange json.RawMessage `json:"exchange,omitempty"`
+	// StageID and StageSpec mark a stage fragment of a stage-decomposed
+	// plan (internal/stageplan): the worker collects its exchange inputs,
+	// executes the fragment, and either publishes its partitioned output
+	// or posts it to the result queue.
+	StageID   int             `json:"stageId,omitempty"`
+	StageSpec json.RawMessage `json:"stageSpec,omitempty"`
 	// Broadcast carries small driver-side tables (lpq blobs by table name)
 	// referenced by join plans.
 	Broadcast map[string][]byte `json:"broadcast,omitempty"`
@@ -215,6 +221,7 @@ type workerPayload struct {
 type resultMsg struct {
 	QueryID      string `json:"queryId"`
 	WorkerID     int    `json:"workerId"`
+	Stage        int    `json:"stage,omitempty"` // stage fragment's stage ID
 	Err          string `json:"err,omitempty"`
 	Chunk        []byte `json:"chunk,omitempty"` // lpq blob
 	ProcessingNs int64  `json:"processingNs"`    // plan execution time
@@ -302,9 +309,11 @@ func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, p *workerPayload) (*columna
 		opts = append(opts, s3.WithShaper(d.dep.Net, ctx.MemoryMiB))
 	}
 	client := s3.NewClient(d.dep.S3, ctx.Env, opts...)
-	src := scan.New(client, d.cfg.Scan, p.Files...)
-	guarded := memGuardSource{Source: src, budget: engineMemoryBudget(ctx.MemoryMiB)}
-	cat := engine.Catalog{p.Table: guarded}
+	cat := engine.Catalog{}
+	if len(p.Files) > 0 {
+		src := scan.New(client, d.cfg.Scan, p.Files...)
+		cat[p.Table] = memGuardSource{Source: src, budget: engineMemoryBudget(ctx.MemoryMiB)}
+	}
 	for name, blob := range p.Broadcast {
 		r, err := lpq.OpenReader(bytes.NewReader(blob), int64(len(blob)))
 		if err != nil {
@@ -315,6 +324,11 @@ func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, p *workerPayload) (*columna
 			return nil, err
 		}
 		cat[name] = engine.NewMemSource(c.Schema, c)
+	}
+	// Stage fragments collect their exchange inputs before executing and
+	// publish their partitioned output after (driver/stage.go).
+	if len(p.StageSpec) > 0 {
+		return d.runStageFragment(ctx, client, p, plan, cat)
 	}
 	// Every fragment — joins included — runs on the pipeline-graph
 	// scheduler; parallelism 1 (forced in DES deployments) executes the
@@ -330,7 +344,7 @@ func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, p *workerPayload) (*columna
 }
 
 func (d *Driver) postResult(env simenv.Env, p workerPayload, execErr error, chunk *columnar.Chunk, processing time.Duration, cold bool) error {
-	msg := resultMsg{QueryID: p.QueryID, WorkerID: p.WorkerID, ProcessingNs: processing.Nanoseconds(), Cold: cold}
+	msg := resultMsg{QueryID: p.QueryID, WorkerID: p.WorkerID, Stage: p.StageID, ProcessingNs: processing.Nanoseconds(), Cold: cold}
 	if execErr != nil {
 		msg.Err = execErr.Error()
 	} else if chunk != nil {

@@ -1,7 +1,6 @@
 package driver
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -10,7 +9,6 @@ import (
 	"lambada/internal/columnar"
 	"lambada/internal/engine"
 	"lambada/internal/exchange"
-	"lambada/internal/lpq"
 	"lambada/internal/scan"
 )
 
@@ -75,10 +73,7 @@ func (d *Driver) RunPlanExchanged(plan engine.Plan, table string, files []scan.F
 	queryID := fmt.Sprintf("q%d", d.queryCounter)
 	buckets := d.InstallExchange(xcfg)
 
-	costBefore := map[string]float64{}
-	for _, l := range d.dep.Meter.Labels() {
-		costBefore[l] = float64(d.dep.Meter.Get(l))
-	}
+	costBefore := d.costSnapshot()
 	startTime := d.env.Now()
 
 	driverClient := s3.NewClient(d.dep.S3, d.env)
@@ -158,40 +153,13 @@ func (d *Driver) RunPlanExchanged(plan engine.Plan, table string, files []scan.F
 	}
 	invocation := d.env.Now() - invokeStart
 
-	msgs, err := d.dep.SQS.PollAll(d.env, d.cfg.ResultQueue, workers, d.cfg.PollInterval, d.cfg.MaxWait)
-	if err != nil {
-		return nil, nil, fmt.Errorf("driver: collecting results: %w", err)
-	}
 	finalSchema, err := xp.WorkerFinal.OutSchema()
 	if err != nil {
 		return nil, nil, err
 	}
-	var chunks []*columnar.Chunk
-	var processing []time.Duration
-	cold := 0
-	for _, m := range msgs {
-		var rm resultMsg
-		if err := json.Unmarshal(m.Body, &rm); err != nil {
-			return nil, nil, err
-		}
-		if rm.Err != "" {
-			return nil, nil, fmt.Errorf("driver: worker %d failed: %s", rm.WorkerID, rm.Err)
-		}
-		if rm.Cold {
-			cold++
-		}
-		processing = append(processing, time.Duration(rm.ProcessingNs))
-		if len(rm.Chunk) > 0 {
-			r, err := lpq.OpenReader(bytes.NewReader(rm.Chunk), int64(len(rm.Chunk)))
-			if err != nil {
-				return nil, nil, err
-			}
-			c, err := r.ReadAll()
-			if err != nil {
-				return nil, nil, err
-			}
-			chunks = append(chunks, c)
-		}
+	chunks, processing, cold, err := d.collectResults(queryID, workers)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	dcat := engine.Catalog{engine.WorkerResultTable: engine.NewMemSource(finalSchema, chunks...)}
@@ -206,15 +174,8 @@ func (d *Driver) RunPlanExchanged(plan engine.Plan, table string, files []scan.F
 		Invocation:       invocation,
 		WorkerProcessing: processing,
 		ColdWorkers:      cold,
-		CostDelta:        map[string]float64{},
 	}
-	for _, l := range d.dep.Meter.Labels() {
-		delta := float64(d.dep.Meter.Get(l)) - costBefore[l]
-		if delta > 0 {
-			rep.CostDelta[l] = delta
-			rep.TotalCost += delta
-		}
-	}
+	d.fillCostDelta(rep, costBefore)
 	return result, rep, nil
 }
 

@@ -19,8 +19,11 @@ import (
 
 // Report summarizes one query execution.
 type Report struct {
-	QueryID  string
-	Workers  int
+	QueryID string
+	Workers int
+	// Stages is the stage count of a stage-decomposed (shuffle) execution
+	// (0 for single-scope queries).
+	Stages   int
 	Duration time.Duration
 	// Invocation is the driver-side time spent launching workers.
 	Invocation time.Duration
@@ -34,6 +37,98 @@ type Report struct {
 	// difference is what the query cost.
 	CostDelta map[string]float64
 	TotalCost float64
+}
+
+// costSnapshot captures the meter's current per-label totals.
+func (d *Driver) costSnapshot() map[string]float64 {
+	before := map[string]float64{}
+	for _, l := range d.dep.Meter.Labels() {
+		before[l] = float64(d.dep.Meter.Get(l))
+	}
+	return before
+}
+
+// fillCostDelta records what the query cost: the meter movement since the
+// snapshot, per label and in total.
+func (d *Driver) fillCostDelta(rep *Report, before map[string]float64) {
+	rep.CostDelta = map[string]float64{}
+	for _, l := range d.dep.Meter.Labels() {
+		delta := float64(d.dep.Meter.Get(l)) - before[l]
+		if delta > 0 {
+			rep.CostDelta[l] = delta
+			rep.TotalCost += delta
+		}
+	}
+}
+
+// drainResults polls the result queue until n of the query's workers have
+// reported, discarding leftovers of earlier aborted queries (a query
+// failing mid-flight returns before its remaining workers post; their
+// messages must not poison the next query on the same driver). Worker
+// errors fail the query; every valid message is handed to onMsg. This is
+// the one stale-drain protocol — the single-scope, exchanged and staged
+// collectors all run through it.
+func (d *Driver) drainResults(queryID string, n int, onMsg func(rm resultMsg) error) error {
+	deadline := d.env.Now() + d.cfg.MaxWait
+	for n > 0 {
+		wait := deadline - d.env.Now()
+		if wait <= 0 {
+			return fmt.Errorf("driver: %d results missing after %v", n, d.cfg.MaxWait)
+		}
+		msgs, err := d.dep.SQS.PollAll(d.env, d.cfg.ResultQueue, n, d.cfg.PollInterval, wait)
+		if err != nil {
+			return fmt.Errorf("driver: collecting results: %w", err)
+		}
+		for _, m := range msgs {
+			var rm resultMsg
+			if err := json.Unmarshal(m.Body, &rm); err != nil {
+				return err
+			}
+			if rm.QueryID != queryID {
+				continue // leftover of an earlier aborted query
+			}
+			if rm.Err != "" {
+				return fmt.Errorf("driver: worker %d failed: %s", rm.WorkerID, rm.Err)
+			}
+			if err := onMsg(rm); err != nil {
+				return err
+			}
+			n--
+		}
+	}
+	return nil
+}
+
+// collectResults drains n results and decodes their chunks in arrival
+// order.
+func (d *Driver) collectResults(queryID string, n int) (chunks []*columnar.Chunk, processing []time.Duration, cold int, err error) {
+	err = d.drainResults(queryID, n, func(rm resultMsg) error {
+		if rm.Cold {
+			cold++
+		}
+		processing = append(processing, time.Duration(rm.ProcessingNs))
+		if len(rm.Chunk) > 0 {
+			c, err := decodeChunk(rm.Chunk)
+			if err != nil {
+				return err
+			}
+			chunks = append(chunks, c)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return chunks, processing, cold, nil
+}
+
+// decodeChunk reads a result message's lpq blob.
+func decodeChunk(blob []byte) (*columnar.Chunk, error) {
+	r, err := lpq.OpenReader(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		return nil, err
+	}
+	return r.ReadAll()
 }
 
 // RunSQL parses, optimizes, distributes and runs a SQL query against the
@@ -81,10 +176,7 @@ func (d *Driver) runPlan(plan engine.Plan, table string, files []scan.FileRef, b
 	d.queryCounter++
 	queryID := fmt.Sprintf("q%d", d.queryCounter)
 
-	costBefore := map[string]float64{}
-	for _, l := range d.dep.Meter.Labels() {
-		costBefore[l] = float64(d.dep.Meter.Get(l))
-	}
+	costBefore := d.costSnapshot()
 	startTime := d.env.Now()
 
 	// Resolve the table schema from the first file's footer (driver-side
@@ -177,36 +269,10 @@ func (d *Driver) runPlan(plan engine.Plan, table string, files []scan.FileRef, b
 			return nil, nil, err
 		}
 	} else {
-		msgs, err := d.dep.SQS.PollAll(d.env, d.cfg.ResultQueue, workers, d.cfg.PollInterval, d.cfg.MaxWait)
+		var err error
+		chunks, processing, cold, err = d.collectResults(queryID, workers)
 		if err != nil {
-			return nil, nil, fmt.Errorf("driver: collecting results: %w", err)
-		}
-		for _, m := range msgs {
-			var rm resultMsg
-			if err := json.Unmarshal(m.Body, &rm); err != nil {
-				return nil, nil, err
-			}
-			if rm.QueryID != queryID {
-				return nil, nil, fmt.Errorf("driver: stale result for %q", rm.QueryID)
-			}
-			if rm.Err != "" {
-				return nil, nil, fmt.Errorf("driver: worker %d failed: %s", rm.WorkerID, rm.Err)
-			}
-			if rm.Cold {
-				cold++
-			}
-			processing = append(processing, time.Duration(rm.ProcessingNs))
-			if len(rm.Chunk) > 0 {
-				r, err := lpq.OpenReader(bytes.NewReader(rm.Chunk), int64(len(rm.Chunk)))
-				if err != nil {
-					return nil, nil, err
-				}
-				c, err := r.ReadAll()
-				if err != nil {
-					return nil, nil, err
-				}
-				chunks = append(chunks, c)
-			}
+			return nil, nil, err
 		}
 	}
 	sort.Slice(processing, func(i, j int) bool { return processing[i] < processing[j] })
@@ -230,15 +296,8 @@ func (d *Driver) runPlan(plan engine.Plan, table string, files []scan.FileRef, b
 		WorkerProcessing: processing,
 		ColdWorkers:      cold,
 		Speculated:       speculated,
-		CostDelta:        map[string]float64{},
 	}
-	for _, l := range d.dep.Meter.Labels() {
-		delta := float64(d.dep.Meter.Get(l)) - costBefore[l]
-		if delta > 0 {
-			rep.CostDelta[l] = delta
-			rep.TotalCost += delta
-		}
-	}
+	d.fillCostDelta(rep, costBefore)
 	return result, rep, nil
 }
 
@@ -250,7 +309,7 @@ func (d *Driver) invokeOne(payload []byte, workerID int) error {
 
 // invokeAll launches the fleet, directly or via the two-level tree.
 func (d *Driver) invokeAll(payloads [][]byte) error {
-	if !d.cfg.TreeInvoke || len(payloads) < 4 {
+	if !invoke.UseTree(d.cfg.TreeInvoke, len(payloads)) {
 		pacing := invoke.DriverPacing(d.cfg.Region, d.cfg.InvokeThreads)
 		for i, p := range payloads {
 			// Pipelined: the driver's requester thread pool overlaps the

@@ -1,0 +1,508 @@
+package driver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"lambada/internal/awssim/dynamo"
+	"lambada/internal/awssim/lambdasvc"
+	"lambada/internal/awssim/s3"
+	"lambada/internal/columnar"
+	"lambada/internal/engine"
+	"lambada/internal/exchange"
+	"lambada/internal/lpq"
+	"lambada/internal/scan"
+	"lambada/internal/sqlfe"
+	"lambada/internal/stageplan"
+)
+
+// StageConfig tunes the staged (shuffle) execution path: the stage planner
+// (internal/stageplan) decomposes the query into a DAG of stages connected
+// by exchange boundaries, and the driver runs the stages in dependency
+// waves with seal/ready barriers.
+type StageConfig struct {
+	// Exchange configures the S3 boundary namespace (buckets, variant,
+	// receiver polling).
+	Exchange ExchangeConfig
+	// Partitions is the fan-in of every boundary — join stages and final
+	// aggregation stages run this many workers (0 = 4).
+	Partitions int
+	// BroadcastRowLimit: a join build side of at most this many rows (per
+	// the lpq file footers) is loaded by the driver and broadcast inside
+	// worker payloads instead of shuffled (0 = stageplan's default;
+	// negative = never broadcast).
+	BroadcastRowLimit int64
+}
+
+// DefaultStageConfig shuffles through the write-combining exchange at four
+// partitions per boundary.
+func DefaultStageConfig() StageConfig {
+	return StageConfig{Exchange: DefaultExchangeConfig(), Partitions: 4}
+}
+
+// TableFiles maps each base table of a query to its lpq files on S3.
+type TableFiles map[string][]scan.FileRef
+
+// stageSpec is the runtime wire form of one stage, shipped inside worker
+// payloads next to the plan fragment.
+type stageSpec struct {
+	StageID int               `json:"stageId"`
+	Inputs  []stageInputSpec  `json:"inputs,omitempty"`
+	Output  *stageplan.Output `json:"output,omitempty"`
+
+	Variant   exchange.Variant `json:"variant"`
+	Buckets   []string         `json:"buckets"`
+	Prefix    string           `json:"prefix"`
+	PollNs    int64            `json:"pollNs"`
+	MaxWaitNs int64            `json:"maxWaitNs"`
+	// SealTable is the DynamoDB table holding per-stage ready markers;
+	// QueryID scopes the marker keys.
+	SealTable string `json:"sealTable"`
+	QueryID   string `json:"queryId"`
+}
+
+// stageInputSpec is the planner's Input plus the runtime sender count.
+type stageInputSpec struct {
+	stageplan.Input
+	// Senders is the producing stage's worker count.
+	Senders int `json:"senders"`
+}
+
+// stagesTableName names the DynamoDB seal/ready table of an installation.
+func stagesTableName(fn string) string { return fn + "-stages" }
+
+func sealKey(queryID string, stageID int) string {
+	return fmt.Sprintf("%s/s%d", queryID, stageID)
+}
+
+// RunSQLStaged parses a SQL query over any number of S3-backed tables and
+// executes it through the stage planner: joins shuffle through the exchange
+// when both sides are large (per-join broadcast-vs-shuffle choice from the
+// lpq footer row counts), grouped aggregations repartition on their group
+// keys, and the driver only merges the final stage's outputs.
+func (d *Driver) RunSQLStaged(sql string, tables TableFiles, cfg StageConfig) (*columnar.Chunk, *Report, error) {
+	plan, err := sqlfe.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.RunPlanStaged(plan, tables, cfg)
+}
+
+// RunPlanStaged optimizes plan against the tables' footer schemas,
+// decomposes it into a stage DAG, and orchestrates the stages: each wave of
+// ready stages is invoked as one fleet, workers report completion through
+// the SQS result queue (seal), the driver records readiness in DynamoDB,
+// and dependent stages collect their partitions from the exchange.
+//
+// Config.Speculate applies to single-scope queries only: staged waves run
+// without straggler backups (a backup worker re-publishing partition files
+// would race the originals at the exchange boundary — a ROADMAP item).
+func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageConfig) (*columnar.Chunk, *Report, error) {
+	if len(tables) == 0 {
+		return nil, nil, fmt.Errorf("driver: no input tables")
+	}
+	d.queryCounter++
+	queryID := fmt.Sprintf("q%d", d.queryCounter)
+
+	costBefore := d.costSnapshot()
+	startTime := d.env.Now()
+
+	// Resolve every table's schema and row count from its lpq footers —
+	// driver-side metadata reads only.
+	driverClient := s3.NewClient(d.dep.S3, d.env)
+	optCat := engine.Catalog{}
+	stats := stageplan.Stats{Rows: map[string]int64{}}
+	for name, files := range tables {
+		if len(files) == 0 {
+			return nil, nil, fmt.Errorf("driver: table %q has no files", name)
+		}
+		src := scan.New(driverClient, d.cfg.Scan, files...)
+		schema, err := src.Schema()
+		if err != nil {
+			return nil, nil, fmt.Errorf("driver: resolving %q schema: %w", name, err)
+		}
+		rows, err := src.TotalRows()
+		if err != nil {
+			return nil, nil, fmt.Errorf("driver: counting %q rows: %w", name, err)
+		}
+		optCat[name] = engine.NewMemSource(schema)
+		stats.Rows[name] = rows
+	}
+
+	opt, err := engine.Optimize(plan, optCat)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp, err := stageplan.Decompose(opt, stats, stageplan.Config{
+		Partitions:        cfg.Partitions,
+		BroadcastRowLimit: cfg.BroadcastRowLimit,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Load the genuinely small tables the planner kept as broadcast joins.
+	blobs := map[string][]byte{}
+	for _, name := range sp.Broadcast {
+		chunk, err := d.loadTable(driverClient, tables[name])
+		if err != nil {
+			return nil, nil, fmt.Errorf("driver: loading broadcast table %q: %w", name, err)
+		}
+		blob, err := lpq.WriteFile(chunk.Schema, lpq.WriterOptions{}, chunk)
+		if err != nil {
+			return nil, nil, err
+		}
+		blobs[name] = blob
+	}
+
+	buckets := d.InstallExchange(cfg.Exchange)
+	sealTable := stagesTableName(d.cfg.FunctionName)
+	d.dep.Dynamo.CreateTable(sealTable)
+
+	// Worker counts: scan stages derive from their file count (F files per
+	// worker); exchange-fed stages run one worker per partition.
+	workers := map[int]int{}
+	for _, st := range sp.Stages {
+		if st.Table != "" {
+			files := tables[st.Table]
+			if files == nil {
+				return nil, nil, fmt.Errorf("driver: stage %d scans unknown table %q", st.ID, st.Table)
+			}
+			w := (len(files) + d.cfg.FilesPerWorker - 1) / d.cfg.FilesPerWorker
+			if w > len(files) {
+				w = len(files)
+			}
+			workers[st.ID] = w
+			continue
+		}
+		parts := 0
+		for _, in := range st.Inputs {
+			for _, up := range sp.Stages {
+				if up.ID == in.StageID && up.Output != nil {
+					if parts != 0 && parts != up.Output.Partitions {
+						return nil, nil, fmt.Errorf("driver: stage %d inputs disagree on partitions", st.ID)
+					}
+					parts = up.Output.Partitions
+				}
+			}
+		}
+		if parts == 0 {
+			return nil, nil, fmt.Errorf("driver: stage %d has no boundary inputs", st.ID)
+		}
+		workers[st.ID] = parts
+	}
+
+	// Execute the DAG in dependency waves: a stage launches once every
+	// producer sealed; its workers verify the DynamoDB ready markers
+	// before collecting partitions.
+	resultStage := sp.ResultStage()
+	if resultStage == nil {
+		return nil, nil, fmt.Errorf("driver: stage plan has no result stage")
+	}
+	sealed := map[int]bool{}
+	type workerResult struct {
+		workerID int
+		chunk    []byte
+	}
+	var results []workerResult
+	var processing []time.Duration
+	var invocation time.Duration
+	cold, totalWorkers := 0, 0
+
+	remaining := append([]*stageplan.Stage(nil), sp.Stages...)
+	for len(remaining) > 0 {
+		var wave, next []*stageplan.Stage
+		for _, st := range remaining {
+			ready := true
+			for _, dep := range st.DependsOn {
+				if !sealed[dep] {
+					ready = false
+				}
+			}
+			if ready {
+				wave = append(wave, st)
+			} else {
+				next = append(next, st)
+			}
+		}
+		if len(wave) == 0 {
+			return nil, nil, fmt.Errorf("driver: stage dependency cycle among %d stages", len(remaining))
+		}
+		remaining = next
+
+		var payloads [][]byte
+		waveWorkers := map[int]int{}
+		for _, st := range wave {
+			ps, err := d.stagePayloads(queryID, st, sp, tables, workers, blobs, buckets, sealTable, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			payloads = append(payloads, ps...)
+			waveWorkers[st.ID] = len(ps)
+			totalWorkers += len(ps)
+		}
+
+		invokeStart := d.env.Now()
+		if err := d.invokeAll(payloads); err != nil {
+			return nil, nil, err
+		}
+		invocation += d.env.Now() - invokeStart
+
+		// Collect the wave's seal messages through the shared stale-drain
+		// protocol, routing them to their stages.
+		err := d.drainResults(queryID, len(payloads), func(rm resultMsg) error {
+			if rm.Cold {
+				cold++
+			}
+			processing = append(processing, time.Duration(rm.ProcessingNs))
+			if rm.Stage == resultStage.ID && len(rm.Chunk) > 0 {
+				results = append(results, workerResult{workerID: rm.WorkerID, chunk: rm.Chunk})
+			}
+			waveWorkers[rm.Stage]--
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, st := range wave {
+			if waveWorkers[st.ID] != 0 {
+				return nil, nil, fmt.Errorf("driver: stage %d missing %d seal messages", st.ID, waveWorkers[st.ID])
+			}
+			// Seal: every worker of the stage reported through SQS. Ready:
+			// record it in DynamoDB for the consumers' barrier check.
+			if err := d.dep.Dynamo.Put(d.env, sealTable, sealKey(queryID, st.ID), []byte("sealed")); err != nil {
+				return nil, nil, err
+			}
+			sealed[st.ID] = true
+		}
+	}
+
+	// Driver scope: merge the result stage's outputs in worker order (the
+	// arrival order is racy; worker order makes the merge deterministic).
+	sort.Slice(results, func(i, j int) bool { return results[i].workerID < results[j].workerID })
+	var chunks []*columnar.Chunk
+	for _, r := range results {
+		c, err := decodeChunk(r.chunk)
+		if err != nil {
+			return nil, nil, err
+		}
+		chunks = append(chunks, c)
+	}
+	rs, err := resultStage.Plan.OutSchema()
+	if err != nil {
+		return nil, nil, err
+	}
+	dcat := engine.Catalog{engine.WorkerResultTable: engine.NewMemSource(rs, chunks...)}
+	result, err := engine.Execute(sp.Driver, dcat)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sort.Slice(processing, func(i, j int) bool { return processing[i] < processing[j] })
+	rep := &Report{
+		QueryID:          queryID,
+		Workers:          totalWorkers,
+		Stages:           len(sp.Stages),
+		Duration:         d.env.Now() - startTime,
+		Invocation:       invocation,
+		WorkerProcessing: processing,
+		ColdWorkers:      cold,
+	}
+	d.fillCostDelta(rep, costBefore)
+	return result, rep, nil
+}
+
+// stagePayloads builds the invocation payloads of one stage.
+func (d *Driver) stagePayloads(queryID string, st *stageplan.Stage, sp *stageplan.Plan, tables TableFiles, workers map[int]int, blobs map[string][]byte, buckets []string, sealTable string, cfg StageConfig) ([][]byte, error) {
+	planJSON, err := engine.MarshalPlan(st.Plan)
+	if err != nil {
+		return nil, err
+	}
+	spec := stageSpec{
+		StageID:   st.ID,
+		Variant:   cfg.Exchange.Variant,
+		Buckets:   buckets,
+		Prefix:    d.cfg.FunctionName + "/" + queryID,
+		PollNs:    int64(cfg.Exchange.Poll),
+		MaxWaitNs: int64(cfg.Exchange.MaxWait),
+		SealTable: sealTable,
+		QueryID:   queryID,
+	}
+	for _, in := range st.Inputs {
+		spec.Inputs = append(spec.Inputs, stageInputSpec{Input: in, Senders: workers[in.StageID]})
+	}
+	spec.Output = st.Output
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Only ship the broadcast blobs the fragment references.
+	var stageBlobs map[string][]byte
+	for name := range blobs {
+		if fragmentScans(st.Plan, name) {
+			if stageBlobs == nil {
+				stageBlobs = map[string][]byte{}
+			}
+			stageBlobs[name] = blobs[name]
+		}
+	}
+
+	n := workers[st.ID]
+	payloads := make([][]byte, n)
+	files := tables[st.Table]
+	per := 0
+	if st.Table != "" {
+		per = (len(files) + n - 1) / n
+	}
+	for w := 0; w < n; w++ {
+		p := workerPayload{
+			QueryID:     queryID,
+			WorkerID:    w,
+			NumWorkers:  n,
+			Plan:        planJSON,
+			ResultQueue: d.cfg.ResultQueue,
+			StageID:     st.ID,
+			StageSpec:   specJSON,
+			Broadcast:   stageBlobs,
+		}
+		if st.Table != "" {
+			lo, hi := w*per, (w+1)*per
+			if hi > len(files) {
+				hi = len(files)
+			}
+			if lo > hi {
+				lo = hi
+			}
+			p.Table = st.Table
+			p.Files = files[lo:hi]
+		}
+		body, err := json.Marshal(p)
+		if err != nil {
+			return nil, err
+		}
+		payloads[w] = body
+	}
+	return payloads, nil
+}
+
+// loadTable reads a small table's lpq files whole on the driver (the §3.2
+// "small amounts of data read locally" that broadcast joins ship).
+func (d *Driver) loadTable(client *s3.Client, files []scan.FileRef) (*columnar.Chunk, error) {
+	if len(files) == 0 {
+		return nil, errors.New("no files")
+	}
+	src := scan.New(client, d.cfg.Scan, files...)
+	schema, err := src.Schema()
+	if err != nil {
+		return nil, err
+	}
+	out := columnar.NewChunk(schema, 0)
+	err = src.Scan(nil, nil, func(c *columnar.Chunk) error {
+		out.AppendChunk(c)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// fragmentScans reports whether the fragment scans table (join build sides
+// included).
+func fragmentScans(p engine.Plan, table string) bool {
+	found := false
+	engine.VisitScans(p, func(s *engine.ScanPlan) {
+		if s.Table == table {
+			found = true
+		}
+	})
+	return found
+}
+
+// runStageFragment is the worker side of a stage: verify the upstream
+// ready markers, collect this worker's partition of every input boundary,
+// execute the fragment on the pipeline-graph scheduler, and either publish
+// the partitioned output into this stage's boundary or hand the chunk back
+// for the SQS result post.
+func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, client *s3.Client, p *workerPayload, plan engine.Plan, cat engine.Catalog) (*columnar.Chunk, error) {
+	var spec stageSpec
+	if err := json.Unmarshal(p.StageSpec, &spec); err != nil {
+		return nil, err
+	}
+	opts := exchange.Options{
+		Variant: spec.Variant,
+		Buckets: spec.Buckets,
+		Prefix:  spec.Prefix,
+		Poll:    time.Duration(spec.PollNs),
+		MaxWait: time.Duration(spec.MaxWaitNs),
+	}
+	budget := engineMemoryBudget(ctx.MemoryMiB)
+	var collected int64
+	for _, in := range spec.Inputs {
+		// Ready barrier: the driver marks a stage sealed in DynamoDB once
+		// every producer reported through SQS. Stages launch after their
+		// producers seal, so the first check normally passes; the poll
+		// guards against reordered deliveries.
+		if err := d.waitSealed(ctx, &spec, in.StageID); err != nil {
+			return nil, err
+		}
+		chunk, err := exchange.CollectStage(client, opts, exchange.Boundary{
+			Stage:      in.StageID,
+			Senders:    in.Senders,
+			Partitions: p.NumWorkers,
+		}, p.WorkerID)
+		if err != nil {
+			return nil, fmt.Errorf("collecting stage %d partition %d: %w", in.StageID, p.WorkerID, err)
+		}
+		// §3.3: report the working set exceeding the engine budget instead
+		// of dying silently. A join stage holds BOTH sides' partitions at
+		// once (plus build-side structures and output), so the guard sums
+		// over the inputs collected so far.
+		collected += chunk.ByteSize()
+		if need := 3 * collected; need > budget {
+			return nil, fmt.Errorf("%w: partition working set %d MiB exceeds engine budget %d MiB",
+				ErrWorkerOOM, need>>20, budget>>20)
+		}
+		cat[in.Table] = engine.NewMemSource(chunk.Schema, chunk)
+	}
+
+	out, err := engine.ExecuteParallel(plan, cat, engine.ParallelConfig{Pipelines: d.cfg.PipelineParallelism})
+	if err != nil {
+		return nil, err
+	}
+	if spec.Output == nil {
+		return out, nil
+	}
+	err = exchange.PublishStage(client, opts, exchange.Boundary{
+		Stage:      spec.StageID,
+		Senders:    p.NumWorkers,
+		Partitions: spec.Output.Partitions,
+	}, p.WorkerID, out, spec.Output.Keys)
+	if err != nil {
+		return nil, fmt.Errorf("publishing stage %d output: %w", spec.StageID, err)
+	}
+	// The seal travels through the result queue: an empty chunk.
+	return nil, nil
+}
+
+// waitSealed polls the DynamoDB ready marker of a producing stage.
+func (d *Driver) waitSealed(ctx *lambdasvc.Ctx, spec *stageSpec, stageID int) error {
+	deadline := ctx.Env.Now() + time.Duration(spec.MaxWaitNs)
+	for {
+		_, err := d.dep.Dynamo.Get(ctx.Env, spec.SealTable, sealKey(spec.QueryID, stageID))
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, dynamo.ErrNoSuchItem) {
+			return err
+		}
+		if ctx.Env.Now() >= deadline {
+			return fmt.Errorf("stage %d never sealed: %w", stageID, err)
+		}
+		ctx.Env.Sleep(time.Duration(spec.PollNs))
+	}
+}

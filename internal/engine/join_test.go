@@ -277,10 +277,12 @@ func TestWhereAboveJoinPushesThroughJoin(t *testing.T) {
 	}
 }
 
-// TestProjectionPushdownThroughJoin: the probe-side scan of a join under
-// an aggregate is restricted to its referenced columns while the broadcast
-// side stays whole — the broadcast side's "needs all" must not leak onto
-// the probe scan.
+// TestProjectionPushdownThroughJoin: both scans of a join under an
+// aggregate are restricted to their referenced columns — the probe side to
+// its keys and aggregated inputs, the build side to its keys and the
+// columns the aggregate names (shuffle joins scan large build sides, so
+// "keep the build side whole" would ship dead columns through the
+// exchange). Only a bare join result keeps its sides whole.
 func TestProjectionPushdownThroughJoin(t *testing.T) {
 	cat, _, _ := joinCatalog(t, 0.002)
 	opt, err := Optimize(revenueByNationPlan(), cat)
@@ -324,8 +326,17 @@ func TestProjectionPushdownThroughJoin(t *testing.T) {
 			t.Errorf("probe projection includes unneeded column %q", c)
 		}
 	}
-	if build.Projection != nil {
-		t.Errorf("broadcast side should stay whole, got projection %v", build.Projection)
+	wantBuild := map[string]bool{"s_suppkey": true, "s_nationkey": true}
+	if build.Projection == nil {
+		t.Errorf("build-side projection not pushed down:\n%s", Explain(opt))
+	}
+	if len(build.Projection) != len(wantBuild) {
+		t.Errorf("build projection = %v, want columns %v", build.Projection, wantBuild)
+	}
+	for _, c := range build.Projection {
+		if !wantBuild[c] {
+			t.Errorf("build projection includes unneeded column %q", c)
+		}
 	}
 	// And the projected plan still computes the right answer.
 	out, err := Execute(opt, cat)

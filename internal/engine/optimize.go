@@ -258,10 +258,13 @@ func requiredColumns(p Plan) (map[string]bool, map[*ScanPlan]bool) {
 				needed[k] = true
 			}
 			walk(t.Left, parentNeedsAll)
-			// The broadcast side is small; keep it whole so its columns
-			// survive into the join output regardless of what the parent
-			// referenced.
-			walk(t.Right, true)
+			// The build side inherits the parent's needs: when the query
+			// names its output columns (projection or aggregation above),
+			// the build-side scan prunes like any other — essential for
+			// shuffle joins, whose build side is a large scan. Only a bare
+			// join result keeps both sides whole, so its columns survive
+			// into the join output.
+			walk(t.Right, parentNeedsAll)
 		}
 	}
 	walk(p, true)

@@ -267,6 +267,21 @@ func (p *LimitPlan) Child() Plan { return p.In }
 // String describes the limit.
 func (p *LimitPlan) String() string { return fmt.Sprintf("Limit %d", p.N) }
 
+// VisitScans calls fn for every ScanPlan reachable from p. Child() returns
+// a join's left (probe) input, so the join's build side needs explicit
+// recursion — this helper owns that invariant for every walker that must
+// enumerate scans (table discovery, scan rebinding, broadcast shipping).
+func VisitScans(p Plan, fn func(*ScanPlan)) {
+	for n := p; n != nil; n = n.Child() {
+		if s, ok := n.(*ScanPlan); ok {
+			fn(s)
+		}
+		if j, ok := n.(*JoinPlan); ok {
+			VisitScans(j.Right, fn)
+		}
+	}
+}
+
 // Explain renders the plan tree indented.
 func Explain(p Plan) string {
 	var b strings.Builder

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"lambada/internal/columnar"
 	"lambada/internal/lpq"
 	"lambada/internal/tpch"
 )
@@ -110,5 +111,80 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 	}
 	if _, err := UnmarshalPlan([]byte(`{"kind":"filter"}`)); err == nil {
 		t.Error("filter without input accepted")
+	}
+}
+
+// TestPlanJSONStageFragmentShapes round-trips the fragment shapes the
+// stage planner emits: a partial aggregate over a join of two boundary
+// scans (multi-column keys, resolved schemas) and a final merge with the
+// AVG-recombining projection.
+func TestPlanJSONStageFragmentShapes(t *testing.T) {
+	boundary := func(table string, fields ...columnar.Field) *ScanPlan {
+		return &ScanPlan{Table: table, TableSchema: columnar.NewSchema(fields...)}
+	}
+	joinStage := &AggregatePlan{
+		GroupBy: []string{"g"},
+		Aggs: []AggSpec{
+			{Func: AggCount, Name: "__p0_cnt_n"},
+			{Func: AggSum, Arg: Col("v"), Name: "__p1_sum_s"},
+		},
+		In: &JoinPlan{
+			Left: boundary("__stage0",
+				columnar.Field{Name: "k1", Type: columnar.Int64},
+				columnar.Field{Name: "k2", Type: columnar.Int64},
+				columnar.Field{Name: "v", Type: columnar.Float64},
+			),
+			Right: boundary("__stage1",
+				columnar.Field{Name: "r1", Type: columnar.Int64},
+				columnar.Field{Name: "r2", Type: columnar.Int64},
+				columnar.Field{Name: "g", Type: columnar.Int64},
+			),
+			LeftKeys:  []string{"k1", "k2"},
+			RightKeys: []string{"r1", "r2"},
+		},
+	}
+	finalStage := &ProjectPlan{
+		Exprs: []Expr{Col("g"), Col("__p0_cnt_n"), NewBin(OpDiv, Col("__p1_sum_s"), Col("__p0_cnt_n"))},
+		Names: []string{"g", "n", "avg_v"},
+		In: &AggregatePlan{
+			GroupBy: []string{"g"},
+			Aggs: []AggSpec{
+				{Func: AggSum, Arg: Col("__p0_cnt_n"), Name: "__p0_cnt_n"},
+				{Func: AggSum, Arg: Col("__p1_sum_s"), Name: "__p1_sum_s"},
+			},
+			In: boundary("__stage2",
+				columnar.Field{Name: "g", Type: columnar.Int64},
+				columnar.Field{Name: "__p0_cnt_n", Type: columnar.Int64},
+				columnar.Field{Name: "__p1_sum_s", Type: columnar.Float64},
+			),
+		},
+	}
+	for _, frag := range []Plan{joinStage, finalStage} {
+		raw, err := MarshalPlan(frag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalPlan(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw2, err := MarshalPlan(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != string(raw2) {
+			t.Fatalf("fragment round trip differs:\n%s\n%s", raw, raw2)
+		}
+		ws, err := frag.OutSchema()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, err := back.OutSchema()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ws.Equal(bs) {
+			t.Fatalf("schema after round trip = %v, want %v", bs, ws)
+		}
 	}
 }

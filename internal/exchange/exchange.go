@@ -24,7 +24,10 @@ type Options struct {
 	Buckets []string
 	// Prefix namespaces this exchange's objects (e.g. a query ID).
 	Prefix string
-	// Poll is the receiver's retry interval while waiting for files.
+	// Poll is the receiver's retry interval while waiting for files. In
+	// functional mode the interval is an upper bound: poll sleeps park on
+	// the completion signal s3.Put broadcasts (simenv.Notify) and wake the
+	// moment a sender's file lands, with the timed poll as fallback.
 	Poll time.Duration
 	// MaxWait bounds the receiver's total wait per file.
 	MaxWait time.Duration
@@ -236,27 +239,65 @@ func (w Worker) runRound(opts Options, g grid, round int, cur *columnar.Chunk, k
 	return out, nil
 }
 
-// receiveCombined lists the group's combined files (repeating until all
-// senders appear), then range-reads this worker's slice of each.
-func (w Worker) receiveCombined(opts Options, g grid, round, group int, bucket string, members []int, schema *columnar.Schema) (*columnar.Chunk, error) {
-	prefix := opts.wcPrefix(round, group)
-	deadline := w.Client.Env().Now() + opts.MaxWait
-	var entries []s3.ListEntry
+// wcSlice is one sender's byte range of a combined object for one slot.
+type wcSlice struct {
+	sender int
+	bucket string
+	key    string
+	lo, hi int64
+}
+
+// listCombined polls until all senders' combined objects exist under
+// prefix in the given shard buckets, then returns slot's byte range of
+// each in ascending sender order — the shared receive protocol of the grid
+// exchange and the stage boundaries (§4.4.3: offsets encoded in the file
+// name).
+func listCombined(client *s3.Client, opts Options, buckets []string, prefix string, senders, slots, slot int) ([]wcSlice, error) {
+	type hit struct {
+		bucket string
+		key    string
+	}
+	deadline := client.Env().Now() + opts.MaxWait
+	var found []hit
 	for {
-		var err error
-		entries, err = w.Client.List(bucket, prefix)
+		found = found[:0]
+		for _, b := range buckets {
+			entries, err := client.List(b, prefix)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				found = append(found, hit{bucket: b, key: e.Key})
+			}
+		}
+		if len(found) >= senders {
+			break
+		}
+		if client.Env().Now() >= deadline {
+			return nil, fmt.Errorf("exchange: %d/%d combined files after %v", len(found), senders, opts.MaxWait)
+		}
+		// Poll-sized sleeps park on the completion signal s3.Put
+		// broadcasts (simenv.Notify); the timed poll is the fallback.
+		client.Env().Sleep(opts.Poll)
+	}
+	files := make([]wcSlice, 0, len(found))
+	for _, e := range found {
+		sender, offsets, err := parseWcName(e.key)
 		if err != nil {
 			return nil, err
 		}
-		if len(entries) >= len(members) {
-			break
+		if len(offsets) != slots+1 {
+			return nil, fmt.Errorf("exchange: %d offsets for %d slots in %q", len(offsets), slots, e.key)
 		}
-		if w.Client.Env().Now() >= deadline {
-			return nil, fmt.Errorf("exchange: %d/%d combined files after %v", len(entries), len(members), opts.MaxWait)
-		}
-		w.Client.Env().Sleep(opts.Poll)
+		files = append(files, wcSlice{sender: sender, bucket: e.bucket, key: e.key, lo: offsets[slot], hi: offsets[slot+1]})
 	}
+	sort.Slice(files, func(i, j int) bool { return files[i].sender < files[j].sender })
+	return files, nil
+}
 
+// receiveCombined lists the group's combined files (repeating until all
+// senders appear), then range-reads this worker's slice of each.
+func (w Worker) receiveCombined(opts Options, g grid, round, group int, bucket string, members []int, schema *columnar.Schema) (*columnar.Chunk, error) {
 	// This worker's slot within the group (member order).
 	slot := -1
 	for i, m := range members {
@@ -265,30 +306,16 @@ func (w Worker) receiveCombined(opts Options, g grid, round, group int, bucket s
 			break
 		}
 	}
-	type senderFile struct {
-		sender int
-		key    string
-		lo, hi int64
+	files, err := listCombined(w.Client, opts, []string{bucket}, opts.wcPrefix(round, group), len(members), len(members), slot)
+	if err != nil {
+		return nil, err
 	}
-	files := make([]senderFile, 0, len(entries))
-	for _, e := range entries {
-		sender, offsets, err := parseWcName(e.Key)
-		if err != nil {
-			return nil, err
-		}
-		if len(offsets) != len(members)+1 {
-			return nil, fmt.Errorf("exchange: %d offsets for %d members in %q", len(offsets), len(members), e.Key)
-		}
-		files = append(files, senderFile{sender: sender, key: e.Key, lo: offsets[slot], hi: offsets[slot+1]})
-	}
-	sort.Slice(files, func(i, j int) bool { return files[i].sender < files[j].sender })
-
 	out := columnar.NewChunk(schema, 0)
 	for _, f := range files {
 		if f.hi == f.lo {
 			continue
 		}
-		data, _, err := w.Client.GetRange(bucket, f.key, f.lo, f.hi-f.lo, 1)
+		data, _, err := w.Client.GetRange(f.bucket, f.key, f.lo, f.hi-f.lo, 1)
 		if err != nil {
 			return nil, err
 		}

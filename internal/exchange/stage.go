@@ -1,0 +1,224 @@
+package exchange
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"lambada/internal/awssim/s3"
+	"lambada/internal/columnar"
+	"lambada/internal/lpq"
+)
+
+// Stage boundaries are the asymmetric counterpart of the symmetric
+// all-to-all exchange of Run: a producing stage of S workers hash-partitions
+// its output rows into P partitions through S3, and a consuming stage of P
+// workers each collects exactly one partition from every sender. Unlike the
+// multi-level grid (which requires senders == receivers), a boundary is a
+// single round; bucket sharding (by partition in the basic variant, by
+// sender when write-combining) keeps the §4.4.1 rate-limit multiplication,
+// and the write-combining variant keeps the §4.4.3 trick of encoding
+// cumulative partition offsets in the file name so each receiver
+// range-reads its slice of one combined object per sender.
+//
+// Every sender writes a file (possibly empty) for every partition, so
+// receivers never need a membership protocol: partition p is complete once
+// all S sender files exist.
+
+// Boundary identifies one producing stage's partitioned output inside an
+// exchange namespace (Options.Prefix scopes the query).
+type Boundary struct {
+	// Stage is the producing stage's ID (namespaces the object keys).
+	Stage int
+	// Senders is the producing stage's worker count.
+	Senders int
+	// Partitions is the consuming stage's worker count.
+	Partitions int
+}
+
+func (o *Options) stageBucket(stage, part int) string {
+	return o.Buckets[(stage*31+part)%len(o.Buckets)]
+}
+
+func (o *Options) stageFile(stage, part, sender int) string {
+	return fmt.Sprintf("%s/s%d/p%d/snd%d", o.Prefix, stage, part, sender)
+}
+
+func (o *Options) stageWcPrefix(stage int) string {
+	return fmt.Sprintf("%s/s%d/snd", o.Prefix, stage)
+}
+
+// HashPartition maps row i of the key columns to its partition in
+// [0, parts): the per-column splitmix64 hashes are FNV-combined so composite
+// keys distribute independently of any single column.
+func HashPartition(keys []*columnar.Vector, i, parts int) int {
+	h := uint64(14695981039346656037)
+	for _, k := range keys {
+		h = (h ^ Hash64(k.Int64s[i])) * 1099511628211
+	}
+	return int(h % uint64(parts))
+}
+
+// partitionRows returns, per partition, the row indices of chunk in row
+// order. All key columns must be Int64.
+func partitionRows(chunk *columnar.Chunk, keys []string, parts int) ([][]int, error) {
+	cols := make([]*columnar.Vector, len(keys))
+	for i, k := range keys {
+		v := chunk.Column(k)
+		if v == nil {
+			return nil, fmt.Errorf("exchange: partition key %q missing", k)
+		}
+		if v.Type != columnar.Int64 {
+			return nil, fmt.Errorf("exchange: partition key %q has type %v (only BIGINT keys are hashable)", k, v.Type)
+		}
+		cols[i] = v
+	}
+	sel := make([][]int, parts)
+	n := chunk.NumRows()
+	for i := 0; i < n; i++ {
+		p := HashPartition(cols, i, parts)
+		sel[p] = append(sel[p], i)
+	}
+	return sel, nil
+}
+
+// PublishStage hash-partitions chunk by the key columns and writes this
+// sender's partition files into the boundary's namespace — one object per
+// partition, or one combined object with offsets in the name when the
+// variant write-combines. Rows keep their order within each partition, so
+// the boundary is deterministic for a deterministic input chunk.
+func PublishStage(client *s3.Client, opts Options, b Boundary, sender int, chunk *columnar.Chunk, keys []string) error {
+	if len(opts.Buckets) == 0 {
+		return errors.New("exchange: no buckets configured")
+	}
+	if b.Partitions < 1 {
+		return fmt.Errorf("exchange: boundary with %d partitions", b.Partitions)
+	}
+	sel, err := partitionRows(chunk, keys, b.Partitions)
+	if err != nil {
+		return err
+	}
+	blobs := make([][]byte, b.Partitions)
+	for p := 0; p < b.Partitions; p++ {
+		part := chunk.Gather(sel[p])
+		data, err := lpq.WriteFile(chunk.Schema, lpq.WriterOptions{}, part)
+		if err != nil {
+			return err
+		}
+		blobs[p] = data
+	}
+
+	if opts.Variant.WriteCombining {
+		// One combined object, sharded by sender (a sender writes one file,
+		// so the per-partition spread of the basic variant is unavailable —
+		// spreading senders keeps the §4.4.1 rate-limit multiplication);
+		// cumulative partition offsets travel in the name.
+		var combined []byte
+		offsets := make([]int64, 0, b.Partitions+1)
+		for p := 0; p < b.Partitions; p++ {
+			offsets = append(offsets, int64(len(combined)))
+			combined = append(combined, blobs[p]...)
+		}
+		offsets = append(offsets, int64(len(combined)))
+		name := fmt.Sprintf("%s%d-off%s", opts.stageWcPrefix(b.Stage), sender, offsetString(offsets))
+		return client.Put(opts.stageBucket(b.Stage, sender), name, combined)
+	}
+
+	for p := 0; p < b.Partitions; p++ {
+		if err := client.Put(opts.stageBucket(b.Stage, p), opts.stageFile(b.Stage, p, sender), blobs[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CollectStage waits for every sender's slice of partition part and returns
+// their concatenation in ascending sender order. The schema comes from the
+// blobs themselves (lpq files are self-describing), so boundaries need no
+// schema plumbing.
+func CollectStage(client *s3.Client, opts Options, b Boundary, part int) (*columnar.Chunk, error) {
+	if len(opts.Buckets) == 0 {
+		return nil, errors.New("exchange: no buckets configured")
+	}
+	if opts.Variant.WriteCombining {
+		return collectStageCombined(client, opts, b, part)
+	}
+	bucket := opts.stageBucket(b.Stage, part)
+	var out *columnar.Chunk
+	for s := 0; s < b.Senders; s++ {
+		name := opts.stageFile(b.Stage, part, s)
+		if _, err := client.WaitFor(bucket, name, opts.Poll, opts.MaxWait); err != nil {
+			return nil, fmt.Errorf("exchange: waiting for %s: %w", name, err)
+		}
+		data, _, err := client.Get(bucket, name, 1)
+		if err != nil {
+			return nil, err
+		}
+		if out, err = appendStageBlob(out, data); err != nil {
+			return nil, err
+		}
+	}
+	if out == nil {
+		return nil, fmt.Errorf("exchange: stage %d has no senders", b.Stage)
+	}
+	return out, nil
+}
+
+// collectStageCombined lists the boundary's combined objects across the
+// senders' shard buckets until every sender appears (the shared
+// listCombined protocol), then range-reads this partition's slice of each.
+func collectStageCombined(client *s3.Client, opts Options, b Boundary, part int) (*columnar.Chunk, error) {
+	var buckets []string
+	seen := map[string]bool{}
+	for s := 0; s < b.Senders; s++ {
+		if bk := opts.stageBucket(b.Stage, s); !seen[bk] {
+			seen[bk] = true
+			buckets = append(buckets, bk)
+		}
+	}
+	files, err := listCombined(client, opts, buckets, opts.stageWcPrefix(b.Stage), b.Senders, b.Partitions, part)
+	if err != nil {
+		return nil, err
+	}
+	var out *columnar.Chunk
+	for _, f := range files {
+		data, _, err := client.GetRange(f.bucket, f.key, f.lo, f.hi-f.lo, 1)
+		if err != nil {
+			return nil, err
+		}
+		if out, err = appendStageBlob(out, data); err != nil {
+			return nil, err
+		}
+	}
+	if out == nil {
+		return nil, fmt.Errorf("exchange: stage %d has no senders", b.Stage)
+	}
+	return out, nil
+}
+
+// appendStageBlob decodes an lpq blob and appends its rows to dst,
+// allocating dst from the blob's own schema on first use.
+func appendStageBlob(dst *columnar.Chunk, blob []byte) (*columnar.Chunk, error) {
+	if dst == nil {
+		r, err := lpq.OpenReader(bytes.NewReader(blob), int64(len(blob)))
+		if err != nil {
+			return nil, err
+		}
+		return r.ReadAll()
+	}
+	if err := appendLpqBlob(dst, blob); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+func offsetString(offsets []int64) string {
+	s := ""
+	for i, off := range offsets {
+		if i > 0 {
+			s += "_"
+		}
+		s += fmt.Sprintf("%d", off)
+	}
+	return s
+}

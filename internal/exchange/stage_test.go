@@ -1,0 +1,159 @@
+package exchange
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lambada/internal/awssim/s3"
+	"lambada/internal/awssim/simenv"
+	"lambada/internal/columnar"
+)
+
+func stageTestChunk(lo, n int) *columnar.Chunk {
+	schema := columnar.NewSchema(
+		columnar.Field{Name: "k", Type: columnar.Int64},
+		columnar.Field{Name: "k2", Type: columnar.Int64},
+		columnar.Field{Name: "v", Type: columnar.Float64},
+	)
+	c := columnar.NewChunk(schema, n)
+	for i := 0; i < n; i++ {
+		c.Columns[0].AppendInt64(int64(lo + i))
+		c.Columns[1].AppendInt64(int64((lo + i) % 7))
+		c.Columns[2].AppendFloat64(float64(lo+i) * 0.5)
+	}
+	return c
+}
+
+// TestStageBoundary publishes from S senders and collects into P partitions
+// (S != P), checking that every row lands in exactly the partition its key
+// hashes to, in sender-then-row order, for both variants.
+func TestStageBoundary(t *testing.T) {
+	for _, wc := range []bool{false, true} {
+		env := simenv.NewImmediate()
+		svc := s3.New(s3.Config{})
+		svc.MustCreateBucket("xa")
+		svc.MustCreateBucket("xb")
+		opts := Options{
+			Variant: Variant{Levels: 1, WriteCombining: wc},
+			Buckets: []string{"xa", "xb"},
+			Prefix:  "q1",
+			Poll:    5 * time.Millisecond,
+			MaxWait: 30 * time.Second,
+		}
+		const senders, parts = 3, 5
+		b := Boundary{Stage: 2, Senders: senders, Partitions: parts}
+
+		inputs := make([]*columnar.Chunk, senders)
+		for s := 0; s < senders; s++ {
+			inputs[s] = stageTestChunk(s*40, 40)
+		}
+
+		var wg sync.WaitGroup
+		results := make([]*columnar.Chunk, parts)
+		errs := make([]error, senders+parts)
+		for s := 0; s < senders; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				client := s3.NewClient(svc, env)
+				errs[s] = PublishStage(client, opts, b, s, inputs[s], []string{"k", "k2"})
+			}(s)
+		}
+		for p := 0; p < parts; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				client := s3.NewClient(svc, env)
+				var err error
+				results[p], err = CollectStage(client, opts, b, p)
+				errs[senders+p] = err
+			}(p)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatalf("wc=%v: %v", wc, err)
+			}
+		}
+
+		// Every row present exactly once, in the partition its key hashes
+		// to, ordered by (sender, row).
+		total := 0
+		for p, res := range results {
+			keys := []*columnar.Vector{res.Column("k"), res.Column("k2")}
+			prevSenderRow := -1
+			for i := 0; i < res.NumRows(); i++ {
+				if got := HashPartition(keys, i, parts); got != p {
+					t.Fatalf("wc=%v: row with key %d in partition %d, want %d",
+						wc, keys[0].Int64s[i], p, got)
+				}
+				// k values encode global (sender, row) order.
+				if int(keys[0].Int64s[i]) <= prevSenderRow {
+					t.Fatalf("wc=%v: partition %d rows out of sender order", wc, p)
+				}
+				prevSenderRow = int(keys[0].Int64s[i])
+			}
+			total += res.NumRows()
+		}
+		if total != senders*40 {
+			t.Fatalf("wc=%v: %d rows collected, want %d", wc, total, senders*40)
+		}
+	}
+}
+
+// TestStageBoundaryEmptyPartitions: one sender, keys all equal, so P-1
+// partitions receive empty files — collectors must still complete.
+func TestStageBoundaryEmptyPartitions(t *testing.T) {
+	env := simenv.NewImmediate()
+	svc := s3.New(s3.Config{})
+	svc.MustCreateBucket("x")
+	opts := Options{
+		Variant: Variant{Levels: 1},
+		Buckets: []string{"x"},
+		Prefix:  "q2",
+		Poll:    time.Millisecond,
+		MaxWait: 10 * time.Second,
+	}
+	b := Boundary{Stage: 0, Senders: 1, Partitions: 4}
+	schema := columnar.NewSchema(columnar.Field{Name: "k", Type: columnar.Int64})
+	c := columnar.NewChunk(schema, 8)
+	for i := 0; i < 8; i++ {
+		c.Columns[0].AppendInt64(42)
+	}
+	client := s3.NewClient(svc, env)
+	if err := PublishStage(client, opts, b, 0, c, []string{"k"}); err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for p := 0; p < 4; p++ {
+		res, err := CollectStage(client, opts, b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumRows() > 0 {
+			nonEmpty++
+			if res.NumRows() != 8 {
+				t.Fatalf("partition %d has %d rows", p, res.NumRows())
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("%d non-empty partitions, want 1", nonEmpty)
+	}
+}
+
+// TestStageBoundaryRejectsFloatKey: partition keys must be BIGINT.
+func TestStageBoundaryRejectsFloatKey(t *testing.T) {
+	env := simenv.NewImmediate()
+	svc := s3.New(s3.Config{})
+	svc.MustCreateBucket("x")
+	opts := Options{Variant: Variant{Levels: 1}, Buckets: []string{"x"}, Prefix: "q3", Poll: time.Millisecond, MaxWait: time.Second}
+	schema := columnar.NewSchema(columnar.Field{Name: "f", Type: columnar.Float64})
+	c := columnar.NewChunk(schema, 1)
+	c.Columns[0].AppendFloat64(1.5)
+	client := s3.NewClient(svc, env)
+	if err := PublishStage(client, opts, Boundary{Stage: 0, Senders: 1, Partitions: 2}, 0, c, []string{"f"}); err == nil {
+		t.Fatal("float partition key accepted")
+	}
+}

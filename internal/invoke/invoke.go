@@ -56,6 +56,17 @@ func WorkerPacing(region netmodel.Region) Pacing {
 	return Pacing{SingleLatency: time.Duration(float64(time.Second) / prof.IntraRegionRate), Threads: 1, Rate: prof.IntraRegionRate}
 }
 
+// UseTree reports whether a fleet of total workers should launch through
+// the two-level invocation tree: below a handful of workers the driver's
+// sequential launch loop is already faster than paying an extra worker
+// generation, so direct invocation wins. The driver applies this policy per
+// invocation wave — stage waves of a distributed plan each decide
+// independently, since wave sizes differ (a scan wave may be hundreds of
+// workers, the final merge wave a few).
+func UseTree(treeEnabled bool, total int) bool {
+	return treeEnabled && total >= 4
+}
+
 // TreeFanout splits worker IDs 0..total-1 into a two-level tree: the driver
 // invokes the first ceil(√total) workers; worker i of that first generation
 // additionally receives the IDs of its second-generation children

@@ -176,6 +176,45 @@ func (s *Source) Schema() (*columnar.Schema, error) {
 	return r.Schema(), nil
 }
 
+// TotalRows sums the row counts recorded in every file's footer — the
+// planner's cardinality statistic (a metadata-only read: footers are a few
+// hundred bytes, no column data is transferred). The stage planner decides
+// broadcast-vs-shuffle per join from these counts. Footer opens run up to
+// Cfg.ParallelFiles at a time (this sits on the driver's plan-time critical
+// path; DES deployments force the knob to 1 and stay single-threaded), and
+// opens are cached, so a later Scan pays no second round trip.
+func (s *Source) TotalRows() (int64, error) {
+	if s.Cfg.ParallelFiles > 1 && len(s.Files) > 1 {
+		sem := make(chan struct{}, s.Cfg.ParallelFiles)
+		errs := make([]error, len(s.Files))
+		var wg sync.WaitGroup
+		for i, f := range s.Files {
+			wg.Add(1)
+			go func(i int, f FileRef) {
+				defer wg.Done()
+				sem <- struct{}{}
+				_, _, errs[i] = s.open(f)
+				<-sem
+			}(i, f)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	var total int64
+	for _, f := range s.Files {
+		r, _, err := s.open(f)
+		if err != nil {
+			return 0, err
+		}
+		total += r.Meta().TotalRows
+	}
+	return total, nil
+}
+
 // Scan yields the projected columns of every non-pruned row group of every
 // file, exploiting the configured concurrency levels. Yield order is always
 // the serial order — files in order, row groups in order within each file —

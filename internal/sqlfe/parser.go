@@ -34,6 +34,10 @@ var DateEpoch = time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
 type parser struct {
 	toks []token
 	pos  int
+	// quals are the table-qualifier tokens seen while parsing expressions
+	// and column references; the select list parses before FROM, so they
+	// are validated against the table list at the end of parseSelect.
+	quals []token
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -141,11 +145,11 @@ func (p *parser) parseSelect() (engine.Plan, error) {
 			return nil, err
 		}
 		for {
-			c, err := p.expect(tokIdent, "")
+			c, err := p.parseColRef()
 			if err != nil {
 				return nil, err
 			}
-			groupBy = append(groupBy, c.text)
+			groupBy = append(groupBy, c.name)
 			if !p.accept(tokSymbol, ",") {
 				break
 			}
@@ -163,14 +167,14 @@ func (p *parser) parseSelect() (engine.Plan, error) {
 		}
 		var keys []engine.OrderKey
 		for {
-			c, err := p.expect(tokIdent, "")
+			c, err := p.parseColRef()
 			if err != nil {
 				return nil, err
 			}
-			if !contains(outNames, c.text) {
-				return nil, fmt.Errorf("sqlfe: ORDER BY column %q not in select list", c.text)
+			if !contains(outNames, c.name) {
+				return nil, fmt.Errorf("sqlfe: ORDER BY column %q not in select list", c.name)
 			}
-			k := engine.OrderKey{Column: c.text}
+			k := engine.OrderKey{Column: c.name}
 			if p.accept(tokKeyword, "DESC") {
 				k.Desc = true
 			} else {
@@ -194,6 +198,18 @@ func (p *parser) parseSelect() (engine.Plan, error) {
 			return nil, fmt.Errorf("sqlfe: bad LIMIT %q", n.text)
 		}
 		plan = &engine.LimitPlan{In: plan, N: v}
+	}
+
+	// Qualifiers resolve columns by name, but a wrong table name is a bug
+	// in the query text — reject it instead of silently binding to
+	// whichever table owns the column. (Only the table name is checked:
+	// `orders.l_extendedprice` with both tables in FROM still binds by
+	// column name — qualifier-to-column ownership needs schemas, which
+	// only engine.Resolve sees.)
+	for _, q := range p.quals {
+		if !contains(tables, q.text) {
+			return nil, fmt.Errorf("sqlfe: unknown table %q at %d", q.text, q.pos)
+		}
 	}
 	return plan, nil
 }
@@ -263,6 +279,7 @@ func (p *parser) parseColRef() (colref, error) {
 		if err != nil {
 			return colref{}, fmt.Errorf("sqlfe: expected column after %q.: %w", id.text, err)
 		}
+		p.quals = append(p.quals, id)
 		return colref{qual: id.text, name: col.text}, nil
 	}
 	return colref{name: id.text}, nil
@@ -604,8 +621,13 @@ func (p *parser) parsePrimary() (engine.Expr, error) {
 		}
 		return engine.NewBin(engine.OpEQ, engine.ConstInt(0), engine.ConstInt(1)), nil
 	case t.kind == tokIdent:
-		p.next()
-		return engine.Col(t.text), nil
+		// Possibly table-qualified reference; parseColRef records the
+		// qualifier for the end-of-select validation.
+		c, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		return engine.Col(c.name), nil
 	case t.kind == tokSymbol && t.text == "(":
 		p.next()
 		e, err := p.parseExpr()

@@ -216,3 +216,48 @@ func TestCommentsAndMinMax(t *testing.T) {
 		t.Errorf("min/max/count = %v/%v/%v", out.Column("lo").Int64s, out.Column("hi").Int64s, out.Column("n").Int64s)
 	}
 }
+
+// TestQualifiedColumnRefs: table-qualified references parse anywhere an
+// expression or group key can appear (multi-table join queries read
+// naturally); columns still resolve by their unique names.
+func TestQualifiedColumnRefs(t *testing.T) {
+	plan, err := Parse(`
+SELECT orders.o_orderpriority, COUNT(*) AS n, SUM(lineitem.l_extendedprice) AS total
+FROM lineitem INNER JOIN orders ON lineitem.l_orderkey = orders.o_orderkey
+WHERE lineitem.l_receiptdate >= 100 AND lineitem.l_commitdate < lineitem.l_receiptdate
+GROUP BY orders.o_orderpriority
+ORDER BY o_orderpriority`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg *engine.AggregatePlan
+	for n := plan; n != nil; n = n.Child() {
+		if a, ok := n.(*engine.AggregatePlan); ok {
+			agg = a
+		}
+	}
+	if agg == nil {
+		t.Fatal("no aggregate in plan")
+	}
+	if len(agg.GroupBy) != 1 || agg.GroupBy[0] != "o_orderpriority" {
+		t.Fatalf("group by = %v", agg.GroupBy)
+	}
+	if agg.Aggs[1].Arg.String() != "l_extendedprice" {
+		t.Fatalf("sum arg = %v", agg.Aggs[1].Arg)
+	}
+}
+
+// TestUnknownQualifierRejected: a qualifier naming a table that is not in
+// the FROM/JOIN list is a query-text bug, not a resolvable reference.
+func TestUnknownQualifierRejected(t *testing.T) {
+	bad := []string{
+		`SELECT SUM(nosuch.l_extendedprice) AS s FROM lineitem`,
+		`SELECT COUNT(*) AS n FROM lineitem INNER JOIN orders ON lineitem.l_orderkey = orders.o_orderkey GROUP BY bogus.o_orderpriority`,
+		`SELECT l_suppkey, COUNT(*) AS n FROM lineitem WHERE typo.l_quantity > 1 GROUP BY l_suppkey`,
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil || !strings.Contains(err.Error(), "unknown table") {
+			t.Errorf("accepted bad qualifier (err=%v): %s", err, sql)
+		}
+	}
+}

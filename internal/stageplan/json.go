@@ -1,0 +1,116 @@
+package stageplan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"lambada/internal/engine"
+)
+
+// Stage plans serialize as tagged JSON like engine plans do (planjson):
+// each stage's fragment travels as an engine.MarshalPlan blob, the DAG
+// structure around it as plain fields. The driver embeds the per-stage wire
+// form in worker invocation payloads; tests round-trip whole plans.
+
+type stageJSON struct {
+	ID        int             `json:"id"`
+	Plan      json.RawMessage `json:"plan"`
+	Table     string          `json:"table,omitempty"`
+	Inputs    []Input         `json:"inputs,omitempty"`
+	Output    *Output         `json:"output,omitempty"`
+	DependsOn []int           `json:"dependsOn,omitempty"`
+}
+
+type planJSON struct {
+	Stages    []stageJSON     `json:"stages"`
+	Driver    json.RawMessage `json:"driver"`
+	Broadcast []string        `json:"broadcast,omitempty"`
+}
+
+// MarshalStage serializes one stage.
+func MarshalStage(s *Stage) ([]byte, error) {
+	j, err := encodeStage(s)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalStage reconstructs a stage from MarshalStage output.
+func UnmarshalStage(data []byte) (*Stage, error) {
+	var j stageJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, err
+	}
+	return decodeStage(j)
+}
+
+// Marshal serializes a whole stage plan.
+func Marshal(p *Plan) ([]byte, error) {
+	out := planJSON{Broadcast: p.Broadcast}
+	for _, s := range p.Stages {
+		j, err := encodeStage(s)
+		if err != nil {
+			return nil, err
+		}
+		out.Stages = append(out.Stages, j)
+	}
+	d, err := engine.MarshalPlan(p.Driver)
+	if err != nil {
+		return nil, err
+	}
+	out.Driver = d
+	return json.Marshal(out)
+}
+
+// Unmarshal reconstructs a stage plan from Marshal output.
+func Unmarshal(data []byte) (*Plan, error) {
+	var j planJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, err
+	}
+	out := &Plan{Broadcast: j.Broadcast}
+	for _, sj := range j.Stages {
+		s, err := decodeStage(sj)
+		if err != nil {
+			return nil, err
+		}
+		out.Stages = append(out.Stages, s)
+	}
+	d, err := engine.UnmarshalPlan(j.Driver)
+	if err != nil {
+		return nil, fmt.Errorf("stageplan: decoding driver scope: %w", err)
+	}
+	out.Driver = d
+	return out, nil
+}
+
+func encodeStage(s *Stage) (stageJSON, error) {
+	frag, err := engine.MarshalPlan(s.Plan)
+	if err != nil {
+		return stageJSON{}, fmt.Errorf("stageplan: encoding stage %d: %w", s.ID, err)
+	}
+	return stageJSON{
+		ID:        s.ID,
+		Plan:      frag,
+		Table:     s.Table,
+		Inputs:    s.Inputs,
+		Output:    s.Output,
+		DependsOn: s.DependsOn,
+	}, nil
+}
+
+func decodeStage(j stageJSON) (*Stage, error) {
+	frag, err := engine.UnmarshalPlan(j.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("stageplan: decoding stage %d: %w", j.ID, err)
+	}
+	return &Stage{
+		ID:        j.ID,
+		Plan:      frag,
+		Table:     j.Table,
+		Inputs:    j.Inputs,
+		Output:    j.Output,
+		DependsOn: j.DependsOn,
+	}, nil
+}

@@ -1,0 +1,496 @@
+// Package stageplan decomposes an optimized engine plan into a DAG of
+// stages connected by exchange boundaries — the distributed planning layer
+// that lets query shapes the driver cannot broadcast (joins with two large
+// sides, high-cardinality group-bys) flow through the purpose-built S3
+// exchange (§4.4) end-to-end:
+//
+//   - scan stages read a base table's lpq files and hash-partition their
+//     output on the downstream join keys through the exchange;
+//   - join stages run one worker per partition pair: worker p collects
+//     partition p of both sides, builds the hash table on the build side
+//     and probes with the other — no worker ever sees a whole table;
+//   - grouped aggregations split into a partial aggregate in the stage
+//     producing the rows and a final merge stage fed by a repartition on
+//     the group keys, so group state never funnels through the driver.
+//
+// Joins whose build side is genuinely small (by lpq footer row counts) stay
+// broadcast joins inside their probe side's stage — the planner chooses
+// broadcast-vs-shuffle per join. The driver executes stages in dependency
+// waves with seal/ready barriers (SQS completion messages, DynamoDB ready
+// markers); every stage fragment is an ordinary engine plan run on the
+// pipeline-graph scheduler, so results are byte-identical to single-node
+// execution at any worker/partition count.
+package stageplan
+
+import (
+	"fmt"
+	"sort"
+
+	"lambada/internal/columnar"
+	"lambada/internal/engine"
+)
+
+// Output is a stage's exchange boundary: its result rows are hash-
+// partitioned on Keys into Partitions partitions. The JSON tags are the
+// wire form both stageplan.Marshal and the driver's worker payloads use.
+type Output struct {
+	// Keys are the partition key columns (all Int64), hash-combined.
+	Keys []string `json:"keys"`
+	// Partitions is the consuming stage's worker count.
+	Partitions int `json:"partitions"`
+}
+
+// Input binds one upstream stage's boundary into a stage's catalog.
+type Input struct {
+	// StageID is the producing stage.
+	StageID int `json:"stageId"`
+	// Table is the catalog name the fragment scans the partition under.
+	Table string `json:"table"`
+}
+
+// Stage is one gang-scheduled fragment of a distributed plan.
+type Stage struct {
+	ID int
+	// Plan is the engine fragment every worker of the stage executes.
+	Plan engine.Plan
+	// Table is the base S3 table the stage scans ("" for exchange-fed
+	// stages, whose inputs come from upstream boundaries instead).
+	Table string
+	// Inputs are the exchange boundaries the stage consumes; worker p
+	// collects partition p of each.
+	Inputs []Input
+	// Output is the boundary the stage produces (nil: results go to the
+	// driver through the SQS result queue).
+	Output *Output
+	// DependsOn lists the stage IDs that must seal before this stage runs.
+	DependsOn []int
+}
+
+// Plan is a stage-decomposed distributed plan.
+type Plan struct {
+	// Stages in topological order: producers precede consumers.
+	Stages []*Stage
+	// Driver is the driver-side merge scope; its scan of
+	// engine.WorkerResultTable binds to the result stage's collected
+	// outputs (ordered by worker ID).
+	Driver engine.Plan
+	// Broadcast names the tables the driver must materialize and ship
+	// inside worker payloads (the small sides of broadcast joins).
+	Broadcast []string
+}
+
+// ResultStage returns the stage whose output feeds the driver scope.
+func (p *Plan) ResultStage() *Stage {
+	for _, s := range p.Stages {
+		if s.Output == nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// Stats carries the planner's cost inputs.
+type Stats struct {
+	// Rows is the per-table total row count, summed from the lpq file
+	// footers at plan time (a driver-side metadata read, no data scanned).
+	Rows map[string]int64
+}
+
+// Config tunes the decomposition.
+type Config struct {
+	// Partitions is the fan-in of every exchange boundary: join and final-
+	// aggregation stages run this many workers (0 = 4).
+	Partitions int
+	// BroadcastRowLimit: a join build side of at most this many rows stays
+	// a broadcast join (0 = 65536; negative = never broadcast).
+	BroadcastRowLimit int64
+}
+
+// DefaultBroadcastRowLimit is the build-side row count up to which shipping
+// the table inside worker payloads beats a shuffle.
+const DefaultBroadcastRowLimit = 1 << 16
+
+func (c Config) partitions() int {
+	if c.Partitions > 0 {
+		return c.Partitions
+	}
+	return 4
+}
+
+func (c Config) broadcastLimit() int64 {
+	switch {
+	case c.BroadcastRowLimit < 0:
+		return 0
+	case c.BroadcastRowLimit == 0:
+		return DefaultBroadcastRowLimit
+	default:
+		return c.BroadcastRowLimit
+	}
+}
+
+// InputTable names the catalog binding of a stage's boundary in consuming
+// fragments.
+func InputTable(stageID int) string { return fmt.Sprintf("__stage%d", stageID) }
+
+// joinKeys normalizes a join's key columns to the multi-key form.
+func joinKeys(j *engine.JoinPlan) (left, right []string) {
+	if len(j.LeftKeys) > 0 || len(j.RightKeys) > 0 {
+		return j.LeftKeys, j.RightKeys
+	}
+	return []string{j.LeftKey}, []string{j.RightKey}
+}
+
+type compiler struct {
+	cfg       Config
+	stats     Stats
+	stages    []*Stage
+	broadcast map[string]bool
+	nextID    int
+}
+
+// Decompose converts an optimized, resolved plan into a stage DAG. The plan
+// must come out of engine.Optimize against a catalog holding every base
+// table; stats supplies the per-table row counts the broadcast-vs-shuffle
+// choice is made from.
+//
+// Decompose takes ownership of p and rewrites it in place (join sides may
+// swap, shuffle joins are rebound to boundary scans) — like Optimize, it is
+// a one-way pass. Callers wanting a single-node reference must build the
+// plan twice, not reuse p afterwards.
+func Decompose(p engine.Plan, stats Stats, cfg Config) (*Plan, error) {
+	c := &compiler{cfg: cfg, stats: stats, broadcast: map[string]bool{}}
+
+	// Peel the driver-only tail (OrderBy, Limit) and an optional top-level
+	// projection, mirroring engine.SplitDistributed.
+	var tail []engine.Plan
+	cur := p
+	for {
+		switch n := cur.(type) {
+		case *engine.OrderByPlan:
+			tail = append(tail, n)
+			cur = n.In
+			continue
+		case *engine.LimitPlan:
+			tail = append(tail, n)
+			cur = n.In
+			continue
+		}
+		break
+	}
+	var topProject *engine.ProjectPlan
+	var agg *engine.AggregatePlan
+	switch n := cur.(type) {
+	case *engine.ProjectPlan:
+		if a, ok := n.In.(*engine.AggregatePlan); ok {
+			topProject, agg, cur = n, a, a.In
+		} else {
+			topProject, cur = n, n.In
+		}
+	case *engine.AggregatePlan:
+		agg, cur = n, n.In
+	}
+
+	// Compile the row source (scan chains and the join tree) into stages.
+	rowStage, err := c.build(cur)
+	if err != nil {
+		return nil, err
+	}
+
+	var driver engine.Plan
+	switch {
+	case agg != nil && len(agg.GroupBy) > 0:
+		partial, final, err := engine.SplitAggregate(agg)
+		if err != nil {
+			return nil, err
+		}
+		partial.In = rowStage.Plan
+		rowStage.Plan = partial
+		ps, err := partial.OutSchema()
+		if err != nil {
+			return nil, err
+		}
+		if intKeys(ps, agg.GroupBy) {
+			// Repartition the partials on the group keys; one final-merge
+			// worker per partition owns every group hashing to it.
+			rowStage.Output = &Output{Keys: agg.GroupBy, Partitions: c.cfg.partitions()}
+			workerFinal := final
+			if topProject != nil {
+				workerFinal = &engine.ProjectPlan{In: final, Exprs: topProject.Exprs, Names: topProject.Names}
+			}
+			inTable := InputTable(rowStage.ID)
+			rebindScan(workerFinal, engine.WorkerResultTable, inTable)
+			finalStage := &Stage{
+				ID:        c.id(),
+				Plan:      workerFinal,
+				Inputs:    []Input{{StageID: rowStage.ID, Table: inTable}},
+				DependsOn: []int{rowStage.ID},
+			}
+			c.stages = append(c.stages, finalStage)
+			fs, err := workerFinal.OutSchema()
+			if err != nil {
+				return nil, err
+			}
+			driver = &engine.ScanPlan{Table: engine.WorkerResultTable, TableSchema: fs}
+		} else {
+			// Non-hashable group keys: fall back to a driver-side merge of
+			// the raw partials (the SplitDistributed shape).
+			driver = final
+			if topProject != nil {
+				driver = &engine.ProjectPlan{In: driver, Exprs: topProject.Exprs, Names: topProject.Names}
+			}
+		}
+	case agg != nil:
+		// Global aggregate: partials are one row per worker — merge on the
+		// driver.
+		partial, final, err := engine.SplitAggregate(agg)
+		if err != nil {
+			return nil, err
+		}
+		partial.In = rowStage.Plan
+		rowStage.Plan = partial
+		driver = final
+		if topProject != nil {
+			driver = &engine.ProjectPlan{In: driver, Exprs: topProject.Exprs, Names: topProject.Names}
+		}
+	case topProject != nil:
+		topProject.In = rowStage.Plan
+		rowStage.Plan = topProject
+		ts, err := topProject.OutSchema()
+		if err != nil {
+			return nil, err
+		}
+		driver = &engine.ScanPlan{Table: engine.WorkerResultTable, TableSchema: ts}
+	default:
+		rs, err := rowStage.Plan.OutSchema()
+		if err != nil {
+			return nil, err
+		}
+		driver = &engine.ScanPlan{Table: engine.WorkerResultTable, TableSchema: rs}
+	}
+
+	for i := len(tail) - 1; i >= 0; i-- {
+		switch t := tail[i].(type) {
+		case *engine.OrderByPlan:
+			driver = &engine.OrderByPlan{In: driver, Keys: t.Keys}
+		case *engine.LimitPlan:
+			driver = &engine.LimitPlan{In: driver, N: t.N}
+		}
+	}
+
+	out := &Plan{Stages: c.stages, Driver: driver}
+	for t := range c.broadcast {
+		out.Broadcast = append(out.Broadcast, t)
+	}
+	sort.Strings(out.Broadcast)
+	return out, nil
+}
+
+func (c *compiler) id() int {
+	id := c.nextID
+	c.nextID++
+	return id
+}
+
+// build compiles a row-source subtree into its own stage (appended after
+// its producers, keeping c.stages topological) and returns it.
+func (c *compiler) build(p engine.Plan) (*Stage, error) {
+	st := &Stage{ID: c.id()}
+	frag, err := c.embed(st, p)
+	if err != nil {
+		return nil, err
+	}
+	st.Plan = frag
+	if st.Table == "" && len(st.Inputs) == 0 {
+		return nil, fmt.Errorf("stageplan: stage %d scans no base table and no boundary", st.ID)
+	}
+	c.stages = append(c.stages, st)
+	return st, nil
+}
+
+// embed walks a row-source subtree, keeping streamable operators inside st
+// and cutting stage boundaries at shuffle joins.
+func (c *compiler) embed(st *Stage, p engine.Plan) (engine.Plan, error) {
+	switch n := p.(type) {
+	case *engine.ScanPlan:
+		if c.broadcast[n.Table] {
+			return n, nil
+		}
+		if st.Table != "" && st.Table != n.Table {
+			return nil, fmt.Errorf("stageplan: stage %d scans both %q and %q — a shuffle join should have split them", st.ID, st.Table, n.Table)
+		}
+		st.Table = n.Table
+		return n, nil
+	case *engine.FilterPlan:
+		in, err := c.embed(st, n.In)
+		if err != nil {
+			return nil, err
+		}
+		n.In = in
+		return n, nil
+	case *engine.ProjectPlan:
+		in, err := c.embed(st, n.In)
+		if err != nil {
+			return nil, err
+		}
+		n.In = in
+		return n, nil
+	case *engine.JoinPlan:
+		return c.embedJoin(st, n)
+	default:
+		return nil, fmt.Errorf("stageplan: cannot stage plan node %T", p)
+	}
+}
+
+// embedJoin chooses broadcast or shuffle for one join. Broadcast keeps the
+// join inside st with its build side shipped in worker payloads; shuffle
+// materializes both sides as upstream stages partitioned on the join keys
+// and rebinds the join to their boundaries.
+func (c *compiler) embedJoin(st *Stage, j *engine.JoinPlan) (engine.Plan, error) {
+	lk, rk := joinKeys(j)
+	limit := c.cfg.broadcastLimit()
+
+	// Prefer building on the smaller side: if only the left side is a
+	// broadcastable scan, swap the sides (inner joins commute; downstream
+	// operators resolve columns by name).
+	if !c.scanRows(j.Right, limit) && c.scanRows(j.Left, limit) {
+		j.Left, j.Right = j.Right, j.Left
+		j.LeftKey, j.RightKey = j.RightKey, j.LeftKey
+		j.LeftKeys, j.RightKeys = j.RightKeys, j.LeftKeys
+		lk, rk = joinKeys(j)
+	}
+
+	if c.scanRows(j.Right, limit) {
+		left, err := c.embed(st, j.Left)
+		if err != nil {
+			return nil, err
+		}
+		j.Left = left
+		c.broadcast[j.Right.(*engine.ScanPlan).Table] = true
+		return j, nil
+	}
+
+	// Shuffle: both sides become stages partitioned on their join keys.
+	parts := c.cfg.partitions()
+	ls, err := c.build(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	ls.Output = &Output{Keys: lk, Partitions: parts}
+	rs, err := c.build(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	rs.Output = &Output{Keys: rk, Partitions: parts}
+	for _, s := range []*Stage{ls, rs} {
+		if err := checkKeys(s, s.Output.Keys); err != nil {
+			return nil, err
+		}
+	}
+
+	lt, rt := InputTable(ls.ID), InputTable(rs.ID)
+	lschema, err := ls.Plan.OutSchema()
+	if err != nil {
+		return nil, err
+	}
+	rschema, err := rs.Plan.OutSchema()
+	if err != nil {
+		return nil, err
+	}
+	st.Inputs = append(st.Inputs, Input{StageID: ls.ID, Table: lt}, Input{StageID: rs.ID, Table: rt})
+	st.DependsOn = append(st.DependsOn, ls.ID, rs.ID)
+	return &engine.JoinPlan{
+		Left:     &engine.ScanPlan{Table: lt, TableSchema: lschema},
+		Right:    &engine.ScanPlan{Table: rt, TableSchema: rschema},
+		LeftKeys: lk, RightKeys: rk,
+	}, nil
+}
+
+// scanRows reports whether p is a bare base-table scan of at most limit
+// rows — the broadcast criterion. Subtrees with joins or filters above the
+// scan shuffle instead (their output size is not footer-predictable).
+func (c *compiler) scanRows(p engine.Plan, limit int64) bool {
+	s, ok := p.(*engine.ScanPlan)
+	if !ok || limit <= 0 {
+		return false
+	}
+	rows, known := c.stats.Rows[s.Table]
+	return known && rows > 0 && rows <= limit
+}
+
+// checkKeys validates that a boundary's partition keys exist in the stage's
+// output schema as Int64 columns.
+func checkKeys(s *Stage, keys []string) error {
+	schema, err := s.Plan.OutSchema()
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		i := schema.Index(k)
+		if i < 0 {
+			return fmt.Errorf("stageplan: stage %d partition key %q not in output schema", s.ID, k)
+		}
+		if schema.Fields[i].Type != columnar.Int64 {
+			return fmt.Errorf("stageplan: stage %d partition key %q has type %v (only BIGINT keys are hashable)", s.ID, k, schema.Fields[i].Type)
+		}
+	}
+	return nil
+}
+
+// intKeys reports whether every key resolves to an Int64 column of schema.
+func intKeys(schema *columnar.Schema, keys []string) bool {
+	for _, k := range keys {
+		i := schema.Index(k)
+		if i < 0 || schema.Fields[i].Type != columnar.Int64 {
+			return false
+		}
+	}
+	return true
+}
+
+// rebindScan renames every scan of table from to table to in p (the
+// SplitAggregate final merge scans engine.WorkerResultTable; final stages
+// bind it to their boundary's catalog name instead).
+func rebindScan(p engine.Plan, from, to string) {
+	engine.VisitScans(p, func(s *engine.ScanPlan) {
+		if s.Table == from {
+			s.Table = to
+		}
+	})
+}
+
+// Explain renders the stage DAG for logs and tests.
+func Explain(p *Plan) string {
+	out := ""
+	for _, s := range p.Stages {
+		out += fmt.Sprintf("stage %d", s.ID)
+		if s.Table != "" {
+			out += fmt.Sprintf(" scan=%s", s.Table)
+		}
+		for _, in := range s.Inputs {
+			out += fmt.Sprintf(" in=%d", in.StageID)
+		}
+		if s.Output != nil {
+			out += fmt.Sprintf(" out=hash(%v)x%d", s.Output.Keys, s.Output.Partitions)
+		} else {
+			out += " out=driver"
+		}
+		out += "\n" + indent(engine.Explain(s.Plan))
+	}
+	out += "driver:\n" + indent(engine.Explain(p.Driver))
+	return out
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out += "  " + s[start:i+1]
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out += "  " + s[start:]
+	}
+	return out
+}

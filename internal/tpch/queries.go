@@ -129,6 +129,64 @@ func Q6Reference(chunks ...*columnar.Chunk) float64 {
 	return sum
 }
 
+// Q12Row is one output group of the Query 12-shaped join query.
+type Q12Row struct {
+	Priority int64
+	Count    int64
+	Total    float64
+}
+
+// Q12ReceiptDateLo and Q12ReceiptDateHi bound the receipt-date year
+// [1995-01-01, 1996-01-01) of the Q12-shaped query.
+var (
+	Q12ReceiptDateLo = Date(1995, 1, 1)
+	Q12ReceiptDateHi = Date(1996, 1, 1)
+)
+
+// Q12Reference computes the TPC-H Query 12-shaped join — LINEITEM joined
+// with ORDERS on the order key, late lineitems grouped by order priority:
+//
+//	SELECT o_orderpriority, COUNT(*), SUM(l_extendedprice)
+//	FROM lineitem INNER JOIN orders ON l_orderkey = o_orderkey
+//	WHERE l_receiptdate >= DATE '1995-01-01' AND l_receiptdate < DATE '1996-01-01'
+//	  AND l_commitdate < l_receiptdate
+//	GROUP BY o_orderpriority ORDER BY o_orderpriority
+//
+// Both sides are large (LINEITEM ~6M×SF rows, ORDERS ~1.5M×SF rows), which
+// makes this the reference workload for the shuffle-join path: neither
+// side fits a driver broadcast at scale.
+func Q12Reference(lineitem, orders *columnar.Chunk) []Q12Row {
+	prio := map[int64]int64{}
+	okeys := orders.Column("o_orderkey").Int64s
+	oprio := orders.Column("o_orderpriority").Int64s
+	for i := range okeys {
+		prio[okeys[i]] = oprio[i]
+	}
+	counts := map[int64]int64{}
+	totals := map[int64]float64{}
+	lkeys := lineitem.Column("l_orderkey").Int64s
+	receipt := lineitem.Column("l_receiptdate").Int64s
+	commit := lineitem.Column("l_commitdate").Int64s
+	price := lineitem.Column("l_extendedprice").Float64s
+	for i := range lkeys {
+		if receipt[i] < Q12ReceiptDateLo || receipt[i] >= Q12ReceiptDateHi || commit[i] >= receipt[i] {
+			continue
+		}
+		p, ok := prio[lkeys[i]]
+		if !ok {
+			continue
+		}
+		counts[p]++
+		totals[p] += price[i]
+	}
+	rows := make([]Q12Row, 0, len(counts))
+	for p, n := range counts {
+		rows = append(rows, Q12Row{Priority: p, Count: n, Total: totals[p]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Priority < rows[j].Priority })
+	return rows
+}
+
 // Selectivity returns the fraction of rows passing the Q1 and Q6 filters —
 // §5.3 reports ~98 % for Q1 and ~2 % for Q6.
 func Selectivity(c *columnar.Chunk) (q1, q6 float64) {

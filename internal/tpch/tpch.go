@@ -206,6 +206,53 @@ func (g Gen) Supplier() *columnar.Chunk {
 	return c
 }
 
+// Order priority codes replacing dbgen's '1-URGENT'..'5-LOW' strings.
+const (
+	PriorityUrgent = int64(0) // '1-URGENT'
+	PriorityHigh   = int64(1) // '2-HIGH'
+	PriorityMedium = int64(2) // '3-MEDIUM'
+	PriorityLow    = int64(3) // '4-NOT SPECIFIED'
+	PriorityNone   = int64(4) // '5-LOW'
+)
+
+// OrdersSchema returns the numeric ORDERS schema (the columns the join
+// queries need). ORDERS is the second large relation: at scale it is far
+// beyond any broadcast limit, so LINEITEM ⋈ ORDERS is the canonical
+// two-large-sides shuffle join.
+func OrdersSchema() *columnar.Schema {
+	return columnar.NewSchema(
+		columnar.Field{Name: "o_orderkey", Type: columnar.Int64},
+		columnar.Field{Name: "o_custkey", Type: columnar.Int64},
+		columnar.Field{Name: "o_orderpriority", Type: columnar.Int64},
+		columnar.Field{Name: "o_totalprice", Type: columnar.Float64},
+		columnar.Field{Name: "o_orderdate", Type: columnar.Int64},
+	)
+}
+
+// OrdersFor generates the ORDERS relation matching a generated LINEITEM
+// chunk: one row per order key in [1, max(l_orderkey)], so every lineitem
+// joins exactly one order (dbgen's referential integrity). Deterministic
+// in g.Seed.
+func (g Gen) OrdersFor(lineitem *columnar.Chunk) *columnar.Chunk {
+	var maxKey int64
+	for _, k := range lineitem.Column("l_orderkey").Int64s {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	rng := rand.New(rand.NewSource(g.Seed ^ 0x0bde5))
+	c := columnar.NewChunk(OrdersSchema(), int(maxKey))
+	orderDateMax := Date(1998, 8, 2)
+	for k := int64(1); k <= maxKey; k++ {
+		c.Columns[0].AppendInt64(k)
+		c.Columns[1].AppendInt64(int64(rng.Intn(maxInt(1, int(150000*g.SF))) + 1))
+		c.Columns[2].AppendInt64(int64(rng.Intn(5)))
+		c.Columns[3].AppendFloat64(float64(rng.Intn(50000000))/100.0 + 857.71)
+		c.Columns[4].AppendInt64(rng.Int63n(orderDateMax))
+	}
+	return c
+}
+
 // SplitFiles partitions a sorted relation into nfiles contiguous chunks, the
 // way the paper stores one table as 320 Parquet files of ~500 MB.
 func SplitFiles(c *columnar.Chunk, nfiles int) []*columnar.Chunk {

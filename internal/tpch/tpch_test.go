@@ -255,3 +255,60 @@ func TestFormatQ1(t *testing.T) {
 		t.Error("format empty")
 	}
 }
+
+func TestOrdersForReferentialIntegrity(t *testing.T) {
+	g := Gen{SF: 0.001, Seed: 42}
+	li := g.Generate()
+	orders := g.OrdersFor(li)
+	keys := map[int64]bool{}
+	prev := int64(0)
+	okeys := orders.Column("o_orderkey").Int64s
+	for _, k := range okeys {
+		if k != prev+1 {
+			t.Fatalf("order keys not dense: %d after %d", k, prev)
+		}
+		prev = k
+		keys[k] = true
+	}
+	for _, k := range li.Column("l_orderkey").Int64s {
+		if !keys[k] {
+			t.Fatalf("lineitem references missing order %d", k)
+		}
+	}
+	for _, p := range orders.Column("o_orderpriority").Int64s {
+		if p < PriorityUrgent || p > PriorityNone {
+			t.Fatalf("priority %d out of range", p)
+		}
+	}
+	// Deterministic in the seed.
+	again := g.OrdersFor(li)
+	for i := range okeys {
+		if again.Column("o_custkey").Int64s[i] != orders.Column("o_custkey").Int64s[i] {
+			t.Fatal("OrdersFor not deterministic")
+		}
+	}
+}
+
+func TestQ12ReferenceProperties(t *testing.T) {
+	g := Gen{SF: 0.002, Seed: 7}
+	li := g.Generate()
+	orders := g.OrdersFor(li)
+	rows := Q12Reference(li, orders)
+	if len(rows) == 0 || len(rows) > 5 {
+		t.Fatalf("%d priority groups", len(rows))
+	}
+	var total int64
+	for i, r := range rows {
+		if i > 0 && rows[i-1].Priority >= r.Priority {
+			t.Fatal("rows not sorted by priority")
+		}
+		if r.Count <= 0 || r.Total <= 0 {
+			t.Fatalf("empty group %+v", r)
+		}
+		total += r.Count
+	}
+	// The late-lineitem filter selects a strict, non-trivial subset.
+	if total <= 0 || total >= int64(li.NumRows()) {
+		t.Fatalf("filter selected %d of %d rows", total, li.NumRows())
+	}
+}
