@@ -1,11 +1,18 @@
 // Command benchjson runs `go test -bench` over the given packages and
 // writes the parsed results as JSON — one record per benchmark with ns/op,
-// B/op and allocs/op — so every PR can append a machine-readable point to
-// the repo's perf trajectory (BENCH_PR<N>.json files at the repo root).
+// B/op, allocs/op and any custom metrics (e.g. vms/op, virtual DES
+// latency) — so every PR can append a machine-readable point to the repo's
+// perf trajectory (BENCH_PR<N>.json files at the repo root).
+//
+// Because parallel speedups measured on different CPU counts are not
+// comparable, benchjson records the runner's num_cpu and, when given the
+// previous PR's file via -baseline, flags a num_cpu mismatch in the output
+// (and on stderr); -require-same-cpu turns the flag into a refusal.
 //
 // Usage:
 //
-//	benchjson [-out bench.json] [-bench regex] [-benchtime 300ms] pkg...
+//	benchjson [-out bench.json] [-bench regex] [-benchtime 300ms]
+//	          [-baseline BENCH_PR3.json] [-require-same-cpu] pkg...
 package main
 
 import (
@@ -30,6 +37,18 @@ type Result struct {
 	MBPerSec    float64 `json:"mb_s,omitempty"`
 	BytesPerOp  int64   `json:"b_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_op,omitempty"`
+	// Extra holds custom metrics reported via b.ReportMetric, keyed by
+	// unit (e.g. "vms/op" for modeled DES latency).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Baseline records the comparability check against a previous PR's file.
+type Baseline struct {
+	File   string `json:"file"`
+	NumCPU int    `json:"num_cpu"`
+	// Comparable is false when the baseline ran on a different CPU count —
+	// parallel ns/op points must not be lined up across such files.
+	Comparable bool `json:"comparable"`
 }
 
 // Report is the emitted file.
@@ -38,18 +57,18 @@ type Report struct {
 	// NumCPU records the runner's CPU count: parallel speedups measured on
 	// a 1-CPU container are meaningless, so trajectory comparisons must
 	// only line up points with matching num_cpu.
-	NumCPU     int      `json:"num_cpu"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Benchtime  string   `json:"benchtime"`
-	Packages   []string `json:"packages"`
-	Benchmarks []Result `json:"benchmarks"`
+	NumCPU     int       `json:"num_cpu"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Benchtime  string    `json:"benchtime"`
+	Packages   []string  `json:"packages"`
+	Baseline   *Baseline `json:"baseline,omitempty"`
+	Benchmarks []Result  `json:"benchmarks"`
 }
 
-// benchLine matches e.g.
-//
-//	BenchmarkHashJoin/pipelines=1-8   3  18752928 ns/op  665.63 MB/s  82427112 B/op  1247 allocs/op
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchLine matches the name and iteration count; the metrics after them
+// are tokenized as (value, unit) pairs, so custom b.ReportMetric units
+// survive alongside ns/op, MB/s, B/op and allocs/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)`)
 
 var pkgLine = regexp.MustCompile(`^(?:ok|PASS|FAIL)\s+(\S+)`)
 
@@ -57,6 +76,8 @@ func main() {
 	out := flag.String("out", "bench.json", "output JSON path")
 	bench := flag.String("bench", ".", "benchmark regex passed to -bench")
 	benchtime := flag.String("benchtime", "300ms", "benchtime passed to go test")
+	baseline := flag.String("baseline", "", "previous BENCH_PR<N>.json to check num_cpu comparability against")
+	requireCPU := flag.Bool("require-same-cpu", false, "refuse (exit 1) when the baseline's num_cpu differs instead of flagging it")
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
@@ -69,6 +90,18 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchtime:  *benchtime,
 		Packages:   pkgs,
+	}
+	if *baseline != "" {
+		if bl := checkBaseline(*baseline, rep.NumCPU); bl != nil {
+			rep.Baseline = bl
+			if !bl.Comparable {
+				fmt.Fprintf(os.Stderr, "benchjson: baseline %s ran on %d CPUs, this runner has %d — cross-num_cpu comparisons are meaningless\n",
+					*baseline, bl.NumCPU, rep.NumCPU)
+				if *requireCPU {
+					os.Exit(1)
+				}
+			}
+		}
 	}
 	// One `go test` per package so every result line can be attributed.
 	for _, pkg := range pkgs {
@@ -97,6 +130,24 @@ func main() {
 	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
 }
 
+// checkBaseline reads a previous report's num_cpu. A missing or unreadable
+// baseline is not an error (first run on a new machine): it returns nil.
+func checkBaseline(path string, numCPU int) *Baseline {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: no baseline %s (%v), skipping comparability check\n", path, err)
+		return nil
+	}
+	var prev struct {
+		NumCPU int `json:"num_cpu"`
+	}
+	if err := json.Unmarshal(blob, &prev); err != nil || prev.NumCPU == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s has no num_cpu, skipping comparability check\n", path)
+		return nil
+	}
+	return &Baseline{File: path, NumCPU: prev.NumCPU, Comparable: prev.NumCPU == numCPU}
+}
+
 // parse extracts benchmark lines from go test output.
 func parse(out, fallbackPkg string) []Result {
 	var rs []Result
@@ -116,15 +167,27 @@ func parse(out, fallbackPkg string) []Result {
 		}
 		r := Result{Name: m[1], Package: pkg}
 		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			r.MBPerSec, _ = strconv.ParseFloat(m[4], 64)
-		}
-		if m[5] != "" {
-			r.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-		}
-		if m[6] != "" {
-			r.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "MB/s":
+				r.MBPerSec = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[fields[i+1]] = v
+			}
 		}
 		pending = append(pending, len(rs))
 		rs = append(rs, r)

@@ -78,8 +78,10 @@ func main() {
 		seed    = flag.Int64("seed", 42, "data generation seed")
 		explain = flag.Bool("v", false, "print per-worker processing times")
 		useXchg = flag.Bool("exchange", false, "run through the stage planner: joins shuffle through the serverless exchange when both sides are large, grouped aggregations repartition on their group keys")
-		parts   = flag.Int("partitions", 4, "exchange boundary fan-in (workers per join/final-merge stage, with -exchange)")
+		parts   = flag.Int("partitions", 0, "exchange boundary fan-in (workers per join/final-merge stage, with -exchange); 0 = autotune from footer row counts")
 		bcast   = flag.Int64("broadcast-limit", 0, "build sides up to this many rows broadcast instead of shuffling (0 = default, negative = always shuffle; with -exchange)")
+		pipe    = flag.Bool("pipelined", true, "launch consumer stages before their producers seal (with -exchange); false = wave-gated launch")
+		spec    = flag.Bool("speculate", false, "re-invoke stragglers as backup attempts once a quorum reported (single-scope and staged runs)")
 	)
 	flag.Parse()
 
@@ -123,6 +125,9 @@ func main() {
 	cfg.WorkerMemoryMiB = *memory
 	cfg.FilesPerWorker = *fPerW
 	cfg.TreeInvoke = *tree
+	if *spec {
+		cfg.Speculate = driver.DefaultSpeculateConfig()
+	}
 
 	run := func(dep *driver.Deployment, env simenv.Env) error {
 		d := driver.New(dep, env, cfg)
@@ -165,6 +170,7 @@ func main() {
 			scfg := driver.DefaultStageConfig()
 			scfg.Partitions = *parts
 			scfg.BroadcastRowLimit = *bcast
+			scfg.Pipelined = *pipe
 			out, rep, err = d.RunPlanStaged(plan, tf, scfg)
 		case len(aux) > 0:
 			fmt.Printf("uploaded %d files (%s total)\n", len(refs), byteSize(dep.S3.TotalBytes("tpch")))
@@ -184,8 +190,12 @@ func main() {
 		if rep.Stages > 0 {
 			stages = fmt.Sprintf("   stages: %d", rep.Stages)
 		}
-		fmt.Printf("\nworkers: %d%s   latency: %v   invocation: %v   cold: %d\n",
-			rep.Workers, stages, rep.Duration.Round(time.Millisecond), rep.Invocation.Round(time.Millisecond), rep.ColdWorkers)
+		fmt.Printf("\nworkers: %d%s   latency: %v   invocation: %v   cold: %d   speculated: %d\n",
+			rep.Workers, stages, rep.Duration.Round(time.Millisecond), rep.Invocation.Round(time.Millisecond), rep.ColdWorkers, rep.Speculated)
+		for _, ss := range rep.StageStats {
+			fmt.Printf("  stage %d: %d workers   launched +%v   sealed +%v   speculated %d\n",
+				ss.StageID, ss.Workers, ss.Launched.Round(time.Millisecond), ss.Sealed.Round(time.Millisecond), ss.Speculated)
+		}
 		fmt.Printf("query cost: $%.6f\n", rep.TotalCost)
 		for _, l := range sortedKeys(rep.CostDelta) {
 			fmt.Printf("  %-20s $%.6f\n", l, rep.CostDelta[l])

@@ -74,20 +74,45 @@
 //
 // The planner chooses broadcast-vs-shuffle per join from the lpq footer
 // row counts: a genuinely small build side ships inside worker payloads as
-// before, everything else shuffles. The driver orchestrates the DAG in
-// dependency waves with seal/ready barriers — workers report completion
-// through the SQS result queue (seal), the driver records stage readiness
-// in DynamoDB, and consumer workers verify the marker before collecting
-// their partitions. Stage fragments are ordinary engine plans executed on
-// the pipeline-graph scheduler, and every boundary preserves row order
-// (partition rows in sender order, senders in ascending ID order, driver
-// merges in worker order), so staged execution is fully deterministic and,
-// for order-insensitive aggregates (COUNT, integer SUM, MIN/MAX) under an
-// ORDER BY, byte-identical to single-node execution at any worker/
-// partition count; floating-point SUM/AVG agree to last-ulp rounding, as
-// the split changes the summation order. In functional mode
-// exchange receivers park on the completion signal s3.Put broadcasts
-// (simenv.Notify) instead of spinning on the poll interval.
+// before, everything else shuffles. Boundary fan-in autotunes from the
+// same row counts when unset (stageplan.AutoRowsPerPartition rows per
+// partition, capped at stageplan.MaxAutoPartitions).
+//
+// The driver runs the DAG on an event-driven stage scheduler (pending →
+// launched → sealed) rather than in lock-step dependency waves. Every
+// stage's payloads are computable up front, so under pipelined launch
+// (StageConfig.Pipelined, the default) all eager stages are invoked the
+// moment the query starts: consumer cold starts and invocation pacing
+// overlap upstream execution, and the DynamoDB ready marker — written when
+// the driver has seen every producer seal through the SQS result queue —
+// gates each worker's collect instead of its launch. Wave-gated launch
+// remains available for comparison (BenchmarkStagedWaves).
+//
+// Straggler speculation (§5.5's aggressive-timeouts-and-retries theme)
+// applies per stage: once a quorum of a stage's workers sealed and a
+// straggler outlives a multiple of the median response time, the scheduler
+// re-invokes it as a new attempt. Exchange boundary names are versioned by
+// attempt (s<stage>/p<part>/a<attempt>-snd<sender>, with a per-attempt
+// commit marker; write-combining's single Put commits implicitly), so a
+// backup never races the original's files: receivers take each sender's
+// first committed attempt, and since fragments are deterministic, every
+// attempt's files are byte-identical — whichever attempt wins, the rows
+// collected are the same. The stale-drain collector (exchange.Sweep) purges
+// the boundary namespace before a query (an identically-numbered aborted
+// run on a fresh driver must not leak into its retry) and after it (loser
+// attempts and winner files alike).
+//
+// Stage fragments are ordinary engine plans executed on the pipeline-graph
+// scheduler, and every boundary preserves row order (partition rows in
+// sender order, senders in ascending ID order, driver merges in worker
+// order), so staged execution is fully deterministic — pipelined launch,
+// speculation and all — and, for order-insensitive aggregates (COUNT,
+// integer SUM, MIN/MAX) under an ORDER BY, byte-identical to single-node
+// execution at any worker/partition/attempt count; floating-point SUM/AVG
+// agree to last-ulp rounding, as the split changes the summation order. In
+// functional mode exchange receivers park on the completion signal s3.Put
+// and dynamo.Put broadcast (simenv.Notify) instead of spinning on the poll
+// interval.
 //
 // # Chunk pooling
 //

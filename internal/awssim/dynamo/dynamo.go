@@ -77,6 +77,9 @@ func (s *Service) Put(env simenv.Env, table, key string, value []byte) error {
 	t[key] = cp
 	s.mu.Unlock()
 	s.cfg.Meter.Charge(pricing.LabelDynamoWrite, pricing.DynamoWrite)
+	// Completion signal: wake Immediate-env pollers blocked in Sleep —
+	// pipelined stage workers park on the ready marker this Put may be.
+	simenv.Notify()
 	s.sleep(env, s.cfg.WriteLatency)
 	return nil
 }

@@ -2,9 +2,11 @@ package driver
 
 import (
 	"testing"
+	"time"
 
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/lpq"
+	"lambada/internal/simclock"
 	"lambada/internal/tpch"
 )
 
@@ -46,6 +48,68 @@ func BenchmarkShuffleJoin(b *testing.B) {
 		}
 	}
 }
+
+// benchStagedLaunch runs the q12 shuffle end-to-end on the DES deployment
+// and reports the modeled query latency as vms/op (virtual milliseconds):
+// ns/op only measures how fast the simulation executes, while the virtual
+// latency is what pipelined launch actually improves — consumer cold starts
+// and barrier round trips overlap upstream execution instead of serializing
+// behind the wave barrier.
+func benchStagedLaunch(b *testing.B, pipelined bool) {
+	g := tpch.Gen{SF: 0.002, Seed: 33}
+	li := g.Generate()
+	orders := g.OrdersFor(li)
+	var virtual time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := simclock.New()
+		dep := NewSimulated(k, 7)
+		k.Go("driver", func(p *simclock.Proc) {
+			cfg := DefaultConfig()
+			cfg.PollInterval = 50 * time.Millisecond
+			d := New(dep, p, cfg)
+			if err := d.Install(); err != nil {
+				b.Error(err)
+				return
+			}
+			liRefs, err := d.UploadTable("tpch", "lineitem", li, 12, lpq.WriterOptions{RowGroupRows: 2000})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			ordRefs, err := d.UploadTable("tpch", "orders", orders, 6, lpq.WriterOptions{RowGroupRows: 2000})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			scfg := DefaultStageConfig()
+			scfg.Partitions = 4
+			scfg.BroadcastRowLimit = -1
+			scfg.Pipelined = pipelined
+			scfg.Exchange.Poll = 20 * time.Millisecond
+			out, rep, err := d.RunSQLStaged(q12ExactSQL, TableFiles{"lineitem": liRefs, "orders": ordRefs}, scfg)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if out.NumRows() == 0 {
+				b.Error("empty result")
+				return
+			}
+			virtual += rep.Duration
+		})
+		k.Run()
+	}
+	b.ReportMetric(float64(virtual)/float64(b.N)/1e6, "vms/op")
+}
+
+// BenchmarkStagedPipelined: event-driven scheduler with pipelined launch —
+// every stage invoked up front, ready barriers gating collects.
+func BenchmarkStagedPipelined(b *testing.B) { benchStagedLaunch(b, true) }
+
+// BenchmarkStagedWaves: the PR 3 wave-barrier baseline — a stage launches
+// only after its producers sealed.
+func BenchmarkStagedWaves(b *testing.B) { benchStagedLaunch(b, false) }
 
 // BenchmarkBroadcastJoin is the same query through the driver-broadcast
 // path — the baseline the shuffle pays its exchange overhead against on

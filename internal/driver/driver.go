@@ -111,9 +111,11 @@ type Config struct {
 	// Speculate configures driver-side straggler mitigation.
 	Speculate SpeculateConfig
 
-	// testWorkerDelay, when set by tests, stalls the given worker before
-	// it executes its fragment — the straggler-injection seam.
-	testWorkerDelay func(workerID int) time.Duration
+	// testWorkerDelay, when set by tests, stalls the given invocation
+	// before it executes its fragment — the straggler-injection seam.
+	// Stage is 0 for single-scope queries; attempt 0 is the original
+	// invocation, higher attempts are speculation backups.
+	testWorkerDelay func(stage, workerID, attempt int) time.Duration
 }
 
 // DefaultConfig mirrors the paper's default setup (M=1792, F=1).
@@ -212,6 +214,10 @@ type workerPayload struct {
 	// or posts it to the result queue.
 	StageID   int             `json:"stageId,omitempty"`
 	StageSpec json.RawMessage `json:"stageSpec,omitempty"`
+	// Attempt versions this invocation: 0 is the original, higher numbers
+	// are speculation backups for the same (stage, worker). Stage boundary
+	// publishes are namespaced by it so backups never race originals.
+	Attempt int `json:"attempt,omitempty"`
 	// Broadcast carries small driver-side tables (lpq blobs by table name)
 	// referenced by join plans.
 	Broadcast map[string][]byte `json:"broadcast,omitempty"`
@@ -221,7 +227,8 @@ type workerPayload struct {
 type resultMsg struct {
 	QueryID      string `json:"queryId"`
 	WorkerID     int    `json:"workerId"`
-	Stage        int    `json:"stage,omitempty"` // stage fragment's stage ID
+	Stage        int    `json:"stage,omitempty"`   // stage fragment's stage ID
+	Attempt      int    `json:"attempt,omitempty"` // invocation attempt number
 	Err          string `json:"err,omitempty"`
 	Chunk        []byte `json:"chunk,omitempty"` // lpq blob
 	ProcessingNs int64  `json:"processingNs"`    // plan execution time
@@ -255,7 +262,7 @@ func (d *Driver) workerHandler(ctx *lambdasvc.Ctx, payload []byte) error {
 	}
 
 	if d.cfg.testWorkerDelay != nil {
-		ctx.Env.Sleep(d.cfg.testWorkerDelay(p.WorkerID))
+		ctx.Env.Sleep(d.cfg.testWorkerDelay(p.StageID, p.WorkerID, p.Attempt))
 	}
 	start := ctx.Env.Now()
 	chunk, err := d.executeFragment(ctx, &p)
@@ -344,7 +351,7 @@ func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, p *workerPayload) (*columna
 }
 
 func (d *Driver) postResult(env simenv.Env, p workerPayload, execErr error, chunk *columnar.Chunk, processing time.Duration, cold bool) error {
-	msg := resultMsg{QueryID: p.QueryID, WorkerID: p.WorkerID, Stage: p.StageID, ProcessingNs: processing.Nanoseconds(), Cold: cold}
+	msg := resultMsg{QueryID: p.QueryID, WorkerID: p.WorkerID, Stage: p.StageID, Attempt: p.Attempt, ProcessingNs: processing.Nanoseconds(), Cold: cold}
 	if execErr != nil {
 		msg.Err = execErr.Error()
 	} else if chunk != nil {

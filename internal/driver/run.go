@@ -31,12 +31,30 @@ type Report struct {
 	// sorted ascending — the distribution of Figure 11.
 	WorkerProcessing []time.Duration
 	ColdWorkers      int
-	// Speculated counts backup invocations issued for stragglers.
+	// Speculated counts backup invocations issued for stragglers (summed
+	// over stages in staged executions).
 	Speculated int
+	// StageStats records per-stage launch/seal timing and speculation
+	// counters of a staged execution (nil for single-scope queries).
+	StageStats []StageStat
 	// CostBefore/CostAfter snapshot the meter around the query; the
 	// difference is what the query cost.
 	CostDelta map[string]float64
 	TotalCost float64
+}
+
+// StageStat is one stage's slice of a staged execution.
+type StageStat struct {
+	StageID int
+	Workers int
+	// Launched and Sealed are offsets from the query start: under pipelined
+	// launch every eager stage's Launched is near zero, and Sealed shows
+	// how the DAG actually overlapped.
+	Launched time.Duration
+	Sealed   time.Duration
+	// Speculated counts backup attempts invoked for this stage's
+	// stragglers.
+	Speculated int
 }
 
 // costSnapshot captures the meter's current per-label totals.
@@ -65,9 +83,10 @@ func (d *Driver) fillCostDelta(rep *Report, before map[string]float64) {
 // reported, discarding leftovers of earlier aborted queries (a query
 // failing mid-flight returns before its remaining workers post; their
 // messages must not poison the next query on the same driver). Worker
-// errors fail the query; every valid message is handed to onMsg. This is
-// the one stale-drain protocol — the single-scope, exchanged and staged
-// collectors all run through it.
+// errors fail the query; every valid message is handed to onMsg. The
+// single-scope and exchanged collectors run through it; the staged
+// scheduler has its own event loop (stage.go) with the same queryID
+// discard plus per-(stage,worker) attempt dedup.
 func (d *Driver) drainResults(queryID string, n int, onMsg func(rm resultMsg) error) error {
 	deadline := d.env.Now() + d.cfg.MaxWait
 	for n > 0 {

@@ -16,6 +16,12 @@ import (
 // per worker wins; duplicates are discarded. This is the driver-side
 // counterpart of the aggressive-timeouts-and-retries theme of §5.5
 // (footnote 17): tail latencies propagate, so the driver cuts the tail.
+//
+// The same policy drives both single-scope fleets and the event-driven
+// stage scheduler: each stage of a staged query arms independently over its
+// own fleet, and backups are launched as a new attempt whose exchange
+// boundary names cannot race the original's (first committed attempt wins,
+// the stale-drain collector sweeps the losers).
 type SpeculateConfig struct {
 	// Enabled turns speculation on.
 	Enabled bool
@@ -25,7 +31,8 @@ type SpeculateConfig struct {
 	// LatencyFactor multiplies the median response time to form the
 	// straggler deadline (default 3).
 	LatencyFactor float64
-	// MaxRetries bounds re-invocations per worker (default 1).
+	// MaxRetries bounds re-invocations per worker (default 1). Stage plans
+	// may override it per stage through stageplan.Stage.MaxAttempts.
 	MaxRetries int
 }
 
@@ -34,23 +41,95 @@ func DefaultSpeculateConfig() SpeculateConfig {
 	return SpeculateConfig{Enabled: true, QuorumFraction: 0.75, LatencyFactor: 3, MaxRetries: 1}
 }
 
-// collectWithSpeculation gathers one result per worker, re-invoking
-// stragglers per cfg. It returns the first result chunk per worker plus
-// bookkeeping for the report.
-func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launchAt time.Duration, spec SpeculateConfig) ([]*columnar.Chunk, []time.Duration, int, int, error) {
-	workers := len(payloads)
-	got := make(map[int]bool, workers)
-	retried := make(map[int]int, workers)
-	var chunks []*columnar.Chunk
-	var processing []time.Duration
-	var responseTimes []time.Duration
-	cold := 0
-	speculated := 0
+// stragglerPolicy applies SpeculateConfig to one fleet (a single-scope
+// query's workers, or one stage's workers): it records response times as
+// seals arrive and, once a quorum reported and the median-based deadline
+// passed, nominates the missing workers for a backup attempt.
+type stragglerPolicy struct {
+	cfg       SpeculateConfig
+	workers   int
+	launchAt  time.Duration
+	responses []time.Duration
+	// attempts counts the backup attempts issued per worker; attempts[w]
+	// is also the attempt number of the latest invocation of w.
+	attempts map[int]int
+}
 
-	quorum := int(spec.QuorumFraction * float64(workers))
+func newStragglerPolicy(cfg SpeculateConfig, workers int, launchAt time.Duration) stragglerPolicy {
+	return stragglerPolicy{cfg: cfg, workers: workers, launchAt: launchAt, attempts: map[int]int{}}
+}
+
+// record notes one worker's response at virtual time now.
+func (sp *stragglerPolicy) record(now time.Duration) {
+	sp.responses = append(sp.responses, now-sp.launchAt)
+}
+
+// maxRetries resolves the per-worker backup budget, with override taking
+// precedence when positive (override counts total attempts, so budget =
+// override - 1).
+func (sp *stragglerPolicy) maxRetries(override int) int {
+	if override > 0 {
+		return override - 1
+	}
+	return sp.cfg.MaxRetries
+}
+
+// stragglers returns the workers to re-invoke at virtual time now, bumping
+// their attempt counters: quorum reached, median-based deadline passed,
+// no response yet, retry budget (maxAttempts, 0 = config default) left.
+func (sp *stragglerPolicy) stragglers(now time.Duration, reported func(w int) bool, maxAttempts int) []int {
+	if !sp.cfg.Enabled {
+		return nil
+	}
+	quorum := int(sp.cfg.QuorumFraction * float64(sp.workers))
 	if quorum < 1 {
 		quorum = 1
 	}
+	if len(sp.responses) < quorum || len(sp.responses) >= sp.workers {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), sp.responses...)
+	sortDur(sorted)
+	median := sorted[len(sorted)/2]
+	deadline := sp.launchAt + time.Duration(float64(median)*sp.cfg.LatencyFactor)
+	if now <= deadline {
+		return nil
+	}
+	retries := sp.maxRetries(maxAttempts)
+	var out []int
+	for w := 0; w < sp.workers; w++ {
+		if reported(w) || sp.attempts[w] >= retries {
+			continue
+		}
+		sp.attempts[w]++
+		out = append(out, w)
+	}
+	return out
+}
+
+// reattempt rewrites a worker payload with the given attempt number — the
+// backup invocation's body. Attempt numbers namespace the worker's exchange
+// publishes and travel back in its seal message.
+func reattempt(payload []byte, attempt int) ([]byte, error) {
+	var p workerPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, err
+	}
+	p.Attempt = attempt
+	return json.Marshal(p)
+}
+
+// collectWithSpeculation gathers one result per worker of a single-scope
+// query, re-invoking stragglers per the shared policy. It returns the first
+// result chunk per worker plus bookkeeping for the report.
+func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launchAt time.Duration, spec SpeculateConfig) ([]*columnar.Chunk, []time.Duration, int, int, error) {
+	workers := len(payloads)
+	got := make(map[int]bool, workers)
+	pol := newStragglerPolicy(spec, workers, launchAt)
+	var chunks []*columnar.Chunk
+	var processing []time.Duration
+	cold := 0
+	speculated := 0
 
 	for len(got) < workers {
 		msgs, err := d.dep.SQS.Receive(d.env, d.cfg.ResultQueue, 10)
@@ -73,7 +152,7 @@ func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launc
 				cold++
 			}
 			processing = append(processing, time.Duration(rm.ProcessingNs))
-			responseTimes = append(responseTimes, d.env.Now()-launchAt)
+			pol.record(d.env.Now())
 			if len(rm.Chunk) > 0 {
 				r, err := lpq.OpenReader(bytes.NewReader(rm.Chunk), int64(len(rm.Chunk)))
 				if err != nil {
@@ -91,23 +170,15 @@ func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launc
 		}
 
 		// Speculation: quorum reached and the stragglers are past the
-		// deadline — re-invoke their payloads.
-		if spec.Enabled && len(got) >= quorum {
-			sorted := append([]time.Duration(nil), responseTimes...)
-			sortDur(sorted)
-			median := sorted[len(sorted)/2]
-			deadline := launchAt + time.Duration(float64(median)*spec.LatencyFactor)
-			if d.env.Now() > deadline {
-				for w := 0; w < workers; w++ {
-					if got[w] || retried[w] >= spec.MaxRetries {
-						continue
-					}
-					retried[w]++
-					speculated++
-					if err := d.invokeOne(payloads[w], w); err != nil {
-						return nil, nil, 0, 0, fmt.Errorf("driver: backup invocation of worker %d: %w", w, err)
-					}
-				}
+		// deadline — re-invoke their payloads as the next attempt.
+		for _, w := range pol.stragglers(d.env.Now(), func(w int) bool { return got[w] }, 0) {
+			speculated++
+			body, err := reattempt(payloads[w], pol.attempts[w])
+			if err != nil {
+				return nil, nil, 0, 0, err
+			}
+			if err := d.invokeOne(body, w); err != nil {
+				return nil, nil, 0, 0, fmt.Errorf("driver: backup invocation of worker %d: %w", w, err)
 			}
 		}
 		if d.env.Now()-launchAt > d.cfg.MaxWait {

@@ -25,12 +25,10 @@ func runWithStraggler(t *testing.T, stall time.Duration, spec SpeculateConfig) (
 		cfg.PollInterval = 50 * time.Millisecond
 		cfg.MaxWait = 5 * time.Minute
 		cfg.Speculate = spec
-		stalled := false
-		cfg.testWorkerDelay = func(workerID int) time.Duration {
+		cfg.testWorkerDelay = func(stage, workerID, attempt int) time.Duration {
 			// A degraded container stalls worker 2's first attempt; the
-			// backup lands on a healthy container.
-			if workerID == 2 && !stalled {
-				stalled = true
+			// backup (attempt 1) lands on a healthy container.
+			if workerID == 2 && attempt == 0 {
 				return stall
 			}
 			return 0

@@ -21,26 +21,35 @@ import (
 
 // StageConfig tunes the staged (shuffle) execution path: the stage planner
 // (internal/stageplan) decomposes the query into a DAG of stages connected
-// by exchange boundaries, and the driver runs the stages in dependency
-// waves with seal/ready barriers.
+// by exchange boundaries, and the driver runs the DAG on an event-driven
+// stage scheduler with seal/ready barriers and attempt-versioned
+// boundaries.
 type StageConfig struct {
 	// Exchange configures the S3 boundary namespace (buckets, variant,
 	// receiver polling).
 	Exchange ExchangeConfig
 	// Partitions is the fan-in of every boundary — join stages and final
-	// aggregation stages run this many workers (0 = 4).
+	// aggregation stages run this many workers. 0 autotunes the fan-in from
+	// the lpq footer row counts (stageplan.AutoRowsPerPartition rows per
+	// partition, at most stageplan.MaxAutoPartitions).
 	Partitions int
 	// BroadcastRowLimit: a join build side of at most this many rows (per
 	// the lpq file footers) is loaded by the driver and broadcast inside
 	// worker payloads instead of shuffled (0 = stageplan's default;
 	// negative = never broadcast).
 	BroadcastRowLimit int64
+	// Pipelined launches eager stages the moment the query starts — before
+	// their producers seal — overlapping worker cold starts with upstream
+	// execution; the DynamoDB ready barrier gates each worker's collect.
+	// False restores wave-gated launch: a stage is invoked only once every
+	// producer sealed (the pre-PR 4 behavior, kept for comparison).
+	Pipelined bool
 }
 
-// DefaultStageConfig shuffles through the write-combining exchange at four
-// partitions per boundary.
+// DefaultStageConfig shuffles through the write-combining exchange with
+// pipelined stage launch and autotuned partition counts.
 func DefaultStageConfig() StageConfig {
-	return StageConfig{Exchange: DefaultExchangeConfig(), Partitions: 4}
+	return StageConfig{Exchange: DefaultExchangeConfig(), Pipelined: true}
 }
 
 // TableFiles maps each base table of a query to its lpq files on S3.
@@ -91,15 +100,41 @@ func (d *Driver) RunSQLStaged(sql string, tables TableFiles, cfg StageConfig) (*
 	return d.RunPlanStaged(plan, tables, cfg)
 }
 
+// stageState tracks one stage through the event-driven scheduler.
+type stageState int
+
+const (
+	stagePending  stageState = iota // not yet invoked
+	stageLaunched                   // fleet invoked, seals outstanding
+	stageSealed                     // every worker sealed, ready marker written
+)
+
+// stageRun is the scheduler's bookkeeping for one stage of one query.
+type stageRun struct {
+	st       *stageplan.Stage
+	payloads []workerPayload // attempt-0 payloads, one per worker
+	state    stageState
+
+	launchedAt time.Duration
+	sealedAt   time.Duration
+	// winners records, per worker, the attempt whose seal arrived first.
+	// Later seals of the same worker — the losing half of a backup pair —
+	// are ignored; their boundary files are swept after the query.
+	winners    map[int]int
+	policy     stragglerPolicy
+	speculated int
+}
+
 // RunPlanStaged optimizes plan against the tables' footer schemas,
-// decomposes it into a stage DAG, and orchestrates the stages: each wave of
-// ready stages is invoked as one fleet, workers report completion through
-// the SQS result queue (seal), the driver records readiness in DynamoDB,
-// and dependent stages collect their partitions from the exchange.
-//
-// Config.Speculate applies to single-scope queries only: staged waves run
-// without straggler backups (a backup worker re-publishing partition files
-// would race the originals at the exchange boundary — a ROADMAP item).
+// decomposes it into a stage DAG, and runs it on the event-driven stage
+// scheduler: every eager stage is invoked up front (pipelined launch —
+// consumer cold starts overlap upstream execution), workers report
+// completion through the SQS result queue (seal), the driver records stage
+// readiness in DynamoDB (the barrier gating consumer collects), and
+// Config.Speculate re-invokes any stage's stragglers as attempt-versioned
+// backups whose boundary publishes cannot race the originals' — the first
+// sealed attempt per worker wins, and the stale-drain collector sweeps the
+// boundary namespace afterwards.
 func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageConfig) (*columnar.Chunk, *Report, error) {
 	if len(tables) == 0 {
 		return nil, nil, fmt.Errorf("driver: no input tables")
@@ -161,6 +196,31 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	buckets := d.InstallExchange(cfg.Exchange)
 	sealTable := stagesTableName(d.cfg.FunctionName)
 	d.dep.Dynamo.CreateTable(sealTable)
+	prefix := d.cfg.FunctionName + "/" + queryID
+
+	// Hygiene before launching anything: drain completion messages and
+	// boundary files left behind by an identically-named aborted run (a
+	// fresh driver on the same deployment restarts query numbering) so they
+	// cannot satisfy this query's barriers with stale data. This clears
+	// at-rest debris only: a worker of the aborted run still in flight
+	// could post its seal after this purge under the same query ID. Closing
+	// that window needs a durable per-query epoch fenced through payloads
+	// and DynamoDB — and a uniqueness source that does not break DES
+	// determinism (a ROADMAP item).
+	if err := d.purgeResults(); err != nil {
+		return nil, nil, err
+	}
+	if _, err := exchange.Sweep(driverClient, buckets, prefix); err != nil {
+		return nil, nil, fmt.Errorf("driver: sweeping stale boundary %s: %w", prefix, err)
+	}
+	swept := false
+	defer func() {
+		// Stale-drain collector: reclaim the boundary namespace — winner
+		// files and loser attempts alike — even when the query fails.
+		if !swept {
+			exchange.Sweep(driverClient, buckets, prefix)
+		}
+	}()
 
 	// Worker counts: scan stages derive from their file count (F files per
 	// worker); exchange-fed stages run one worker per partition.
@@ -195,88 +255,179 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 		workers[st.ID] = parts
 	}
 
-	// Execute the DAG in dependency waves: a stage launches once every
-	// producer sealed; its workers verify the DynamoDB ready markers
-	// before collecting partitions.
 	resultStage := sp.ResultStage()
 	if resultStage == nil {
 		return nil, nil, fmt.Errorf("driver: stage plan has no result stage")
 	}
-	sealed := map[int]bool{}
+
+	// Every stage's payloads are computable up front (worker counts depend
+	// only on file and partition counts), so pipelined launch can invoke
+	// consumers before their producers seal.
+	runs := make([]*stageRun, 0, len(sp.Stages))
+	byID := map[int]*stageRun{}
+	for _, st := range sp.Stages {
+		ps, err := d.stagePayloads(queryID, st, sp, tables, workers, blobs, buckets, sealTable, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := &stageRun{st: st, payloads: ps, winners: map[int]int{}}
+		runs = append(runs, r)
+		byID[st.ID] = r
+	}
+
+	sealedID := func(id int) bool {
+		r := byID[id]
+		return r != nil && r.state == stageSealed
+	}
+	launchable := func(r *stageRun) bool {
+		if r.state != stagePending {
+			return false
+		}
+		if cfg.Pipelined && r.st.Eager {
+			return true
+		}
+		for _, dep := range r.st.DependsOn {
+			if !sealedID(dep) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var invocation time.Duration
+	totalWorkers := 0
+	launch := func(r *stageRun) error {
+		bodies := make([][]byte, len(r.payloads))
+		for i := range r.payloads {
+			body, err := json.Marshal(&r.payloads[i])
+			if err != nil {
+				return err
+			}
+			bodies[i] = body
+		}
+		// Invocation policy is per stage: small fleets (the final merge of a
+		// wide query, say) launch directly even when big scan fleets go
+		// through the invocation tree.
+		invokeStart := d.env.Now()
+		if err := d.invokeAll(bodies); err != nil {
+			return err
+		}
+		invocation += d.env.Now() - invokeStart
+		r.state = stageLaunched
+		r.launchedAt = d.env.Now()
+		r.policy = newStragglerPolicy(d.cfg.Speculate, len(r.payloads), r.launchedAt)
+		totalWorkers += len(r.payloads)
+		return nil
+	}
+	launchReady := func() error {
+		for _, r := range runs {
+			if launchable(r) {
+				if err := launch(r); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := launchReady(); err != nil {
+		return nil, nil, err
+	}
+
+	// Event loop: consume seal messages as they arrive, write the ready
+	// marker the moment a stage's last worker sealed, launch whatever that
+	// unblocked, and arm per-stage speculation for the rest.
 	type workerResult struct {
 		workerID int
 		chunk    []byte
 	}
 	var results []workerResult
 	var processing []time.Duration
-	var invocation time.Duration
-	cold, totalWorkers := 0, 0
-
-	remaining := append([]*stageplan.Stage(nil), sp.Stages...)
-	for len(remaining) > 0 {
-		var wave, next []*stageplan.Stage
-		for _, st := range remaining {
-			ready := true
-			for _, dep := range st.DependsOn {
-				if !sealed[dep] {
-					ready = false
-				}
-			}
-			if ready {
-				wave = append(wave, st)
-			} else {
-				next = append(next, st)
-			}
+	cold, speculated := 0, 0
+	sealedCount := 0
+	deadline := d.env.Now() + d.cfg.MaxWait
+	for sealedCount < len(runs) {
+		msgs, err := d.dep.SQS.Receive(d.env, d.cfg.ResultQueue, 10)
+		if err != nil {
+			return nil, nil, fmt.Errorf("driver: collecting seals: %w", err)
 		}
-		if len(wave) == 0 {
-			return nil, nil, fmt.Errorf("driver: stage dependency cycle among %d stages", len(remaining))
-		}
-		remaining = next
-
-		var payloads [][]byte
-		waveWorkers := map[int]int{}
-		for _, st := range wave {
-			ps, err := d.stagePayloads(queryID, st, sp, tables, workers, blobs, buckets, sealTable, cfg)
-			if err != nil {
+		for _, m := range msgs {
+			var rm resultMsg
+			if err := json.Unmarshal(m.Body, &rm); err != nil {
 				return nil, nil, err
 			}
-			payloads = append(payloads, ps...)
-			waveWorkers[st.ID] = len(ps)
-			totalWorkers += len(ps)
-		}
-
-		invokeStart := d.env.Now()
-		if err := d.invokeAll(payloads); err != nil {
-			return nil, nil, err
-		}
-		invocation += d.env.Now() - invokeStart
-
-		// Collect the wave's seal messages through the shared stale-drain
-		// protocol, routing them to their stages.
-		err := d.drainResults(queryID, len(payloads), func(rm resultMsg) error {
+			if rm.QueryID != queryID {
+				continue // leftover of an earlier aborted query
+			}
+			r := byID[rm.Stage]
+			if r == nil || r.state != stageLaunched {
+				continue // unknown stage, or a loser sealing after the stage did
+			}
+			if _, dup := r.winners[rm.WorkerID]; dup {
+				continue // losing half of a backup pair — files swept later
+			}
+			if rm.Err != "" {
+				return nil, nil, fmt.Errorf("driver: stage %d worker %d failed: %s", rm.Stage, rm.WorkerID, rm.Err)
+			}
+			r.winners[rm.WorkerID] = rm.Attempt
 			if rm.Cold {
 				cold++
 			}
 			processing = append(processing, time.Duration(rm.ProcessingNs))
+			r.policy.record(d.env.Now())
 			if rm.Stage == resultStage.ID && len(rm.Chunk) > 0 {
 				results = append(results, workerResult{workerID: rm.WorkerID, chunk: rm.Chunk})
 			}
-			waveWorkers[rm.Stage]--
-			return nil
-		})
-		if err != nil {
-			return nil, nil, err
+			if len(r.winners) == len(r.payloads) {
+				// Seal: every worker of the stage reported through SQS.
+				// Ready: record it in DynamoDB for the consumers' barrier.
+				if err := d.dep.Dynamo.Put(d.env, sealTable, sealKey(queryID, r.st.ID), []byte("sealed")); err != nil {
+					return nil, nil, err
+				}
+				r.state = stageSealed
+				r.sealedAt = d.env.Now()
+				sealedCount++
+				if err := launchReady(); err != nil {
+					return nil, nil, err
+				}
+			}
 		}
-		for _, st := range wave {
-			if waveWorkers[st.ID] != 0 {
-				return nil, nil, fmt.Errorf("driver: stage %d missing %d seal messages", st.ID, waveWorkers[st.ID])
+		if sealedCount >= len(runs) {
+			break
+		}
+		// Straggler speculation, per stage: quorum reached and the missing
+		// workers are past the median-based deadline — re-invoke them as the
+		// next attempt. Their boundary publishes land in a fresh attempt
+		// namespace, so whichever attempt commits first wins.
+		for _, r := range runs {
+			if r.state != stageLaunched {
+				continue
 			}
-			// Seal: every worker of the stage reported through SQS. Ready:
-			// record it in DynamoDB for the consumers' barrier check.
-			if err := d.dep.Dynamo.Put(d.env, sealTable, sealKey(queryID, st.ID), []byte("sealed")); err != nil {
-				return nil, nil, err
+			reported := func(w int) bool { _, ok := r.winners[w]; return ok }
+			for _, w := range r.policy.stragglers(d.env.Now(), reported, r.st.MaxAttempts) {
+				r.speculated++
+				speculated++
+				backup := r.payloads[w]
+				backup.Attempt = r.policy.attempts[w]
+				body, err := json.Marshal(&backup)
+				if err != nil {
+					return nil, nil, err
+				}
+				if err := d.invokeOne(body, w); err != nil {
+					return nil, nil, fmt.Errorf("driver: backup invocation of stage %d worker %d: %w", r.st.ID, w, err)
+				}
 			}
-			sealed[st.ID] = true
+		}
+		if d.env.Now() >= deadline {
+			missing := 0
+			for _, r := range runs {
+				if r.state == stageLaunched {
+					missing += len(r.payloads) - len(r.winners)
+				}
+			}
+			return nil, nil, fmt.Errorf("driver: %d seal messages missing after %v", missing, d.cfg.MaxWait)
+		}
+		if len(msgs) == 0 {
+			d.env.Sleep(d.cfg.PollInterval)
 		}
 	}
 
@@ -301,6 +452,13 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 		return nil, nil, err
 	}
 
+	// All stages sealed, so no winner is still publishing: drain the
+	// boundary namespace now and let its requests count toward the query.
+	if _, err := exchange.Sweep(driverClient, buckets, prefix); err != nil {
+		return nil, nil, fmt.Errorf("driver: sweeping boundary %s: %w", prefix, err)
+	}
+	swept = true
+
 	sort.Slice(processing, func(i, j int) bool { return processing[i] < processing[j] })
 	rep := &Report{
 		QueryID:          queryID,
@@ -310,13 +468,40 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 		Invocation:       invocation,
 		WorkerProcessing: processing,
 		ColdWorkers:      cold,
+		Speculated:       speculated,
+	}
+	for _, r := range runs {
+		rep.StageStats = append(rep.StageStats, StageStat{
+			StageID:    r.st.ID,
+			Workers:    len(r.payloads),
+			Launched:   r.launchedAt - startTime,
+			Sealed:     r.sealedAt - startTime,
+			Speculated: r.speculated,
+		})
 	}
 	d.fillCostDelta(rep, costBefore)
 	return result, rep, nil
 }
 
-// stagePayloads builds the invocation payloads of one stage.
-func (d *Driver) stagePayloads(queryID string, st *stageplan.Stage, sp *stageplan.Plan, tables TableFiles, workers map[int]int, blobs map[string][]byte, buckets []string, sealTable string, cfg StageConfig) ([][]byte, error) {
+// purgeResults drains every leftover message from the result queue. Called
+// before a staged query launches (no workers of this query are in flight
+// yet, so everything received is stale): completion messages of an aborted
+// identically-numbered query on a fresh driver must not count toward this
+// query's seals.
+func (d *Driver) purgeResults() error {
+	for {
+		msgs, err := d.dep.SQS.Receive(d.env, d.cfg.ResultQueue, 10)
+		if err != nil {
+			return err
+		}
+		if len(msgs) == 0 {
+			return nil
+		}
+	}
+}
+
+// stagePayloads builds the invocation payloads of one stage (attempt 0).
+func (d *Driver) stagePayloads(queryID string, st *stageplan.Stage, sp *stageplan.Plan, tables TableFiles, workers map[int]int, blobs map[string][]byte, buckets []string, sealTable string, cfg StageConfig) ([]workerPayload, error) {
 	planJSON, err := engine.MarshalPlan(st.Plan)
 	if err != nil {
 		return nil, err
@@ -352,7 +537,7 @@ func (d *Driver) stagePayloads(queryID string, st *stageplan.Stage, sp *stagepla
 	}
 
 	n := workers[st.ID]
-	payloads := make([][]byte, n)
+	payloads := make([]workerPayload, n)
 	files := tables[st.Table]
 	per := 0
 	if st.Table != "" {
@@ -380,11 +565,7 @@ func (d *Driver) stagePayloads(queryID string, st *stageplan.Stage, sp *stagepla
 			p.Table = st.Table
 			p.Files = files[lo:hi]
 		}
-		body, err := json.Marshal(p)
-		if err != nil {
-			return nil, err
-		}
-		payloads[w] = body
+		payloads[w] = p
 	}
 	return payloads, nil
 }
@@ -423,11 +604,11 @@ func fragmentScans(p engine.Plan, table string) bool {
 	return found
 }
 
-// runStageFragment is the worker side of a stage: verify the upstream
+// runStageFragment is the worker side of a stage: wait out the upstream
 // ready markers, collect this worker's partition of every input boundary,
 // execute the fragment on the pipeline-graph scheduler, and either publish
-// the partitioned output into this stage's boundary or hand the chunk back
-// for the SQS result post.
+// the partitioned output into this stage's attempt namespace or hand the
+// chunk back for the SQS result post.
 func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, client *s3.Client, p *workerPayload, plan engine.Plan, cat engine.Catalog) (*columnar.Chunk, error) {
 	var spec stageSpec
 	if err := json.Unmarshal(p.StageSpec, &spec); err != nil {
@@ -444,9 +625,9 @@ func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, client *s3.Client, p *work
 	var collected int64
 	for _, in := range spec.Inputs {
 		// Ready barrier: the driver marks a stage sealed in DynamoDB once
-		// every producer reported through SQS. Stages launch after their
-		// producers seal, so the first check normally passes; the poll
-		// guards against reordered deliveries.
+		// every producer reported through SQS. Under pipelined launch this
+		// worker was invoked before its producers sealed, so the wait here
+		// is where cold start and upstream execution overlap.
 		if err := d.waitSealed(ctx, &spec, in.StageID); err != nil {
 			return nil, err
 		}
@@ -479,6 +660,7 @@ func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, client *s3.Client, p *work
 	}
 	err = exchange.PublishStage(client, opts, exchange.Boundary{
 		Stage:      spec.StageID,
+		Attempt:    p.Attempt,
 		Senders:    p.NumWorkers,
 		Partitions: spec.Output.Partitions,
 	}, p.WorkerID, out, spec.Output.Keys)

@@ -3,6 +3,7 @@ package driver
 import (
 	"encoding/json"
 	"math"
+	"sort"
 	"testing"
 	"time"
 
@@ -438,6 +439,57 @@ ORDER BY lv, rv`
 	chunksIdentical(t, got, want)
 	if rep.Stages != 3 {
 		t.Errorf("stages = %d, want 3 (scan, scan, join)", rep.Stages)
+	}
+}
+
+// TestStagedPipelinedMatchesWaves: pipelined launch (consumers invoked
+// before their producers seal) and wave-gated launch produce byte-identical
+// results, and the per-stage timings show the launches actually overlapped:
+// pipelined invokes every stage before the first seal, waves hold consumers
+// back until their producers sealed.
+func TestStagedPipelinedMatchesWaves(t *testing.T) {
+	d, tables, li, orders := stagedSetup(t, 0.002, 6, 3)
+	want := singleNode(t, q12ExactSQL, engine.Catalog{
+		"lineitem": engine.NewMemSource(tpch.Schema(), li),
+		"orders":   engine.NewMemSource(tpch.OrdersSchema(), orders),
+	})
+	run := func(pipelined bool) *Report {
+		cfg := DefaultStageConfig()
+		cfg.Partitions = 3
+		cfg.BroadcastRowLimit = -1
+		cfg.Pipelined = pipelined
+		got, rep, err := d.RunSQLStaged(q12ExactSQL, tables, cfg)
+		if err != nil {
+			t.Fatalf("pipelined=%v: %v", pipelined, err)
+		}
+		chunksIdentical(t, got, want)
+		return rep
+	}
+	pipe, waves := run(true), run(false)
+
+	maxLaunch, minSeal := time.Duration(0), time.Duration(1)<<62
+	for _, ss := range pipe.StageStats {
+		if ss.Launched > maxLaunch {
+			maxLaunch = ss.Launched
+		}
+		if ss.Sealed < minSeal {
+			minSeal = ss.Sealed
+		}
+	}
+	if maxLaunch > minSeal {
+		t.Errorf("pipelined launch not overlapped: last launch %v after first seal %v", maxLaunch, minSeal)
+	}
+	// Wave-gated: the join (third stage to launch — the DAG is scan, scan →
+	// join → final) must wait for both scan stages to seal, and the final
+	// merge for the join.
+	byLaunch := append([]StageStat(nil), waves.StageStats...)
+	sort.Slice(byLaunch, func(i, j int) bool { return byLaunch[i].Launched < byLaunch[j].Launched })
+	if j := byLaunch[2]; j.Launched < byLaunch[0].Sealed || j.Launched < byLaunch[1].Sealed {
+		t.Errorf("wave launch not gated: join launched %v, producers sealed %v/%v",
+			j.Launched, byLaunch[0].Sealed, byLaunch[1].Sealed)
+	}
+	if f := byLaunch[3]; f.Launched < byLaunch[2].Sealed {
+		t.Errorf("wave launch not gated: final launched %v, join sealed %v", f.Launched, byLaunch[2].Sealed)
 	}
 }
 

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 
 	"lambada/internal/awssim/s3"
 	"lambada/internal/columnar"
@@ -24,12 +27,29 @@ import (
 // Every sender writes a file (possibly empty) for every partition, so
 // receivers never need a membership protocol: partition p is complete once
 // all S sender files exist.
+//
+// Boundary names are versioned by attempt so straggler speculation can
+// re-run a sender without racing the original's files: attempt a of sender
+// s writes into its own `a<attempt>` namespace and then commits it — with a
+// per-(stage,attempt,sender) commit marker in the basic variant, or
+// implicitly by the single atomic Put of the combined object when
+// write-combining. Receivers take, per sender, the first complete
+// (committed) attempt set; uncommitted and later attempts are ignored.
+// Because stage fragments are deterministic, every attempt's files are
+// byte-identical, so which attempt wins never changes the collected rows.
+// Loser attempts linger as garbage until Sweep (the stale-drain collector)
+// removes the boundary namespace.
 
 // Boundary identifies one producing stage's partitioned output inside an
 // exchange namespace (Options.Prefix scopes the query).
 type Boundary struct {
 	// Stage is the producing stage's ID (namespaces the object keys).
 	Stage int
+	// Attempt versions the publishing sender's file set: backup attempts of
+	// a straggling sender write under a fresh attempt namespace instead of
+	// racing the original's files. Collectors ignore it — they discover the
+	// first committed attempt per sender themselves.
+	Attempt int
 	// Senders is the producing stage's worker count.
 	Senders int
 	// Partitions is the consuming stage's worker count.
@@ -40,12 +60,62 @@ func (o *Options) stageBucket(stage, part int) string {
 	return o.Buckets[(stage*31+part)%len(o.Buckets)]
 }
 
-func (o *Options) stageFile(stage, part, sender int) string {
-	return fmt.Sprintf("%s/s%d/p%d/snd%d", o.Prefix, stage, part, sender)
+// stageFile names sender's file of one partition within one attempt.
+func (o *Options) stageFile(stage, attempt, part, sender int) string {
+	return fmt.Sprintf("%s/s%d/p%d/a%d-snd%d", o.Prefix, stage, part, attempt, sender)
+}
+
+// stageCommit names the commit marker sealing (stage, sender, attempt) in
+// the basic variant: it is written after every partition file of the
+// attempt, so receivers that see it can read any partition without waiting.
+func (o *Options) stageCommit(stage, sender, attempt int) string {
+	return fmt.Sprintf("%s%d", o.stageCommitPrefix(stage, sender), attempt)
+}
+
+// stageCommitPrefix includes the "-a" separator so listing sender 1's
+// markers cannot match sender 10..19's (List is prefix-based).
+func (o *Options) stageCommitPrefix(stage, sender int) string {
+	return fmt.Sprintf("%s/s%d/commit/snd%d-a", o.Prefix, stage, sender)
 }
 
 func (o *Options) stageWcPrefix(stage int) string {
 	return fmt.Sprintf("%s/s%d/snd", o.Prefix, stage)
+}
+
+// stageWcName encodes sender, attempt and the cumulative partition offsets
+// in the combined object's name (§4.4.3). The single Put is atomic, so the
+// object doubles as its own commit marker.
+func (o *Options) stageWcName(stage, attempt, sender int, offsets []int64) string {
+	return fmt.Sprintf("%s%d-a%d-off%s", o.stageWcPrefix(stage), sender, attempt, offsetString(offsets))
+}
+
+// parseStageWcName extracts sender, attempt and offsets from a combined
+// stage-boundary object name (`snd<s>-a<n>-off<o0_o1_…>`).
+func parseStageWcName(key string) (sender, attempt int, offsets []int64, err error) {
+	base := key[strings.LastIndex(key, "/")+1:]
+	if !strings.HasPrefix(base, "snd") {
+		return 0, 0, nil, fmt.Errorf("exchange: bad stage wc file name %q", key)
+	}
+	rest := base[3:]
+	ai := strings.Index(rest, "-a")
+	oi := strings.Index(rest, "-off")
+	if ai < 0 || oi < 0 || oi < ai {
+		return 0, 0, nil, fmt.Errorf("exchange: bad stage wc file name %q", key)
+	}
+	if sender, err = strconv.Atoi(rest[:ai]); err != nil {
+		return 0, 0, nil, err
+	}
+	if attempt, err = strconv.Atoi(rest[ai+2 : oi]); err != nil {
+		return 0, 0, nil, err
+	}
+	for _, s := range strings.Split(rest[oi+4:], "_") {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		offsets = append(offsets, v)
+	}
+	return sender, attempt, offsets, nil
 }
 
 // HashPartition maps row i of the key columns to its partition in
@@ -83,10 +153,12 @@ func partitionRows(chunk *columnar.Chunk, keys []string, parts int) ([][]int, er
 }
 
 // PublishStage hash-partitions chunk by the key columns and writes this
-// sender's partition files into the boundary's namespace — one object per
-// partition, or one combined object with offsets in the name when the
-// variant write-combines. Rows keep their order within each partition, so
-// the boundary is deterministic for a deterministic input chunk.
+// sender's partition files into the boundary's attempt namespace — one
+// object per partition plus a commit marker, or one combined object with
+// sender/attempt/offsets in the name when the variant write-combines. Rows
+// keep their order within each partition, so the boundary is deterministic
+// for a deterministic input chunk, and re-publishing the same chunk under a
+// new attempt produces byte-identical files.
 func PublishStage(client *s3.Client, opts Options, b Boundary, sender int, chunk *columnar.Chunk, keys []string) error {
 	if len(opts.Buckets) == 0 {
 		return errors.New("exchange: no buckets configured")
@@ -112,7 +184,8 @@ func PublishStage(client *s3.Client, opts Options, b Boundary, sender int, chunk
 		// One combined object, sharded by sender (a sender writes one file,
 		// so the per-partition spread of the basic variant is unavailable —
 		// spreading senders keeps the §4.4.1 rate-limit multiplication);
-		// cumulative partition offsets travel in the name.
+		// cumulative partition offsets travel in the name. The single Put is
+		// atomic: the object existing means the attempt is committed.
 		var combined []byte
 		offsets := make([]int64, 0, b.Partitions+1)
 		for p := 0; p < b.Partitions; p++ {
@@ -120,53 +193,106 @@ func PublishStage(client *s3.Client, opts Options, b Boundary, sender int, chunk
 			combined = append(combined, blobs[p]...)
 		}
 		offsets = append(offsets, int64(len(combined)))
-		name := fmt.Sprintf("%s%d-off%s", opts.stageWcPrefix(b.Stage), sender, offsetString(offsets))
+		name := opts.stageWcName(b.Stage, b.Attempt, sender, offsets)
 		return client.Put(opts.stageBucket(b.Stage, sender), name, combined)
 	}
 
 	for p := 0; p < b.Partitions; p++ {
-		if err := client.Put(opts.stageBucket(b.Stage, p), opts.stageFile(b.Stage, p, sender), blobs[p]); err != nil {
+		if err := client.Put(opts.stageBucket(b.Stage, p), opts.stageFile(b.Stage, b.Attempt, p, sender), blobs[p]); err != nil {
 			return err
 		}
 	}
-	return nil
+	// Commit marker last: a receiver that sees it knows every partition file
+	// of this attempt exists (S3 writes are strongly consistent).
+	return client.Put(opts.stageBucket(b.Stage, sender), opts.stageCommit(b.Stage, sender, b.Attempt), nil)
 }
 
-// CollectStage waits for every sender's slice of partition part and returns
-// their concatenation in ascending sender order. The schema comes from the
-// blobs themselves (lpq files are self-describing), so boundaries need no
-// schema plumbing.
+// CollectStage waits until every sender has committed at least one attempt,
+// then returns the concatenation of partition part across senders in
+// ascending sender order, reading each sender's first (lowest) committed
+// attempt. Later and uncommitted attempts — stragglers that lost a
+// speculation race, or partial file sets of an aborted attempt — are
+// ignored. The schema comes from the blobs themselves (lpq files are
+// self-describing), so boundaries need no schema plumbing.
 func CollectStage(client *s3.Client, opts Options, b Boundary, part int) (*columnar.Chunk, error) {
 	if len(opts.Buckets) == 0 {
 		return nil, errors.New("exchange: no buckets configured")
 	}
+	if b.Senders < 1 {
+		return nil, fmt.Errorf("exchange: stage %d has no senders", b.Stage)
+	}
 	if opts.Variant.WriteCombining {
 		return collectStageCombined(client, opts, b, part)
 	}
-	bucket := opts.stageBucket(b.Stage, part)
 	var out *columnar.Chunk
+	bucket := opts.stageBucket(b.Stage, part)
 	for s := 0; s < b.Senders; s++ {
-		name := opts.stageFile(b.Stage, part, s)
-		if _, err := client.WaitFor(bucket, name, opts.Poll, opts.MaxWait); err != nil {
-			return nil, fmt.Errorf("exchange: waiting for %s: %w", name, err)
-		}
-		data, _, err := client.Get(bucket, name, 1)
+		attempt, err := waitCommitted(client, opts, b.Stage, s)
 		if err != nil {
 			return nil, err
+		}
+		name := opts.stageFile(b.Stage, attempt, part, s)
+		data, _, err := client.Get(bucket, name, 1)
+		if err != nil {
+			return nil, fmt.Errorf("exchange: reading %s: %w", name, err)
 		}
 		if out, err = appendStageBlob(out, data); err != nil {
 			return nil, err
 		}
 	}
-	if out == nil {
-		return nil, fmt.Errorf("exchange: stage %d has no senders", b.Stage)
-	}
 	return out, nil
 }
 
+// waitCommitted polls until sender has committed at least one attempt of
+// the stage and returns the lowest committed attempt number — the "first
+// complete attempt set" rule that makes backup attempts race-free.
+func waitCommitted(client *s3.Client, opts Options, stage, sender int) (int, error) {
+	bucket := opts.stageBucket(stage, sender)
+	prefix := opts.stageCommitPrefix(stage, sender)
+	deadline := client.Env().Now() + opts.MaxWait
+	for {
+		entries, err := client.List(bucket, prefix)
+		if err != nil {
+			return 0, err
+		}
+		best := -1
+		for _, e := range entries {
+			i := strings.LastIndex(e.Key, "-a")
+			if i < 0 {
+				return 0, fmt.Errorf("exchange: bad commit marker %q", e.Key)
+			}
+			a, err := strconv.Atoi(e.Key[i+2:])
+			if err != nil {
+				return 0, fmt.Errorf("exchange: bad commit marker %q", e.Key)
+			}
+			if best < 0 || a < best {
+				best = a
+			}
+		}
+		if best >= 0 {
+			return best, nil
+		}
+		if client.Env().Now() >= deadline {
+			return 0, fmt.Errorf("exchange: stage %d sender %d never committed after %v", stage, sender, opts.MaxWait)
+		}
+		// Poll-sized sleeps park on the completion signal s3.Put broadcasts
+		// (simenv.Notify); the timed poll is the fallback.
+		client.Env().Sleep(opts.Poll)
+	}
+}
+
+// stageWcFile is one committed combined object of a sender.
+type stageWcFile struct {
+	bucket  string
+	key     string
+	attempt int
+	offsets []int64
+}
+
 // collectStageCombined lists the boundary's combined objects across the
-// senders' shard buckets until every sender appears (the shared
-// listCombined protocol), then range-reads this partition's slice of each.
+// senders' shard buckets until every sender has committed at least one
+// attempt, then range-reads this partition's slice of each sender's lowest
+// attempt. Extra objects from losing attempts are ignored.
 func collectStageCombined(client *s3.Client, opts Options, b Boundary, part int) (*columnar.Chunk, error) {
 	var buckets []string
 	seen := map[string]bool{}
@@ -176,13 +302,52 @@ func collectStageCombined(client *s3.Client, opts Options, b Boundary, part int)
 			buckets = append(buckets, bk)
 		}
 	}
-	files, err := listCombined(client, opts, buckets, opts.stageWcPrefix(b.Stage), b.Senders, b.Partitions, part)
-	if err != nil {
-		return nil, err
+	prefix := opts.stageWcPrefix(b.Stage)
+	deadline := client.Env().Now() + opts.MaxWait
+	best := make(map[int]stageWcFile, b.Senders)
+	for {
+		for k := range best {
+			delete(best, k)
+		}
+		for _, bk := range buckets {
+			entries, err := client.List(bk, prefix)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				sender, attempt, offsets, err := parseStageWcName(e.Key)
+				if err != nil {
+					return nil, err
+				}
+				if len(offsets) != b.Partitions+1 {
+					return nil, fmt.Errorf("exchange: %d offsets for %d partitions in %q", len(offsets), b.Partitions, e.Key)
+				}
+				if cur, ok := best[sender]; !ok || attempt < cur.attempt {
+					best[sender] = stageWcFile{bucket: bk, key: e.Key, attempt: attempt, offsets: offsets}
+				}
+			}
+		}
+		if len(best) >= b.Senders {
+			break
+		}
+		if client.Env().Now() >= deadline {
+			return nil, fmt.Errorf("exchange: %d/%d senders committed after %v", len(best), b.Senders, opts.MaxWait)
+		}
+		client.Env().Sleep(opts.Poll)
 	}
+	senders := make([]int, 0, len(best))
+	for s := range best {
+		senders = append(senders, s)
+	}
+	sort.Ints(senders)
 	var out *columnar.Chunk
-	for _, f := range files {
-		data, _, err := client.GetRange(f.bucket, f.key, f.lo, f.hi-f.lo, 1)
+	for _, s := range senders {
+		f := best[s]
+		lo, hi := f.offsets[part], f.offsets[part+1]
+		if hi < lo {
+			return nil, fmt.Errorf("exchange: inverted offsets in %q", f.key)
+		}
+		data, _, err := client.GetRange(f.bucket, f.key, lo, hi-lo, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -190,10 +355,30 @@ func collectStageCombined(client *s3.Client, opts Options, b Boundary, part int)
 			return nil, err
 		}
 	}
-	if out == nil {
-		return nil, fmt.Errorf("exchange: stage %d has no senders", b.Stage)
-	}
 	return out, nil
+}
+
+// Sweep is the stale-drain collector: it deletes every object under prefix
+// in the given buckets — winner files whose consumers have collected and
+// loser files of aborted or outpaced speculative attempts alike — and
+// returns how many objects it removed. The driver runs it before a query
+// (clearing leftovers of an identically-named aborted run) and after
+// (reclaiming the boundary namespace).
+func Sweep(client *s3.Client, buckets []string, prefix string) (int, error) {
+	removed := 0
+	for _, b := range buckets {
+		entries, err := client.List(b, prefix)
+		if err != nil {
+			return removed, err
+		}
+		for _, e := range entries {
+			if err := client.Delete(b, e.Key); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	return removed, nil
 }
 
 // appendStageBlob decodes an lpq blob and appends its rows to dst,

@@ -143,6 +143,192 @@ func TestStageBoundaryEmptyPartitions(t *testing.T) {
 	}
 }
 
+// TestStageBoundaryFirstCommittedAttemptWins: an aborted attempt left a
+// partial, uncommitted file set behind; the sender's backup attempt
+// committed a complete set under a fresh attempt namespace. Receivers must
+// ignore the partial attempt and collect exactly the committed one — the
+// race the pre-attempt protocol could not survive.
+func TestStageBoundaryFirstCommittedAttemptWins(t *testing.T) {
+	env := simenv.NewImmediate()
+	svc := s3.New(s3.Config{})
+	svc.MustCreateBucket("xa")
+	svc.MustCreateBucket("xb")
+	opts := Options{
+		Variant: Variant{Levels: 1},
+		Buckets: []string{"xa", "xb"},
+		Prefix:  "q4",
+		Poll:    time.Millisecond,
+		MaxWait: 10 * time.Second,
+	}
+	const senders, parts = 2, 3
+	b := Boundary{Stage: 1, Senders: senders, Partitions: parts}
+	client := s3.NewClient(svc, env)
+
+	// Sender 0's attempt 0 died after writing only partition 0 — a stray
+	// file with garbage content and, crucially, no commit marker.
+	stray := opts.stageFile(b.Stage, 0, 0, 0)
+	if err := client.Put(opts.stageBucket(b.Stage, 0), stray, []byte("not an lpq file")); err != nil {
+		t.Fatal(err)
+	}
+	// Its backup attempt publishes the full set under attempt 1; sender 1 is
+	// healthy on attempt 0.
+	in0, in1 := stageTestChunk(0, 30), stageTestChunk(30, 30)
+	b0 := b
+	b0.Attempt = 1
+	if err := PublishStage(client, opts, b0, 0, in0, []string{"k"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := PublishStage(client, opts, b, 1, in1, []string{"k"}); err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for p := 0; p < parts; p++ {
+		res, err := CollectStage(client, opts, b, p)
+		if err != nil {
+			t.Fatalf("partition %d: %v", p, err)
+		}
+		total += res.NumRows()
+	}
+	if total != 60 {
+		t.Fatalf("collected %d rows, want 60 (stray attempt not ignored?)", total)
+	}
+}
+
+// TestStageBoundaryDuplicateAttemptsCollectOnce: both the original and the
+// backup of a sender completed (byte-identical file sets, as stage
+// fragments are deterministic). Receivers read each sender exactly once —
+// the lowest committed attempt — for both variants.
+func TestStageBoundaryDuplicateAttemptsCollectOnce(t *testing.T) {
+	for _, wc := range []bool{false, true} {
+		env := simenv.NewImmediate()
+		svc := s3.New(s3.Config{})
+		svc.MustCreateBucket("x")
+		opts := Options{
+			Variant: Variant{Levels: 1, WriteCombining: wc},
+			Buckets: []string{"x"},
+			Prefix:  "q5",
+			Poll:    time.Millisecond,
+			MaxWait: 10 * time.Second,
+		}
+		const senders, parts = 2, 2
+		b := Boundary{Stage: 0, Senders: senders, Partitions: parts}
+		client := s3.NewClient(svc, env)
+		for s := 0; s < senders; s++ {
+			in := stageTestChunk(s*20, 20)
+			for attempt := 0; attempt < 2; attempt++ {
+				ba := b
+				ba.Attempt = attempt
+				if err := PublishStage(client, opts, ba, s, in, []string{"k"}); err != nil {
+					t.Fatalf("wc=%v: %v", wc, err)
+				}
+			}
+		}
+		total := 0
+		for p := 0; p < parts; p++ {
+			res, err := CollectStage(client, opts, b, p)
+			if err != nil {
+				t.Fatalf("wc=%v partition %d: %v", wc, p, err)
+			}
+			total += res.NumRows()
+		}
+		if total != senders*20 {
+			t.Fatalf("wc=%v: collected %d rows, want %d (duplicate attempt double-counted?)", wc, total, senders*20)
+		}
+	}
+}
+
+// TestStageBoundaryManySendersAttemptPrefixes: commit-marker discovery is
+// List-prefix-based, so sender 1's lookup must not match sender 10..19's
+// markers. With 12 senders and sender 1 committed only under attempt 1,
+// collectors must read sender 1's attempt-1 files — not conclude from
+// sender 10's attempt-0 marker that attempt 0 exists.
+func TestStageBoundaryManySendersAttemptPrefixes(t *testing.T) {
+	env := simenv.NewImmediate()
+	svc := s3.New(s3.Config{})
+	svc.MustCreateBucket("x")
+	opts := Options{
+		Variant: Variant{Levels: 1},
+		Buckets: []string{"x"},
+		Prefix:  "q7",
+		Poll:    time.Millisecond,
+		MaxWait: 5 * time.Second,
+	}
+	const senders, parts = 12, 2
+	b := Boundary{Stage: 0, Senders: senders, Partitions: parts}
+	client := s3.NewClient(svc, env)
+	for s := 0; s < senders; s++ {
+		ba := b
+		if s == 1 {
+			ba.Attempt = 1 // sender 1's attempt 0 never committed
+		}
+		if err := PublishStage(client, opts, ba, s, stageTestChunk(s*10, 10), []string{"k"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for p := 0; p < parts; p++ {
+		res, err := CollectStage(client, opts, b, p)
+		if err != nil {
+			t.Fatalf("partition %d: %v", p, err)
+		}
+		total += res.NumRows()
+	}
+	if total != senders*10 {
+		t.Fatalf("collected %d rows, want %d", total, senders*10)
+	}
+}
+
+// TestSweepDrainsStaleBoundary: Sweep removes every object under the query
+// prefix — loser attempts included — so an identically-named retry starts
+// from a clean namespace and collects its own data, not the leftovers'.
+func TestSweepDrainsStaleBoundary(t *testing.T) {
+	env := simenv.NewImmediate()
+	svc := s3.New(s3.Config{})
+	svc.MustCreateBucket("x")
+	opts := Options{
+		Variant: Variant{Levels: 1},
+		Buckets: []string{"x"},
+		Prefix:  "q6",
+		Poll:    time.Millisecond,
+		MaxWait: 10 * time.Second,
+	}
+	b := Boundary{Stage: 0, Senders: 1, Partitions: 2}
+	client := s3.NewClient(svc, env)
+	// An aborted run left a committed attempt 3 with 40 rows behind.
+	b3 := b
+	b3.Attempt = 3
+	if err := PublishStage(client, opts, b3, 0, stageTestChunk(0, 40), []string{"k"}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Sweep(client, opts.Buckets, opts.Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("sweep removed nothing")
+	}
+	if left, err := client.List("x", opts.Prefix); err != nil || len(left) != 0 {
+		t.Fatalf("objects after sweep: %d (err %v)", len(left), err)
+	}
+	// The retry publishes 10 rows under the same prefix; collectors must see
+	// exactly those.
+	if err := PublishStage(client, opts, b, 0, stageTestChunk(0, 10), []string{"k"}); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for p := 0; p < 2; p++ {
+		res, err := CollectStage(client, opts, b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.NumRows()
+	}
+	if total != 10 {
+		t.Fatalf("retry collected %d rows, want 10 (stale attempt leaked through)", total)
+	}
+}
+
 // TestStageBoundaryRejectsFloatKey: partition keys must be BIGINT.
 func TestStageBoundaryRejectsFloatKey(t *testing.T) {
 	env := simenv.NewImmediate()

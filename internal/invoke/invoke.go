@@ -60,9 +60,10 @@ func WorkerPacing(region netmodel.Region) Pacing {
 // the two-level invocation tree: below a handful of workers the driver's
 // sequential launch loop is already faster than paying an extra worker
 // generation, so direct invocation wins. The driver applies this policy per
-// invocation wave — stage waves of a distributed plan each decide
-// independently, since wave sizes differ (a scan wave may be hundreds of
-// workers, the final merge wave a few).
+// stage launch — the event-driven stage scheduler invokes each stage as its
+// own fleet (all of them up front under pipelined launch), and stage sizes
+// differ wildly: a scan stage may be hundreds of workers while the final
+// merge is a few, so each decides independently.
 func UseTree(treeEnabled bool, total int) bool {
 	return treeEnabled && total >= 4
 }

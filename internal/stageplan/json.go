@@ -19,6 +19,9 @@ type stageJSON struct {
 	Inputs    []Input         `json:"inputs,omitempty"`
 	Output    *Output         `json:"output,omitempty"`
 	DependsOn []int           `json:"dependsOn,omitempty"`
+	Eager     bool            `json:"eager,omitempty"`
+	// MaxAttempts is the stage's speculation attempt budget (0 = default).
+	MaxAttempts int `json:"maxAttempts,omitempty"`
 }
 
 type planJSON struct {
@@ -91,12 +94,14 @@ func encodeStage(s *Stage) (stageJSON, error) {
 		return stageJSON{}, fmt.Errorf("stageplan: encoding stage %d: %w", s.ID, err)
 	}
 	return stageJSON{
-		ID:        s.ID,
-		Plan:      frag,
-		Table:     s.Table,
-		Inputs:    s.Inputs,
-		Output:    s.Output,
-		DependsOn: s.DependsOn,
+		ID:          s.ID,
+		Plan:        frag,
+		Table:       s.Table,
+		Inputs:      s.Inputs,
+		Output:      s.Output,
+		DependsOn:   s.DependsOn,
+		Eager:       s.Eager,
+		MaxAttempts: s.MaxAttempts,
 	}, nil
 }
 
@@ -106,11 +111,13 @@ func decodeStage(j stageJSON) (*Stage, error) {
 		return nil, fmt.Errorf("stageplan: decoding stage %d: %w", j.ID, err)
 	}
 	return &Stage{
-		ID:        j.ID,
-		Plan:      frag,
-		Table:     j.Table,
-		Inputs:    j.Inputs,
-		Output:    j.Output,
-		DependsOn: j.DependsOn,
+		ID:          j.ID,
+		Plan:        frag,
+		Table:       j.Table,
+		Inputs:      j.Inputs,
+		Output:      j.Output,
+		DependsOn:   j.DependsOn,
+		Eager:       j.Eager,
+		MaxAttempts: j.MaxAttempts,
 	}, nil
 }

@@ -62,8 +62,21 @@ type Stage struct {
 	// Output is the boundary the stage produces (nil: results go to the
 	// driver through the SQS result queue).
 	Output *Output
-	// DependsOn lists the stage IDs that must seal before this stage runs.
+	// DependsOn lists the stage IDs whose boundaries this stage consumes.
+	// The event-driven scheduler no longer waits for them before invoking
+	// the stage (see Eager); they gate the stage's collect instead.
 	DependsOn []int
+	// Eager marks the stage eligible for pipelined launch: the scheduler may
+	// invoke its workers before the producing stages seal, overlapping their
+	// cold starts with upstream execution, because the DynamoDB ready
+	// barrier gates the collect. Decompose marks every stage eager; a
+	// cost-based policy (or StageConfig.Pipelined = false) can still hold a
+	// stage back until its producers sealed.
+	Eager bool
+	// MaxAttempts bounds per-worker attempts of this stage under straggler
+	// speculation (0 = the driver's SpeculateConfig default). Attempt
+	// numbers version the stage's exchange boundary names.
+	MaxAttempts int
 }
 
 // Plan is a stage-decomposed distributed plan.
@@ -99,7 +112,9 @@ type Stats struct {
 // Config tunes the decomposition.
 type Config struct {
 	// Partitions is the fan-in of every exchange boundary: join and final-
-	// aggregation stages run this many workers (0 = 4).
+	// aggregation stages run this many workers. 0 derives the fan-in from
+	// the lpq footer row counts in Stats: ceil(largest table rows /
+	// AutoRowsPerPartition), clamped to [1, MaxAutoPartitions].
 	Partitions int
 	// BroadcastRowLimit: a join build side of at most this many rows stays
 	// a broadcast join (0 = 65536; negative = never broadcast).
@@ -110,11 +125,40 @@ type Config struct {
 // the table inside worker payloads beats a shuffle.
 const DefaultBroadcastRowLimit = 1 << 16
 
-func (c Config) partitions() int {
+// Partition autotuning (Config.Partitions = 0): each boundary partition
+// targets AutoRowsPerPartition input rows — enough work to amortize a
+// worker's cold start and per-partition exchange requests, small enough
+// that a partition pair of a join fits a Lambda-sized memory budget.
+const (
+	AutoRowsPerPartition = 1 << 16
+	// MaxAutoPartitions caps the derived fan-in: boundary request counts
+	// grow with S×P, so wide fan-ins must be asked for explicitly.
+	MaxAutoPartitions = 32
+)
+
+// partitions resolves the boundary fan-in, deriving it from the row stats
+// when unset.
+func (c Config) partitions(stats Stats) int {
 	if c.Partitions > 0 {
 		return c.Partitions
 	}
-	return 4
+	var largest int64
+	for _, rows := range stats.Rows {
+		if rows > largest {
+			largest = rows
+		}
+	}
+	if largest <= 0 {
+		return 4
+	}
+	p := int((largest + AutoRowsPerPartition - 1) / AutoRowsPerPartition)
+	if p < 1 {
+		p = 1
+	}
+	if p > MaxAutoPartitions {
+		p = MaxAutoPartitions
+	}
+	return p
 }
 
 func (c Config) broadcastLimit() int64 {
@@ -143,6 +187,7 @@ func joinKeys(j *engine.JoinPlan) (left, right []string) {
 type compiler struct {
 	cfg       Config
 	stats     Stats
+	parts     int // resolved boundary fan-in (explicit or autotuned)
 	stages    []*Stage
 	broadcast map[string]bool
 	nextID    int
@@ -158,7 +203,7 @@ type compiler struct {
 // a one-way pass. Callers wanting a single-node reference must build the
 // plan twice, not reuse p afterwards.
 func Decompose(p engine.Plan, stats Stats, cfg Config) (*Plan, error) {
-	c := &compiler{cfg: cfg, stats: stats, broadcast: map[string]bool{}}
+	c := &compiler{cfg: cfg, stats: stats, parts: cfg.partitions(stats), broadcast: map[string]bool{}}
 
 	// Peel the driver-only tail (OrderBy, Limit) and an optional top-level
 	// projection, mirroring engine.SplitDistributed.
@@ -212,7 +257,7 @@ func Decompose(p engine.Plan, stats Stats, cfg Config) (*Plan, error) {
 		if intKeys(ps, agg.GroupBy) {
 			// Repartition the partials on the group keys; one final-merge
 			// worker per partition owns every group hashing to it.
-			rowStage.Output = &Output{Keys: agg.GroupBy, Partitions: c.cfg.partitions()}
+			rowStage.Output = &Output{Keys: agg.GroupBy, Partitions: c.parts}
 			workerFinal := final
 			if topProject != nil {
 				workerFinal = &engine.ProjectPlan{In: final, Exprs: topProject.Exprs, Names: topProject.Names}
@@ -224,6 +269,7 @@ func Decompose(p engine.Plan, stats Stats, cfg Config) (*Plan, error) {
 				Plan:      workerFinal,
 				Inputs:    []Input{{StageID: rowStage.ID, Table: inTable}},
 				DependsOn: []int{rowStage.ID},
+				Eager:     true,
 			}
 			c.stages = append(c.stages, finalStage)
 			fs, err := workerFinal.OutSchema()
@@ -294,7 +340,7 @@ func (c *compiler) id() int {
 // build compiles a row-source subtree into its own stage (appended after
 // its producers, keeping c.stages topological) and returns it.
 func (c *compiler) build(p engine.Plan) (*Stage, error) {
-	st := &Stage{ID: c.id()}
+	st := &Stage{ID: c.id(), Eager: true}
 	frag, err := c.embed(st, p)
 	if err != nil {
 		return nil, err
@@ -370,7 +416,7 @@ func (c *compiler) embedJoin(st *Stage, j *engine.JoinPlan) (engine.Plan, error)
 	}
 
 	// Shuffle: both sides become stages partitioned on their join keys.
-	parts := c.cfg.partitions()
+	parts := c.parts
 	ls, err := c.build(j.Left)
 	if err != nil {
 		return nil, err

@@ -141,6 +141,66 @@ func TestDecomposeGroupByWithoutJoin(t *testing.T) {
 	}
 }
 
+// TestDecomposeAutoPartitions: Partitions = 0 derives the boundary fan-in
+// from the footer row counts — ceil(largest table / AutoRowsPerPartition),
+// clamped — instead of a fixed default.
+func TestDecomposeAutoPartitions(t *testing.T) {
+	// lineitem is 1<<20 rows: 1<<20 / 1<<16 = 16 partitions.
+	sp, err := Decompose(optimized(t, q12SQL), bigStats(), Config{BroadcastRowLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Stages[0].Output.Partitions; got != 16 {
+		t.Errorf("auto partitions = %d, want 16", got)
+	}
+
+	// A tiny input collapses to one partition.
+	tiny := Stats{Rows: map[string]int64{"lineitem": 100, "orders": 50}}
+	sp, err = Decompose(optimized(t, q12SQL), tiny, Config{BroadcastRowLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Stages[0].Output.Partitions; got != 1 {
+		t.Errorf("tiny auto partitions = %d, want 1", got)
+	}
+
+	// A huge input clamps at MaxAutoPartitions.
+	huge := Stats{Rows: map[string]int64{"lineitem": 1 << 32, "orders": 1 << 30}}
+	sp, err = Decompose(optimized(t, q12SQL), huge, Config{BroadcastRowLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Stages[0].Output.Partitions; got != MaxAutoPartitions {
+		t.Errorf("huge auto partitions = %d, want %d", got, MaxAutoPartitions)
+	}
+
+	// Explicit fan-in still wins.
+	sp, err = Decompose(optimized(t, q12SQL), bigStats(), Config{Partitions: 3, BroadcastRowLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Stages[0].Output.Partitions; got != 3 {
+		t.Errorf("explicit partitions = %d, want 3", got)
+	}
+}
+
+// TestDecomposeMarksStagesEager: every stage is eligible for pipelined
+// launch — the ready barrier, not the launch order, gates its collect.
+func TestDecomposeMarksStagesEager(t *testing.T) {
+	sp, err := Decompose(optimized(t, q12SQL), bigStats(), Config{Partitions: 2, BroadcastRowLimit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sp.Stages {
+		if !s.Eager {
+			t.Errorf("stage %d not marked eager", s.ID)
+		}
+		if s.MaxAttempts != 0 {
+			t.Errorf("stage %d attempt budget = %d, want 0 (driver default)", s.ID, s.MaxAttempts)
+		}
+	}
+}
+
 func TestDecomposeGlobalAggregate(t *testing.T) {
 	sp, err := Decompose(optimized(t, `SELECT COUNT(*) AS n FROM lineitem`), bigStats(), Config{})
 	if err != nil {
@@ -202,7 +262,8 @@ func TestStagePlanJSONRoundTrip(t *testing.T) {
 			t.Errorf("stage %d fragment round trip differs", i)
 		}
 	}
-	// Per-stage wire form too.
+	// Per-stage wire form too, including the scheduler metadata.
+	sp.Stages[2].MaxAttempts = 3
 	sj, err := MarshalStage(sp.Stages[2])
 	if err != nil {
 		t.Fatal(err)
@@ -213,6 +274,9 @@ func TestStagePlanJSONRoundTrip(t *testing.T) {
 	}
 	if st.ID != sp.Stages[2].ID || len(st.Inputs) != 2 || st.Output == nil {
 		t.Fatalf("stage wire form lost structure: %+v", st)
+	}
+	if !st.Eager || st.MaxAttempts != 3 {
+		t.Fatalf("stage wire form lost scheduler metadata: eager=%v attempts=%d", st.Eager, st.MaxAttempts)
 	}
 }
 
