@@ -1,8 +1,8 @@
 GO ?= go
 # bench-json knobs: the PR-numbered output file, the previous PR's file the
 # comparability check runs against, and the per-benchmark time.
-BENCH_JSON ?= BENCH_PR4.json
-BENCH_BASELINE ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR4.json
 BENCHTIME ?= 300ms
 
 .PHONY: build test race race-staged bench bench-json vet
@@ -17,10 +17,11 @@ race:
 	$(GO) test -race ./...
 
 # race-staged runs the staged-execution suites (scheduler, speculation,
-# exchange boundaries, stage planner) race-instrumented at a fixed
-# GOMAXPROCS so goroutine interleavings actually happen on 1-CPU runners.
+# epoch fencing, exchange boundaries, stage planner, and the DES/notify
+# primitives under them) race-instrumented at a fixed GOMAXPROCS so
+# goroutine interleavings actually happen on 1-CPU runners.
 race-staged:
-	GOMAXPROCS=4 $(GO) test -race ./internal/driver/ ./internal/exchange/ ./internal/stageplan/
+	GOMAXPROCS=4 $(GO) test -race ./internal/driver/ ./internal/exchange/ ./internal/stageplan/ ./internal/simclock/ ./internal/awssim/dynamo/
 
 vet:
 	$(GO) vet ./...
@@ -31,9 +32,10 @@ bench:
 # bench-json records the engine/scan/exchange/driver benchmarks as
 # machine-readable JSON (ns/op, B/op, allocs/op, custom metrics like the
 # staged vms/op) — the repo's perf trajectory, one BENCH_PR<N>.json per PR.
-# The baseline check flags the output when $(BENCH_BASELINE) was measured on
-# a different CPU count; such points must not be compared. Non-gating in CI.
+# -require-same-cpu refuses to record when $(BENCH_BASELINE) was measured
+# on a different CPU count: such points must never be compared. Non-gating
+# in CI.
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) -baseline $(BENCH_BASELINE) \
-		-benchtime $(BENCHTIME) \
+		-require-same-cpu -benchtime $(BENCHTIME) \
 		./internal/engine ./internal/scan ./internal/exchange ./internal/driver

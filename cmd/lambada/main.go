@@ -82,6 +82,7 @@ func main() {
 		bcast   = flag.Int64("broadcast-limit", 0, "build sides up to this many rows broadcast instead of shuffling (0 = default, negative = always shuffle; with -exchange)")
 		pipe    = flag.Bool("pipelined", true, "launch consumer stages before their producers seal (with -exchange); false = wave-gated launch")
 		spec    = flag.Bool("speculate", false, "re-invoke stragglers as backup attempts once a quorum reported (single-scope and staged runs)")
+		stgWait = flag.Duration("max-stage-wait", time.Minute, "no-progress liveness cap: a runnable stage with no worker response for this long (window restarts per response) has its missing workers re-invoked as the next attempt (with -exchange -speculate; 0 disables)")
 	)
 	flag.Parse()
 
@@ -171,6 +172,7 @@ func main() {
 			scfg.Partitions = *parts
 			scfg.BroadcastRowLimit = *bcast
 			scfg.Pipelined = *pipe
+			scfg.MaxStageWait = *stgWait
 			out, rep, err = d.RunPlanStaged(plan, tf, scfg)
 		case len(aux) > 0:
 			fmt.Printf("uploaded %d files (%s total)\n", len(refs), byteSize(dep.S3.TotalBytes("tpch")))
@@ -188,7 +190,7 @@ func main() {
 		printChunk(out)
 		stages := ""
 		if rep.Stages > 0 {
-			stages = fmt.Sprintf("   stages: %d", rep.Stages)
+			stages = fmt.Sprintf("   stages: %d   epoch: %d", rep.Stages, rep.Epoch)
 		}
 		fmt.Printf("\nworkers: %d%s   latency: %v   invocation: %v   cold: %d   speculated: %d\n",
 			rep.Workers, stages, rep.Duration.Round(time.Millisecond), rep.Invocation.Round(time.Millisecond), rep.ColdWorkers, rep.Speculated)

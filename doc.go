@@ -109,10 +109,53 @@
 // speculation and all — and, for order-insensitive aggregates (COUNT,
 // integer SUM, MIN/MAX) under an ORDER BY, byte-identical to single-node
 // execution at any worker/partition/attempt count; floating-point SUM/AVG
-// agree to last-ulp rounding, as the split changes the summation order. In
-// functional mode exchange receivers park on the completion signal s3.Put
-// and dynamo.Put broadcast (simenv.Notify) instead of spinning on the poll
-// interval.
+// agree to last-ulp rounding, as the split changes the summation order.
+//
+// # Query-epoch fence
+//
+// The serverless model has no cluster membership, so nothing tells the
+// driver that workers of an earlier run still exist. A fresh driver on the
+// same deployment restarts query numbering, and while the pre-launch
+// purge/sweep clears an aborted identically-numbered run's at-rest debris,
+// one of its workers still in flight could post a seal — or publish
+// boundary files — after that purge, under the same query ID. The epoch
+// fence closes this structurally. Each staged query's lifecycle:
+//
+//	acquire   the driver atomically increments the query's epoch item in
+//	          the <fn>-stages DynamoDB table (conditional Put; the durable
+//	          counter itself is the uniqueness source — no wall clock, no
+//	          randomness, so DES runs stay deterministic)
+//	stamp     the epoch rides in every worker payload, every seal message,
+//	          every ready-marker key (q<N>/e<E>/s<stage>) and the whole
+//	          boundary namespace
+//	          (<fn>/q<N>/e<E>/s<stage>/p<part>/a<attempt>-snd<sender>)
+//	discard   the scheduler drops seal messages whose epoch is not the
+//	          current one; consumers wait on this epoch's ready markers
+//	          and collect under this epoch's prefix, so an older epoch's
+//	          artifacts are invisible rather than merely improbable
+//	sweep     purge/sweep still run — as hygiene: sweeps cover the query's
+//	          whole prefix across epochs, reclaiming zombie debris
+//	          whenever it lands
+//
+// A zombie worker of an aborted epoch can therefore wake at any time,
+// publish anywhere in its own e<E-1> namespace and post any seal it likes:
+// the retry at epoch E never reads it (stage_fence_test.go injects exactly
+// this and checks the retry stays byte-identical).
+//
+// Barriers are notify-driven rather than poll-quantized: waitSealed and the
+// exchange's commit-marker waits park on the completion signal that
+// dynamo.Put and s3.Put broadcast — through the DES kernel's Completion
+// signal for simulated processes (wakes at the exact virtual instant of the
+// write, removing the up-to-one-poll residual from modeled latencies) and
+// through simenv.Notify for functional-mode goroutines — with the timed
+// poll kept as the fallback for waiters whose write never comes. Commit
+// discovery is batched: one List of the stage's commit namespace per shard
+// bucket per round, cached across rounds, and exchange.Sweep deletes
+// through the batched DeleteObjects API. Liveness holes in speculation are
+// covered by the per-stage MaxStageWait cap: a runnable stage that goes
+// that long without any worker response (the window restarts on every
+// response) has its missing workers re-invoked as the next attempt — the
+// no-response and sub-quorum stalls quorum arithmetic can never arm for.
 //
 // # Chunk pooling
 //

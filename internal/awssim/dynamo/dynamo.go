@@ -4,6 +4,7 @@
 package dynamo
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -19,8 +20,9 @@ import (
 
 // Errors returned by the service.
 var (
-	ErrNoSuchTable = errors.New("dynamo: no such table")
-	ErrNoSuchItem  = errors.New("dynamo: no such item")
+	ErrNoSuchTable     = errors.New("dynamo: no such table")
+	ErrNoSuchItem      = errors.New("dynamo: no such item")
+	ErrConditionFailed = errors.New("dynamo: conditional check failed")
 )
 
 // Config controls latency and pricing. Zero value: free, instant.
@@ -64,8 +66,19 @@ func (s *Service) CreateTable(name string) {
 	}
 }
 
-// Put stores value under key.
+// Put stores value under key. Like s3.put, the write becomes visible — and
+// the completion signal fires — only after the write latency elapsed:
+// waiters parked on the signal must not observe (or be woken by) a write
+// the writer is still paying for.
 func (s *Service) Put(env simenv.Env, table, key string, value []byte) error {
+	s.mu.Lock()
+	_, ok := s.tables[table]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, table)
+	}
+	s.cfg.Meter.Charge(pricing.LabelDynamoWrite, pricing.DynamoWrite)
+	s.sleep(env, s.cfg.WriteLatency)
 	s.mu.Lock()
 	t, ok := s.tables[table]
 	if !ok {
@@ -76,11 +89,53 @@ func (s *Service) Put(env simenv.Env, table, key string, value []byte) error {
 	copy(cp, value)
 	t[key] = cp
 	s.mu.Unlock()
-	s.cfg.Meter.Charge(pricing.LabelDynamoWrite, pricing.DynamoWrite)
-	// Completion signal: wake Immediate-env pollers blocked in Sleep —
+	// Completion signal: wake pollers parked on the completion signal —
 	// pipelined stage workers park on the ready marker this Put may be.
-	simenv.Notify()
+	simenv.Broadcast(env)
+	return nil
+}
+
+// PutIf stores value under key only when the item's current state matches
+// expect: nil expect requires the item to not exist; otherwise the stored
+// value must equal expect byte-for-byte. The check and the store are atomic
+// under the service lock and happen — like Put's write — after the write
+// latency elapsed, so the condition is evaluated at the instant the write
+// becomes visible. DynamoDB's conditional write, the primitive the driver's
+// query-epoch fence increments through. A failed condition is billed like a
+// write (DynamoDB charges failed conditional writes) and returns
+// ErrConditionFailed.
+func (s *Service) PutIf(env simenv.Env, table, key string, value, expect []byte) error {
+	s.mu.Lock()
+	_, ok := s.tables[table]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, table)
+	}
+	s.cfg.Meter.Charge(pricing.LabelDynamoWrite, pricing.DynamoWrite)
 	s.sleep(env, s.cfg.WriteLatency)
+	s.mu.Lock()
+	t, ok := s.tables[table]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, table)
+	}
+	cur, exists := t[key]
+	met := false
+	if expect == nil {
+		met = !exists
+	} else {
+		met = exists && bytes.Equal(cur, expect)
+	}
+	if met {
+		cp := make([]byte, len(value))
+		copy(cp, value)
+		t[key] = cp
+	}
+	s.mu.Unlock()
+	if !met {
+		return fmt.Errorf("%w: %s/%s", ErrConditionFailed, table, key)
+	}
+	simenv.Broadcast(env)
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strconv"
+	"sync"
 	"testing"
 
 	"lambada/internal/awssim/pricing"
@@ -97,5 +99,81 @@ func TestPricing(t *testing.T) {
 	}
 	if got := meter.Count(pricing.LabelDynamoRead); got != 3 {
 		t.Errorf("reads = %d, want 3 (1 get + 2 scan units)", got)
+	}
+}
+
+// TestPutIfConditionalSemantics: nil expect means "must not exist"; non-nil
+// expect must match the stored bytes; either way the loser sees
+// ErrConditionFailed and the item keeps the winner's value.
+func TestPutIfConditionalSemantics(t *testing.T) {
+	s := New(Config{})
+	env := simenv.NewImmediate()
+	s.CreateTable("t")
+
+	if err := s.PutIf(env, "t", "epoch", []byte("1"), nil); err != nil {
+		t.Fatalf("create-if-absent failed: %v", err)
+	}
+	if err := s.PutIf(env, "t", "epoch", []byte("1"), nil); !errors.Is(err, ErrConditionFailed) {
+		t.Fatalf("second create-if-absent: err = %v, want ErrConditionFailed", err)
+	}
+	// CAS from the observed value succeeds exactly once.
+	if err := s.PutIf(env, "t", "epoch", []byte("2"), []byte("1")); err != nil {
+		t.Fatalf("CAS 1->2 failed: %v", err)
+	}
+	if err := s.PutIf(env, "t", "epoch", []byte("2"), []byte("1")); !errors.Is(err, ErrConditionFailed) {
+		t.Fatalf("stale CAS: err = %v, want ErrConditionFailed", err)
+	}
+	got, err := s.Get(env, "t", "epoch")
+	if err != nil || string(got) != "2" {
+		t.Fatalf("item = %q (%v), want 2", got, err)
+	}
+	if err := s.PutIf(env, "nope", "k", nil, nil); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("missing table: err = %v", err)
+	}
+}
+
+// TestPutIfRacingIncrements: two racing CAS loops produce distinct,
+// consecutive epochs — the uniqueness property the driver's fence rests on.
+func TestPutIfRacingIncrements(t *testing.T) {
+	s := New(Config{})
+	s.CreateTable("t")
+	acquire := func(env simenv.Env) int {
+		for {
+			cur, err := s.Get(env, "t", "epoch")
+			if err != nil && !errors.Is(err, ErrNoSuchItem) {
+				t.Error(err)
+				return -1
+			}
+			next := 1
+			if err == nil {
+				n, _ := strconv.Atoi(string(cur))
+				next = n + 1
+			}
+			perr := s.PutIf(env, "t", "epoch", []byte(strconv.Itoa(next)), cur)
+			if perr == nil {
+				return next
+			}
+			if !errors.Is(perr, ErrConditionFailed) {
+				t.Error(perr)
+				return -1
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	got := make([]int, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = acquire(simenv.NewImmediate())
+		}(i)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	for _, e := range got {
+		if e < 1 || e > len(got) || seen[e] {
+			t.Fatalf("epochs not unique/consecutive: %v", got)
+		}
+		seen[e] = true
 	}
 }

@@ -69,6 +69,10 @@ type Runtime interface {
 // SimRuntime executes workers as DES processes.
 type SimRuntime struct{ K *simclock.Kernel }
 
+// DES processes carry the kernel's completion signal, so services can wake
+// pollers (simenv.Broadcast / simenv.WaitNotify) in both runtimes.
+var _ simenv.Notifier = (*simclock.Proc)(nil)
+
 // Spawn starts a DES process.
 func (r SimRuntime) Spawn(name string, fn func(env simenv.Env)) {
 	r.K.Go(name, func(p *simclock.Proc) { fn(p) })

@@ -245,6 +245,15 @@ func (c *Client) Delete(bucket, key string) error {
 	return c.retry(func() error { return c.svc.Delete(c.env, bucket, key) })
 }
 
+// DeleteBatch removes many objects through the batched DeleteObjects API —
+// one round trip per 1000 keys.
+func (c *Client) DeleteBatch(bucket string, keys []string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	return c.retry(func() error { return c.svc.DeleteBatch(c.env, bucket, keys) })
+}
+
 // WaitFor polls until bucket/key exists (the receiver side of the exchange:
 // "the receiver must repeat reading a file until that file exists", §4.4.1),
 // up to maxWait of virtual time. It returns the object size.

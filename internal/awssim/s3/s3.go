@@ -213,12 +213,12 @@ func (s *Service) put(env simenv.Env, bucketName, key string, obj *Object) error
 	s.mu.Lock()
 	b.objects[key] = obj
 	s.mu.Unlock()
-	// Wake every goroutine parked in an Immediate poll-sized sleep: the
-	// exchange's receivers (WaitFor heads, List polls) block on exactly
-	// this event — a sender's file appearing — so they re-check on the
-	// completion signal instead of burning the fixed poll interval. The
-	// timed poll remains the fallback for waiters whose file never comes.
-	simenv.Notify()
+	// Wake every waiter parked on the completion signal: the exchange's
+	// receivers (WaitFor heads, List polls, commit-marker waits) block on
+	// exactly this event — a sender's file appearing — so they re-check on
+	// the signal instead of burning the fixed poll interval. The timed poll
+	// remains the fallback for waiters whose file never comes.
+	simenv.Broadcast(env)
 	return nil
 }
 
@@ -371,6 +371,33 @@ func (s *Service) Delete(env simenv.Env, bucketName, key string) error {
 	delete(b.objects, key)
 	s.mu.Unlock()
 	s.sleepDist(env, s.cfg.PutLatency)
+	return nil
+}
+
+// DeleteBatch removes many objects in pages of up to 1000 keys — the
+// DeleteObjects API: one request round trip (one latency charge) per page
+// instead of one per object, and still free like single deletes. The
+// stale-drain collector sweeps boundary namespaces through it.
+func (s *Service) DeleteBatch(env simenv.Env, bucketName string, keys []string) error {
+	const page = 1000
+	for lo := 0; lo < len(keys); lo += page {
+		hi := lo + page
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		s.mu.Lock()
+		b, ok := s.buckets[bucketName]
+		if !ok {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrNoSuchBucket, bucketName)
+		}
+		for _, k := range keys[lo:hi] {
+			delete(b.objects, k)
+		}
+		b.deletes += int64(hi - lo)
+		s.mu.Unlock()
+		s.sleepDist(env, s.cfg.PutLatency)
+	}
 	return nil
 }
 

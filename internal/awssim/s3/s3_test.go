@@ -394,3 +394,39 @@ func TestPropertyChunkedRangesReassemble(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDeleteBatchPagesAndCounts: DeleteBatch removes every key, counts each
+// object in the per-bucket delete statistics, and errors on missing buckets.
+func TestDeleteBatchPagesAndCounts(t *testing.T) {
+	svc := New(Config{})
+	env := simenv.NewImmediate()
+	svc.MustCreateBucket("b")
+	var keys []string
+	for i := 0; i < 2300; i++ { // three DeleteObjects pages
+		k := fmt.Sprintf("pfx/%04d", i)
+		if err := svc.Put(env, "b", k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	if err := svc.DeleteBatch(env, "b", keys); err != nil {
+		t.Fatal(err)
+	}
+	left, err := svc.List(env, "b", "pfx/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("%d objects left after batch delete", len(left))
+	}
+	st, err := svc.BucketStats("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deletes != 2300 {
+		t.Errorf("deletes = %d, want 2300", st.Deletes)
+	}
+	if err := svc.DeleteBatch(env, "nope", keys); err == nil {
+		t.Error("missing bucket accepted")
+	}
+}

@@ -75,22 +75,81 @@ const pollGuard = 50 * time.Microsecond
 // throttles, and waiters whose work never arrives still make bounded
 // real-time progress toward their virtual deadline.
 func (e *Immediate) Sleep(d time.Duration) {
-	if d > 0 {
-		e.elapsed.Add(int64(d))
-	}
 	if d < time.Millisecond {
+		if d > 0 {
+			e.elapsed.Add(int64(d))
+		}
 		runtime.Gosched()
 		return
+	}
+	e.WaitNotify(d)
+}
+
+// Notifier is an Env that carries a completion signal waiters can park on
+// directly instead of a timed poll: *simclock.Proc routes through the DES
+// kernel's completion signal (waking at the exact virtual instant of the
+// broadcast), Immediate through the process-wide notify channel. Services
+// broadcast when they produce something a poller may await (an object or
+// marker appearing, a message arriving).
+type Notifier interface {
+	Env
+	// NotifyAll broadcasts the completion signal to every parked waiter.
+	NotifyAll()
+	// WaitNotify parks the caller until the next completion broadcast or
+	// until d of virtual time passed, whichever comes first, and reports
+	// whether the broadcast arrived.
+	WaitNotify(d time.Duration) bool
+}
+
+// Broadcast signals work completion through env's native channel: the DES
+// completion signal when env is a kernel process, the process-wide Notify
+// otherwise. Services call it instead of Notify so DES pollers wake too.
+func Broadcast(env Env) {
+	if n, ok := env.(Notifier); ok {
+		n.NotifyAll()
+		return
+	}
+	Notify()
+}
+
+// WaitNotify parks env's caller for at most d of virtual time, waking early
+// on the completion signal, and reports whether the signal arrived. Envs
+// without a Notifier implementation fall back to a plain timed Sleep — the
+// polling behavior barriers had before the signal existed.
+func WaitNotify(env Env, d time.Duration) bool {
+	if n, ok := env.(Notifier); ok {
+		return n.WaitNotify(d)
+	}
+	env.Sleep(d)
+	return false
+}
+
+// NotifyAll broadcasts the process-wide completion signal (Notifier).
+func (e *Immediate) NotifyAll() { Notify() }
+
+// WaitNotify parks until the next completion signal with the pollGuard
+// timer as the real-time fallback (Notifier). Every wake-up — notified or
+// not — charges the full d of virtual time, exactly like the Sleep-based
+// poll loop it replaces: an Immediate env has no cross-goroutine clock to
+// date the broadcast with, and charging less would let a waiter whose
+// condition never turns true spin below its virtual deadline for as long
+// as unrelated broadcasts keep arriving. (DES processes don't have this
+// problem: their kernel clock advances to the broadcast's true instant.)
+func (e *Immediate) WaitNotify(d time.Duration) bool {
+	if d > 0 {
+		e.elapsed.Add(int64(d))
 	}
 	notifyMu.Lock()
 	ch := notifyCh
 	notifyMu.Unlock()
 	t := time.NewTimer(pollGuard)
+	defer t.Stop()
 	select {
 	case <-ch:
+		return true
 	case <-t.C:
+		return false
 	}
-	t.Stop()
 }
 
 // Wall is an Env backed by the real clock; Sleep really sleeps. Useful for

@@ -93,3 +93,45 @@ func TestWallScales(t *testing.T) {
 		t.Error("scale floor missing")
 	}
 }
+
+// TestImmediateWaitNotify: every wake-up — notified or timed out — charges
+// the full poll of virtual time (like the Sleep-based loop it replaces), so
+// a waiter whose condition never turns true always progresses toward its
+// virtual deadline, even under a storm of unrelated broadcasts.
+func TestImmediateWaitNotify(t *testing.T) {
+	e := NewImmediate()
+	done := make(chan bool)
+	go func() { done <- e.WaitNotify(time.Second) }()
+	time.Sleep(2 * time.Millisecond)
+	Notify()
+	select {
+	case <-done:
+		if e.Now() != time.Second {
+			t.Errorf("wake-up charged %v, want the full 1s poll", e.Now())
+		}
+	case <-time.After(time.Second):
+		t.Fatal("WaitNotify never returned")
+	}
+
+	// With no broadcaster the guard expires; the charge is the same.
+	before := e.Now()
+	e.WaitNotify(3 * time.Second)
+	if got := e.Now() - before; got != 3*time.Second {
+		t.Errorf("timeout charged %v, want 3s", got)
+	}
+}
+
+// TestBroadcastFallsBackToNotify: Broadcast on a plain Env (no Notifier)
+// must still wake Immediate waiters through the process-wide channel.
+func TestBroadcastFallsBackToNotify(t *testing.T) {
+	e := NewImmediate()
+	done := make(chan bool)
+	go func() { done <- e.WaitNotify(10 * time.Second) }()
+	time.Sleep(2 * time.Millisecond)
+	Broadcast(NewWall(1)) // Wall implements Env only
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke")
+	}
+}

@@ -218,6 +218,13 @@ type workerPayload struct {
 	// are speculation backups for the same (stage, worker). Stage boundary
 	// publishes are namespaced by it so backups never race originals.
 	Attempt int `json:"attempt,omitempty"`
+	// Epoch is the query's fence token (staged runs): the driver durably
+	// increments it in DynamoDB at query start, every artifact the worker
+	// produces — seal message, boundary prefix — carries it, and artifacts
+	// of an older epoch are discarded. A zombie worker of an aborted
+	// identically-numbered run is structurally unable to satisfy this run's
+	// barriers, no matter when it wakes. 0 for single-scope queries.
+	Epoch int `json:"epoch,omitempty"`
 	// Broadcast carries small driver-side tables (lpq blobs by table name)
 	// referenced by join plans.
 	Broadcast map[string][]byte `json:"broadcast,omitempty"`
@@ -229,6 +236,7 @@ type resultMsg struct {
 	WorkerID     int    `json:"workerId"`
 	Stage        int    `json:"stage,omitempty"`   // stage fragment's stage ID
 	Attempt      int    `json:"attempt,omitempty"` // invocation attempt number
+	Epoch        int    `json:"epoch,omitempty"`   // query epoch fence token
 	Err          string `json:"err,omitempty"`
 	Chunk        []byte `json:"chunk,omitempty"` // lpq blob
 	ProcessingNs int64  `json:"processingNs"`    // plan execution time
@@ -351,7 +359,7 @@ func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, p *workerPayload) (*columna
 }
 
 func (d *Driver) postResult(env simenv.Env, p workerPayload, execErr error, chunk *columnar.Chunk, processing time.Duration, cold bool) error {
-	msg := resultMsg{QueryID: p.QueryID, WorkerID: p.WorkerID, Stage: p.StageID, Attempt: p.Attempt, ProcessingNs: processing.Nanoseconds(), Cold: cold}
+	msg := resultMsg{QueryID: p.QueryID, WorkerID: p.WorkerID, Stage: p.StageID, Attempt: p.Attempt, Epoch: p.Epoch, ProcessingNs: processing.Nanoseconds(), Cold: cold}
 	if execErr != nil {
 		msg.Err = execErr.Error()
 	} else if chunk != nil {

@@ -20,6 +20,11 @@ import (
 // Report summarizes one query execution.
 type Report struct {
 	QueryID string
+	// Epoch is the query's durable fence token (staged executions): the
+	// DynamoDB epoch item's value after the driver's atomic increment at
+	// query start. 1 on a clean deployment; higher when an aborted
+	// identically-numbered run came before. 0 for single-scope queries.
+	Epoch   int
 	Workers int
 	// Stages is the stage count of a stage-decomposed (shuffle) execution
 	// (0 for single-scope queries).
@@ -103,8 +108,15 @@ func (d *Driver) drainResults(queryID string, n int, onMsg func(rm resultMsg) er
 			if err := json.Unmarshal(m.Body, &rm); err != nil {
 				return err
 			}
-			if rm.QueryID != queryID {
-				continue // leftover of an earlier aborted query
+			if rm.QueryID != queryID || rm.Stage != 0 || rm.Epoch != 0 {
+				// Leftover of an earlier aborted query — including a zombie
+				// worker of an aborted STAGED run whose query numbering
+				// collides with this single-scope query's: its message
+				// carries a stage or epoch and single-scope workers post
+				// neither. (A single-scope zombie against a single-scope
+				// retry remains indistinguishable — only staged runs carry
+				// the epoch fence.)
+				continue
 			}
 			if rm.Err != "" {
 				return fmt.Errorf("driver: worker %d failed: %s", rm.WorkerID, rm.Err)

@@ -53,15 +53,41 @@ type stragglerPolicy struct {
 	// attempts counts the backup attempts issued per worker; attempts[w]
 	// is also the attempt number of the latest invocation of w.
 	attempts map[int]int
+	// cap is the no-progress liveness bound: once armed (capFrom >= 0) and
+	// cap of virtual time passed without ANY response arriving (capFrom
+	// resets on every response), the missing workers are re-invoked even
+	// though the quorum/median policy never armed — covering both the
+	// all-stragglers case (quorum arithmetic needs at least one response)
+	// and a sub-quorum stall (responses stopped before quorum). A fleet
+	// making progress keeps deferring the cap, so on-pace workers are
+	// never mass-re-invoked.
+	cap     time.Duration
+	capFrom time.Duration
 }
 
 func newStragglerPolicy(cfg SpeculateConfig, workers int, launchAt time.Duration) stragglerPolicy {
-	return stragglerPolicy{cfg: cfg, workers: workers, launchAt: launchAt, attempts: map[int]int{}}
+	return stragglerPolicy{cfg: cfg, workers: workers, launchAt: launchAt, attempts: map[int]int{}, capFrom: -1}
 }
 
-// record notes one worker's response at virtual time now.
+// armCap installs the liveness cap with its clock starting at from. The
+// staged scheduler arms it when the stage becomes runnable — its producers
+// sealed — not at its (possibly pipelined, hence much earlier) launch, so
+// consumers legitimately idling on the ready barrier are not re-invoked.
+func (sp *stragglerPolicy) armCap(cap, from time.Duration) {
+	sp.cap = cap
+	sp.capFrom = from
+}
+
+// capArmed reports whether the liveness cap has started ticking.
+func (sp *stragglerPolicy) capArmed() bool { return sp.capFrom >= 0 && sp.cap > 0 }
+
+// record notes one worker's response at virtual time now. Progress defers
+// the liveness cap: its window restarts at the latest response.
 func (sp *stragglerPolicy) record(now time.Duration) {
 	sp.responses = append(sp.responses, now-sp.launchAt)
+	if sp.capFrom >= 0 {
+		sp.capFrom = now
+	}
 }
 
 // maxRetries resolves the per-worker backup budget, with override taking
@@ -75,25 +101,35 @@ func (sp *stragglerPolicy) maxRetries(override int) int {
 }
 
 // stragglers returns the workers to re-invoke at virtual time now, bumping
-// their attempt counters: quorum reached, median-based deadline passed,
-// no response yet, retry budget (maxAttempts, 0 = config default) left.
+// their attempt counters: no response yet and retry budget (maxAttempts,
+// 0 = config default) left, provided either the quorum/median deadline
+// passed or the all-stragglers liveness cap expired.
 func (sp *stragglerPolicy) stragglers(now time.Duration, reported func(w int) bool, maxAttempts int) []int {
-	if !sp.cfg.Enabled {
+	if !sp.cfg.Enabled || len(sp.responses) >= sp.workers {
 		return nil
 	}
 	quorum := int(sp.cfg.QuorumFraction * float64(sp.workers))
 	if quorum < 1 {
 		quorum = 1
 	}
-	if len(sp.responses) < quorum || len(sp.responses) >= sp.workers {
-		return nil
+	armed := false
+	if len(sp.responses) >= quorum {
+		sorted := append([]time.Duration(nil), sp.responses...)
+		sortDur(sorted)
+		median := sorted[len(sorted)/2]
+		deadline := sp.launchAt + time.Duration(float64(median)*sp.cfg.LatencyFactor)
+		armed = now > deadline
 	}
-	sorted := append([]time.Duration(nil), sp.responses...)
-	sortDur(sorted)
-	median := sorted[len(sorted)/2]
-	deadline := sp.launchAt + time.Duration(float64(median)*sp.cfg.LatencyFactor)
-	if now <= deadline {
-		return nil
+	if !armed {
+		// Liveness cap: no response has arrived for cap of virtual time
+		// since the stage became runnable (or since the last response —
+		// record defers the window on every arrival, so a fleet making any
+		// progress is never mass-re-invoked; the quorum/median machinery
+		// handles it once quorum is reached).
+		if !sp.capArmed() || now <= sp.capFrom+sp.cap {
+			return nil
+		}
+		sp.capFrom = now // the re-invoked attempt gets a fresh cap window
 	}
 	retries := sp.maxRetries(maxAttempts)
 	var out []int
@@ -141,8 +177,11 @@ func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launc
 			if err := json.Unmarshal(m.Body, &rm); err != nil {
 				return nil, nil, 0, 0, err
 			}
-			if rm.QueryID != queryID || got[rm.WorkerID] {
-				continue // stale query or duplicate from a backup pair
+			if rm.QueryID != queryID || rm.Stage != 0 || rm.Epoch != 0 || got[rm.WorkerID] {
+				// Stale query (staged-run zombies carry a stage/epoch that
+				// single-scope workers never post) or the duplicate half of
+				// a backup pair.
+				continue
 			}
 			if rm.Err != "" {
 				return nil, nil, 0, 0, fmt.Errorf("driver: worker %d failed: %s", rm.WorkerID, rm.Err)

@@ -5,14 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"lambada/internal/awssim/dynamo"
 	"lambada/internal/awssim/lambdasvc"
 	"lambada/internal/awssim/s3"
+	"lambada/internal/awssim/simenv"
 	"lambada/internal/columnar"
 	"lambada/internal/engine"
 	"lambada/internal/exchange"
+	"lambada/internal/invoke"
 	"lambada/internal/lpq"
 	"lambada/internal/scan"
 	"lambada/internal/sqlfe"
@@ -44,12 +47,21 @@ type StageConfig struct {
 	// False restores wave-gated launch: a stage is invoked only once every
 	// producer sealed (the pre-PR 4 behavior, kept for comparison).
 	Pipelined bool
+	// MaxStageWait is the no-progress liveness cap: under speculation, a
+	// runnable stage (producers sealed) that goes this long without ANY
+	// worker response — the window restarts on every response — has its
+	// whole missing set re-invoked as the next attempt. This covers the
+	// cases the quorum/median policy can never arm for: no response at all,
+	// and a sub-quorum stall. stageplan.Stage.MaxStageWait overrides it per
+	// stage; 0 disables the cap (the pre-PR 5 behavior).
+	MaxStageWait time.Duration
 }
 
 // DefaultStageConfig shuffles through the write-combining exchange with
-// pipelined stage launch and autotuned partition counts.
+// pipelined stage launch, autotuned partition counts, and a one-minute
+// all-stragglers cap.
 func DefaultStageConfig() StageConfig {
-	return StageConfig{Exchange: DefaultExchangeConfig(), Pipelined: true}
+	return StageConfig{Exchange: DefaultExchangeConfig(), Pipelined: true, MaxStageWait: time.Minute}
 }
 
 // TableFiles maps each base table of a query to its lpq files on S3.
@@ -68,9 +80,11 @@ type stageSpec struct {
 	PollNs    int64            `json:"pollNs"`
 	MaxWaitNs int64            `json:"maxWaitNs"`
 	// SealTable is the DynamoDB table holding per-stage ready markers;
-	// QueryID scopes the marker keys.
+	// QueryID and Epoch scope the marker keys (an older epoch's markers can
+	// never satisfy this epoch's barrier).
 	SealTable string `json:"sealTable"`
 	QueryID   string `json:"queryId"`
+	Epoch     int    `json:"epoch"`
 }
 
 // stageInputSpec is the planner's Input plus the runtime sender count.
@@ -83,8 +97,50 @@ type stageInputSpec struct {
 // stagesTableName names the DynamoDB seal/ready table of an installation.
 func stagesTableName(fn string) string { return fn + "-stages" }
 
-func sealKey(queryID string, stageID int) string {
-	return fmt.Sprintf("%s/s%d", queryID, stageID)
+// sealKey names a stage's ready marker; the epoch segment fences markers of
+// an aborted identically-numbered run out of this run's barrier.
+func sealKey(queryID string, epoch, stageID int) string {
+	return fmt.Sprintf("%s/e%d/s%d", queryID, epoch, stageID)
+}
+
+// epochKey names the durable per-query epoch item in the stages table.
+func epochKey(queryID string) string { return "epoch/" + queryID }
+
+// acquireEpoch durably fences this run of queryID: it atomically increments
+// the query's epoch item with a conditional Put, so two drivers reusing the
+// same query ID (a fresh driver on the same deployment restarts query
+// numbering) always land in distinct epochs, and the older run's in-flight
+// workers are structurally unable to satisfy the newer run's barriers —
+// their seals, ready markers and boundary files all carry the losing epoch.
+// The uniqueness source is the durable counter itself (no wall clock, no
+// randomness), so DES runs stay deterministic.
+func (d *Driver) acquireEpoch(table, queryID string) (int, error) {
+	key := epochKey(queryID)
+	for {
+		cur, err := d.dep.Dynamo.Get(d.env, table, key)
+		if err != nil {
+			if !errors.Is(err, dynamo.ErrNoSuchItem) {
+				return 0, err
+			}
+			cur = nil
+		}
+		next := 1
+		if cur != nil {
+			prev, perr := strconv.Atoi(string(cur))
+			if perr != nil {
+				return 0, fmt.Errorf("driver: corrupt epoch item %s/%s: %q", table, key, cur)
+			}
+			next = prev + 1
+		}
+		putErr := d.dep.Dynamo.PutIf(d.env, table, key, []byte(strconv.Itoa(next)), cur)
+		if putErr == nil {
+			return next, nil
+		}
+		if !errors.Is(putErr, dynamo.ErrConditionFailed) {
+			return 0, putErr
+		}
+		// Lost the increment race to a concurrent driver: re-read, go again.
+	}
 }
 
 // RunSQLStaged parses a SQL query over any number of S3-backed tables and
@@ -127,10 +183,14 @@ type stageRun struct {
 
 // RunPlanStaged optimizes plan against the tables' footer schemas,
 // decomposes it into a stage DAG, and runs it on the event-driven stage
-// scheduler: every eager stage is invoked up front (pipelined launch —
-// consumer cold starts overlap upstream execution), workers report
-// completion through the SQS result queue (seal), the driver records stage
-// readiness in DynamoDB (the barrier gating consumer collects), and
+// scheduler: the driver first fences the run with a durable query epoch
+// (an atomic DynamoDB increment stamped into every payload, seal, ready
+// marker and boundary prefix, so leftovers — at rest or still in flight —
+// of an aborted identically-numbered run are structurally discarded), then
+// invokes every eager stage up front (pipelined launch — consumer cold
+// starts overlap upstream execution), workers report completion through the
+// SQS result queue (seal), the driver records stage readiness in DynamoDB
+// (the notify-driven barrier gating consumer collects), and
 // Config.Speculate re-invokes any stage's stragglers as attempt-versioned
 // backups whose boundary publishes cannot race the originals' — the first
 // sealed attempt per worker wins, and the stale-drain collector sweeps the
@@ -196,17 +256,24 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	buckets := d.InstallExchange(cfg.Exchange)
 	sealTable := stagesTableName(d.cfg.FunctionName)
 	d.dep.Dynamo.CreateTable(sealTable)
+
+	// Epoch fence: durably increment this query ID's epoch before anything
+	// else. Every artifact of the run — worker payloads, seal messages,
+	// ready markers, the exchange boundary prefix — carries the epoch, and
+	// the scheduler discards artifacts of older epochs, so an in-flight
+	// worker of an aborted identically-numbered run cannot poison this one
+	// no matter when it wakes. The purge and sweep below are then hygiene
+	// (reclaiming queue slots and at-rest debris), not a correctness
+	// mechanism racing zombie workers.
+	epoch, err := d.acquireEpoch(sealTable, queryID)
+	if err != nil {
+		return nil, nil, fmt.Errorf("driver: acquiring epoch for %s: %w", queryID, err)
+	}
+	// prefix scopes the query across all epochs — sweeps cover every
+	// epoch's debris — while the boundary namespace the payloads carry is
+	// the fenced e<epoch> sub-prefix (built in stagePayloads).
 	prefix := d.cfg.FunctionName + "/" + queryID
 
-	// Hygiene before launching anything: drain completion messages and
-	// boundary files left behind by an identically-named aborted run (a
-	// fresh driver on the same deployment restarts query numbering) so they
-	// cannot satisfy this query's barriers with stale data. This clears
-	// at-rest debris only: a worker of the aborted run still in flight
-	// could post its seal after this purge under the same query ID. Closing
-	// that window needs a durable per-query epoch fenced through payloads
-	// and DynamoDB — and a uniqueness source that does not break DES
-	// determinism (a ROADMAP item).
 	if err := d.purgeResults(); err != nil {
 		return nil, nil, err
 	}
@@ -266,7 +333,7 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	runs := make([]*stageRun, 0, len(sp.Stages))
 	byID := map[int]*stageRun{}
 	for _, st := range sp.Stages {
-		ps, err := d.stagePayloads(queryID, st, sp, tables, workers, blobs, buckets, sealTable, cfg)
+		ps, err := d.stagePayloads(queryID, epoch, st, sp, tables, workers, blobs, buckets, sealTable, cfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -279,6 +346,14 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 		r := byID[id]
 		return r != nil && r.state == stageSealed
 	}
+	depsSealed := func(r *stageRun) bool {
+		for _, dep := range r.st.DependsOn {
+			if !sealedID(dep) {
+				return false
+			}
+		}
+		return true
+	}
 	launchable := func(r *stageRun) bool {
 		if r.state != stagePending {
 			return false
@@ -286,12 +361,7 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 		if cfg.Pipelined && r.st.Eager {
 			return true
 		}
-		for _, dep := range r.st.DependsOn {
-			if !sealedID(dep) {
-				return false
-			}
-		}
-		return true
+		return depsSealed(r)
 	}
 
 	var invocation time.Duration
@@ -316,6 +386,14 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 		r.state = stageLaunched
 		r.launchedAt = d.env.Now()
 		r.policy = newStragglerPolicy(d.cfg.Speculate, len(r.payloads), r.launchedAt)
+		// The all-stragglers liveness cap starts ticking once the stage is
+		// runnable: immediately for stages whose producers already sealed
+		// (scan stages, wave-gated launches), on the last producer's seal
+		// otherwise — a pipelined consumer idling on the ready barrier is
+		// not straggling.
+		if depsSealed(r) {
+			r.policy.armCap(stageCap(r.st, cfg), r.launchedAt)
+		}
 		totalWorkers += len(r.payloads)
 		return nil
 	}
@@ -344,6 +422,7 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	var processing []time.Duration
 	cold, speculated := 0, 0
 	sealedCount := 0
+	backupPacing := invoke.DriverPacing(d.cfg.Region, d.cfg.InvokeThreads)
 	deadline := d.env.Now() + d.cfg.MaxWait
 	for sealedCount < len(runs) {
 		msgs, err := d.dep.SQS.Receive(d.env, d.cfg.ResultQueue, 10)
@@ -355,8 +434,11 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 			if err := json.Unmarshal(m.Body, &rm); err != nil {
 				return nil, nil, err
 			}
-			if rm.QueryID != queryID {
-				continue // leftover of an earlier aborted query
+			if rm.QueryID != queryID || rm.Epoch != epoch {
+				// Leftover of an earlier aborted query — including a zombie
+				// worker of an aborted identically-numbered run posting its
+				// seal after this run's purge: its older epoch fences it out.
+				continue
 			}
 			r := byID[rm.Stage]
 			if r == nil || r.state != stageLaunched {
@@ -379,8 +461,10 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 			}
 			if len(r.winners) == len(r.payloads) {
 				// Seal: every worker of the stage reported through SQS.
-				// Ready: record it in DynamoDB for the consumers' barrier.
-				if err := d.dep.Dynamo.Put(d.env, sealTable, sealKey(queryID, r.st.ID), []byte("sealed")); err != nil {
+				// Ready: record it in DynamoDB for the consumers' barrier
+				// (the Put broadcasts the completion signal, waking workers
+				// parked in waitSealed at this exact instant).
+				if err := d.dep.Dynamo.Put(d.env, sealTable, sealKey(queryID, epoch, r.st.ID), []byte("sealed")); err != nil {
 					return nil, nil, err
 				}
 				r.state = stageSealed
@@ -389,21 +473,32 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 				if err := launchReady(); err != nil {
 					return nil, nil, err
 				}
+				// This seal may have made already-launched consumers
+				// runnable: start their liveness-cap clocks now.
+				for _, c := range runs {
+					if c.state == stageLaunched && !c.policy.capArmed() && depsSealed(c) {
+						c.policy.armCap(stageCap(c.st, cfg), d.env.Now())
+					}
+				}
 			}
 		}
 		if sealedCount >= len(runs) {
 			break
 		}
-		// Straggler speculation, per stage: quorum reached and the missing
-		// workers are past the median-based deadline — re-invoke them as the
-		// next attempt. Their boundary publishes land in a fresh attempt
-		// namespace, so whichever attempt commits first wins.
+		// Straggler speculation, per stage: the missing workers are past the
+		// median-based deadline (or the stage's liveness cap expired with no
+		// response at all) — re-invoke them as the next attempt. Their
+		// boundary publishes land in a fresh attempt namespace, so whichever
+		// attempt commits first wins. Backup bursts pace like any other
+		// direct launch: the liveness cap can re-invoke a whole stage fleet
+		// at once, which must not exceed the Invoke API rate.
 		for _, r := range runs {
 			if r.state != stageLaunched {
 				continue
 			}
 			reported := func(w int) bool { _, ok := r.winners[w]; return ok }
-			for _, w := range r.policy.stragglers(d.env.Now(), reported, r.st.MaxAttempts) {
+			backups := r.policy.stragglers(d.env.Now(), reported, r.st.MaxAttempts)
+			for i, w := range backups {
 				r.speculated++
 				speculated++
 				backup := r.payloads[w]
@@ -414,6 +509,9 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 				}
 				if err := d.invokeOne(body, w); err != nil {
 					return nil, nil, fmt.Errorf("driver: backup invocation of stage %d worker %d: %w", r.st.ID, w, err)
+				}
+				if i < len(backups)-1 {
+					d.env.Sleep(backupPacing.Gap())
 				}
 			}
 		}
@@ -462,6 +560,7 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	sort.Slice(processing, func(i, j int) bool { return processing[i] < processing[j] })
 	rep := &Report{
 		QueryID:          queryID,
+		Epoch:            epoch,
 		Workers:          totalWorkers,
 		Stages:           len(sp.Stages),
 		Duration:         d.env.Now() - startTime,
@@ -485,9 +584,10 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 
 // purgeResults drains every leftover message from the result queue. Called
 // before a staged query launches (no workers of this query are in flight
-// yet, so everything received is stale): completion messages of an aborted
-// identically-numbered query on a fresh driver must not count toward this
-// query's seals.
+// yet, so everything received is stale). With the epoch fence this is queue
+// hygiene, not a correctness mechanism: even a message posted after the
+// purge by a zombie worker of an aborted identically-numbered run is
+// discarded by its older epoch.
 func (d *Driver) purgeResults() error {
 	for {
 		msgs, err := d.dep.SQS.Receive(d.env, d.cfg.ResultQueue, 10)
@@ -500,8 +600,22 @@ func (d *Driver) purgeResults() error {
 	}
 }
 
-// stagePayloads builds the invocation payloads of one stage (attempt 0).
-func (d *Driver) stagePayloads(queryID string, st *stageplan.Stage, sp *stageplan.Plan, tables TableFiles, workers map[int]int, blobs map[string][]byte, buckets []string, sealTable string, cfg StageConfig) ([]workerPayload, error) {
+// stageCap resolves a stage's all-stragglers liveness cap: the stage's own
+// MaxStageWait when set (negative = disabled), the StageConfig default
+// otherwise.
+func stageCap(st *stageplan.Stage, cfg StageConfig) time.Duration {
+	if st.MaxStageWait != 0 {
+		if st.MaxStageWait < 0 {
+			return 0
+		}
+		return st.MaxStageWait
+	}
+	return cfg.MaxStageWait
+}
+
+// stagePayloads builds the invocation payloads of one stage (attempt 0),
+// every one stamped with the query's epoch fence token.
+func (d *Driver) stagePayloads(queryID string, epoch int, st *stageplan.Stage, sp *stageplan.Plan, tables TableFiles, workers map[int]int, blobs map[string][]byte, buckets []string, sealTable string, cfg StageConfig) ([]workerPayload, error) {
 	planJSON, err := engine.MarshalPlan(st.Plan)
 	if err != nil {
 		return nil, err
@@ -510,11 +624,12 @@ func (d *Driver) stagePayloads(queryID string, st *stageplan.Stage, sp *stagepla
 		StageID:   st.ID,
 		Variant:   cfg.Exchange.Variant,
 		Buckets:   buckets,
-		Prefix:    d.cfg.FunctionName + "/" + queryID,
+		Prefix:    fmt.Sprintf("%s/%s/e%d", d.cfg.FunctionName, queryID, epoch),
 		PollNs:    int64(cfg.Exchange.Poll),
 		MaxWaitNs: int64(cfg.Exchange.MaxWait),
 		SealTable: sealTable,
 		QueryID:   queryID,
+		Epoch:     epoch,
 	}
 	for _, in := range st.Inputs {
 		spec.Inputs = append(spec.Inputs, stageInputSpec{Input: in, Senders: workers[in.StageID]})
@@ -552,6 +667,7 @@ func (d *Driver) stagePayloads(queryID string, st *stageplan.Stage, sp *stagepla
 			ResultQueue: d.cfg.ResultQueue,
 			StageID:     st.ID,
 			StageSpec:   specJSON,
+			Epoch:       epoch,
 			Broadcast:   stageBlobs,
 		}
 		if st.Table != "" {
@@ -623,15 +739,28 @@ func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, client *s3.Client, p *work
 	}
 	budget := engineMemoryBudget(ctx.MemoryMiB)
 	var collected int64
+	// One wait deadline for the whole fragment: a k-input stage gets
+	// MaxWait across ALL its barriers — the ready-marker waits and the
+	// exchange commit waits alike — not MaxWait per input (which let a
+	// fragment wait k×MaxWait before reporting failure). Only waits are
+	// bounded; the data reads themselves are not cut short.
+	sealDeadline := ctx.Env.Now() + time.Duration(spec.MaxWaitNs)
 	for _, in := range spec.Inputs {
 		// Ready barrier: the driver marks a stage sealed in DynamoDB once
 		// every producer reported through SQS. Under pipelined launch this
 		// worker was invoked before its producers sealed, so the wait here
 		// is where cold start and upstream execution overlap.
-		if err := d.waitSealed(ctx, &spec, in.StageID); err != nil {
+		if err := d.waitSealed(ctx, &spec, in.StageID, sealDeadline); err != nil {
 			return nil, err
 		}
-		chunk, err := exchange.CollectStage(client, opts, exchange.Boundary{
+		copts := opts
+		if rem := sealDeadline - ctx.Env.Now(); rem < copts.MaxWait {
+			if rem < 0 {
+				rem = 0
+			}
+			copts.MaxWait = rem
+		}
+		chunk, err := exchange.CollectStage(client, copts, exchange.Boundary{
 			Stage:      in.StageID,
 			Senders:    in.Senders,
 			Partitions: p.NumWorkers,
@@ -671,11 +800,15 @@ func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, client *s3.Client, p *work
 	return nil, nil
 }
 
-// waitSealed polls the DynamoDB ready marker of a producing stage.
-func (d *Driver) waitSealed(ctx *lambdasvc.Ctx, spec *stageSpec, stageID int) error {
-	deadline := ctx.Env.Now() + time.Duration(spec.MaxWaitNs)
+// waitSealed waits for the DynamoDB ready marker of a producing stage, up
+// to the fragment-wide deadline. The marker key carries the query epoch, so
+// a marker written by an aborted identically-numbered run can never satisfy
+// this run's barrier. Between checks the worker parks on the completion
+// signal dynamo.Put broadcasts — it wakes at the instant the marker lands
+// instead of at the next poll boundary — with the timed poll as fallback.
+func (d *Driver) waitSealed(ctx *lambdasvc.Ctx, spec *stageSpec, stageID int, deadline time.Duration) error {
 	for {
-		_, err := d.dep.Dynamo.Get(ctx.Env, spec.SealTable, sealKey(spec.QueryID, stageID))
+		_, err := d.dep.Dynamo.Get(ctx.Env, spec.SealTable, sealKey(spec.QueryID, spec.Epoch, stageID))
 		if err == nil {
 			return nil
 		}
@@ -685,6 +818,6 @@ func (d *Driver) waitSealed(ctx *lambdasvc.Ctx, spec *stageSpec, stageID int) er
 		if ctx.Env.Now() >= deadline {
 			return fmt.Errorf("stage %d never sealed: %w", stageID, err)
 		}
-		ctx.Env.Sleep(time.Duration(spec.PollNs))
+		simenv.WaitNotify(ctx.Env, time.Duration(spec.PollNs))
 	}
 }

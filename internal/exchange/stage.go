@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"lambada/internal/awssim/s3"
+	"lambada/internal/awssim/simenv"
 	"lambada/internal/columnar"
 	"lambada/internal/lpq"
 )
@@ -69,13 +70,36 @@ func (o *Options) stageFile(stage, attempt, part, sender int) string {
 // the basic variant: it is written after every partition file of the
 // attempt, so receivers that see it can read any partition without waiting.
 func (o *Options) stageCommit(stage, sender, attempt int) string {
-	return fmt.Sprintf("%s%d", o.stageCommitPrefix(stage, sender), attempt)
+	return fmt.Sprintf("%s/s%d/commit/snd%d-a%d", o.Prefix, stage, sender, attempt)
 }
 
-// stageCommitPrefix includes the "-a" separator so listing sender 1's
-// markers cannot match sender 10..19's (List is prefix-based).
-func (o *Options) stageCommitPrefix(stage, sender int) string {
-	return fmt.Sprintf("%s/s%d/commit/snd%d-a", o.Prefix, stage, sender)
+// stageCommitDir is the stage's whole commit namespace: one List under it
+// returns the markers of every sender sharded into that bucket, so a
+// receiver discovers all its senders' commits with one request per shard
+// bucket per round instead of one List per (sender, poll).
+func (o *Options) stageCommitDir(stage int) string {
+	return fmt.Sprintf("%s/s%d/commit/", o.Prefix, stage)
+}
+
+// parseStageCommitName extracts sender and attempt from a commit marker key
+// (`…/commit/snd<s>-a<n>`).
+func parseStageCommitName(key string) (sender, attempt int, err error) {
+	base := key[strings.LastIndex(key, "/")+1:]
+	if !strings.HasPrefix(base, "snd") {
+		return 0, 0, fmt.Errorf("exchange: bad commit marker %q", key)
+	}
+	rest := base[3:]
+	ai := strings.Index(rest, "-a")
+	if ai < 0 {
+		return 0, 0, fmt.Errorf("exchange: bad commit marker %q", key)
+	}
+	if sender, err = strconv.Atoi(rest[:ai]); err != nil {
+		return 0, 0, fmt.Errorf("exchange: bad commit marker %q", key)
+	}
+	if attempt, err = strconv.Atoi(rest[ai+2:]); err != nil {
+		return 0, 0, fmt.Errorf("exchange: bad commit marker %q", key)
+	}
+	return sender, attempt, nil
 }
 
 func (o *Options) stageWcPrefix(stage int) string {
@@ -224,14 +248,14 @@ func CollectStage(client *s3.Client, opts Options, b Boundary, part int) (*colum
 	if opts.Variant.WriteCombining {
 		return collectStageCombined(client, opts, b, part)
 	}
+	attempts, err := waitAllCommitted(client, opts, b)
+	if err != nil {
+		return nil, err
+	}
 	var out *columnar.Chunk
 	bucket := opts.stageBucket(b.Stage, part)
 	for s := 0; s < b.Senders; s++ {
-		attempt, err := waitCommitted(client, opts, b.Stage, s)
-		if err != nil {
-			return nil, err
-		}
-		name := opts.stageFile(b.Stage, attempt, part, s)
+		name := opts.stageFile(b.Stage, attempts[s], part, s)
 		data, _, err := client.Get(bucket, name, 1)
 		if err != nil {
 			return nil, fmt.Errorf("exchange: reading %s: %w", name, err)
@@ -243,41 +267,84 @@ func CollectStage(client *s3.Client, opts Options, b Boundary, part int) (*colum
 	return out, nil
 }
 
-// waitCommitted polls until sender has committed at least one attempt of
-// the stage and returns the lowest committed attempt number — the "first
-// complete attempt set" rule that makes backup attempts race-free.
-func waitCommitted(client *s3.Client, opts Options, stage, sender int) (int, error) {
-	bucket := opts.stageBucket(stage, sender)
-	prefix := opts.stageCommitPrefix(stage, sender)
+// bucketSenders is one shard bucket and the senders sharded into it.
+type bucketSenders struct {
+	bucket  string
+	senders []int
+}
+
+// senderBuckets groups a boundary's senders by the shard bucket their
+// commit markers (basic) or combined objects (write-combining) land in,
+// ordered by lowest sender — a deterministic order matters: DES receivers
+// consume modeled List latencies in iteration order, so ranging over a Go
+// map here would randomize virtual timelines run to run.
+func senderBuckets(opts Options, b Boundary) []bucketSenders {
+	idx := map[string]int{}
+	var out []bucketSenders
+	for s := 0; s < b.Senders; s++ {
+		bk := opts.stageBucket(b.Stage, s)
+		i, ok := idx[bk]
+		if !ok {
+			i = len(out)
+			idx[bk] = i
+			out = append(out, bucketSenders{bucket: bk})
+		}
+		out[i].senders = append(out[i].senders, s)
+	}
+	return out
+}
+
+// bucketDone reports whether every sender sharded into the bucket has a
+// committed attempt recorded already.
+func bucketDone(senders []int, committed map[int]int) bool {
+	for _, s := range senders {
+		if _, ok := committed[s]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// waitAllCommitted waits until every sender of the boundary has committed
+// at least one attempt and returns, per sender, the first committed attempt
+// observed (ties broken toward the lowest attempt number) — the rule that
+// makes backup attempts race-free. Discovery is batched and incremental:
+// one List of the stage's commit namespace per shard bucket per round, only
+// for buckets that still host uncommitted senders, with results cached
+// across rounds; between rounds the receiver parks on the completion signal
+// s3.Put broadcasts, with the timed poll as the fallback.
+func waitAllCommitted(client *s3.Client, opts Options, b Boundary) (map[int]int, error) {
+	byBucket := senderBuckets(opts, b)
+	dir := opts.stageCommitDir(b.Stage)
+	committed := make(map[int]int, b.Senders)
 	deadline := client.Env().Now() + opts.MaxWait
 	for {
-		entries, err := client.List(bucket, prefix)
-		if err != nil {
-			return 0, err
-		}
-		best := -1
-		for _, e := range entries {
-			i := strings.LastIndex(e.Key, "-a")
-			if i < 0 {
-				return 0, fmt.Errorf("exchange: bad commit marker %q", e.Key)
+		for _, bs := range byBucket {
+			if bucketDone(bs.senders, committed) {
+				continue
 			}
-			a, err := strconv.Atoi(e.Key[i+2:])
+			entries, err := client.List(bs.bucket, dir)
 			if err != nil {
-				return 0, fmt.Errorf("exchange: bad commit marker %q", e.Key)
+				return nil, err
 			}
-			if best < 0 || a < best {
-				best = a
+			for _, e := range entries {
+				sender, attempt, err := parseStageCommitName(e.Key)
+				if err != nil {
+					return nil, err
+				}
+				if cur, ok := committed[sender]; !ok || attempt < cur {
+					committed[sender] = attempt
+				}
 			}
 		}
-		if best >= 0 {
-			return best, nil
+		if len(committed) >= b.Senders {
+			return committed, nil
 		}
 		if client.Env().Now() >= deadline {
-			return 0, fmt.Errorf("exchange: stage %d sender %d never committed after %v", stage, sender, opts.MaxWait)
+			return nil, fmt.Errorf("exchange: %d/%d senders of stage %d committed after %v",
+				len(committed), b.Senders, b.Stage, opts.MaxWait)
 		}
-		// Poll-sized sleeps park on the completion signal s3.Put broadcasts
-		// (simenv.Notify); the timed poll is the fallback.
-		client.Env().Sleep(opts.Poll)
+		simenv.WaitNotify(client.Env(), opts.Poll)
 	}
 }
 
@@ -291,26 +358,24 @@ type stageWcFile struct {
 
 // collectStageCombined lists the boundary's combined objects across the
 // senders' shard buckets until every sender has committed at least one
-// attempt, then range-reads this partition's slice of each sender's lowest
-// attempt. Extra objects from losing attempts are ignored.
+// attempt, then range-reads this partition's slice of each sender's first
+// observed attempt (lowest wins within a round). Extra objects from losing
+// attempts are ignored. Like waitAllCommitted, discovery is incremental:
+// found senders are cached across rounds, a bucket is re-listed only while
+// it still hosts unfound senders, and the receiver parks on the completion
+// signal between rounds.
 func collectStageCombined(client *s3.Client, opts Options, b Boundary, part int) (*columnar.Chunk, error) {
-	var buckets []string
-	seen := map[string]bool{}
-	for s := 0; s < b.Senders; s++ {
-		if bk := opts.stageBucket(b.Stage, s); !seen[bk] {
-			seen[bk] = true
-			buckets = append(buckets, bk)
-		}
-	}
+	byBucket := senderBuckets(opts, b)
 	prefix := opts.stageWcPrefix(b.Stage)
 	deadline := client.Env().Now() + opts.MaxWait
 	best := make(map[int]stageWcFile, b.Senders)
+	found := make(map[int]int, b.Senders) // attempt per sender, for bucketDone
 	for {
-		for k := range best {
-			delete(best, k)
-		}
-		for _, bk := range buckets {
-			entries, err := client.List(bk, prefix)
+		for _, bs := range byBucket {
+			if bucketDone(bs.senders, found) {
+				continue
+			}
+			entries, err := client.List(bs.bucket, prefix)
 			if err != nil {
 				return nil, err
 			}
@@ -323,7 +388,8 @@ func collectStageCombined(client *s3.Client, opts Options, b Boundary, part int)
 					return nil, fmt.Errorf("exchange: %d offsets for %d partitions in %q", len(offsets), b.Partitions, e.Key)
 				}
 				if cur, ok := best[sender]; !ok || attempt < cur.attempt {
-					best[sender] = stageWcFile{bucket: bk, key: e.Key, attempt: attempt, offsets: offsets}
+					best[sender] = stageWcFile{bucket: bs.bucket, key: e.Key, attempt: attempt, offsets: offsets}
+					found[sender] = attempt
 				}
 			}
 		}
@@ -333,7 +399,7 @@ func collectStageCombined(client *s3.Client, opts Options, b Boundary, part int)
 		if client.Env().Now() >= deadline {
 			return nil, fmt.Errorf("exchange: %d/%d senders committed after %v", len(best), b.Senders, opts.MaxWait)
 		}
-		client.Env().Sleep(opts.Poll)
+		simenv.WaitNotify(client.Env(), opts.Poll)
 	}
 	senders := make([]int, 0, len(best))
 	for s := range best {
@@ -361,9 +427,11 @@ func collectStageCombined(client *s3.Client, opts Options, b Boundary, part int)
 // Sweep is the stale-drain collector: it deletes every object under prefix
 // in the given buckets — winner files whose consumers have collected and
 // loser files of aborted or outpaced speculative attempts alike — and
-// returns how many objects it removed. The driver runs it before a query
-// (clearing leftovers of an identically-named aborted run) and after
-// (reclaiming the boundary namespace).
+// returns how many objects it removed. Deletes are batched per bucket
+// through the DeleteObjects API (one round trip per 1000 keys). The driver
+// runs it before a query (clearing leftovers of an identically-named
+// aborted run, every epoch included) and after (reclaiming the boundary
+// namespace).
 func Sweep(client *s3.Client, buckets []string, prefix string) (int, error) {
 	removed := 0
 	for _, b := range buckets {
@@ -371,12 +439,17 @@ func Sweep(client *s3.Client, buckets []string, prefix string) (int, error) {
 		if err != nil {
 			return removed, err
 		}
-		for _, e := range entries {
-			if err := client.Delete(b, e.Key); err != nil {
-				return removed, err
-			}
-			removed++
+		if len(entries) == 0 {
+			continue
 		}
+		keys := make([]string, len(entries))
+		for i, e := range entries {
+			keys[i] = e.Key
+		}
+		if err := client.DeleteBatch(b, keys); err != nil {
+			return removed, err
+		}
+		removed += len(keys)
 	}
 	return removed, nil
 }

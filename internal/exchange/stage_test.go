@@ -343,3 +343,61 @@ func TestStageBoundaryRejectsFloatKey(t *testing.T) {
 		t.Fatal("float partition key accepted")
 	}
 }
+
+// TestCollectStageListsOncePerBucket: with every sender already committed,
+// a collector discovers all commit markers (or combined objects) with at
+// most one List per shard bucket — not one per (sender, poll round). The
+// PR 3 → PR 4 functional-mode regression came from exactly this request
+// inflation.
+func TestCollectStageListsOncePerBucket(t *testing.T) {
+	for _, wc := range []bool{false, true} {
+		env := simenv.NewImmediate()
+		svc := s3.New(s3.Config{})
+		buckets := []string{"xa", "xb", "xc"}
+		for _, b := range buckets {
+			svc.MustCreateBucket(b)
+		}
+		opts := Options{
+			Variant: Variant{Levels: 1, WriteCombining: wc},
+			Buckets: buckets,
+			Prefix:  "q8",
+			Poll:    time.Millisecond,
+			MaxWait: 10 * time.Second,
+		}
+		const senders, parts = 9, 2
+		b := Boundary{Stage: 1, Senders: senders, Partitions: parts}
+		client := s3.NewClient(svc, env)
+		for s := 0; s < senders; s++ {
+			if err := PublishStage(client, opts, b, s, stageTestChunk(s*10, 10), []string{"k"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		listsBefore := int64(0)
+		for _, bk := range buckets {
+			st, err := svc.BucketStats(bk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			listsBefore += st.Lists
+		}
+		res, err := CollectStage(client, opts, b, 0)
+		if err != nil {
+			t.Fatalf("wc=%v: %v", wc, err)
+		}
+		if res.NumRows() == 0 {
+			t.Fatalf("wc=%v: empty partition 0", wc)
+		}
+		lists := int64(0)
+		for _, bk := range buckets {
+			st, err := svc.BucketStats(bk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lists += st.Lists
+		}
+		if got := lists - listsBefore; got > int64(len(buckets)) {
+			t.Errorf("wc=%v: collect issued %d Lists, want at most %d (one per shard bucket)",
+				wc, got, len(buckets))
+		}
+	}
+}

@@ -63,7 +63,11 @@ func WorkerPacing(region netmodel.Region) Pacing {
 // stage launch — the event-driven stage scheduler invokes each stage as its
 // own fleet (all of them up front under pipelined launch), and stage sizes
 // differ wildly: a scan stage may be hundreds of workers while the final
-// merge is a few, so each decides independently.
+// merge is a few, so each decides independently. Speculation backup bursts
+// never go through the tree: their payloads are stamped per (worker,
+// attempt), so the driver issues them directly, paced at DriverPacing like
+// any other direct launch (the all-stragglers liveness cap can re-invoke a
+// whole stage fleet in one burst).
 func UseTree(treeEnabled bool, total int) bool {
 	return treeEnabled && total >= 4
 }

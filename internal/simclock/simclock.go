@@ -29,6 +29,9 @@ type Kernel struct {
 	live   int
 	steps  uint64
 	limits Limits
+	// completion is the kernel-wide completion signal (see Completion),
+	// created on first use.
+	completion *Signal
 }
 
 // Limits bounds a simulation run to protect against runaway models.
@@ -45,6 +48,10 @@ type event struct {
 	at  time.Duration
 	seq uint64
 	p   *Proc
+	// gen is the process's event generation at schedule time; a mismatch at
+	// dispatch means the event was cancelled (the process was woken through
+	// another path, e.g. a Signal broadcast superseding a timeout).
+	gen uint64
 }
 
 type eventHeap []event
@@ -90,6 +97,12 @@ type Proc struct {
 	// pending is true while the proc has a scheduled wake-up event; used to
 	// detect double-scheduling bugs in primitives.
 	pending bool
+	// egen is the process's live event generation: cancelling a scheduled
+	// wake-up (wakeCancel) bumps it, orphaning the heap entry.
+	egen uint64
+	// notified marks that the wake-up came from a Signal broadcast rather
+	// than a WaitTimeout timer.
+	notified bool
 }
 
 // Name returns the process name given to Go.
@@ -134,7 +147,7 @@ func (k *Kernel) scheduleAt(at time.Duration, p *Proc) {
 	}
 	p.pending = true
 	k.seq++
-	heap.Push(&k.events, event{at: at, seq: k.seq, p: p})
+	heap.Push(&k.events, event{at: at, seq: k.seq, p: p, gen: p.egen})
 }
 
 // Run dispatches events until no process has a scheduled wake-up. It returns
@@ -143,8 +156,8 @@ func (k *Kernel) scheduleAt(at time.Duration, p *Proc) {
 func (k *Kernel) Run() time.Duration {
 	for len(k.events) > 0 {
 		e := heap.Pop(&k.events).(event)
-		if e.p.done {
-			continue
+		if e.p.done || e.gen != e.p.egen {
+			continue // dead process, or a cancelled (superseded) wake-up
 		}
 		k.steps++
 		if k.limits.MaxSteps > 0 && k.steps > k.limits.MaxSteps {
@@ -188,3 +201,39 @@ func (p *Proc) Yield() { p.Sleep(0) }
 
 // wake schedules a parked process to resume at the current instant.
 func (k *Kernel) wake(p *Proc) { k.scheduleAt(k.now, p) }
+
+// wakeCancel wakes a parked process at the current instant, cancelling any
+// wake-up it already has scheduled (a WaitTimeout timer superseded by the
+// broadcast that arrived first).
+func (k *Kernel) wakeCancel(p *Proc) {
+	if p.pending {
+		p.egen++
+		p.pending = false
+	}
+	k.scheduleAt(k.now, p)
+}
+
+// Completion returns the kernel-wide completion signal: services broadcast
+// it when they produce work another process may be polling for (an object
+// or marker appearing, a message arriving), and pollers park on it through
+// Proc.WaitNotify instead of burning fixed poll intervals. It is the DES
+// counterpart of simenv.Notify.
+func (k *Kernel) Completion() *Signal {
+	if k.completion == nil {
+		k.completion = k.NewSignal()
+	}
+	return k.completion
+}
+
+// NotifyAll broadcasts the kernel's completion signal, waking every process
+// parked in WaitNotify at the current virtual instant.
+func (p *Proc) NotifyAll() { p.k.Completion().Broadcast() }
+
+// WaitNotify parks p until the next completion broadcast or until d of
+// virtual time passed, whichever comes first, and reports whether the
+// broadcast arrived. Together with NotifyAll it satisfies simenv.Notifier,
+// so barriers built on simenv.WaitNotify resolve at the exact virtual
+// instant of the write they await instead of at the next poll boundary.
+func (p *Proc) WaitNotify(d time.Duration) bool {
+	return p.k.Completion().WaitTimeout(p, d)
+}

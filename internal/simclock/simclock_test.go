@@ -411,3 +411,123 @@ func TestManyProcessesScale(t *testing.T) {
 		t.Errorf("count = %d, want %d", count, n)
 	}
 }
+
+// TestSignalWaitTimeoutBroadcastWins: a broadcast before the timer fires
+// wakes the waiter at the broadcast instant with the timer cancelled.
+func TestSignalWaitTimeoutBroadcastWins(t *testing.T) {
+	k := New()
+	sig := k.NewSignal()
+	var notified bool
+	var wokeAt time.Duration
+	k.Go("waiter", func(p *Proc) {
+		notified = sig.WaitTimeout(p, time.Minute)
+		wokeAt = p.Now()
+	})
+	k.Go("caster", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		sig.Broadcast()
+	})
+	end := k.Run()
+	if !notified {
+		t.Error("waiter timed out despite the broadcast")
+	}
+	if wokeAt != 3*time.Second {
+		t.Errorf("woke at %v, want the broadcast instant 3s", wokeAt)
+	}
+	// The cancelled one-minute timer must not have dragged virtual time out.
+	if end != 3*time.Second {
+		t.Errorf("final time %v, want 3s (stale timer dispatched?)", end)
+	}
+}
+
+// TestSignalWaitTimeoutExpires: with no broadcast the waiter resumes at the
+// timeout, and a later broadcast must not wake it again.
+func TestSignalWaitTimeoutExpires(t *testing.T) {
+	k := New()
+	sig := k.NewSignal()
+	wakeups := 0
+	k.Go("waiter", func(p *Proc) {
+		if sig.WaitTimeout(p, 2*time.Second) {
+			t.Error("spurious notification")
+		}
+		wakeups++
+		if got := p.Now(); got != 2*time.Second {
+			t.Errorf("timed out at %v, want 2s", got)
+		}
+		p.Sleep(10 * time.Second) // outlive the late broadcast
+	})
+	k.Go("late", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		sig.Broadcast() // waiter has withdrawn; nobody should wake
+	})
+	k.Run()
+	if wakeups != 1 {
+		t.Errorf("wakeups = %d, want 1", wakeups)
+	}
+	if sig.Waiting() != 0 {
+		t.Errorf("%d waiters left registered after timeout", sig.Waiting())
+	}
+}
+
+// TestProcWaitNotify: the kernel-wide completion signal wakes WaitNotify
+// parkers at the broadcasting process's instant, and times out otherwise.
+func TestProcWaitNotify(t *testing.T) {
+	k := New()
+	var first, second bool
+	var firstAt time.Duration
+	k.Go("waiter", func(p *Proc) {
+		first = p.WaitNotify(time.Minute)
+		firstAt = p.Now()
+		second = p.WaitNotify(time.Second) // nothing else fires: times out
+	})
+	k.Go("producer", func(p *Proc) {
+		p.Sleep(700 * time.Millisecond)
+		p.NotifyAll()
+	})
+	k.Run()
+	if !first || firstAt != 700*time.Millisecond {
+		t.Errorf("first wait: notified=%v at %v, want notified at 700ms", first, firstAt)
+	}
+	if second {
+		t.Error("second wait notified with no broadcaster")
+	}
+}
+
+// TestSignalWaitTimeoutDeterministic: many waiters with interleaved timers
+// and broadcasts resolve identically across runs.
+func TestSignalWaitTimeoutDeterministic(t *testing.T) {
+	run := func() (string, time.Duration) {
+		k := New()
+		sig := k.NewSignal()
+		order := ""
+		for i := 0; i < 5; i++ {
+			i := i
+			k.Go("waiter", func(p *Proc) {
+				// Odd waiters time out before the broadcast at 4s.
+				d := time.Duration(i+1) * time.Second
+				if i%2 == 0 {
+					d = time.Minute
+				}
+				if sig.WaitTimeout(p, d) {
+					order += string(rune('A' + i))
+				} else {
+					order += string(rune('a' + i))
+				}
+			})
+		}
+		k.Go("caster", func(p *Proc) {
+			p.Sleep(4 * time.Second)
+			sig.Broadcast()
+		})
+		end := k.Run()
+		return order, end
+	}
+	o1, e1 := run()
+	o2, e2 := run()
+	if o1 != o2 || e1 != e2 {
+		t.Errorf("non-deterministic: (%q,%v) vs (%q,%v)", o1, e1, o2, e2)
+	}
+	if o1 != "bdACE" {
+		t.Errorf("order = %q, want timeouts b(2s), d(4s pre-broadcast seq) then notified A C E", o1)
+	}
+}

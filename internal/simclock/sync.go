@@ -1,5 +1,7 @@
 package simclock
 
+import "time"
+
 // Synchronization primitives for simulated processes. All primitives are
 // cooperative: they must only be used from running processes (or, for
 // non-blocking operations such as Signal.Broadcast and Future.Set, from any
@@ -23,10 +25,39 @@ func (s *Signal) Wait(p *Proc) {
 	p.yield()
 }
 
-// Broadcast wakes all waiting processes at the current instant.
+// WaitTimeout parks p until the next Broadcast or until d of virtual time
+// passed, whichever comes first, and reports whether the broadcast arrived.
+// The broadcast cancels the pending timer, so a signalled process wakes at
+// the broadcast instant — not at the next timer boundary.
+func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	s.waiters = append(s.waiters, p)
+	p.notified = false
+	p.k.scheduleAt(p.k.now+d, p)
+	p.yield()
+	if p.notified {
+		p.notified = false
+		return true
+	}
+	// Timed out: withdraw from the waiter list so a later broadcast cannot
+	// wake a process that has moved on.
+	for i, w := range s.waiters {
+		if w == p {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			break
+		}
+	}
+	return false
+}
+
+// Broadcast wakes all waiting processes at the current instant. Waiters
+// parked with a timeout have their timer cancelled.
 func (s *Signal) Broadcast() {
 	for _, w := range s.waiters {
-		s.k.wake(w)
+		w.notified = true
+		s.k.wakeCancel(w)
 	}
 	s.waiters = nil
 }

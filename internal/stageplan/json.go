@@ -3,6 +3,7 @@ package stageplan
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"lambada/internal/engine"
 )
@@ -22,6 +23,9 @@ type stageJSON struct {
 	Eager     bool            `json:"eager,omitempty"`
 	// MaxAttempts is the stage's speculation attempt budget (0 = default).
 	MaxAttempts int `json:"maxAttempts,omitempty"`
+	// MaxStageWaitNs is the all-stragglers re-invocation cap in nanoseconds
+	// (0 = driver default, negative = disabled).
+	MaxStageWaitNs int64 `json:"maxStageWaitNs,omitempty"`
 }
 
 type planJSON struct {
@@ -94,14 +98,15 @@ func encodeStage(s *Stage) (stageJSON, error) {
 		return stageJSON{}, fmt.Errorf("stageplan: encoding stage %d: %w", s.ID, err)
 	}
 	return stageJSON{
-		ID:          s.ID,
-		Plan:        frag,
-		Table:       s.Table,
-		Inputs:      s.Inputs,
-		Output:      s.Output,
-		DependsOn:   s.DependsOn,
-		Eager:       s.Eager,
-		MaxAttempts: s.MaxAttempts,
+		ID:             s.ID,
+		Plan:           frag,
+		Table:          s.Table,
+		Inputs:         s.Inputs,
+		Output:         s.Output,
+		DependsOn:      s.DependsOn,
+		Eager:          s.Eager,
+		MaxAttempts:    s.MaxAttempts,
+		MaxStageWaitNs: int64(s.MaxStageWait),
 	}, nil
 }
 
@@ -111,13 +116,14 @@ func decodeStage(j stageJSON) (*Stage, error) {
 		return nil, fmt.Errorf("stageplan: decoding stage %d: %w", j.ID, err)
 	}
 	return &Stage{
-		ID:          j.ID,
-		Plan:        frag,
-		Table:       j.Table,
-		Inputs:      j.Inputs,
-		Output:      j.Output,
-		DependsOn:   j.DependsOn,
-		Eager:       j.Eager,
-		MaxAttempts: j.MaxAttempts,
+		ID:           j.ID,
+		Plan:         frag,
+		Table:        j.Table,
+		Inputs:       j.Inputs,
+		Output:       j.Output,
+		DependsOn:    j.DependsOn,
+		Eager:        j.Eager,
+		MaxAttempts:  j.MaxAttempts,
+		MaxStageWait: time.Duration(j.MaxStageWaitNs),
 	}, nil
 }

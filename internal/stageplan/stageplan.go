@@ -25,6 +25,7 @@ package stageplan
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"lambada/internal/columnar"
 	"lambada/internal/engine"
@@ -77,6 +78,15 @@ type Stage struct {
 	// speculation (0 = the driver's SpeculateConfig default). Attempt
 	// numbers version the stage's exchange boundary names.
 	MaxAttempts int
+	// MaxStageWait caps how long the stage may go without ANY worker
+	// response before speculation re-invokes the whole missing set as the
+	// next attempt — the no-progress cases the quorum/median policy can
+	// never arm for (no response at all, or a sub-quorum stall). The
+	// window starts when the stage becomes runnable (its producers sealed),
+	// not at its pipelined launch, and restarts on every response. 0 uses
+	// the driver's StageConfig default; negative disables the cap for this
+	// stage.
+	MaxStageWait time.Duration
 }
 
 // Plan is a stage-decomposed distributed plan.

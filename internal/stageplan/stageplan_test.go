@@ -3,6 +3,7 @@ package stageplan
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"lambada/internal/engine"
 	"lambada/internal/sqlfe"
@@ -264,6 +265,7 @@ func TestStagePlanJSONRoundTrip(t *testing.T) {
 	}
 	// Per-stage wire form too, including the scheduler metadata.
 	sp.Stages[2].MaxAttempts = 3
+	sp.Stages[2].MaxStageWait = 45 * time.Second
 	sj, err := MarshalStage(sp.Stages[2])
 	if err != nil {
 		t.Fatal(err)
@@ -277,6 +279,9 @@ func TestStagePlanJSONRoundTrip(t *testing.T) {
 	}
 	if !st.Eager || st.MaxAttempts != 3 {
 		t.Fatalf("stage wire form lost scheduler metadata: eager=%v attempts=%d", st.Eager, st.MaxAttempts)
+	}
+	if st.MaxStageWait != 45*time.Second {
+		t.Fatalf("stage wire form lost MaxStageWait: %v", st.MaxStageWait)
 	}
 }
 
