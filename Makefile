@@ -1,11 +1,11 @@
 GO ?= go
 # bench-json knobs: the PR-numbered output file, the previous PR's file the
 # comparability check runs against, and the per-benchmark time.
-BENCH_JSON ?= BENCH_PR5.json
-BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR5.json
 BENCHTIME ?= 300ms
 
-.PHONY: build test race race-staged bench bench-json vet
+.PHONY: build test race race-staged chaos bench bench-json vet
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,17 @@ race:
 # goroutine interleavings actually happen on 1-CPU runners.
 race-staged:
 	GOMAXPROCS=4 $(GO) test -race ./internal/driver/ ./internal/exchange/ ./internal/stageplan/ ./internal/simclock/ ./internal/awssim/dynamo/
+
+# chaos runs the deterministic fault-injection suites race-instrumented:
+# the injector/resilience unit tests, the per-service fault tests, and the
+# driver chaos acceptance tests (staged q12 under a seeded fault storm must
+# replay exactly and still produce the fault-free answer).
+chaos:
+	GOMAXPROCS=4 $(GO) test -race ./internal/awssim/faults/ ./internal/resilience/
+	GOMAXPROCS=4 $(GO) test -race \
+		-run 'Chaos|Injected|ClientRetries|ClientBudget|EpochSweep|SingleScopeDuplicate' \
+		./internal/awssim/s3/ ./internal/awssim/sqs/ ./internal/awssim/dynamo/ \
+		./internal/awssim/lambdasvc/ ./internal/driver/
 
 vet:
 	$(GO) vet ./...

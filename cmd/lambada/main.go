@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"lambada/internal/awssim/faults"
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/columnar"
 	"lambada/internal/driver"
@@ -83,6 +84,8 @@ func main() {
 		pipe    = flag.Bool("pipelined", true, "launch consumer stages before their producers seal (with -exchange); false = wave-gated launch")
 		spec    = flag.Bool("speculate", false, "re-invoke stragglers as backup attempts once a quorum reported (single-scope and staged runs)")
 		stgWait = flag.Duration("max-stage-wait", time.Minute, "no-progress liveness cap: a runnable stage with no worker response for this long (window restarts per response) has its missing workers re-invoked as the next attempt (with -exchange -speculate; 0 disables)")
+		fplan   = flag.String("fault-plan", "", "JSON fault plan file injected into the simulated substrate (with -mode des); see internal/awssim/faults")
+		fseed   = flag.Int64("fault-seed", 0, "override the fault plan's seed (0 = keep the plan's own; with -fault-plan)")
 	)
 	flag.Parse()
 
@@ -202,6 +205,16 @@ func main() {
 		for _, l := range sortedKeys(rep.CostDelta) {
 			fmt.Printf("  %-20s $%.6f\n", l, rep.CostDelta[l])
 		}
+		if rep.DriverRetries+rep.WorkerRetries > 0 || rep.FailureSeals > 0 {
+			fmt.Printf("retries: driver %d   worker %d   failure seals: %d\n",
+				rep.DriverRetries, rep.WorkerRetries, rep.FailureSeals)
+		}
+		if len(rep.InjectedFaults) > 0 {
+			fmt.Println("injected faults:")
+			for _, k := range sortedKeys(rep.InjectedFaults) {
+				fmt.Printf("  %-24s %d\n", k, rep.InjectedFaults[k])
+			}
+		}
 		if *explain {
 			fmt.Println("worker processing times (sorted):")
 			for i, t := range rep.WorkerProcessing {
@@ -211,11 +224,36 @@ func main() {
 		return nil
 	}
 
+	var chaosPlan faults.Plan
+	if *fplan != "" {
+		if *mode != "des" {
+			fmt.Fprintln(os.Stderr, "lambada: -fault-plan requires -mode des (faults replay in virtual time)")
+			os.Exit(2)
+		}
+		raw, rerr := os.ReadFile(*fplan)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "lambada:", rerr)
+			os.Exit(2)
+		}
+		chaosPlan, rerr = faults.ParsePlan(raw)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "lambada: %s: %v\n", *fplan, rerr)
+			os.Exit(2)
+		}
+		if *fseed != 0 {
+			chaosPlan.Seed = *fseed
+		}
+	}
+
 	var err error
 	if *mode == "des" {
 		k := simclock.New()
 		k.Go("driver", func(p *simclock.Proc) {
-			if e := run(driver.NewSimulated(k, *seed), p); e != nil {
+			dep := driver.NewSimulated(k, *seed)
+			if *fplan != "" {
+				dep = driver.NewChaos(k, *seed, chaosPlan)
+			}
+			if e := run(dep, p); e != nil {
 				err = e
 			}
 		})
@@ -270,7 +308,7 @@ func byteSize(n int64) string {
 	}
 }
 
-func sortedKeys(m map[string]float64) []string {
+func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

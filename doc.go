@@ -157,6 +157,38 @@
 // response) has its missing workers re-invoked as the next attempt — the
 // no-response and sub-quorum stalls quorum arithmetic can never arm for.
 //
+// # Failure model and resilience
+//
+// The simulated substrate injects failures deterministically: every service
+// consults a seeded internal/awssim/faults.Injector once per operation, and
+// a JSON-serializable FaultPlan prescribes what goes wrong where — S3
+// transient 500s, request timeouts and SlowDown storms, SQS at-least-once
+// duplicate delivery (the copy surfaces after a configured delay) and
+// receive timeouts, DynamoDB throttling (rejected before any mutation, so
+// conditional writes stay safe to retry), Lambda crash-on-invoke,
+// crash-mid-run and cold-start spikes. Decisions are pure hashes of
+// (seed, rule, op, per-op counter), so a plan replays exactly under the DES
+// kernel: the chaos suite asserts a staged query under a seeded storm is
+// byte-identical to its fault-free run, twice.
+//
+// One policy layer absorbs those faults everywhere: internal/resilience
+// classifies errors retryable-vs-fatal (a registry the services feed, e.g.
+// S3 SlowDown), backs off with decorrelated jitter drawn from the same
+// deterministic hash (virtual-time-safe — waits go through simenv), and
+// charges every retry against a per-scope budget. The driver holds one
+// budget per query, each worker invocation one of its own; retried requests
+// are still billed, because the real substrate bills them too.
+//
+// Degradation is graceful and typed: a worker that exhausts its budget
+// posts a failure seal marked retryable, and the stage scheduler re-invokes
+// it through the same attempt-versioned machinery speculation uses (the
+// failure path works with speculation disabled); a worker that dies without
+// posting anything is recovered by the MaxStageWait liveness cap. A query
+// that cannot progress fails fast with a structured *StageFailure and the
+// usual sweeps reclaim its debris. Epoch fence items themselves are
+// garbage-collected lazily: acquireEpoch periodically sweeps epoch/<query>
+// items older than EpochTTL of virtual time.
+//
 // # Chunk pooling
 //
 // Hot paths avoid the allocator: columnar.Pool recycles vectors and chunks

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"lambada/internal/awssim/faults"
 	"lambada/internal/awssim/pricing"
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/netmodel"
@@ -23,6 +24,10 @@ var (
 	ErrNoSuchTable     = errors.New("dynamo: no such table")
 	ErrNoSuchItem      = errors.New("dynamo: no such item")
 	ErrConditionFailed = errors.New("dynamo: conditional check failed")
+	// ErrThrottled is an injected ProvisionedThroughputExceededException-class
+	// rejection; it wraps faults.ErrThrottled, which resilience classifies
+	// retryable.
+	ErrThrottled = fmt.Errorf("dynamo: %w", faults.ErrThrottled)
 )
 
 // Config controls latency and pricing. Zero value: free, instant.
@@ -31,6 +36,11 @@ type Config struct {
 	WriteLatency netmodel.Dist
 	Meter        *pricing.CostMeter
 	Seed         int64
+
+	// Faults injects deterministic throttling on Put/PutIf/Get. Throttled
+	// requests are rejected unbilled and before latency (AWS does not charge
+	// them). Nil injects nothing.
+	Faults *faults.Injector
 }
 
 // DefaultAWSConfig returns single-digit-millisecond DynamoDB latencies.
@@ -71,6 +81,9 @@ func (s *Service) CreateTable(name string) {
 // waiters parked on the signal must not observe (or be woken by) a write
 // the writer is still paying for.
 func (s *Service) Put(env simenv.Env, table, key string, value []byte) error {
+	if f, ok := s.cfg.Faults.Next(faults.OpDynamoPut); ok && f.Kind == faults.KindThrottle {
+		return ErrThrottled
+	}
 	s.mu.Lock()
 	_, ok := s.tables[table]
 	s.mu.Unlock()
@@ -105,6 +118,9 @@ func (s *Service) Put(env simenv.Env, table, key string, value []byte) error {
 // write (DynamoDB charges failed conditional writes) and returns
 // ErrConditionFailed.
 func (s *Service) PutIf(env simenv.Env, table, key string, value, expect []byte) error {
+	if f, ok := s.cfg.Faults.Next(faults.OpDynamoPutIf); ok && f.Kind == faults.KindThrottle {
+		return ErrThrottled
+	}
 	s.mu.Lock()
 	_, ok := s.tables[table]
 	s.mu.Unlock()
@@ -141,6 +157,9 @@ func (s *Service) PutIf(env simenv.Env, table, key string, value, expect []byte)
 
 // Get returns the value under key.
 func (s *Service) Get(env simenv.Env, table, key string) ([]byte, error) {
+	if f, ok := s.cfg.Faults.Next(faults.OpDynamoGet); ok && f.Kind == faults.KindThrottle {
+		return nil, ErrThrottled
+	}
 	s.mu.Lock()
 	t, ok := s.tables[table]
 	if !ok {

@@ -1,0 +1,67 @@
+package dynamo
+
+import (
+	"errors"
+	"testing"
+
+	"lambada/internal/awssim/faults"
+	"lambada/internal/awssim/pricing"
+	"lambada/internal/awssim/simenv"
+)
+
+// TestInjectedThrottle: throttled requests are rejected unbilled and before
+// any mutation, so a straightforward retry succeeds.
+func TestInjectedThrottle(t *testing.T) {
+	meter := pricing.NewCostMeter()
+	inj := faults.NewInjector(faults.Plan{Rules: []faults.Rule{
+		{Op: faults.OpDynamoPut, Kind: faults.KindThrottle, Count: 1},
+		{Op: faults.OpDynamoGet, Kind: faults.KindThrottle, Count: 1},
+	}})
+	s := New(Config{Meter: meter, Faults: inj})
+	env := simenv.NewImmediate()
+	s.CreateTable("t")
+
+	err := s.Put(env, "t", "k", []byte("v"))
+	if !errors.Is(err, ErrThrottled) || !errors.Is(err, faults.ErrThrottled) {
+		t.Fatalf("first put err = %v, want throttled", err)
+	}
+	if got := meter.Count(pricing.LabelDynamoWrite); got != 0 {
+		t.Errorf("throttled put billed %d writes, want 0", got)
+	}
+	if err := s.Put(env, "t", "k", []byte("v")); err != nil {
+		t.Fatalf("retry put: %v", err)
+	}
+
+	if _, err := s.Get(env, "t", "k"); !errors.Is(err, faults.ErrThrottled) {
+		t.Fatalf("first get err = %v, want throttled", err)
+	}
+	v, err := s.Get(env, "t", "k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("retry get = %q, %v", v, err)
+	}
+}
+
+// TestInjectedThrottlePutIfSafeToRetry: a throttled conditional write
+// mutates nothing, so the retried CAS still sees the expected state.
+func TestInjectedThrottlePutIfSafeToRetry(t *testing.T) {
+	inj := faults.NewInjector(faults.Plan{Rules: []faults.Rule{
+		{Op: faults.OpDynamoPutIf, Kind: faults.KindThrottle, Count: 1},
+	}})
+	s := New(Config{Faults: inj})
+	env := simenv.NewImmediate()
+	s.CreateTable("t")
+
+	if err := s.PutIf(env, "t", "k", []byte("1"), nil); !errors.Is(err, faults.ErrThrottled) {
+		t.Fatalf("first putif err = %v, want throttled", err)
+	}
+	if _, err := s.Get(env, "t", "k"); !errors.Is(err, ErrNoSuchItem) {
+		t.Error("throttled PutIf created the item")
+	}
+	if err := s.PutIf(env, "t", "k", []byte("1"), nil); err != nil {
+		t.Fatalf("retried putif: %v", err)
+	}
+	v, err := s.Get(env, "t", "k")
+	if err != nil || string(v) != "1" {
+		t.Fatalf("item = %q, %v", v, err)
+	}
+}

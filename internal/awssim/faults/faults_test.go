@@ -1,0 +1,160 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := Plan{Seed: 42, Rules: []Rule{
+		{Op: OpS3Get, Kind: KindTransient, Rate: 0.05},
+		{Op: OpSQSSend, Kind: KindDuplicate, Rate: 0.1, Delay: 250 * time.Millisecond},
+		{Op: OpLambda, Kind: KindCrashMidRun, Skip: 3, Count: 1, Delay: 2 * time.Second},
+	}}
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != p.Seed || len(got.Rules) != len(p.Rules) {
+		t.Fatalf("round trip mangled plan: %+v", got)
+	}
+	for i := range p.Rules {
+		if got.Rules[i] != p.Rules[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, got.Rules[i], p.Rules[i])
+		}
+	}
+}
+
+func TestParsePlanValidation(t *testing.T) {
+	if _, err := ParsePlan([]byte(`{"rules":[{"op":"","kind":"transient"}]}`)); err == nil {
+		t.Error("accepted rule with empty op")
+	}
+	if _, err := ParsePlan([]byte(`{"rules":[{"op":"s3.Get","kind":""}]}`)); err == nil {
+		t.Error("accepted rule with empty kind")
+	}
+	if _, err := ParsePlan([]byte(`{"rules":[{"op":"s3.Get","kind":"transient","rate":1.5}]}`)); err == nil {
+		t.Error("accepted rate outside [0, 1]")
+	}
+	if _, err := ParsePlan([]byte(`not json`)); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var inj *Injector
+	if _, ok := inj.Next(OpS3Get); ok {
+		t.Error("nil injector injected a fault")
+	}
+	if inj.Injected() != nil || inj.TotalInjected() != 0 {
+		t.Error("nil injector reported injections")
+	}
+	if NewInjector(Plan{Seed: 7}) != nil {
+		t.Error("empty-rule plan should yield a nil injector")
+	}
+}
+
+// TestDeterministicReplay: two injectors built from the same plan make
+// identical decisions over identical operation sequences.
+func TestDeterministicReplay(t *testing.T) {
+	plan := Plan{Seed: 99, Rules: []Rule{
+		{Op: OpS3Get, Kind: KindTransient, Rate: 0.3},
+		{Op: OpSQSSend, Kind: KindDuplicate, Rate: 0.2, Delay: time.Second},
+		{Op: OpDynamoPut, Kind: KindThrottle, Rate: 0.5},
+	}}
+	ops := []string{OpS3Get, OpSQSSend, OpS3Get, OpDynamoPut, OpS3Get, OpSQSSend, OpDynamoPut}
+	a, b := NewInjector(plan), NewInjector(plan)
+	for round := 0; round < 200; round++ {
+		for _, op := range ops {
+			fa, oka := a.Next(op)
+			fb, okb := b.Next(op)
+			if oka != okb || fa != fb {
+				t.Fatalf("round %d op %s: %v/%v vs %v/%v", round, op, fa, oka, fb, okb)
+			}
+		}
+	}
+	if a.TotalInjected() == 0 {
+		t.Error("plan with rate 0.3+ rules injected nothing over 1400 ops")
+	}
+}
+
+// TestStreamIndependence: the decisions of one operation stream do not
+// depend on how other streams are interleaved with it — each stream has its
+// own counter and its own hash stream.
+func TestStreamIndependence(t *testing.T) {
+	plan := Plan{Seed: 5, Rules: []Rule{
+		{Op: OpS3Get, Kind: KindTransient, Rate: 0.25},
+		{Op: OpSQSReceive, Kind: KindTimeout, Rate: 0.25},
+	}}
+	solo := NewInjector(plan)
+	var soloSeq []bool
+	for i := 0; i < 500; i++ {
+		_, ok := solo.Next(OpS3Get)
+		soloSeq = append(soloSeq, ok)
+	}
+	mixed := NewInjector(plan)
+	var mixedSeq []bool
+	for i := 0; i < 500; i++ {
+		mixed.Next(OpSQSReceive) // interleave another stream
+		mixed.Next(OpSQSReceive)
+		_, ok := mixed.Next(OpS3Get)
+		mixedSeq = append(mixedSeq, ok)
+	}
+	for i := range soloSeq {
+		if soloSeq[i] != mixedSeq[i] {
+			t.Fatalf("s3.Get decision %d changed when sqs.Receive ops were interleaved", i)
+		}
+	}
+}
+
+func TestRateRoughlyHolds(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 1, Rules: []Rule{{Op: OpS3Put, Kind: KindTransient, Rate: 0.2}}})
+	fired := 0
+	for i := 0; i < 5000; i++ {
+		if _, ok := inj.Next(OpS3Put); ok {
+			fired++
+		}
+	}
+	if fired < 800 || fired > 1200 {
+		t.Errorf("rate 0.2 fired %d/5000 times", fired)
+	}
+	if got := inj.Injected()["s3.Put/transient"]; got != fired {
+		t.Errorf("Injected() = %d, want %d", got, fired)
+	}
+}
+
+// TestSkipCountPinpoint: a rate-0 rule with Skip and Count fires on exactly
+// the prescribed operations — the surgical "crash the 4th invocation" form.
+func TestSkipCountPinpoint(t *testing.T) {
+	inj := NewInjector(Plan{Rules: []Rule{
+		{Op: OpLambda, Kind: KindCrash, Skip: 3, Count: 2},
+	}})
+	var fires []int
+	for i := 0; i < 10; i++ {
+		if _, ok := inj.Next(OpLambda); ok {
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 2 || fires[0] != 3 || fires[1] != 4 {
+		t.Errorf("fired at %v, want [3 4]", fires)
+	}
+}
+
+// TestFirstMatchingRuleWins: overlapping rules resolve in plan order.
+func TestFirstMatchingRuleWins(t *testing.T) {
+	inj := NewInjector(Plan{Rules: []Rule{
+		{Op: OpS3Get, Kind: KindSlowDown, Count: 1},
+		{Op: OpS3Get, Kind: KindTransient},
+	}})
+	f, ok := inj.Next(OpS3Get)
+	if !ok || f.Kind != KindSlowDown {
+		t.Errorf("first op: %v/%v, want slowdown", f, ok)
+	}
+	f, ok = inj.Next(OpS3Get)
+	if !ok || f.Kind != KindTransient {
+		t.Errorf("second op: %v/%v, want transient (first rule exhausted)", f, ok)
+	}
+}

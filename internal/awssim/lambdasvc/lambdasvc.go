@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"lambada/internal/awssim/faults"
 	"lambada/internal/awssim/pricing"
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/netmodel"
@@ -116,6 +117,13 @@ type Config struct {
 	Meter *pricing.CostMeter
 	// Seed seeds latency sampling.
 	Seed int64
+
+	// Faults injects deterministic failures per invocation: crash-on-invoke
+	// (the container starts and dies before the handler runs), crash-mid-run
+	// (the worker dies Delay of virtual time into its handler; partial work
+	// survives and partial duration is billed), and cold-start spikes (Delay
+	// added to the container start). Nil injects nothing.
+	Faults *faults.Injector
 }
 
 // DefaultAWSConfig returns calibration matching the paper: ~250 ms cold
@@ -239,26 +247,72 @@ func (s *Service) Invoke(env simenv.Env, name string, payload []byte, opts Invok
 	}
 	s.mu.Unlock()
 
+	// Fault-plan decision for this invocation. The invoker never observes a
+	// crash: asynchronous invocation means the Invoke API accepted the
+	// request; the worker simply never reports. Recovery is the driver's job
+	// (speculation, attempt re-invocation, MaxStageWait).
+	fault, injectFault := s.cfg.Faults.Next(faults.OpLambda)
+	if injectFault && fault.Kind == faults.KindColdSpike {
+		startDelay += fault.Delay
+	}
+	crashOnStart := injectFault && fault.Kind == faults.KindCrash
+	var crashAfter time.Duration
+	if injectFault && fault.Kind == faults.KindCrashMidRun {
+		if fault.Delay > 0 {
+			crashAfter = fault.Delay
+		} else {
+			crashOnStart = true
+		}
+	}
+
 	s.cfg.Meter.Charge(pricing.LabelLambdaRequests, pricing.LambdaPerRequest)
 
 	// The worker begins after roughly half the caller's round trip (the
 	// request leg) plus its container start delay.
 	s.rt.Spawn(fmt.Sprintf("%s#%d", name, opts.WorkerID), func(wenv simenv.Env) {
 		wenv.Sleep(invokeRTT/2 + startDelay)
-		ctx := &Ctx{Env: wenv, Function: f.Name, MemoryMiB: f.MemoryMiB, Cold: cold, WorkerID: opts.WorkerID, svc: s}
+		if crashOnStart {
+			// The container died before the handler ran: no handler duration
+			// to bill, no completion callback, and the container is gone —
+			// it does not rejoin the warm pool.
+			s.mu.Lock()
+			s.running--
+			s.mu.Unlock()
+			return
+		}
+		henv := wenv
+		if crashAfter > 0 {
+			henv = &crashEnv{inner: wenv, deadline: wenv.Now() + crashAfter}
+		}
+		ctx := &Ctx{Env: henv, Function: f.Name, MemoryMiB: f.MemoryMiB, Cold: cold, WorkerID: opts.WorkerID, svc: s}
 		begin := wenv.Now()
-		err := f.Handler(ctx, payload)
+		crashed := false
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(crashPanic); !ok {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			return f.Handler(ctx, payload)
+		}()
 		dur := wenv.Now() - begin
 		if f.Timeout > 0 && dur > f.Timeout {
 			dur = f.Timeout
 			err = fmt.Errorf("%w after %v", ErrTimeout, f.Timeout)
 		}
+		// A mid-run crash bills the partial duration: the work ran until the
+		// instant the container died.
 		s.cfg.Meter.Charge(pricing.LabelLambdaDuration, pricing.LambdaDuration(f.MemoryMiB, dur))
 		s.mu.Lock()
 		s.running--
-		f.warm++ // container stays warm for subsequent invocations
+		if !crashed {
+			f.warm++ // container stays warm for subsequent invocations
+		}
 		s.mu.Unlock()
-		if opts.OnDone != nil {
+		if !crashed && opts.OnDone != nil {
 			opts.OnDone(wenv, err)
 		}
 	})
@@ -293,3 +347,56 @@ func (s *Service) Invocations() (total, cold int64) {
 
 // Runtime returns the service's runtime.
 func (s *Service) Runtime() Runtime { return s.rt }
+
+// crashPanic is the private panic value a crashEnv raises when its worker's
+// virtual time reaches the injected crash instant; the Invoke spawn body
+// recovers it and treats the worker as dead.
+type crashPanic struct{}
+
+// crashEnv wraps a worker's environment and kills the worker — by panicking
+// with crashPanic — once virtual time reaches deadline. All worker waiting
+// funnels through Env (compute sleeps, service latencies, barrier parks), so
+// clamping Sleep and WaitNotify to the deadline is exactly "the container
+// died at that instant": whatever the worker had already written (S3 partial
+// output, child invocations) survives, everything after never happens.
+type crashEnv struct {
+	inner    simenv.Env
+	deadline time.Duration
+}
+
+func (c *crashEnv) Now() time.Duration { return c.inner.Now() }
+
+func (c *crashEnv) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if c.inner.Now()+d >= c.deadline {
+		if left := c.deadline - c.inner.Now(); left > 0 {
+			c.inner.Sleep(left)
+		}
+		panic(crashPanic{})
+	}
+	c.inner.Sleep(d)
+}
+
+// NotifyAll and WaitNotify keep crashEnv a simenv.Notifier: both runtimes'
+// worker environments are Notifiers, and barriers built on simenv.WaitNotify
+// must keep parking on the completion signal (not degrade to fixed polls)
+// under a crash plan — otherwise chaos runs would time differently than
+// clean runs for reasons unrelated to the injected faults.
+func (c *crashEnv) NotifyAll() { simenv.Broadcast(c.inner) }
+
+func (c *crashEnv) WaitNotify(d time.Duration) bool {
+	now := c.inner.Now()
+	if now >= c.deadline {
+		panic(crashPanic{})
+	}
+	if now+d >= c.deadline {
+		d = c.deadline - now
+	}
+	woke := simenv.WaitNotify(c.inner, d)
+	if c.inner.Now() >= c.deadline {
+		panic(crashPanic{})
+	}
+	return woke
+}

@@ -8,7 +8,12 @@ import (
 
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/netmodel"
+	"lambada/internal/resilience"
 )
+
+// The organic SlowDown rejection is as retryable as any injected fault;
+// register it so every layer classifying through resilience agrees.
+func init() { resilience.RegisterRetryable(ErrSlowDown) }
 
 // lockedRand is a seeded rand.Rand safe for concurrent use in the
 // functional layer (the DES layer is single-threaded anyway).
@@ -48,6 +53,9 @@ type Client struct {
 	// behaviour ("aggressive timeouts and retries", §5.5 footnote 17).
 	RetryBaseDelay time.Duration
 	MaxRetries     int
+	// budget, when set, bounds the total retries this client may spend
+	// across all operations (per-invocation scope).
+	budget *resilience.Budget
 
 	mu         sync.Mutex
 	bytesRead  int64
@@ -74,6 +82,12 @@ func WithRetry(base time.Duration, max int) ClientOption {
 		c.RetryBaseDelay = base
 		c.MaxRetries = max
 	}
+}
+
+// WithBudget installs a shared retry budget: once spent, further retryable
+// errors surface as *resilience.ExhaustedError instead of being retried.
+func WithBudget(b *resilience.Budget) ClientOption {
+	return func(c *Client) { c.budget = b }
 }
 
 // NewClient returns a client bound to svc and env.
@@ -133,16 +147,24 @@ func (c *Client) chargeTransfer(n int64, conns int) {
 }
 
 // retry runs op, backing off exponentially (with deterministic jitter) on
-// SlowDown. Other errors pass through.
+// every retryable error — SlowDown plus the injected transient faults of
+// the chaos layer. Fatal errors pass through; exhausting MaxRetries or the
+// retry budget returns a typed *resilience.ExhaustedError (its Unwrap keeps
+// errors.Is working on the underlying sentinel). The backoff mechanics and
+// jitter draws are unchanged from the original SlowDown-only retry, so
+// fault-free runs replay byte-identically.
 func (c *Client) retry(op func() error) error {
 	delay := c.RetryBaseDelay
 	for attempt := 0; ; attempt++ {
 		err := op()
-		if err == nil || !errors.Is(err, ErrSlowDown) {
+		if err == nil || resilience.Classify(err) != resilience.ClassRetryable {
 			return err
 		}
 		if attempt >= c.MaxRetries {
-			return err
+			return &resilience.ExhaustedError{Op: "s3", Attempts: attempt + 1, Last: err}
+		}
+		if !c.budget.Take() {
+			return &resilience.ExhaustedError{Op: "s3", Attempts: attempt + 1, BudgetSpent: true, Last: err}
 		}
 		c.mu.Lock()
 		c.retries++

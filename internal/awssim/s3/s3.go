@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"lambada/internal/awssim/faults"
 	"lambada/internal/awssim/pricing"
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/netmodel"
@@ -54,6 +55,10 @@ type Config struct {
 
 	// Seed seeds the latency sampler.
 	Seed int64
+
+	// Faults injects deterministic failures (transient 500s, timeouts,
+	// SlowDown storms) per operation. Nil injects nothing.
+	Faults *faults.Injector
 }
 
 // DefaultAWSConfig returns the service limits and latencies the paper
@@ -192,8 +197,39 @@ func (s *Service) TotalBytes(name string) int64 {
 	return n
 }
 
+// injected applies a fault-plan decision to one request. An injected
+// SlowDown returns unbilled and immediately, exactly like the organic
+// rate-window rejection it mimics. Transient 500s and timeouts model
+// requests that reached the service and failed there: they are billed (a
+// charge label given) and pay the request latency before erring — so a
+// chaos run's retry inflation is visible in the meter's request counts.
+func (s *Service) injected(env simenv.Env, f faults.Fault, label string, price pricing.USD, lat netmodel.Dist) error {
+	switch f.Kind {
+	case faults.KindSlowDown:
+		return ErrSlowDown
+	case faults.KindTransient:
+		if label != "" {
+			s.cfg.Meter.Charge(label, price)
+		}
+		s.sleepDist(env, lat)
+		return fmt.Errorf("s3: %w", faults.ErrInternal)
+	case faults.KindTimeout:
+		if label != "" {
+			s.cfg.Meter.Charge(label, price)
+		}
+		s.sleepDist(env, lat)
+		return fmt.Errorf("s3: %w", faults.ErrTimeout)
+	}
+	return nil
+}
+
 // put stores an object after rate-limit and latency accounting.
 func (s *Service) put(env simenv.Env, bucketName, key string, obj *Object) error {
+	if f, ok := s.cfg.Faults.Next(faults.OpS3Put); ok {
+		if err := s.injected(env, f, pricing.LabelS3Write, pricing.S3Write, s.cfg.PutLatency); err != nil {
+			return err
+		}
+	}
 	s.mu.Lock()
 	b, ok := s.buckets[bucketName]
 	if !ok {
@@ -236,6 +272,11 @@ func (s *Service) PutSynthetic(env simenv.Env, bucketName, key string, size int6
 
 // Head returns object metadata without transferring data. Charged as a read.
 func (s *Service) Head(env simenv.Env, bucketName, key string) (int64, error) {
+	if f, ok := s.cfg.Faults.Next(faults.OpS3Get); ok {
+		if err := s.injected(env, f, pricing.LabelS3Read, pricing.S3Read, s.cfg.GetLatency); err != nil {
+			return 0, err
+		}
+	}
 	s.mu.Lock()
 	b, ok := s.buckets[bucketName]
 	if !ok {
@@ -261,6 +302,11 @@ func (s *Service) Head(env simenv.Env, bucketName, key string) (int64, error) {
 // get performs rate limiting, charging and latency for a read and returns
 // the object.
 func (s *Service) get(env simenv.Env, bucketName, key string) (*Object, error) {
+	if f, ok := s.cfg.Faults.Next(faults.OpS3Get); ok {
+		if err := s.injected(env, f, pricing.LabelS3Read, pricing.S3Read, s.cfg.GetLatency); err != nil {
+			return nil, err
+		}
+	}
 	s.mu.Lock()
 	b, ok := s.buckets[bucketName]
 	if !ok {
@@ -334,6 +380,11 @@ type ListEntry struct {
 // (pagination is not modeled; one page holds 1000 keys on AWS, and the
 // paper's exchange groups stay below that).
 func (s *Service) List(env simenv.Env, bucketName, prefix string) ([]ListEntry, error) {
+	if f, ok := s.cfg.Faults.Next(faults.OpS3List); ok {
+		if err := s.injected(env, f, pricing.LabelS3List, pricing.S3List, s.cfg.ListLatency); err != nil {
+			return nil, err
+		}
+	}
 	s.mu.Lock()
 	b, ok := s.buckets[bucketName]
 	if !ok {
@@ -361,6 +412,11 @@ func (s *Service) List(env simenv.Env, bucketName, prefix string) ([]ListEntry, 
 
 // Delete removes an object. Deletes are free on AWS; only latency applies.
 func (s *Service) Delete(env simenv.Env, bucketName, key string) error {
+	if f, ok := s.cfg.Faults.Next(faults.OpS3Delete); ok {
+		if err := s.injected(env, f, "", 0, s.cfg.PutLatency); err != nil {
+			return err
+		}
+	}
 	s.mu.Lock()
 	b, ok := s.buckets[bucketName]
 	if !ok {
@@ -379,6 +435,11 @@ func (s *Service) Delete(env simenv.Env, bucketName, key string) error {
 // instead of one per object, and still free like single deletes. The
 // stale-drain collector sweeps boundary namespaces through it.
 func (s *Service) DeleteBatch(env simenv.Env, bucketName string, keys []string) error {
+	if f, ok := s.cfg.Faults.Next(faults.OpS3Delete); ok {
+		if err := s.injected(env, f, "", 0, s.cfg.PutLatency); err != nil {
+			return err
+		}
+	}
 	const page = 1000
 	for lo := 0; lo < len(keys); lo += page {
 		hi := lo + page

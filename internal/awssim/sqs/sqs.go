@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"lambada/internal/awssim/faults"
 	"lambada/internal/awssim/pricing"
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/netmodel"
@@ -28,6 +29,10 @@ type Message struct {
 	Body []byte
 	// SentAt is the virtual send time.
 	SentAt time.Duration
+	// VisibleAt hides the message from Receive until this virtual instant —
+	// how an injected delayed redelivery parks its duplicate copy. Zero
+	// means immediately visible.
+	VisibleAt time.Duration
 }
 
 // Config controls latency and pricing. Zero value: free, instant.
@@ -37,6 +42,11 @@ type Config struct {
 	ReceiveLatency netmodel.Dist
 	Meter          *pricing.CostMeter
 	Seed           int64
+
+	// Faults injects deterministic failures: duplicate delivery and delayed
+	// redelivery on Send (real SQS is at-least-once), transient errors and
+	// request timeouts on both Send and Receive. Nil injects nothing.
+	Faults *faults.Injector
 }
 
 // DefaultAWSConfig returns typical intra-region SQS latencies.
@@ -86,8 +96,34 @@ func (s *Service) CreateQueue(name string) {
 	}
 }
 
-// Send appends a message.
+// injected applies a fault-plan decision to a billed SQS request: transient
+// errors and timeouts charge the request (it reached the service) and pay
+// its latency before failing. Other kinds are handled by the caller.
+func (s *Service) injected(env simenv.Env, f faults.Fault, lat netmodel.Dist) error {
+	switch f.Kind {
+	case faults.KindTransient:
+		s.cfg.Meter.Charge(pricing.LabelSQS, pricing.SQSPerRequest)
+		s.sleep(env, lat)
+		return fmt.Errorf("sqs: %w", faults.ErrInternal)
+	case faults.KindTimeout:
+		s.cfg.Meter.Charge(pricing.LabelSQS, pricing.SQSPerRequest)
+		s.sleep(env, lat)
+		return fmt.Errorf("sqs: %w", faults.ErrTimeout)
+	}
+	return nil
+}
+
+// Send appends a message. Under an injected duplicate fault the message is
+// enqueued twice — the at-least-once delivery of real SQS — with the second
+// copy optionally hidden until now+Delay (delayed redelivery). One Send is
+// one billed request regardless: the duplication is server-side.
 func (s *Service) Send(env simenv.Env, queue string, body []byte) error {
+	fault, injectFault := s.cfg.Faults.Next(faults.OpSQSSend)
+	if injectFault {
+		if err := s.injected(env, fault, s.cfg.SendLatency); err != nil {
+			return err
+		}
+	}
 	s.mu.Lock()
 	if _, ok := s.queues[queue]; !ok {
 		s.mu.Unlock()
@@ -96,20 +132,24 @@ func (s *Service) Send(env simenv.Env, queue string, body []byte) error {
 	cp := make([]byte, len(body))
 	copy(cp, body)
 	s.queues[queue] = append(s.queues[queue], Message{Body: cp, SentAt: env.Now()})
+	if injectFault && fault.Kind == faults.KindDuplicate {
+		s.queues[queue] = append(s.queues[queue], Message{Body: cp, SentAt: env.Now(), VisibleAt: env.Now() + fault.Delay})
+	}
 	s.mu.Unlock()
 
 	s.cfg.Meter.Charge(pricing.LabelSQS, pricing.SQSPerRequest)
-	// Completion signal: wake Immediate-env pollers blocked in Sleep so
-	// result collectors react to the message now instead of on their next
-	// throttled poll tick. DES processes are unaffected (their Sleep is
-	// kernel-driven).
-	simenv.Notify()
+	// Completion signal: wake pollers parked on the completion notify —
+	// DES processes in Proc.WaitNotify and Immediate-env pollers blocked in
+	// Sleep — so result collectors react to the message at its exact arrival
+	// instant instead of on their next throttled poll tick.
+	simenv.Broadcast(env)
 	s.sleep(env, s.cfg.SendLatency)
 	return nil
 }
 
-// Receive removes and returns up to max messages (possibly none). Each call
-// is one billed request.
+// Receive removes and returns up to max currently visible messages
+// (possibly none); messages whose VisibleAt lies in the future stay queued
+// in order. Each call is one billed request.
 func (s *Service) Receive(env simenv.Env, queue string, max int) ([]Message, error) {
 	if max < 1 {
 		max = 1
@@ -117,19 +157,28 @@ func (s *Service) Receive(env simenv.Env, queue string, max int) ([]Message, err
 	if max > 10 {
 		max = 10 // AWS caps batch receives at ten messages
 	}
+	if f, ok := s.cfg.Faults.Next(faults.OpSQSReceive); ok {
+		if err := s.injected(env, f, s.cfg.ReceiveLatency); err != nil {
+			return nil, err
+		}
+	}
 	s.mu.Lock()
 	q, ok := s.queues[queue]
 	if !ok {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchQueue, queue)
 	}
-	n := len(q)
-	if n > max {
-		n = max
+	now := env.Now()
+	out := make([]Message, 0, max)
+	rest := make([]Message, 0, len(q))
+	for _, m := range q {
+		if len(out) < max && m.VisibleAt <= now {
+			out = append(out, m)
+		} else {
+			rest = append(rest, m)
+		}
 	}
-	out := make([]Message, n)
-	copy(out, q[:n])
-	s.queues[queue] = q[n:]
+	s.queues[queue] = rest
 	s.mu.Unlock()
 
 	s.cfg.Meter.Charge(pricing.LabelSQS, pricing.SQSPerRequest)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"lambada/internal/awssim/dynamo"
+	"lambada/internal/awssim/faults"
 	"lambada/internal/awssim/lambdasvc"
 	"lambada/internal/awssim/pricing"
 	"lambada/internal/awssim/s3"
@@ -25,6 +26,7 @@ import (
 	"lambada/internal/invoke"
 	"lambada/internal/lpq"
 	"lambada/internal/netmodel"
+	"lambada/internal/resilience"
 	"lambada/internal/scan"
 	"lambada/internal/simclock"
 )
@@ -44,6 +46,10 @@ type Deployment struct {
 	Deterministic bool
 	// Shaped enables per-worker bandwidth shaping of S3 transfers.
 	Shaped bool
+	// Faults is the fault injector shared by every service of a chaos
+	// deployment (NewChaos) — held here for reporting injected-fault counts.
+	// Nil on fault-free deployments.
+	Faults *faults.Injector
 }
 
 // NewLocal returns a functional-layer deployment: real goroutine workers,
@@ -73,6 +79,38 @@ func NewSimulated(k *simclock.Kernel, seed int64) *Deployment {
 		Net:           netmodel.DefaultLambdaNet(),
 		Deterministic: true,
 		Shaped:        true,
+	}
+}
+
+// NewChaos returns a DES deployment like NewSimulated whose services all
+// consult the given fault plan: S3 transient 500s/timeouts/SlowDown storms,
+// SQS duplicate and delayed delivery, DynamoDB throttling, Lambda crashes
+// and cold-start spikes, every one scheduled deterministically by the plan's
+// seed. One injector is shared by all services — operation streams are
+// independent per operation name, so the schedules compose without
+// interference. A plan with no rules yields a nil injector, making the
+// deployment trace-identical to NewSimulated(k, seed).
+func NewChaos(k *simclock.Kernel, seed int64, plan faults.Plan) *Deployment {
+	meter := pricing.NewCostMeter()
+	inj := faults.NewInjector(plan)
+	s3cfg := s3.DefaultAWSConfig(meter, seed)
+	s3cfg.Faults = inj
+	lcfg := lambdasvc.DefaultAWSConfig(meter, seed+1)
+	lcfg.Faults = inj
+	qcfg := sqs.DefaultAWSConfig(meter, seed+2)
+	qcfg.Faults = inj
+	dcfg := dynamo.DefaultAWSConfig(meter, seed+3)
+	dcfg.Faults = inj
+	return &Deployment{
+		S3:            s3.New(s3cfg),
+		Lambda:        lambdasvc.New(lcfg, lambdasvc.SimRuntime{K: k}),
+		SQS:           sqs.New(qcfg),
+		Dynamo:        dynamo.New(dcfg),
+		Meter:         meter,
+		Net:           netmodel.DefaultLambdaNet(),
+		Deterministic: true,
+		Shaped:        true,
+		Faults:        inj,
 	}
 }
 
@@ -110,6 +148,19 @@ type Config struct {
 	MaxWait time.Duration
 	// Speculate configures driver-side straggler mitigation.
 	Speculate SpeculateConfig
+	// RetryBudget caps substrate retries per scope — the driver side of one
+	// query, or one worker invocation. 0 means the default of 256; negative
+	// means unlimited. A worker that exhausts its budget posts a typed
+	// retryable failure seal so the scheduler can re-invoke the fragment.
+	RetryBudget int
+	// EpochTTL bounds the lifetime of epoch fence items in the staging
+	// table; the driver lazily sweeps expired items when acquiring epochs.
+	// Must comfortably exceed the function timeout so a live query's fence
+	// is never collected. 0 means 24 hours of virtual time.
+	EpochTTL time.Duration
+	// EpochGCInterval is the number of epoch acquisitions between lazy
+	// sweeps of expired fence items (0 = every 64th).
+	EpochGCInterval int
 
 	// testWorkerDelay, when set by tests, stalls the given invocation
 	// before it executes its fragment — the straggler-injection seam.
@@ -142,6 +193,45 @@ type Driver struct {
 	env simenv.Env
 
 	queryCounter int
+	// retry is the driver-side retry scope, reset at the start of every
+	// query (a Driver serves one query at a time on the driver side).
+	retry *retryScope
+	// epochAcquires counts acquireEpoch calls to pace the lazy TTL sweep.
+	epochAcquires int
+	// workerRetries accumulates the substrate retries the current query's
+	// workers reported in their completion messages.
+	workerRetries int64
+}
+
+// retryScope bundles the retry machinery of one execution scope — the
+// driver side of one query, or one worker invocation: a policy with
+// deterministic backoff jitter, the scope's retry budget, and a stats
+// counter surfaced in the Report.
+type retryScope struct {
+	policy resilience.Policy
+	budget *resilience.Budget
+	stats  *resilience.Stats
+}
+
+// retryBudget resolves Config.RetryBudget into a fresh per-scope budget.
+func (d *Driver) retryBudget() *resilience.Budget {
+	n := d.cfg.RetryBudget
+	if n == 0 {
+		n = 256
+	}
+	if n < 0 {
+		return nil // unlimited
+	}
+	return resilience.NewBudget(n)
+}
+
+// newRetryScope returns a scope whose backoff jitter stream is derived
+// from seed — distinct seeds decorrelate concurrent scopes while staying
+// reproducible across runs.
+func (d *Driver) newRetryScope(seed int64) *retryScope {
+	s := &retryScope{budget: d.retryBudget(), stats: &resilience.Stats{}}
+	s.policy = resilience.Policy{Budget: s.budget, Stats: s.stats, Seed: seed}
+	return s
 }
 
 // New returns a driver using env as its local clock.
@@ -170,6 +260,12 @@ func New(dep *Deployment, env simenv.Env, cfg Config) *Driver {
 	if cfg.Region == "" {
 		cfg.Region = netmodel.RegionEU
 	}
+	if cfg.EpochTTL == 0 {
+		cfg.EpochTTL = 24 * time.Hour
+	}
+	if cfg.EpochGCInterval == 0 {
+		cfg.EpochGCInterval = 64
+	}
 	if dep.Deterministic {
 		// DES processes must stay single-threaded; the shaper models the
 		// timing effect of scan concurrency instead.
@@ -179,7 +275,9 @@ func New(dep *Deployment, env simenv.Env, cfg Config) *Driver {
 		cfg.Scan.ParallelFiles = 1
 		cfg.PipelineParallelism = 1
 	}
-	return &Driver{dep: dep, cfg: cfg, env: env}
+	d := &Driver{dep: dep, cfg: cfg, env: env}
+	d.retry = d.newRetryScope(-1)
+	return d
 }
 
 // Config returns the driver's configuration.
@@ -238,8 +336,14 @@ type resultMsg struct {
 	Attempt      int    `json:"attempt,omitempty"` // invocation attempt number
 	Epoch        int    `json:"epoch,omitempty"`   // query epoch fence token
 	Err          string `json:"err,omitempty"`
-	Chunk        []byte `json:"chunk,omitempty"` // lpq blob
-	ProcessingNs int64  `json:"processingNs"`    // plan execution time
+	// Retryable marks a failure as transient — the worker died of exhausted
+	// retries or an injected crash-class error, not of a plan or data error
+	// — so the scheduler may re-invoke the fragment instead of failing the
+	// query.
+	Retryable    bool   `json:"retryable,omitempty"`
+	Retries      int64  `json:"retries,omitempty"` // substrate retries spent by this invocation
+	Chunk        []byte `json:"chunk,omitempty"`   // lpq blob
+	ProcessingNs int64  `json:"processingNs"`      // plan execution time
 	Cold         bool   `json:"cold"`
 }
 
@@ -250,6 +354,11 @@ func (d *Driver) workerHandler(ctx *lambdasvc.Ctx, payload []byte) error {
 	if err := json.Unmarshal(payload, &p); err != nil {
 		return err
 	}
+	// Per-invocation retry scope: every substrate call the worker makes
+	// draws on this one budget, so a fault storm cannot keep a single
+	// invocation retrying forever — it degrades into a retryable failure
+	// seal the scheduler can act on.
+	ws := d.newRetryScope(int64(p.StageID)<<32 + int64(p.WorkerID)<<8 + int64(p.Attempt) + 1)
 
 	// First-generation workers launch their children before their own
 	// fragment (§4.2).
@@ -258,11 +367,14 @@ func (d *Driver) workerHandler(ctx *lambdasvc.Ctx, payload []byte) error {
 		for _, ch := range p.Children {
 			var cp workerPayload
 			if err := json.Unmarshal(ch, &cp); err != nil {
-				d.postResult(ctx.Env, p, fmt.Errorf("decoding child payload: %w", err), nil, 0, ctx.Cold)
+				d.postResult(ctx.Env, ws, p, fmt.Errorf("decoding child payload: %w", err), nil, 0, ctx.Cold)
 				return err
 			}
-			if err := d.dep.Lambda.Invoke(ctx.Env, d.cfg.FunctionName, ch, lambdasvc.InvokeOptions{WorkerID: cp.WorkerID, Pipelined: true}); err != nil {
-				d.postResult(ctx.Env, p, fmt.Errorf("invoking child %d: %w", cp.WorkerID, err), nil, 0, ctx.Cold)
+			body := ch
+			if err := ws.policy.Do(ctx.Env, "lambda.Invoke", func() error {
+				return d.dep.Lambda.Invoke(ctx.Env, d.cfg.FunctionName, body, lambdasvc.InvokeOptions{WorkerID: cp.WorkerID, Pipelined: true})
+			}); err != nil {
+				d.postResult(ctx.Env, ws, p, fmt.Errorf("invoking child %d: %w", cp.WorkerID, err), nil, 0, ctx.Cold)
 				return err
 			}
 			ctx.Env.Sleep(pacing.Gap())
@@ -273,9 +385,9 @@ func (d *Driver) workerHandler(ctx *lambdasvc.Ctx, payload []byte) error {
 		ctx.Env.Sleep(d.cfg.testWorkerDelay(p.StageID, p.WorkerID, p.Attempt))
 	}
 	start := ctx.Env.Now()
-	chunk, err := d.executeFragment(ctx, &p)
+	chunk, err := d.executeFragment(ctx, ws, &p)
 	processing := ctx.Env.Now() - start
-	return d.postResult(ctx.Env, p, err, chunk, processing, ctx.Cold)
+	return d.postResult(ctx.Env, ws, p, err, chunk, processing, ctx.Cold)
 }
 
 // ErrWorkerOOM is reported when a worker's working set exceeds its memory.
@@ -314,16 +426,17 @@ func engineMemoryBudget(memoryMiB int) int64 {
 	return b
 }
 
-func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, p *workerPayload) (*columnar.Chunk, error) {
+func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, ws *retryScope, p *workerPayload) (*columnar.Chunk, error) {
 	plan, err := engine.UnmarshalPlan(p.Plan)
 	if err != nil {
 		return nil, err
 	}
-	opts := []s3.ClientOption{}
+	opts := []s3.ClientOption{s3.WithBudget(ws.budget)}
 	if d.dep.Shaped {
 		opts = append(opts, s3.WithShaper(d.dep.Net, ctx.MemoryMiB))
 	}
 	client := s3.NewClient(d.dep.S3, ctx.Env, opts...)
+	defer func() { ws.stats.Add(client.Retries()) }()
 	cat := engine.Catalog{}
 	if len(p.Files) > 0 {
 		src := scan.New(client, d.cfg.Scan, p.Files...)
@@ -343,7 +456,7 @@ func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, p *workerPayload) (*columna
 	// Stage fragments collect their exchange inputs before executing and
 	// publish their partitioned output after (driver/stage.go).
 	if len(p.StageSpec) > 0 {
-		return d.runStageFragment(ctx, client, p, plan, cat)
+		return d.runStageFragment(ctx, ws, client, p, plan, cat)
 	}
 	// Every fragment — joins included — runs on the pipeline-graph
 	// scheduler; parallelism 1 (forced in DES deployments) executes the
@@ -358,10 +471,14 @@ func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, p *workerPayload) (*columna
 	return d.runExchange(client, p, partial)
 }
 
-func (d *Driver) postResult(env simenv.Env, p workerPayload, execErr error, chunk *columnar.Chunk, processing time.Duration, cold bool) error {
+func (d *Driver) postResult(env simenv.Env, ws *retryScope, p workerPayload, execErr error, chunk *columnar.Chunk, processing time.Duration, cold bool) error {
 	msg := resultMsg{QueryID: p.QueryID, WorkerID: p.WorkerID, Stage: p.StageID, Attempt: p.Attempt, Epoch: p.Epoch, ProcessingNs: processing.Nanoseconds(), Cold: cold}
 	if execErr != nil {
 		msg.Err = execErr.Error()
+		// A retryable failure is a typed failure seal: the scheduler may
+		// re-invoke the fragment through the attempt machinery instead of
+		// failing the query.
+		msg.Retryable = resilience.Retryable(execErr)
 	} else if chunk != nil {
 		blob, err := lpq.WriteFile(chunk.Schema, lpq.WriterOptions{}, chunk)
 		if err != nil {
@@ -370,9 +487,14 @@ func (d *Driver) postResult(env simenv.Env, p workerPayload, execErr error, chun
 			msg.Chunk = blob
 		}
 	}
+	msg.Retries = ws.stats.Retries()
 	body, err := json.Marshal(msg)
 	if err != nil {
 		return err
 	}
-	return d.dep.SQS.Send(env, d.cfg.ResultQueue, body)
+	// The completion message is the worker's last word — losing it to a
+	// transient SQS error would strand the whole query, so it retries too.
+	return ws.policy.Do(env, "sqs.Send", func() error {
+		return d.dep.SQS.Send(env, d.cfg.ResultQueue, body)
+	})
 }

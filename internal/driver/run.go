@@ -9,6 +9,8 @@ import (
 
 	"lambada/internal/awssim/lambdasvc"
 	"lambada/internal/awssim/s3"
+	"lambada/internal/awssim/simenv"
+	"lambada/internal/awssim/sqs"
 	"lambada/internal/columnar"
 	"lambada/internal/engine"
 	"lambada/internal/invoke"
@@ -39,6 +41,19 @@ type Report struct {
 	// Speculated counts backup invocations issued for stragglers (summed
 	// over stages in staged executions).
 	Speculated int
+	// FailureSeals counts retryable worker failure seals the staged
+	// scheduler absorbed by re-invoking the fragment (0 when every worker
+	// succeeded first try).
+	FailureSeals int
+	// DriverRetries and WorkerRetries count substrate-call retries the
+	// resilience layer spent on this query, on the driver side and summed
+	// over worker invocations respectively.
+	DriverRetries int64
+	WorkerRetries int64
+	// InjectedFaults is the deployment injector's cumulative per-"op/kind"
+	// fault count (nil outside chaos deployments). Cumulative across
+	// queries: the injector's schedule spans the deployment.
+	InjectedFaults map[string]int
 	// StageStats records per-stage launch/seal timing and speculation
 	// counters of a staged execution (nil for single-scope queries).
 	StageStats []StageStat
@@ -82,25 +97,33 @@ func (d *Driver) fillCostDelta(rep *Report, before map[string]float64) {
 			rep.TotalCost += delta
 		}
 	}
+	rep.DriverRetries = d.retry.stats.Retries()
+	rep.WorkerRetries = d.workerRetries
+	if d.dep.Faults != nil {
+		rep.InjectedFaults = d.dep.Faults.Injected()
+	}
 }
 
-// drainResults polls the result queue until n of the query's workers have
-// reported, discarding leftovers of earlier aborted queries (a query
+// drainResults polls the result queue until n distinct workers of the query
+// have reported, discarding leftovers of earlier aborted queries (a query
 // failing mid-flight returns before its remaining workers post; their
-// messages must not poison the next query on the same driver). Worker
-// errors fail the query; every valid message is handed to onMsg. The
-// single-scope and exchanged collectors run through it; the staged
-// scheduler has its own event loop (stage.go) with the same queryID
+// messages must not poison the next query on the same driver) and — SQS
+// being at-least-once — duplicate deliveries of a worker's completion
+// message, which would otherwise under-collect the remaining workers.
+// Worker errors fail the query; every first-per-worker message is handed to
+// onMsg. The single-scope and exchanged collectors run through it; the
+// staged scheduler has its own event loop (stage.go) with the same queryID
 // discard plus per-(stage,worker) attempt dedup.
 func (d *Driver) drainResults(queryID string, n int, onMsg func(rm resultMsg) error) error {
 	deadline := d.env.Now() + d.cfg.MaxWait
+	seen := make(map[int]bool, n)
 	for n > 0 {
-		wait := deadline - d.env.Now()
-		if wait <= 0 {
-			return fmt.Errorf("driver: %d results missing after %v", n, d.cfg.MaxWait)
-		}
-		msgs, err := d.dep.SQS.PollAll(d.env, d.cfg.ResultQueue, n, d.cfg.PollInterval, wait)
-		if err != nil {
+		var msgs []sqs.Message
+		if err := d.retry.policy.Do(d.env, "sqs.Receive", func() error {
+			var rerr error
+			msgs, rerr = d.dep.SQS.Receive(d.env, d.cfg.ResultQueue, 10)
+			return rerr
+		}); err != nil {
 			return fmt.Errorf("driver: collecting results: %w", err)
 		}
 		for _, m := range msgs {
@@ -118,13 +141,29 @@ func (d *Driver) drainResults(queryID string, n int, onMsg func(rm resultMsg) er
 				// the epoch fence.)
 				continue
 			}
+			if seen[rm.WorkerID] {
+				continue // duplicate delivery of an already-counted worker
+			}
 			if rm.Err != "" {
 				return fmt.Errorf("driver: worker %d failed: %s", rm.WorkerID, rm.Err)
 			}
+			seen[rm.WorkerID] = true
+			d.workerRetries += rm.Retries
 			if err := onMsg(rm); err != nil {
 				return err
 			}
 			n--
+		}
+		if n == 0 {
+			return nil
+		}
+		if d.env.Now() >= deadline {
+			return fmt.Errorf("driver: %d results missing after %v", n, d.cfg.MaxWait)
+		}
+		if len(msgs) == 0 {
+			// Park on the completion signal sqs.Send broadcasts — wake at
+			// the next message's exact arrival instant, timed poll fallback.
+			simenv.WaitNotify(d.env, d.cfg.PollInterval)
 		}
 	}
 	return nil
@@ -206,6 +245,9 @@ func (d *Driver) runPlan(plan engine.Plan, table string, files []scan.FileRef, b
 	}
 	d.queryCounter++
 	queryID := fmt.Sprintf("q%d", d.queryCounter)
+	// Fresh driver-side retry scope: the budget is per query.
+	d.retry = d.newRetryScope(-1)
+	d.workerRetries = 0
 
 	costBefore := d.costSnapshot()
 	startTime := d.env.Now()
@@ -333,9 +375,15 @@ func (d *Driver) runPlan(plan engine.Plan, table string, files []scan.FileRef, b
 }
 
 // invokeOne launches a single worker payload (used by backup requests).
+// Like every substrate call the driver makes, it runs under the query's
+// retry policy: transient invoke errors retry with backoff, quota
+// rejections (throttle-class Invoke errors are permanent capacity answers,
+// not blips) and payload errors stay fatal.
 func (d *Driver) invokeOne(payload []byte, workerID int) error {
-	return d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, payload,
-		lambdasvc.InvokeOptions{WorkerID: workerID, Pipelined: true})
+	return d.retry.policy.Do(d.env, "lambda.Invoke", func() error {
+		return d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, payload,
+			lambdasvc.InvokeOptions{WorkerID: workerID, Pipelined: true})
+	})
 }
 
 // invokeAll launches the fleet, directly or via the two-level tree.
@@ -345,7 +393,10 @@ func (d *Driver) invokeAll(payloads [][]byte) error {
 		for i, p := range payloads {
 			// Pipelined: the driver's requester thread pool overlaps the
 			// round trips; the loop paces at the effective rate (Table 1).
-			if err := d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, p, lambdasvc.InvokeOptions{WorkerID: i, Pipelined: true}); err != nil {
+			body, id := p, i
+			if err := d.retry.policy.Do(d.env, "lambda.Invoke", func() error {
+				return d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, body, lambdasvc.InvokeOptions{WorkerID: id, Pipelined: true})
+			}); err != nil {
 				return err
 			}
 			d.env.Sleep(pacing.Gap())
@@ -366,7 +417,10 @@ func (d *Driver) invokeAll(payloads [][]byte) error {
 		if err != nil {
 			return err
 		}
-		if err := d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, body, lambdasvc.InvokeOptions{WorkerID: fg}); err != nil {
+		id := fg
+		if err := d.retry.policy.Do(d.env, "lambda.Invoke", func() error {
+			return d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, body, lambdasvc.InvokeOptions{WorkerID: id})
+		}); err != nil {
 			return err
 		}
 	}

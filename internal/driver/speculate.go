@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"time"
 
+	"lambada/internal/awssim/simenv"
+	"lambada/internal/awssim/sqs"
 	"lambada/internal/columnar"
 	"lambada/internal/lpq"
 )
@@ -168,8 +170,12 @@ func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launc
 	speculated := 0
 
 	for len(got) < workers {
-		msgs, err := d.dep.SQS.Receive(d.env, d.cfg.ResultQueue, 10)
-		if err != nil {
+		var msgs []sqs.Message
+		if err := d.retry.policy.Do(d.env, "sqs.Receive", func() error {
+			var rerr error
+			msgs, rerr = d.dep.SQS.Receive(d.env, d.cfg.ResultQueue, 10)
+			return rerr
+		}); err != nil {
 			return nil, nil, 0, 0, err
 		}
 		for _, m := range msgs {
@@ -187,6 +193,7 @@ func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launc
 				return nil, nil, 0, 0, fmt.Errorf("driver: worker %d failed: %s", rm.WorkerID, rm.Err)
 			}
 			got[rm.WorkerID] = true
+			d.workerRetries += rm.Retries
 			if rm.Cold {
 				cold++
 			}
@@ -223,7 +230,10 @@ func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launc
 		if d.env.Now()-launchAt > d.cfg.MaxWait {
 			return nil, nil, 0, 0, fmt.Errorf("driver: timed out with %d/%d workers", len(got), workers)
 		}
-		d.env.Sleep(d.cfg.PollInterval)
+		// Park on the completion signal sqs.Send broadcasts — wake at the
+		// next result's exact arrival instant, timed poll fallback (the
+		// timed wake also paces the straggler checks above).
+		simenv.WaitNotify(d.env, d.cfg.PollInterval)
 	}
 	return chunks, processing, cold, speculated, nil
 }

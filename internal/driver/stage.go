@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"lambada/internal/awssim/dynamo"
 	"lambada/internal/awssim/lambdasvc"
 	"lambada/internal/awssim/s3"
 	"lambada/internal/awssim/simenv"
+	"lambada/internal/awssim/sqs"
 	"lambada/internal/columnar"
 	"lambada/internal/engine"
 	"lambada/internal/exchange"
@@ -115,9 +117,18 @@ func epochKey(queryID string) string { return "epoch/" + queryID }
 // The uniqueness source is the durable counter itself (no wall clock, no
 // randomness), so DES runs stay deterministic.
 func (d *Driver) acquireEpoch(table, queryID string) (int, error) {
+	d.epochAcquires++
+	if d.epochAcquires%d.cfg.EpochGCInterval == 0 {
+		d.sweepEpochs(table)
+	}
 	key := epochKey(queryID)
 	for {
-		cur, err := d.dep.Dynamo.Get(d.env, table, key)
+		var cur []byte
+		err := d.retry.policy.Do(d.env, "dynamo.Get", func() error {
+			var gerr error
+			cur, gerr = d.dep.Dynamo.Get(d.env, table, key)
+			return gerr
+		})
 		if err != nil {
 			if !errors.Is(err, dynamo.ErrNoSuchItem) {
 				return 0, err
@@ -126,13 +137,16 @@ func (d *Driver) acquireEpoch(table, queryID string) (int, error) {
 		}
 		next := 1
 		if cur != nil {
-			prev, perr := strconv.Atoi(string(cur))
-			if perr != nil {
+			prev, _, ok := parseEpochValue(cur)
+			if !ok {
 				return 0, fmt.Errorf("driver: corrupt epoch item %s/%s: %q", table, key, cur)
 			}
 			next = prev + 1
 		}
-		putErr := d.dep.Dynamo.PutIf(d.env, table, key, []byte(strconv.Itoa(next)), cur)
+		val := []byte(fmt.Sprintf("%d@%d", next, int64(d.env.Now())))
+		putErr := d.retry.policy.Do(d.env, "dynamo.PutIf", func() error {
+			return d.dep.Dynamo.PutIf(d.env, table, key, val, cur)
+		})
 		if putErr == nil {
 			return next, nil
 		}
@@ -141,6 +155,66 @@ func (d *Driver) acquireEpoch(table, queryID string) (int, error) {
 		}
 		// Lost the increment race to a concurrent driver: re-read, go again.
 	}
+}
+
+// parseEpochValue decodes an epoch item: "<epoch>@<writtenAtNs>" since the
+// TTL sweep was introduced, a bare integer before it. The timestamp is the
+// virtual write instant, used only to age items out (legacy items read as
+// written at time zero, so they age out first).
+func parseEpochValue(v []byte) (epoch int, at int64, ok bool) {
+	s := string(v)
+	if i := strings.IndexByte(s, '@'); i >= 0 {
+		e, err1 := strconv.Atoi(s[:i])
+		a, err2 := strconv.ParseInt(s[i+1:], 10, 64)
+		if err1 != nil || err2 != nil {
+			return 0, 0, false
+		}
+		return e, a, true
+	}
+	e, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, 0, false
+	}
+	return e, 0, true
+}
+
+// sweepEpochs lazily deletes expired epoch fence items — without it the
+// stages table accumulates one item per query ID ever run on the
+// deployment. An item expires once EpochTTL of virtual time passed since
+// its last increment; the TTL must exceed the function timeout, so no
+// worker of a fenced run can still be alive when its fence goes. Best
+// effort: errors are ignored (the next sweep retries), and the
+// delete/re-acquire race is safe — acquireEpoch's conditional Put with a
+// non-nil expect fails on a missing item and re-reads.
+func (d *Driver) sweepEpochs(table string) {
+	items, err := d.dep.Dynamo.Scan(d.env, table, "epoch/")
+	if err != nil {
+		return
+	}
+	cutoff := int64(d.env.Now()) - int64(d.cfg.EpochTTL)
+	for _, it := range items {
+		if _, at, ok := parseEpochValue(it.Value); ok && at < cutoff {
+			d.dep.Dynamo.Delete(d.env, table, it.Key)
+		}
+	}
+}
+
+// StageFailure is the structured terminal error of a staged query: a worker
+// posted a failure seal the scheduler could not — or must not — retry away.
+// Retryable distinguishes an exhausted relaunch budget (transient causes,
+// crash-class errors, spent retry budgets) from a deterministic plan or
+// data error that no relaunch would fix.
+type StageFailure struct {
+	QueryID   string
+	Stage     int
+	Worker    int
+	Attempt   int
+	Retryable bool
+	Msg       string
+}
+
+func (e *StageFailure) Error() string {
+	return fmt.Sprintf("driver: stage %d worker %d failed: %s", e.Stage, e.Worker, e.Msg)
 }
 
 // RunSQLStaged parses a SQL query over any number of S3-backed tables and
@@ -201,6 +275,9 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	}
 	d.queryCounter++
 	queryID := fmt.Sprintf("q%d", d.queryCounter)
+	// Fresh driver-side retry scope: the budget is per query.
+	d.retry = d.newRetryScope(-1)
+	d.workerRetries = 0
 
 	costBefore := d.costSnapshot()
 	startTime := d.env.Now()
@@ -421,12 +498,17 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	var results []workerResult
 	var processing []time.Duration
 	cold, speculated := 0, 0
+	failureSeals := 0
 	sealedCount := 0
 	backupPacing := invoke.DriverPacing(d.cfg.Region, d.cfg.InvokeThreads)
 	deadline := d.env.Now() + d.cfg.MaxWait
 	for sealedCount < len(runs) {
-		msgs, err := d.dep.SQS.Receive(d.env, d.cfg.ResultQueue, 10)
-		if err != nil {
+		var msgs []sqs.Message
+		if err := d.retry.policy.Do(d.env, "sqs.Receive", func() error {
+			var rerr error
+			msgs, rerr = d.dep.SQS.Receive(d.env, d.cfg.ResultQueue, 10)
+			return rerr
+		}); err != nil {
 			return nil, nil, fmt.Errorf("driver: collecting seals: %w", err)
 		}
 		for _, m := range msgs {
@@ -447,8 +529,35 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 			if _, dup := r.winners[rm.WorkerID]; dup {
 				continue // losing half of a backup pair — files swept later
 			}
+			d.workerRetries += rm.Retries
 			if rm.Err != "" {
-				return nil, nil, fmt.Errorf("driver: stage %d worker %d failed: %s", rm.Stage, rm.WorkerID, rm.Err)
+				// Failure seal. A retryable one — the worker exhausted its
+				// substrate retry budget, or died of a crash-class error —
+				// is re-invoked through the attempt machinery: the fresh
+				// attempt namespaces its boundary publishes exactly like a
+				// speculation backup, so it cannot race the dead original.
+				// Every invocation gets at least one relaunch even with
+				// speculation disabled; deterministic plan or data errors
+				// fail the query immediately with a structured error.
+				relaunches := r.policy.maxRetries(r.st.MaxAttempts)
+				if relaunches < 1 {
+					relaunches = 1
+				}
+				if rm.Retryable && r.policy.attempts[rm.WorkerID] < relaunches {
+					r.policy.attempts[rm.WorkerID]++
+					failureSeals++
+					backup := r.payloads[rm.WorkerID]
+					backup.Attempt = r.policy.attempts[rm.WorkerID]
+					body, err := json.Marshal(&backup)
+					if err != nil {
+						return nil, nil, err
+					}
+					if err := d.invokeOne(body, rm.WorkerID); err != nil {
+						return nil, nil, fmt.Errorf("driver: relaunching stage %d worker %d: %w", rm.Stage, rm.WorkerID, err)
+					}
+					continue
+				}
+				return nil, nil, &StageFailure{QueryID: queryID, Stage: rm.Stage, Worker: rm.WorkerID, Attempt: rm.Attempt, Retryable: rm.Retryable, Msg: rm.Err}
 			}
 			r.winners[rm.WorkerID] = rm.Attempt
 			if rm.Cold {
@@ -464,7 +573,9 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 				// Ready: record it in DynamoDB for the consumers' barrier
 				// (the Put broadcasts the completion signal, waking workers
 				// parked in waitSealed at this exact instant).
-				if err := d.dep.Dynamo.Put(d.env, sealTable, sealKey(queryID, epoch, r.st.ID), []byte("sealed")); err != nil {
+				if err := d.retry.policy.Do(d.env, "dynamo.Put", func() error {
+					return d.dep.Dynamo.Put(d.env, sealTable, sealKey(queryID, epoch, r.st.ID), []byte("sealed"))
+				}); err != nil {
 					return nil, nil, err
 				}
 				r.state = stageSealed
@@ -525,7 +636,11 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 			return nil, nil, fmt.Errorf("driver: %d seal messages missing after %v", missing, d.cfg.MaxWait)
 		}
 		if len(msgs) == 0 {
-			d.env.Sleep(d.cfg.PollInterval)
+			// Park on the completion signal sqs.Send broadcasts: the loop
+			// wakes at the instant the next seal lands instead of rounding
+			// the whole query up to the next PollInterval tick, with the
+			// timed poll as fallback.
+			simenv.WaitNotify(d.env, d.cfg.PollInterval)
 		}
 	}
 
@@ -568,6 +683,7 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 		WorkerProcessing: processing,
 		ColdWorkers:      cold,
 		Speculated:       speculated,
+		FailureSeals:     failureSeals,
 	}
 	for _, r := range runs {
 		rep.StageStats = append(rep.StageStats, StageStat{
@@ -590,8 +706,12 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 // discarded by its older epoch.
 func (d *Driver) purgeResults() error {
 	for {
-		msgs, err := d.dep.SQS.Receive(d.env, d.cfg.ResultQueue, 10)
-		if err != nil {
+		var msgs []sqs.Message
+		if err := d.retry.policy.Do(d.env, "sqs.Receive", func() error {
+			var rerr error
+			msgs, rerr = d.dep.SQS.Receive(d.env, d.cfg.ResultQueue, 10)
+			return rerr
+		}); err != nil {
 			return err
 		}
 		if len(msgs) == 0 {
@@ -725,7 +845,7 @@ func fragmentScans(p engine.Plan, table string) bool {
 // execute the fragment on the pipeline-graph scheduler, and either publish
 // the partitioned output into this stage's attempt namespace or hand the
 // chunk back for the SQS result post.
-func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, client *s3.Client, p *workerPayload, plan engine.Plan, cat engine.Catalog) (*columnar.Chunk, error) {
+func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, ws *retryScope, client *s3.Client, p *workerPayload, plan engine.Plan, cat engine.Catalog) (*columnar.Chunk, error) {
 	var spec stageSpec
 	if err := json.Unmarshal(p.StageSpec, &spec); err != nil {
 		return nil, err
@@ -750,7 +870,7 @@ func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, client *s3.Client, p *work
 		// every producer reported through SQS. Under pipelined launch this
 		// worker was invoked before its producers sealed, so the wait here
 		// is where cold start and upstream execution overlap.
-		if err := d.waitSealed(ctx, &spec, in.StageID, sealDeadline); err != nil {
+		if err := d.waitSealed(ctx, ws, &spec, in.StageID, sealDeadline); err != nil {
 			return nil, err
 		}
 		copts := opts
@@ -806,9 +926,12 @@ func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, client *s3.Client, p *work
 // this run's barrier. Between checks the worker parks on the completion
 // signal dynamo.Put broadcasts — it wakes at the instant the marker lands
 // instead of at the next poll boundary — with the timed poll as fallback.
-func (d *Driver) waitSealed(ctx *lambdasvc.Ctx, spec *stageSpec, stageID int, deadline time.Duration) error {
+func (d *Driver) waitSealed(ctx *lambdasvc.Ctx, ws *retryScope, spec *stageSpec, stageID int, deadline time.Duration) error {
 	for {
-		_, err := d.dep.Dynamo.Get(ctx.Env, spec.SealTable, sealKey(spec.QueryID, spec.Epoch, stageID))
+		err := ws.policy.Do(ctx.Env, "dynamo.Get", func() error {
+			_, gerr := d.dep.Dynamo.Get(ctx.Env, spec.SealTable, sealKey(spec.QueryID, spec.Epoch, stageID))
+			return gerr
+		})
 		if err == nil {
 			return nil
 		}

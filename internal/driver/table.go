@@ -36,7 +36,9 @@ func (d *Driver) UploadTable(bucket, prefix string, data *columnar.Chunk, nfiles
 			return nil, err
 		}
 		key := fmt.Sprintf("%s/part-%05d.lpq", prefix, idx)
-		if err := d.dep.S3.Put(d.env, bucket, key, buf.Bytes()); err != nil {
+		if err := d.retry.policy.Do(d.env, "s3.Put", func() error {
+			return d.dep.S3.Put(d.env, bucket, key, buf.Bytes())
+		}); err != nil {
 			return nil, err
 		}
 		refs = append(refs, scan.FileRef{Bucket: bucket, Key: key})
