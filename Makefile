@@ -1,8 +1,8 @@
 GO ?= go
 # bench-json knobs: the PR-numbered output file, the previous PR's file the
 # comparability check runs against, and the per-benchmark time.
-BENCH_JSON ?= BENCH_PR6.json
-BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR6.json
 BENCHTIME ?= 300ms
 
 .PHONY: build test race race-staged chaos bench bench-json vet
@@ -21,7 +21,7 @@ race:
 # primitives under them) race-instrumented at a fixed GOMAXPROCS so
 # goroutine interleavings actually happen on 1-CPU runners.
 race-staged:
-	GOMAXPROCS=4 $(GO) test -race ./internal/driver/ ./internal/exchange/ ./internal/stageplan/ ./internal/simclock/ ./internal/awssim/dynamo/
+	GOMAXPROCS=4 $(GO) test -race ./internal/driver/ ./internal/exchange/ ./internal/stageplan/ ./internal/simclock/ ./internal/awssim/dynamo/ ./internal/lpq/ ./internal/scan/
 
 # chaos runs the deterministic fault-injection suites race-instrumented:
 # the injector/resilience unit tests, the per-service fault tests, and the

@@ -21,6 +21,44 @@
 //	(1) multiple chunked requests per read, only as a fallback, since
 //	    extra requests cost money (Figure 7).
 //
+// # Price-aware scan layer
+//
+// S3 bills a scan on two axes — a fixed price per GET request and a linear
+// price per byte — and the lpq v2 format plus the scan read path spend both
+// deliberately (Figure 7's request-size trade-off, applied to dollars
+// rather than bandwidth).
+//
+// An LPQ2 file extends every column chunk's footer entry with a distinct-
+// count estimate and a page index: chunks longer than WriterOptions.PageRows
+// are split into pages, each encoded and compressed independently, with
+// per-page row counts, byte extents and min/max bounds. The index is stored
+// compactly — lengths as uvarints with offsets reconstructed cumulatively,
+// Int64/Bool bounds zigzag-encoded, Float64 bounds raw — because every
+// reader downloads the footer before anything else. Page bounds are kept
+// only when they can actually prune: if the average page value range
+// exceeds half the chunk's range (an unclustered column), the writer drops
+// the page stats and the pages carry extents alone. LPQ1 files remain fully
+// readable; the footer read itself fetches a speculative tail sized to real
+// footers (lpq.FooterGuess) so opening metadata never re-downloads a small
+// object end to end.
+//
+// Scans with a residual filter run in two phases (late materialization):
+// phase one fetches only the filter columns of the pages that survive
+// zone-map pruning and evaluates the exact predicate; phase two fetches the
+// payload columns only for pages where rows actually survived, then gathers
+// the surviving rows. Each phase fetches one covering byte range per column
+// — first kept page to last kept page — so per-column requests never exceed
+// one and billed bytes never exceed the chunk. Across columns, ranges are
+// batched through s3fs.File.ReadRanges, which coalesces them into spans
+// when the gap is small (scan.Config.CoalesceGapBytes, default 128 KiB)
+// and the accumulated hole bytes stay under 1/8 of the span — trading one
+// fixed-price request against a bounded byte overhead, never an unbounded
+// one. The same page index feeds planning: stage fan-out uses the
+// pruning-aware lpq.EstimateRows instead of raw footer row counts, so
+// selective queries launch fewer scan workers. scan.Stats and the driver
+// Report expose the billed request and byte counters the cost-guard tests
+// and BenchmarkStagedSelectiveScan assert on.
+//
 // # Pipeline-graph scheduler
 //
 // The engine has exactly one executor. A planner pass decomposes any plan

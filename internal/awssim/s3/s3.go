@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lambada/internal/awssim/faults"
@@ -124,6 +125,8 @@ type Service struct {
 	cfg     Config
 	buckets map[string]*bucket
 	rng     *lockedRand
+	// readBytes totals the billed bytes served by Get/GetRange.
+	readBytes atomic.Int64
 }
 
 // New returns a service with the given configuration.
@@ -335,6 +338,7 @@ func (s *Service) Get(env simenv.Env, bucketName, key string) ([]byte, int64, er
 	if err != nil {
 		return nil, 0, err
 	}
+	s.readBytes.Add(o.Size)
 	if o.data == nil {
 		return nil, o.Size, nil
 	}
@@ -361,6 +365,7 @@ func (s *Service) GetRange(env simenv.Env, bucketName, key string, off, n int64)
 	if off+n > o.Size {
 		n = o.Size - off
 	}
+	s.readBytes.Add(n)
 	if o.data == nil {
 		return nil, n, nil
 	}
@@ -471,3 +476,6 @@ func (s *Service) sleepDist(env simenv.Env, d netmodel.Dist) {
 
 // Meter returns the service's cost meter (may be nil).
 func (s *Service) Meter() *pricing.CostMeter { return s.cfg.Meter }
+
+// ReadBytes returns the total billed bytes served by Get/GetRange.
+func (s *Service) ReadBytes() int64 { return s.readBytes.Load() }

@@ -147,3 +147,61 @@ func BenchmarkBroadcastJoin(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStagedSelectiveScan measures what the price-aware scan layer
+// actually bills: staged q12 (selective l_receiptdate range) on v2 paged
+// lineitem files under DES, reporting the modeled S3 cost per query —
+// billed GET requests and billed bytes — alongside the virtual latency.
+// These are the dollar axes of the paper's cost model: requests have a
+// fixed price, bytes a linear one, and the page index / late
+// materialization / coalescing trade between them.
+func BenchmarkStagedSelectiveScan(b *testing.B) {
+	g := tpch.Gen{SF: 0.002, Seed: 33}
+	li := g.Generate()
+	orders := g.OrdersFor(li)
+	var virtual time.Duration
+	var gets, bytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := simclock.New()
+		dep := NewSimulated(k, 47)
+		k.Go("driver", func(p *simclock.Proc) {
+			d := New(dep, p, DefaultConfig())
+			if err := d.Install(); err != nil {
+				b.Error(err)
+				return
+			}
+			liRefs, err := d.UploadTable("tpch", "lineitem", li, 6,
+				lpq.WriterOptions{RowGroupRows: 2000, PageRows: 512, Compression: lpq.Gzip})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			ordRefs, err := d.UploadTable("tpch", "orders", orders, 3,
+				lpq.WriterOptions{RowGroupRows: 2000, Compression: lpq.Gzip})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			scfg := DefaultStageConfig()
+			scfg.Partitions = 2
+			scfg.BroadcastRowLimit = -1
+			out, rep, err := d.RunSQLStaged(q12ExactSQL, TableFiles{"lineitem": liRefs, "orders": ordRefs}, scfg)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if out.NumRows() == 0 {
+				b.Error("empty result")
+				return
+			}
+			virtual += rep.Duration
+			gets += rep.S3GetRequests
+			bytes += rep.S3ReadBytes
+		})
+		k.Run()
+	}
+	b.ReportMetric(float64(virtual)/float64(b.N)/1e6, "vms/op")
+	b.ReportMetric(float64(gets)/float64(b.N), "billed_get_requests/op")
+	b.ReportMetric(float64(bytes)/float64(b.N), "billed_bytes/op")
+}

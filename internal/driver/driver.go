@@ -404,7 +404,38 @@ type memGuardSource struct {
 }
 
 func (m memGuardSource) Scan(proj []string, preds []lpq.Predicate, yield func(*columnar.Chunk) error) error {
-	return m.Source.Scan(proj, preds, func(c *columnar.Chunk) error {
+	return m.Source.Scan(proj, preds, m.guard(yield))
+}
+
+// ScanFiltered forwards late-materialized scans to the wrapped source
+// (memGuardSource must re-implement the interface: embedding engine.Source
+// hides whether the dynamic value is filterable). When it isn't, fall back
+// to a full scan filtered here so pipelines that skipped their filter stage
+// still see filtered chunks.
+func (m memGuardSource) ScanFiltered(proj []string, preds []lpq.Predicate, filter engine.Expr, yield func(*columnar.Chunk) error) error {
+	if fs, ok := m.Source.(engine.FilterableSource); ok {
+		return fs.ScanFiltered(proj, preds, filter, m.guard(yield))
+	}
+	var sel []int
+	return m.Source.Scan(proj, preds, m.guard(func(c *columnar.Chunk) error {
+		var err error
+		sel, err = engine.FilterSelection(c, filter, sel)
+		if err != nil {
+			return err
+		}
+		if len(sel) == 0 {
+			return nil
+		}
+		if len(sel) == c.NumRows() {
+			return yield(c)
+		}
+		return yield(c.Gather(sel))
+	}))
+}
+
+// guard wraps yield with the working-set budget check.
+func (m memGuardSource) guard(yield func(*columnar.Chunk) error) func(*columnar.Chunk) error {
+	return func(c *columnar.Chunk) error {
 		// The scan pipeline holds the decoded chunk plus the compressed
 		// download buffers and the double-buffered next group; budget 3×.
 		if need := 3 * c.ByteSize(); need > m.budget {
@@ -412,8 +443,10 @@ func (m memGuardSource) Scan(proj []string, preds []lpq.Predicate, yield func(*c
 				ErrWorkerOOM, need>>20, m.budget>>20)
 		}
 		return yield(c)
-	})
+	}
 }
+
+var _ engine.FilterableSource = memGuardSource{}
 
 // engineMemoryBudget returns the execution-engine limit: the function's
 // memory minus a fixed headroom for the handler and runtime.

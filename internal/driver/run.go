@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lambada/internal/awssim/lambdasvc"
+	"lambada/internal/awssim/pricing"
 	"lambada/internal/awssim/s3"
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/awssim/sqs"
@@ -61,6 +62,12 @@ type Report struct {
 	// difference is what the query cost.
 	CostDelta map[string]float64
 	TotalCost float64
+	// S3GetRequests and S3ReadBytes count the billed S3 read requests and
+	// read bytes the query issued — the scan layer's two cost drivers,
+	// surfaced so pruning/coalescing wins are visible without reading
+	// awssim internals.
+	S3GetRequests int64
+	S3ReadBytes   int64
 }
 
 // StageStat is one stage's slice of a staged execution.
@@ -77,26 +84,38 @@ type StageStat struct {
 	Speculated int
 }
 
+// costSnap is the meter state captured around a query: per-label dollar
+// totals plus the raw S3 read request/byte counters.
+type costSnap struct {
+	cost        map[string]float64
+	s3Gets      int64
+	s3ReadBytes int64
+}
+
 // costSnapshot captures the meter's current per-label totals.
-func (d *Driver) costSnapshot() map[string]float64 {
-	before := map[string]float64{}
+func (d *Driver) costSnapshot() costSnap {
+	snap := costSnap{cost: map[string]float64{}}
 	for _, l := range d.dep.Meter.Labels() {
-		before[l] = float64(d.dep.Meter.Get(l))
+		snap.cost[l] = float64(d.dep.Meter.Get(l))
 	}
-	return before
+	snap.s3Gets = d.dep.Meter.Count(pricing.LabelS3Read)
+	snap.s3ReadBytes = d.dep.S3.ReadBytes()
+	return snap
 }
 
 // fillCostDelta records what the query cost: the meter movement since the
 // snapshot, per label and in total.
-func (d *Driver) fillCostDelta(rep *Report, before map[string]float64) {
+func (d *Driver) fillCostDelta(rep *Report, before costSnap) {
 	rep.CostDelta = map[string]float64{}
 	for _, l := range d.dep.Meter.Labels() {
-		delta := float64(d.dep.Meter.Get(l)) - before[l]
+		delta := float64(d.dep.Meter.Get(l)) - before.cost[l]
 		if delta > 0 {
 			rep.CostDelta[l] = delta
 			rep.TotalCost += delta
 		}
 	}
+	rep.S3GetRequests = d.dep.Meter.Count(pricing.LabelS3Read) - before.s3Gets
+	rep.S3ReadBytes = d.dep.S3.ReadBytes() - before.s3ReadBytes
 	rep.DriverRetries = d.retry.stats.Retries()
 	rep.WorkerRetries = d.workerRetries
 	if d.dep.Faults != nil {

@@ -282,11 +282,11 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	costBefore := d.costSnapshot()
 	startTime := d.env.Now()
 
-	// Resolve every table's schema and row count from its lpq footers —
-	// driver-side metadata reads only.
+	// Resolve every table's schema from its lpq footers — driver-side
+	// metadata reads only.
 	driverClient := s3.NewClient(d.dep.S3, d.env)
 	optCat := engine.Catalog{}
-	stats := stageplan.Stats{Rows: map[string]int64{}}
+	srcs := map[string]*scan.Source{}
 	for name, files := range tables {
 		if len(files) == 0 {
 			return nil, nil, fmt.Errorf("driver: table %q has no files", name)
@@ -296,24 +296,69 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 		if err != nil {
 			return nil, nil, fmt.Errorf("driver: resolving %q schema: %w", name, err)
 		}
-		rows, err := src.TotalRows()
-		if err != nil {
-			return nil, nil, fmt.Errorf("driver: counting %q rows: %w", name, err)
-		}
 		optCat[name] = engine.NewMemSource(schema)
-		stats.Rows[name] = rows
+		srcs[name] = src
 	}
 
 	opt, err := engine.Optimize(plan, optCat)
 	if err != nil {
 		return nil, nil, err
 	}
+
+	// Pruning-aware fan-out: size the stage DAG from the rows the pushed-
+	// down predicates can actually select, not the full table. The prune
+	// predicates must be collected before Decompose — it rewrites the plan
+	// in place.
+	tablePreds := map[string][]lpq.Predicate{}
+	engine.VisitScans(opt, func(s *engine.ScanPlan) {
+		if len(s.Prune) > 0 {
+			tablePreds[s.Table] = s.Prune
+		}
+	})
+	stats := stageplan.Stats{Rows: map[string]int64{}}
+	for name, src := range srcs {
+		rows, err := src.EstimateRows(tablePreds[name])
+		if err != nil {
+			return nil, nil, fmt.Errorf("driver: estimating %q rows: %w", name, err)
+		}
+		stats.Rows[name] = rows
+	}
+
 	sp, err := stageplan.Decompose(opt, stats, stageplan.Config{
 		Partitions:        cfg.Partitions,
 		BroadcastRowLimit: cfg.BroadcastRowLimit,
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+
+	// Pruned file assignment: a file whose footer statistics rule out every
+	// predicate match gets no scan worker at all — fewer invocations, and
+	// the surviving workers still prune at row-group/page granularity.
+	scanFiles := TableFiles{}
+	for name, files := range tables {
+		preds := tablePreds[name]
+		if len(preds) == 0 {
+			scanFiles[name] = files
+			continue
+		}
+		var kept []scan.FileRef
+		for _, f := range files {
+			rows, err := srcs[name].EstimateFileRows(f, preds)
+			if err != nil {
+				return nil, nil, fmt.Errorf("driver: estimating %q file rows: %w", name, err)
+			}
+			if rows > 0 {
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) == 0 {
+			// Every file pruned: keep one worker alive so the stage still
+			// launches and seals (exchange consumers wait on its senders);
+			// its scan reads only the footer and yields nothing.
+			kept = files[:1]
+		}
+		scanFiles[name] = kept
 	}
 
 	// Load the genuinely small tables the planner kept as broadcast joins.
@@ -371,7 +416,7 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	workers := map[int]int{}
 	for _, st := range sp.Stages {
 		if st.Table != "" {
-			files := tables[st.Table]
+			files := scanFiles[st.Table]
 			if files == nil {
 				return nil, nil, fmt.Errorf("driver: stage %d scans unknown table %q", st.ID, st.Table)
 			}
@@ -410,7 +455,7 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	runs := make([]*stageRun, 0, len(sp.Stages))
 	byID := map[int]*stageRun{}
 	for _, st := range sp.Stages {
-		ps, err := d.stagePayloads(queryID, epoch, st, sp, tables, workers, blobs, buckets, sealTable, cfg)
+		ps, err := d.stagePayloads(queryID, epoch, st, sp, scanFiles, workers, blobs, buckets, sealTable, cfg)
 		if err != nil {
 			return nil, nil, err
 		}

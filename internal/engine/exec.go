@@ -61,21 +61,11 @@ func Execute(p Plan, cat Catalog) (*columnar.Chunk, error) {
 // a gathered result comes from the pool (pooled=true); the caller owns
 // recycling it per the columnar.Pool contract.
 func applyFilter(c *columnar.Chunk, pred Expr, sel []int, pool *columnar.Pool) (out *columnar.Chunk, selOut []int, pooled bool, err error) {
-	v, err := pred.Eval(c)
+	sel, err = FilterSelection(c, pred, sel)
 	if err != nil {
 		return nil, sel, false, err
 	}
-	if v.Type != columnar.Bool {
-		return nil, sel, false, fmt.Errorf("engine: filter predicate of type %v", v.Type)
-	}
-	n := c.NumRows()
-	sel = sel[:0]
-	for i := 0; i < n; i++ {
-		if v.Bools[i] {
-			sel = append(sel, i)
-		}
-	}
-	if len(sel) == n {
+	if len(sel) == c.NumRows() {
 		return c, sel, false, nil
 	}
 	if pool != nil {
@@ -84,6 +74,28 @@ func applyFilter(c *columnar.Chunk, pred Expr, sel []int, pool *columnar.Pool) (
 		return out, sel, true, nil
 	}
 	return c.Gather(sel), sel, false, nil
+}
+
+// FilterSelection evaluates pred over c and returns the indices of passing
+// rows, appended into the (reset) caller-owned scratch sel. It is the
+// selection kernel shared by the pipeline filter stage and filterable
+// sources' late-materialized scans.
+func FilterSelection(c *columnar.Chunk, pred Expr, sel []int) ([]int, error) {
+	v, err := pred.Eval(c)
+	if err != nil {
+		return sel, err
+	}
+	if v.Type != columnar.Bool {
+		return sel, fmt.Errorf("engine: filter predicate of type %v", v.Type)
+	}
+	n := c.NumRows()
+	sel = sel[:0]
+	for i := 0; i < n; i++ {
+		if v.Bools[i] {
+			sel = append(sel, i)
+		}
+	}
+	return sel, nil
 }
 
 // sortChunk sorts by keys, stable. Each key column is compared in its own

@@ -116,12 +116,12 @@ func ExtractPrunePredicates(pred Expr, schema *columnar.Schema) []lpq.Predicate 
 			continue
 		}
 		col, cok := b.L.(Col)
-		val, vok := constValue(b.R)
+		val, iv, isInt, vok := constValue(b.R)
 		op := b.Op
 		if !cok || !vok {
 			// Try the mirrored form (const cmp col).
 			col, cok = b.R.(Col)
-			val, vok = constValue(b.L)
+			val, iv, isInt, vok = constValue(b.L)
 			if !cok || !vok {
 				continue
 			}
@@ -131,13 +131,30 @@ func ExtractPrunePredicates(pred Expr, schema *columnar.Schema) []lpq.Predicate 
 			continue
 		}
 		p := lpq.Predicate{Column: string(col), Min: math.Inf(-1), Max: math.Inf(1)}
+		if isInt {
+			// Carry the exact integer bounds: Int64 columns prune via these
+			// (the float mirror is lossy above 2^53). Admits falls back to
+			// the float interval for non-Int64 columns.
+			p.HasInt = true
+			p.MinInt, p.MaxInt = math.MinInt64, math.MaxInt64
+		}
 		switch op {
 		case OpEQ:
 			p.Min, p.Max = val, val
+			p.MinInt, p.MaxInt = iv, iv
 		case OpLT, OpLE:
 			p.Max = val
+			p.MaxInt = iv
+			if op == OpLT && iv > math.MinInt64 {
+				// col < iv over integers means col <= iv-1.
+				p.MaxInt = iv - 1
+			}
 		case OpGT, OpGE:
 			p.Min = val
+			p.MinInt = iv
+			if op == OpGT && iv < math.MaxInt64 {
+				p.MinInt = iv + 1
+			}
 		default: // OpNE prunes nothing
 			continue
 		}
@@ -146,14 +163,14 @@ func ExtractPrunePredicates(pred Expr, schema *columnar.Schema) []lpq.Predicate 
 	return out
 }
 
-func constValue(e Expr) (float64, bool) {
+func constValue(e Expr) (f float64, iv int64, isInt bool, ok bool) {
 	switch v := e.(type) {
 	case ConstInt:
-		return float64(v), true
+		return float64(v), int64(v), true, true
 	case ConstFloat:
-		return float64(v), true
+		return float64(v), 0, false, true
 	default:
-		return 0, false
+		return 0, 0, false, false
 	}
 }
 

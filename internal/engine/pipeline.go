@@ -185,7 +185,11 @@ walk:
 		}
 	}
 	if n.scan != nil && n.scan.Filter != nil {
-		n.stages = append(n.stages, stage{filter: n.scan.Filter})
+		// A filterable source evaluates the scan filter itself (late
+		// materialization); only re-filter chunks from plain sources.
+		if _, ok := n.src.(FilterableSource); !ok {
+			n.stages = append(n.stages, stage{filter: n.scan.Filter})
+		}
 	}
 	for i := len(ops) - 1; i >= 0; i-- {
 		switch op := ops[i].(type) {
@@ -383,6 +387,11 @@ func (n *pnode) streamSerial(handle func(w int, m morsel) error) error {
 func (n *pnode) stream(yield func(*columnar.Chunk) error) error {
 	if n.input != nil {
 		return yield(n.input.out)
+	}
+	if n.scan.Filter != nil {
+		if fs, ok := n.src.(FilterableSource); ok {
+			return fs.ScanFiltered(n.scan.Projection, n.scan.Prune, n.scan.Filter, yield)
+		}
 	}
 	return n.src.Scan(n.scan.Projection, n.scan.Prune, yield)
 }

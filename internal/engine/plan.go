@@ -19,6 +19,20 @@ type Source interface {
 	Scan(proj []string, preds []lpq.Predicate, yield func(*columnar.Chunk) error) error
 }
 
+// FilterableSource is a Source that evaluates the scan's residual filter
+// itself and yields pre-filtered chunks, enabling late materialization:
+// fetch the filter's columns first, and fetch payload columns only where
+// the selection is non-empty. The optimizer guarantees preds are implied by
+// filter (ExtractPrunePredicates runs on the pushed-down filter), so
+// implementations may use either freely. Pipelines skip their own filter
+// stage when the source implements this interface.
+type FilterableSource interface {
+	Source
+	// ScanFiltered yields proj-restricted chunks containing exactly the
+	// rows satisfying filter (never nil when the source is filterable).
+	ScanFiltered(proj []string, preds []lpq.Predicate, filter Expr, yield func(*columnar.Chunk) error) error
+}
+
 // AggFunc is an aggregate function kind.
 type AggFunc uint8
 

@@ -12,8 +12,13 @@ import (
 
 // FooterGuess is how many trailing bytes the reader speculatively fetches;
 // when the footer fits (the common case) opening costs a single ranged read,
-// matching the paper's "loads this metadata with a single file read".
-const FooterGuess = 64 * 1024
+// matching the paper's "loads this metadata with a single file read". The
+// guess is billed in full on every open, so it is sized to the footers this
+// writer actually produces (tens of bytes per column chunk) rather than a
+// conservative blanket value: a too-large guess silently re-downloads small
+// objects end to end on every metadata open. Footers longer than the guess
+// cost one extra ranged read of exactly the missing prefix.
+const FooterGuess = 4 * 1024
 
 // Reader reads an lpq file from any io.ReaderAt — an in-memory buffer, an
 // OS file, or an S3-backed random-access file.
@@ -41,7 +46,13 @@ func OpenReader(r io.ReaderAt, size int64) (*Reader, error) {
 	}
 	rd.MetadataReads = 1
 	trailer := tail[len(tail)-8:]
-	if !bytes.Equal(trailer[4:], Magic[:]) {
+	var v2 bool
+	switch {
+	case bytes.Equal(trailer[4:], Magic2[:]):
+		v2 = true
+	case bytes.Equal(trailer[4:], Magic[:]):
+		v2 = false
+	default:
 		return nil, fmt.Errorf("lpq: bad magic %q", trailer[4:])
 	}
 	footerLen := int64(binary.LittleEndian.Uint32(trailer[:4]))
@@ -52,13 +63,17 @@ func OpenReader(r io.ReaderAt, size int64) (*Reader, error) {
 	if footerLen+8 <= guess {
 		footer = tail[guess-8-footerLen : guess-8]
 	} else {
+		// The tail already holds the footer's suffix; fetch only the
+		// missing prefix rather than re-billing bytes in hand.
 		footer = make([]byte, footerLen)
-		if _, err := r.ReadAt(footer, size-8-footerLen); err != nil {
+		missing := footerLen + 8 - guess
+		if _, err := r.ReadAt(footer[:missing], size-8-footerLen); err != nil {
 			return nil, fmt.Errorf("lpq: reading long footer: %w", err)
 		}
+		copy(footer[missing:], tail[:guess-8])
 		rd.MetadataReads = 2
 	}
-	meta, err := decodeFooter(footer)
+	meta, err := decodeFooter(footer, v2)
 	if err != nil {
 		return nil, err
 	}
@@ -104,6 +119,31 @@ func DecodeColumnChunk(stored []byte, t columnar.Type, cc ColumnChunkMeta, numRo
 // calls. The returned vector never aliases scratch — every decoder copies
 // values out — so reusing scratch immediately is safe.
 func DecodeColumnChunkBuf(stored []byte, t columnar.Type, cc ColumnChunkMeta, numRows int64, scratch []byte) (*columnar.Vector, []byte, error) {
+	if len(cc.Pages) > 0 {
+		// Paged v2 chunk: every page is independently encoded and
+		// compressed, so decode page by page and concatenate.
+		out := columnar.NewVector(t, int(numRows))
+		var total int64
+		for i := range cc.Pages {
+			pg := &cc.Pages[i]
+			if pg.RelOff+pg.CompressedLen > int64(len(stored)) {
+				return nil, scratch, fmt.Errorf("lpq: page %d spans [%d,%d) beyond chunk of %d bytes",
+					i, pg.RelOff, pg.RelOff+pg.CompressedLen, len(stored))
+			}
+			var v *columnar.Vector
+			var err error
+			v, scratch, err = DecodePage(stored[pg.RelOff:pg.RelOff+pg.CompressedLen], t, cc, *pg, scratch)
+			if err != nil {
+				return nil, scratch, err
+			}
+			appendAll(out, v)
+			total += pg.NumRows
+		}
+		if total != numRows {
+			return nil, scratch, fmt.Errorf("lpq: page rows sum to %d, row group has %d", total, numRows)
+		}
+		return out, scratch, nil
+	}
 	raw := stored
 	if cc.Compression == Gzip {
 		zr, err := gzip.NewReader(bytes.NewReader(stored))
@@ -129,6 +169,19 @@ func DecodeColumnChunkBuf(stored []byte, t columnar.Type, cc ColumnChunkMeta, nu
 	}
 	v, err := DecodeColumn(raw, t, cc.Encoding, int(numRows))
 	return v, scratch, err
+}
+
+// DecodePage decompresses and decodes one page of a paged column chunk.
+// stored must hold exactly the page's compressed bytes
+// (chunk bytes sliced at [pg.RelOff, pg.RelOff+pg.CompressedLen)).
+func DecodePage(stored []byte, t columnar.Type, cc ColumnChunkMeta, pg PageMeta, scratch []byte) (*columnar.Vector, []byte, error) {
+	one := ColumnChunkMeta{
+		CompressedLen:   pg.CompressedLen,
+		UncompressedLen: pg.UncompressedLen,
+		Encoding:        cc.Encoding,
+		Compression:     cc.Compression,
+	}
+	return DecodeColumnChunkBuf(stored, t, one, pg.NumRows, scratch)
 }
 
 // ReadRowGroup reads the given columns (by index; nil means all) of one row
@@ -172,12 +225,30 @@ func (r *Reader) ReadAll() (*columnar.Chunk, error) {
 }
 
 // Predicate is a min/max-testable condition on one column, used for
-// row-group pruning (selection push-down, §4.3.2 / Figure 11).
+// row-group and page pruning (selection push-down, §4.3.2 / Figure 11).
 type Predicate struct {
 	Column string
 	// Min and Max bound the values selected by the predicate; a row group
 	// whose [min,max] statistics do not intersect [Min,Max] is pruned.
 	Min, Max float64
+	// HasInt marks predicates whose literal bounds are exact integers.
+	// Int64 columns are then pruned via MinInt/MaxInt: the float mirrors
+	// are lossy above 2^53, so comparing them could wrongly prune (or keep)
+	// groups of large keys.
+	HasInt         bool
+	MinInt, MaxInt int64
+}
+
+// Admits reports whether statistics st of a column of type t may contain a
+// value selected by p. Missing statistics always admit.
+func (p *Predicate) Admits(st Stats, t columnar.Type) bool {
+	if !st.HasMinMax {
+		return true
+	}
+	if p.HasInt && t == columnar.Int64 {
+		return st.MinInt <= p.MaxInt && st.MaxInt >= p.MinInt
+	}
+	return st.MinF <= p.Max && st.MaxF >= p.Min
 }
 
 // PruneRowGroups returns the row-group indices that may contain matching
@@ -192,11 +263,7 @@ func PruneRowGroups(meta *FileMeta, preds []Predicate) []int {
 			if ci < 0 {
 				continue
 			}
-			st := rg.Columns[ci].Stats
-			if !st.HasMinMax {
-				continue
-			}
-			if st.MinF > p.Max || st.MaxF < p.Min {
+			if !p.Admits(rg.Columns[ci].Stats, meta.Schema.Fields[ci].Type) {
 				match = false
 				break
 			}
@@ -206,4 +273,88 @@ func PruneRowGroups(meta *FileMeta, preds []Predicate) []int {
 		}
 	}
 	return keep
+}
+
+// PrunePages evaluates preds against the page index of row group g and
+// returns one keep-flag per page slot. The slot count is the maximum page
+// count over the group's columns; an unpaged column contributes its chunk
+// statistics to every slot. Pages the writer produces are row-aligned
+// across columns (all split at the same PageRows boundaries), so slot i of
+// every column covers the same rows.
+func PrunePages(meta *FileMeta, g int, preds []Predicate) []bool {
+	rg := &meta.RowGroups[g]
+	npages := 1
+	for c := range rg.Columns {
+		if n := len(rg.Columns[c].Pages); n > npages {
+			npages = n
+		}
+	}
+	keep := make([]bool, npages)
+	for i := range keep {
+		keep[i] = true
+	}
+	for _, p := range preds {
+		ci := meta.Schema.Index(p.Column)
+		if ci < 0 {
+			continue
+		}
+		t := meta.Schema.Fields[ci].Type
+		cc := &rg.Columns[ci]
+		if len(cc.Pages) == 0 {
+			if !p.Admits(cc.Stats, t) {
+				for i := range keep {
+					keep[i] = false
+				}
+			}
+			continue
+		}
+		for i := range cc.Pages {
+			if i < len(keep) && !p.Admits(cc.Pages[i].Stats, t) {
+				keep[i] = false
+			}
+		}
+	}
+	return keep
+}
+
+// EstimateRows bounds the number of rows of the file that may satisfy
+// preds, at page granularity: pruned row groups contribute nothing, pruned
+// pages of surviving groups contribute nothing, everything else counts in
+// full. With no predicates this is exactly TotalRows.
+func EstimateRows(meta *FileMeta, preds []Predicate) int64 {
+	if len(preds) == 0 {
+		return meta.TotalRows
+	}
+	var est int64
+	for _, g := range PruneRowGroups(meta, preds) {
+		rg := &meta.RowGroups[g]
+		keep := PrunePages(meta, g, preds)
+		if len(keep) == 1 {
+			if keep[0] {
+				est += rg.NumRows
+			}
+			continue
+		}
+		// Page slots are row-aligned; take each slot's row count from the
+		// first column that actually has that many pages.
+		var rows []int64
+		for c := range rg.Columns {
+			if len(rg.Columns[c].Pages) == len(keep) {
+				for _, pg := range rg.Columns[c].Pages {
+					rows = append(rows, pg.NumRows)
+				}
+				break
+			}
+		}
+		if rows == nil {
+			est += rg.NumRows
+			continue
+		}
+		for i, k := range keep {
+			if k {
+				est += rows[i]
+			}
+		}
+	}
+	return est
 }

@@ -22,10 +22,20 @@ type WriterOptions struct {
 	ForceEncoding map[int]Encoding
 	// DisableStats omits min/max statistics (used for pruning ablations).
 	DisableStats bool
+	// PageRows is the page-index granularity of v2 files (default 4096):
+	// column chunks longer than PageRows are split into pages, each encoded
+	// and compressed independently with per-page min/max statistics.
+	PageRows int
+	// FormatV1 writes the legacy LPQ1 layout — no page index, no distinct
+	// counts — for back-compat tests and read-path ablations.
+	FormatV1 bool
 }
 
 // DefaultRowGroupRows is the default row-group size.
 const DefaultRowGroupRows = 131072
+
+// DefaultPageRows is the default v2 page-index granularity.
+const DefaultPageRows = 4096
 
 // Writer writes an lpq file. Rows are buffered and flushed as row groups.
 type Writer struct {
@@ -42,6 +52,9 @@ type Writer struct {
 func NewWriter(w io.Writer, schema *columnar.Schema, opts WriterOptions) *Writer {
 	if opts.RowGroupRows <= 0 {
 		opts.RowGroupRows = DefaultRowGroupRows
+	}
+	if opts.PageRows <= 0 {
+		opts.PageRows = DefaultPageRows
 	}
 	return &Writer{
 		w:      w,
@@ -94,6 +107,133 @@ func appendAll(dst, src *columnar.Vector) {
 	}
 }
 
+// compress applies the configured heavy-weight compression to raw.
+func (w *Writer) compress(raw []byte) ([]byte, error) {
+	if w.opts.Compression != Gzip {
+		return raw, nil
+	}
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return zbuf.Bytes(), nil
+}
+
+// sliceVector returns the [lo,hi) view of v (shares backing storage).
+func sliceVector(v *columnar.Vector, lo, hi int) *columnar.Vector {
+	out := &columnar.Vector{Type: v.Type}
+	switch v.Type {
+	case columnar.Int64:
+		out.Int64s = v.Int64s[lo:hi]
+	case columnar.Float64:
+		out.Float64s = v.Float64s[lo:hi]
+	case columnar.Bool:
+		out.Bools = v.Bools[lo:hi]
+	}
+	return out
+}
+
+// encodeChunk encodes (and compresses) a whole column as one unpaged blob —
+// the v1 chunk layout. Falls back to Plain when enc cannot encode col.
+func (w *Writer) encodeChunk(col *columnar.Vector, enc Encoding) (ColumnChunkMeta, []byte, error) {
+	raw, err := EncodeColumn(col, enc)
+	if err != nil {
+		// Fall back to Plain for unsupported forced combinations.
+		enc = Plain
+		raw, err = EncodeColumn(col, enc)
+		if err != nil {
+			return ColumnChunkMeta{}, nil, err
+		}
+	}
+	stored, err := w.compress(raw)
+	if err != nil {
+		return ColumnChunkMeta{}, nil, err
+	}
+	cc := ColumnChunkMeta{
+		CompressedLen:   int64(len(stored)),
+		UncompressedLen: int64(len(raw)),
+		Encoding:        enc,
+		Compression:     w.opts.Compression,
+	}
+	return cc, stored, nil
+}
+
+// encodePagedChunk splits col at PageRows boundaries and encodes every page
+// independently with enc, so readers can fetch and decode pages on their
+// own. All pages share one encoding: if any page fails under enc, the whole
+// chunk restarts as Plain (which never fails).
+func (w *Writer) encodePagedChunk(col *columnar.Vector, enc Encoding) (ColumnChunkMeta, []byte, error) {
+	n := col.Len()
+	for {
+		cc := ColumnChunkMeta{Encoding: enc, Compression: w.opts.Compression}
+		var stored []byte
+		failed := false
+		for lo := 0; lo < n; lo += w.opts.PageRows {
+			hi := lo + w.opts.PageRows
+			if hi > n {
+				hi = n
+			}
+			pv := sliceVector(col, lo, hi)
+			raw, err := EncodeColumn(pv, enc)
+			if err != nil {
+				if enc == Plain {
+					return ColumnChunkMeta{}, nil, err
+				}
+				failed = true
+				break
+			}
+			z, err := w.compress(raw)
+			if err != nil {
+				return ColumnChunkMeta{}, nil, err
+			}
+			pg := PageMeta{
+				NumRows:         int64(hi - lo),
+				RelOff:          int64(len(stored)),
+				CompressedLen:   int64(len(z)),
+				UncompressedLen: int64(len(raw)),
+			}
+			if !w.opts.DisableStats {
+				pg.Stats = computeStats(pv)
+			}
+			stored = append(stored, z...)
+			cc.Pages = append(cc.Pages, pg)
+			cc.UncompressedLen += int64(len(raw))
+		}
+		if failed {
+			enc = Plain
+			continue
+		}
+		cc.CompressedLen = int64(len(stored))
+		return cc, stored, nil
+	}
+}
+
+// pageStatsUseful reports whether a paged chunk's per-page bounds can
+// actually prune. Bounds only exclude a page when the page covers a
+// narrower value range than the chunk — i.e. the column is clustered. For
+// unclustered columns every page spans nearly the whole chunk range, the
+// bounds never prune anything, and storing them only fattens the footer
+// every reader downloads. Rule: keep page stats when the average page
+// range is at most half the chunk range.
+func pageStatsUseful(pages []PageMeta, chunk Stats) bool {
+	if !chunk.HasMinMax {
+		return false
+	}
+	width := chunk.MaxF - chunk.MinF
+	var sum float64
+	for _, pg := range pages {
+		if !pg.Stats.HasMinMax {
+			return false
+		}
+		sum += pg.Stats.MaxF - pg.Stats.MinF
+	}
+	return sum*2 <= width*float64(len(pages))
+}
+
 func (w *Writer) flushRowGroup() error {
 	n := w.buf.NumRows()
 	if n == 0 {
@@ -105,36 +245,28 @@ func (w *Writer) flushRowGroup() error {
 		if forced, ok := w.opts.ForceEncoding[j]; ok {
 			enc = forced
 		}
-		raw, err := EncodeColumn(col, enc)
+		var cc ColumnChunkMeta
+		var stored []byte
+		var err error
+		if w.opts.FormatV1 || n <= w.opts.PageRows {
+			cc, stored, err = w.encodeChunk(col, enc)
+		} else {
+			cc, stored, err = w.encodePagedChunk(col, enc)
+		}
 		if err != nil {
-			// Fall back to Plain for unsupported forced combinations.
-			enc = Plain
-			raw, err = EncodeColumn(col, enc)
-			if err != nil {
-				return err
-			}
+			return err
 		}
-		stored := raw
-		if w.opts.Compression == Gzip {
-			var zbuf bytes.Buffer
-			zw := gzip.NewWriter(&zbuf)
-			if _, err := zw.Write(raw); err != nil {
-				return err
-			}
-			if err := zw.Close(); err != nil {
-				return err
-			}
-			stored = zbuf.Bytes()
-		}
-		cc := ColumnChunkMeta{
-			Offset:          w.offset,
-			CompressedLen:   int64(len(stored)),
-			UncompressedLen: int64(len(raw)),
-			Encoding:        enc,
-			Compression:     w.opts.Compression,
-		}
+		cc.Offset = w.offset
 		if !w.opts.DisableStats {
 			cc.Stats = computeStats(col)
+		}
+		if !w.opts.FormatV1 {
+			cc.DistinctEst = distinctEstimate(col)
+			if len(cc.Pages) > 0 && !pageStatsUseful(cc.Pages, cc.Stats) {
+				for p := range cc.Pages {
+					cc.Pages[p].Stats = Stats{}
+				}
+			}
 		}
 		if _, err := w.w.Write(stored); err != nil {
 			return err
@@ -156,13 +288,17 @@ func (w *Writer) Close() error {
 	if err := w.flushRowGroup(); err != nil {
 		return err
 	}
-	footer := encodeFooter(&w.meta)
+	footer := encodeFooter(&w.meta, !w.opts.FormatV1)
 	if _, err := w.w.Write(footer); err != nil {
 		return err
 	}
+	magic := Magic2
+	if w.opts.FormatV1 {
+		magic = Magic
+	}
 	var trailer [8]byte
 	binary.LittleEndian.PutUint32(trailer[0:], uint32(len(footer)))
-	copy(trailer[4:], Magic[:])
+	copy(trailer[4:], magic[:])
 	if _, err := w.w.Write(trailer[:]); err != nil {
 		return err
 	}

@@ -33,6 +33,8 @@ type File struct {
 	// requests is atomic: one handle serves concurrent readers (parallel
 	// column fetches, double-buffered row groups, parallel files).
 	requests atomic.Int64
+	// bytes counts the billed bytes fetched through this handle.
+	bytes atomic.Int64
 }
 
 // Open stats the object (one request) and returns a file handle.
@@ -63,6 +65,9 @@ func (f *File) Size() int64 { return f.size }
 
 // Requests returns how many S3 requests this handle has issued.
 func (f *File) Requests() int64 { return f.requests.Load() }
+
+// BytesRead returns how many billed bytes this handle has fetched.
+func (f *File) BytesRead() int64 { return f.bytes.Load() }
 
 // Bucket returns the bucket name.
 func (f *File) Bucket() string { return f.bucket }
@@ -99,6 +104,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		if err != nil {
 			return int(n), err
 		}
+		f.bytes.Add(got)
 		if data == nil {
 			return int(n), fmt.Errorf("s3fs: synthetic object %s/%s has no bytes", f.bucket, f.key)
 		}

@@ -114,8 +114,12 @@ func (p *Plan) ResultStage() *Stage {
 
 // Stats carries the planner's cost inputs.
 type Stats struct {
-	// Rows is the per-table total row count, summed from the lpq file
-	// footers at plan time (a driver-side metadata read, no data scanned).
+	// Rows is the per-table row estimate, summed from the lpq file footers
+	// at plan time (a driver-side metadata read, no data scanned). For
+	// tables scanned with pushed-down predicates this is the page-granular
+	// pruning bound (lpq.EstimateRows) — post-filter, so autotuned fan-in
+	// tracks the selective workload; for unfiltered scans it is the exact
+	// total row count.
 	Rows map[string]int64
 }
 
@@ -464,9 +468,12 @@ func (c *compiler) embedJoin(st *Stage, j *engine.JoinPlan) (engine.Plan, error)
 // scanRows reports whether p is a bare base-table scan of at most limit
 // rows — the broadcast criterion. Subtrees with joins or filters above the
 // scan shuffle instead (their output size is not footer-predictable).
+// Filtered scans are excluded even when the post-filter estimate is small:
+// broadcast ships the whole table inside every worker payload, and the
+// estimate is an upper bound on selected rows, not shipped bytes.
 func (c *compiler) scanRows(p engine.Plan, limit int64) bool {
 	s, ok := p.(*engine.ScanPlan)
-	if !ok || limit <= 0 {
+	if !ok || limit <= 0 || s.Filter != nil {
 		return false
 	}
 	rows, known := c.stats.Rows[s.Table]
