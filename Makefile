@@ -1,11 +1,13 @@
 GO ?= go
 # bench-json knobs: the PR-numbered output file, the previous PR's file the
 # comparability check runs against, and the per-benchmark time.
-BENCH_JSON ?= BENCH_PR7.json
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR7.json
 BENCHTIME ?= 300ms
+# trace-smoke output file (Chrome trace-event JSON; also the CI artifact).
+TRACE_OUT ?= trace-smoke.json
 
-.PHONY: build test race race-staged chaos bench bench-json vet
+.PHONY: build test race race-staged chaos bench bench-json vet trace-smoke
 
 build:
 	$(GO) build ./...
@@ -50,3 +52,11 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) -baseline $(BENCH_BASELINE) \
 		-require-same-cpu -benchtime $(BENCHTIME) \
 		./internal/engine ./internal/scan ./internal/exchange ./internal/driver
+
+# trace-smoke runs a traced staged query under the DES kernel, exports the
+# Chrome trace-event JSON, and validates it against the schema subset the
+# obs package emits. The file is uploaded as a CI artifact.
+trace-smoke:
+	$(GO) run ./cmd/lambada -mode des -exchange -query q12 -sf 0.002 -files 4 \
+		-profile -trace-out $(TRACE_OUT)
+	$(GO) run ./cmd/tracecheck $(TRACE_OUT)

@@ -17,11 +17,14 @@ import (
 	"time"
 
 	"lambada/internal/awssim/faults"
+	"lambada/internal/awssim/pricing"
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/columnar"
 	"lambada/internal/driver"
 	"lambada/internal/engine"
 	"lambada/internal/lpq"
+	"lambada/internal/obs"
+	"lambada/internal/qaas"
 	"lambada/internal/simclock"
 	"lambada/internal/sqlfe"
 	"lambada/internal/tpch"
@@ -86,6 +89,8 @@ func main() {
 		stgWait = flag.Duration("max-stage-wait", time.Minute, "no-progress liveness cap: a runnable stage with no worker response for this long (window restarts per response) has its missing workers re-invoked as the next attempt (with -exchange -speculate; 0 disables)")
 		fplan   = flag.String("fault-plan", "", "JSON fault plan file injected into the simulated substrate (with -mode des); see internal/awssim/faults")
 		fseed   = flag.Int64("fault-seed", 0, "override the fault plan's seed (0 = keep the plan's own; with -fault-plan)")
+		profile = flag.Bool("profile", false, "EXPLAIN ANALYZE: record a trace and print the per-stage profile and critical path")
+		traceOut = flag.String("trace-out", "", "write the query's Chrome trace-event JSON to this file (implies tracing; open in Perfetto or chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -134,6 +139,9 @@ func main() {
 	}
 
 	run := func(dep *driver.Deployment, env simenv.Env) error {
+		if *profile || *traceOut != "" {
+			dep.EnableTracing(obs.New())
+		}
 		d := driver.New(dep, env, cfg)
 		if err := d.Install(); err != nil {
 			return err
@@ -191,35 +199,24 @@ func main() {
 			return err
 		}
 		printChunk(out)
-		stages := ""
-		if rep.Stages > 0 {
-			stages = fmt.Sprintf("   stages: %d   epoch: %d", rep.Stages, rep.Epoch)
+		fmt.Println()
+		driver.WriteReport(os.Stdout, rep, driver.RenderOptions{Verbose: *explain, Profile: *profile})
+		if spec, ok := qaas.SpecFor(*query); ok {
+			fmt.Print(qaas.Compare(spec, *sf, pricing.USD(rep.TotalCost), rep.Duration))
 		}
-		fmt.Printf("\nworkers: %d%s   latency: %v   invocation: %v   cold: %d   speculated: %d\n",
-			rep.Workers, stages, rep.Duration.Round(time.Millisecond), rep.Invocation.Round(time.Millisecond), rep.ColdWorkers, rep.Speculated)
-		for _, ss := range rep.StageStats {
-			fmt.Printf("  stage %d: %d workers   launched +%v   sealed +%v   speculated %d\n",
-				ss.StageID, ss.Workers, ss.Launched.Round(time.Millisecond), ss.Sealed.Round(time.Millisecond), ss.Speculated)
-		}
-		fmt.Printf("query cost: $%.6f\n", rep.TotalCost)
-		for _, l := range sortedKeys(rep.CostDelta) {
-			fmt.Printf("  %-20s $%.6f\n", l, rep.CostDelta[l])
-		}
-		if rep.DriverRetries+rep.WorkerRetries > 0 || rep.FailureSeals > 0 {
-			fmt.Printf("retries: driver %d   worker %d   failure seals: %d\n",
-				rep.DriverRetries, rep.WorkerRetries, rep.FailureSeals)
-		}
-		if len(rep.InjectedFaults) > 0 {
-			fmt.Println("injected faults:")
-			for _, k := range sortedKeys(rep.InjectedFaults) {
-				fmt.Printf("  %-24s %d\n", k, rep.InjectedFaults[k])
+		if *traceOut != "" {
+			f, ferr := os.Create(*traceOut)
+			if ferr != nil {
+				return ferr
 			}
-		}
-		if *explain {
-			fmt.Println("worker processing times (sorted):")
-			for i, t := range rep.WorkerProcessing {
-				fmt.Printf("  worker[%3d] %v\n", i, t.Round(time.Millisecond))
+			if ferr := obs.ExportChromeTrace(f, rep.Trace.Spans()); ferr != nil {
+				f.Close()
+				return ferr
 			}
+			if ferr := f.Close(); ferr != nil {
+				return ferr
+			}
+			fmt.Printf("trace written to %s\n", *traceOut)
 		}
 		return nil
 	}
@@ -306,17 +303,4 @@ func byteSize(n int64) string {
 	default:
 		return fmt.Sprintf("%d B", n)
 	}
-}
-
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
-	return keys
 }

@@ -1,0 +1,33 @@
+// Command tracecheck validates a Chrome trace-event JSON file against the
+// schema subset the obs package emits. It prints the event count and exits
+// non-zero on any violation — the CI gate behind `make trace-smoke`.
+//
+// Usage:
+//
+//	tracecheck trace.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lambada/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	n, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid trace, %d events\n", os.Args[1], n)
+}

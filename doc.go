@@ -180,13 +180,19 @@
 // the retry at epoch E never reads it (stage_fence_test.go injects exactly
 // this and checks the retry stays byte-identical).
 //
-// Barriers are notify-driven rather than poll-quantized: waitSealed and the
-// exchange's commit-marker waits park on the completion signal that
-// dynamo.Put and s3.Put broadcast — through the DES kernel's Completion
-// signal for simulated processes (wakes at the exact virtual instant of the
-// write, removing the up-to-one-poll residual from modeled latencies) and
-// through simenv.Notify for functional-mode goroutines — with the timed
-// poll kept as the fallback for waiters whose write never comes. Commit
+// Barriers are notify-driven rather than poll-quantized, and the completion
+// broadcast is keyed: every substrate write broadcasts a topic naming what
+// became visible ("s3/<key>", "dynamo/<table>/<key>", "sqs/<queue>"), and
+// waiters park on the prefix they actually await — waitSealed on its seal
+// marker's key, the exchange's commit waits on the stage's commit prefix,
+// result collectors on the result queue's topic (simclock.Proc.WaitNotifyKey
+// under DES, simenv.WaitNotifyKey for functional-mode goroutines). A waiter
+// wakes at the exact virtual instant of the matching write — removing the
+// up-to-one-poll residual from modeled latencies — while a hundred-sender
+// shuffle no longer wakes every parked barrier in the simulation on each
+// Put (Report.Wakeups counts the delivered wakeups; the keyed-vs-unkeyed
+// regression test pins the reduction). The timed poll remains the fallback
+// for waiters whose write never comes. Commit
 // discovery is batched: one List of the stage's commit namespace per shard
 // bucket per round, cached across rounds, and exchange.Sweep deletes
 // through the batched DeleteObjects API. Liveness holes in speculation are
@@ -226,6 +232,44 @@
 // usual sweeps reclaim its debris. Epoch fence items themselves are
 // garbage-collected lazily: acquireEpoch periodically sweeps epoch/<query>
 // items older than EpochTTL of virtual time.
+//
+// # Observability and tracing
+//
+// internal/obs is a dependency-free, virtual-clock tracing and metrics
+// layer threaded through the whole query lifecycle. A deployment runs
+// traced after Deployment.EnableTracing(obs.New()); a nil tracer is the
+// no-op tracer, so the instrumented call sites cost nothing when tracing
+// is off. Spans form a tree:
+//
+//	query    one driver query (RunPlan/RunPlanStaged/RunPlanExchanged)
+//	stage    one stage of a staged execution
+//	invoke   one Lambda worker invocation (an attempt; tags carry worker,
+//	         cold, attempt, fault/timeout outcomes, rows and bytes moved)
+//	op       one substrate call (s3.getrange, sqs.Receive, dynamo.PutIf,
+//	         lambda.start, …; tags carry retries and outcome)
+//
+// Cost attribution is exact, not sampled: services charge the tracer at
+// the same points they charge the pricing meter, each billed request
+// lands on the innermost span bound to the acting environment, and
+// summing obs.Cost over all spans reproduces the Report's meter deltas
+// integer-exactly (request counts, S3 read bytes, Lambda MiB·ns — the
+// cost-attribution test pins equality). To make that hold, a traced query
+// closes its cost window only after the Lambda service runs no invocation
+// — so a traced Report.Duration includes the straggler-loser tail that an
+// untraced run's Duration excludes.
+//
+// Everything downstream is derived from the span tree. Report.Profile
+// folds it into an EXPLAIN ANALYZE record: per-stage wall time, attempt
+// counts, rows and shuffle bytes, billed cost in exact units and dollars
+// (driver.CostUSD), plus the critical path — obs.CriticalPath extracts
+// the latency-bounding chain, whose segments tile the query span exactly,
+// so their durations sum to the end-to-end virtual latency. The CLI
+// prints it under -profile and writes a Chrome trace-event JSON file
+// under -trace-out (loadable in Perfetto; validated by cmd/tracecheck and
+// `make trace-smoke`). Timestamps come from the virtual clock and span
+// IDs from call order, so under the DES kernel two runs of the same
+// seeded query export byte-identical traces — the determinism suite
+// asserts this with the chaos plan active on both exchange variants.
 //
 // # Chunk pooling
 //

@@ -17,6 +17,7 @@ import (
 	"lambada/internal/awssim/pricing"
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/netmodel"
+	"lambada/internal/obs"
 )
 
 // Errors returned by the service.
@@ -60,6 +61,19 @@ type Service struct {
 	tables map[string]map[string][]byte
 	rng    *rand.Rand
 	rngMu  sync.Mutex
+	// trace receives billed-request attribution (nil = off), charged
+	// adjacent to every Meter.Charge.
+	trace *obs.Tracer
+}
+
+// SetTracer installs the tracer billed requests are attributed to. Must be
+// set before traffic; nil disables attribution.
+func (s *Service) SetTracer(tr *obs.Tracer) { s.trace = tr }
+
+func (s *Service) chargeTrace(env simenv.Env, c obs.Cost) {
+	if s.trace != nil {
+		s.trace.ChargeTo(env, c)
+	}
 }
 
 // New returns a service with the given configuration.
@@ -91,6 +105,7 @@ func (s *Service) Put(env simenv.Env, table, key string, value []byte) error {
 		return fmt.Errorf("%w: %s", ErrNoSuchTable, table)
 	}
 	s.cfg.Meter.Charge(pricing.LabelDynamoWrite, pricing.DynamoWrite)
+	s.chargeTrace(env, obs.Cost{DynamoWrites: 1})
 	s.sleep(env, s.cfg.WriteLatency)
 	s.mu.Lock()
 	t, ok := s.tables[table]
@@ -102,9 +117,9 @@ func (s *Service) Put(env simenv.Env, table, key string, value []byte) error {
 	copy(cp, value)
 	t[key] = cp
 	s.mu.Unlock()
-	// Completion signal: wake pollers parked on the completion signal —
+	// Completion signal: wake pollers parked on this item's topic —
 	// pipelined stage workers park on the ready marker this Put may be.
-	simenv.Broadcast(env)
+	simenv.BroadcastKey(env, "dynamo/"+table+"/"+key)
 	return nil
 }
 
@@ -128,6 +143,7 @@ func (s *Service) PutIf(env simenv.Env, table, key string, value, expect []byte)
 		return fmt.Errorf("%w: %s", ErrNoSuchTable, table)
 	}
 	s.cfg.Meter.Charge(pricing.LabelDynamoWrite, pricing.DynamoWrite)
+	s.chargeTrace(env, obs.Cost{DynamoWrites: 1})
 	s.sleep(env, s.cfg.WriteLatency)
 	s.mu.Lock()
 	t, ok := s.tables[table]
@@ -151,7 +167,7 @@ func (s *Service) PutIf(env simenv.Env, table, key string, value, expect []byte)
 	if !met {
 		return fmt.Errorf("%w: %s/%s", ErrConditionFailed, table, key)
 	}
-	simenv.Broadcast(env)
+	simenv.BroadcastKey(env, "dynamo/"+table+"/"+key)
 	return nil
 }
 
@@ -174,6 +190,7 @@ func (s *Service) Get(env simenv.Env, table, key string) ([]byte, error) {
 	}
 	s.mu.Unlock()
 	s.cfg.Meter.Charge(pricing.LabelDynamoRead, pricing.DynamoRead)
+	s.chargeTrace(env, obs.Cost{DynamoReads: 1})
 	s.sleep(env, s.cfg.ReadLatency)
 	if !okKey {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNoSuchItem, table, key)
@@ -192,6 +209,7 @@ func (s *Service) Delete(env simenv.Env, table, key string) error {
 	delete(t, key)
 	s.mu.Unlock()
 	s.cfg.Meter.Charge(pricing.LabelDynamoWrite, pricing.DynamoWrite)
+	s.chargeTrace(env, obs.Cost{DynamoWrites: 1})
 	s.sleep(env, s.cfg.WriteLatency)
 	return nil
 }
@@ -225,6 +243,7 @@ func (s *Service) Scan(env simenv.Env, table, prefix string) ([]Item, error) {
 		n = 1
 	}
 	s.cfg.Meter.ChargeN(pricing.LabelDynamoRead, n, pricing.USD(n)*pricing.DynamoRead)
+	s.chargeTrace(env, obs.Cost{DynamoReads: n})
 	s.sleep(env, s.cfg.ReadLatency)
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out, nil

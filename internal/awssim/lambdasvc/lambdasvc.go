@@ -12,13 +12,16 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lambada/internal/awssim/faults"
 	"lambada/internal/awssim/pricing"
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/netmodel"
+	"lambada/internal/obs"
 	"lambada/internal/simclock"
 )
 
@@ -45,6 +48,10 @@ type Ctx struct {
 	Cold      bool
 	// WorkerID is a caller-assigned identifier carried in InvokeOptions.
 	WorkerID int
+	// Span is this invocation's trace span (0 when tracing is off).
+	// Handlers tag it with application metadata (stage, attempt) and use
+	// it as the parent for child invocations.
+	Span obs.SpanID
 
 	svc *Service
 }
@@ -161,7 +168,22 @@ type Service struct {
 	invokes int64
 	colds   int64
 	rng     *rand.Rand
+	// trace receives invocation spans and billed-cost attribution; nil
+	// (the default) traces nothing. Set before use via SetTracer.
+	trace *obs.Tracer
+	// billedMiBNs accumulates billed duration as exact memoryMiB·ns — the
+	// integer counterpart of the meter's float GB-second dollars, so span
+	// sums can be compared to service totals without rounding.
+	billedMiBNs atomic.Int64
 }
+
+// SetTracer installs the tracer invocation spans and cost attribution are
+// recorded on. Must be set before traffic; nil disables tracing.
+func (s *Service) SetTracer(tr *obs.Tracer) { s.trace = tr }
+
+// BilledMiBNs returns the cumulative billed duration over all
+// invocations, in exact memoryMiB·nanoseconds.
+func (s *Service) BilledMiBNs() int64 { return s.billedMiBNs.Load() }
 
 // New returns a service running workers on rt.
 func New(cfg Config, rt Runtime) *Service {
@@ -208,6 +230,8 @@ type InvokeOptions struct {
 	// mass-invocation mode of §4.2). The worker still starts after the
 	// request leg plus its container start delay.
 	Pipelined bool
+	// Span is the parent trace span for the invocation span (0 = root).
+	Span obs.SpanID
 }
 
 // Invoke performs an asynchronous invocation: the caller pays the Invoke
@@ -266,15 +290,31 @@ func (s *Service) Invoke(env simenv.Env, name string, payload []byte, opts Invok
 	}
 
 	s.cfg.Meter.Charge(pricing.LabelLambdaRequests, pricing.LambdaPerRequest)
+	// The caller pays for the Invoke request; the charge lands on
+	// whatever span its environment is bound to (stage launch, retry op).
+	tr := s.trace
+	tr.ChargeTo(env, obs.Cost{LambdaInvokes: 1})
 
 	// The worker begins after roughly half the caller's round trip (the
 	// request leg) plus its container start delay.
 	s.rt.Spawn(fmt.Sprintf("%s#%d", name, opts.WorkerID), func(wenv simenv.Env) {
+		var span, startSpan obs.SpanID
+		if tr.Enabled() {
+			span = tr.StartSpan(obs.KindInvoke, f.Name, opts.Span, wenv.Now())
+			tr.SetTag(span, "worker", strconv.Itoa(opts.WorkerID))
+			if cold {
+				tr.SetTag(span, "cold", "true")
+			}
+			startSpan = tr.StartSpan(obs.KindOp, "lambda.start", span, wenv.Now())
+		}
 		wenv.Sleep(invokeRTT/2 + startDelay)
+		tr.EndSpan(startSpan, wenv.Now())
 		if crashOnStart {
 			// The container died before the handler ran: no handler duration
 			// to bill, no completion callback, and the container is gone —
 			// it does not rejoin the warm pool.
+			tr.SetTag(span, "fault", "crash-on-invoke")
+			tr.EndSpan(span, wenv.Now())
 			s.mu.Lock()
 			s.running--
 			s.mu.Unlock()
@@ -284,7 +324,11 @@ func (s *Service) Invoke(env simenv.Env, name string, payload []byte, opts Invok
 		if crashAfter > 0 {
 			henv = &crashEnv{inner: wenv, deadline: wenv.Now() + crashAfter}
 		}
-		ctx := &Ctx{Env: henv, Function: f.Name, MemoryMiB: f.MemoryMiB, Cold: cold, WorkerID: opts.WorkerID, svc: s}
+		// Bind the environment the handler (and through it every service
+		// call) actually uses, so substrate charges attribute to this
+		// invocation's subtree.
+		tr.Bind(henv, span)
+		ctx := &Ctx{Env: henv, Function: f.Name, MemoryMiB: f.MemoryMiB, Cold: cold, WorkerID: opts.WorkerID, Span: span, svc: s}
 		begin := wenv.Now()
 		crashed := false
 		err := func() (err error) {
@@ -302,10 +346,20 @@ func (s *Service) Invoke(env simenv.Env, name string, payload []byte, opts Invok
 		if f.Timeout > 0 && dur > f.Timeout {
 			dur = f.Timeout
 			err = fmt.Errorf("%w after %v", ErrTimeout, f.Timeout)
+			tr.SetTag(span, "timeout", "true")
 		}
 		// A mid-run crash bills the partial duration: the work ran until the
 		// instant the container died.
 		s.cfg.Meter.Charge(pricing.LabelLambdaDuration, pricing.LambdaDuration(f.MemoryMiB, dur))
+		billed := int64(f.MemoryMiB) * int64(dur)
+		s.billedMiBNs.Add(billed)
+		tr.AddCost(span, obs.Cost{LambdaMiBNs: billed})
+		if crashed {
+			tr.SetTag(span, "fault", "crash-mid-run")
+		}
+		// Release closes the invocation span and back-fills any op spans a
+		// crash unwound past without popping.
+		tr.Release(henv, wenv.Now())
 		s.mu.Lock()
 		s.running--
 		if !crashed {
@@ -386,7 +440,13 @@ func (c *crashEnv) Sleep(d time.Duration) {
 // clean runs for reasons unrelated to the injected faults.
 func (c *crashEnv) NotifyAll() { simenv.Broadcast(c.inner) }
 
+func (c *crashEnv) NotifyKey(key string) { simenv.BroadcastKey(c.inner, key) }
+
 func (c *crashEnv) WaitNotify(d time.Duration) bool {
+	return c.WaitNotifyKey("", d)
+}
+
+func (c *crashEnv) WaitNotifyKey(topic string, d time.Duration) bool {
 	now := c.inner.Now()
 	if now >= c.deadline {
 		panic(crashPanic{})
@@ -394,7 +454,7 @@ func (c *crashEnv) WaitNotify(d time.Duration) bool {
 	if now+d >= c.deadline {
 		d = c.deadline - now
 	}
-	woke := simenv.WaitNotify(c.inner, d)
+	woke := simenv.WaitNotifyKey(c.inner, topic, d)
 	if c.inner.Now() >= c.deadline {
 		panic(crashPanic{})
 	}

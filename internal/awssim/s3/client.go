@@ -3,11 +3,13 @@ package s3
 import (
 	"errors"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/netmodel"
+	"lambada/internal/obs"
 	"lambada/internal/resilience"
 )
 
@@ -61,6 +63,12 @@ type Client struct {
 	bytesRead  int64
 	bytesWrite int64
 	retries    int64
+
+	// trace wraps every public operation in an op span (inherited from the
+	// service's tracer at construction; nil = off). Op spans are created
+	// only inside an already-bound span context (a query or invocation),
+	// so setup traffic stays untraced.
+	trace *obs.Tracer
 }
 
 // ClientOption customizes a Client.
@@ -97,11 +105,51 @@ func NewClient(svc *Service, env simenv.Env, opts ...ClientOption) *Client {
 		env:            env,
 		RetryBaseDelay: 25 * time.Millisecond,
 		MaxRetries:     10,
+		trace:          svc.trace,
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// opSpan opens an op span under the span currently bound to the client's
+// environment and binds it, so service-side charges land on it. Returns 0
+// — and records nothing — when tracing is off or no span is bound.
+func (c *Client) opSpan(name string) obs.SpanID {
+	tr := c.trace
+	if tr == nil {
+		return 0
+	}
+	parent := tr.Current(c.env)
+	if parent == 0 {
+		return 0
+	}
+	sp := tr.StartSpan(obs.KindOp, name, parent, c.env.Now())
+	tr.Bind(c.env, sp)
+	return sp
+}
+
+// endOp closes an op span, tagging the retries it consumed and its
+// outcome. Runs in a defer, so a worker crash mid-operation still closes
+// the span at the crash instant.
+func (c *Client) endOp(sp obs.SpanID, retriesBefore int64, err *error) {
+	if sp == 0 {
+		return
+	}
+	tr := c.trace
+	if n := c.Retries() - retriesBefore; n > 0 {
+		tr.SetTag(sp, "retries", strconv.FormatInt(n, 10))
+	}
+	if err != nil && *err != nil {
+		if resilience.IsExhausted(*err) {
+			tr.SetTag(sp, "outcome", "exhausted")
+		} else {
+			tr.SetTag(sp, "outcome", "error")
+		}
+	}
+	tr.Pop(c.env)
+	tr.EndSpan(sp, c.env.Now())
 }
 
 // Env returns the client's environment.
@@ -179,8 +227,9 @@ func (c *Client) retry(op func() error) error {
 
 // Put uploads data (shaped as one connection egress; AWS does not shape
 // egress to S3 differently, so we reuse the ingress model symmetrically).
-func (c *Client) Put(bucket, key string, data []byte) error {
-	err := c.retry(func() error { return c.svc.Put(c.env, bucket, key, data) })
+func (c *Client) Put(bucket, key string, data []byte) (err error) {
+	defer c.endOp(c.opSpan("s3.put"), c.Retries(), &err)
+	err = c.retry(func() error { return c.svc.Put(c.env, bucket, key, data) })
 	if err == nil {
 		c.chargeTransfer(int64(len(data)), 1)
 		c.mu.Lock()
@@ -191,8 +240,9 @@ func (c *Client) Put(bucket, key string, data []byte) error {
 }
 
 // PutSynthetic uploads a size-only object, charging transfer time.
-func (c *Client) PutSynthetic(bucket, key string, size int64) error {
-	err := c.retry(func() error { return c.svc.PutSynthetic(c.env, bucket, key, size) })
+func (c *Client) PutSynthetic(bucket, key string, size int64) (err error) {
+	defer c.endOp(c.opSpan("s3.put"), c.Retries(), &err)
+	err = c.retry(func() error { return c.svc.PutSynthetic(c.env, bucket, key, size) })
 	if err == nil {
 		c.chargeTransfer(size, 1)
 		c.mu.Lock()
@@ -203,10 +253,11 @@ func (c *Client) PutSynthetic(bucket, key string, size int64) error {
 }
 
 // Get downloads a whole object using conns parallel connections.
-func (c *Client) Get(bucket, key string, conns int) ([]byte, int64, error) {
+func (c *Client) Get(bucket, key string, conns int) (_ []byte, _ int64, err error) {
+	defer c.endOp(c.opSpan("s3.get"), c.Retries(), &err)
 	var data []byte
 	var size int64
-	err := c.retry(func() error {
+	err = c.retry(func() error {
 		var e error
 		data, size, e = c.svc.Get(c.env, bucket, key)
 		return e
@@ -222,10 +273,11 @@ func (c *Client) Get(bucket, key string, conns int) ([]byte, int64, error) {
 }
 
 // GetRange downloads object bytes [off, off+n) using conns connections.
-func (c *Client) GetRange(bucket, key string, off, n int64, conns int) ([]byte, int64, error) {
+func (c *Client) GetRange(bucket, key string, off, n int64, conns int) (_ []byte, _ int64, err error) {
+	defer c.endOp(c.opSpan("s3.getrange"), c.Retries(), &err)
 	var data []byte
 	var got int64
-	err := c.retry(func() error {
+	err = c.retry(func() error {
 		var e error
 		data, got, e = c.svc.GetRange(c.env, bucket, key, off, n)
 		return e
@@ -241,9 +293,10 @@ func (c *Client) GetRange(bucket, key string, off, n int64, conns int) ([]byte, 
 }
 
 // Head returns the object size.
-func (c *Client) Head(bucket, key string) (int64, error) {
+func (c *Client) Head(bucket, key string) (_ int64, err error) {
+	defer c.endOp(c.opSpan("s3.head"), c.Retries(), &err)
 	var size int64
-	err := c.retry(func() error {
+	err = c.retry(func() error {
 		var e error
 		size, e = c.svc.Head(c.env, bucket, key)
 		return e
@@ -252,9 +305,10 @@ func (c *Client) Head(bucket, key string) (int64, error) {
 }
 
 // List returns entries under prefix.
-func (c *Client) List(bucket, prefix string) ([]ListEntry, error) {
+func (c *Client) List(bucket, prefix string) (_ []ListEntry, err error) {
+	defer c.endOp(c.opSpan("s3.list"), c.Retries(), &err)
 	var out []ListEntry
-	err := c.retry(func() error {
+	err = c.retry(func() error {
 		var e error
 		out, e = c.svc.List(c.env, bucket, prefix)
 		return e
@@ -263,17 +317,21 @@ func (c *Client) List(bucket, prefix string) ([]ListEntry, error) {
 }
 
 // Delete removes an object.
-func (c *Client) Delete(bucket, key string) error {
-	return c.retry(func() error { return c.svc.Delete(c.env, bucket, key) })
+func (c *Client) Delete(bucket, key string) (err error) {
+	defer c.endOp(c.opSpan("s3.delete"), c.Retries(), &err)
+	err = c.retry(func() error { return c.svc.Delete(c.env, bucket, key) })
+	return err
 }
 
 // DeleteBatch removes many objects through the batched DeleteObjects API —
 // one round trip per 1000 keys.
-func (c *Client) DeleteBatch(bucket string, keys []string) error {
+func (c *Client) DeleteBatch(bucket string, keys []string) (err error) {
 	if len(keys) == 0 {
 		return nil
 	}
-	return c.retry(func() error { return c.svc.DeleteBatch(c.env, bucket, keys) })
+	defer c.endOp(c.opSpan("s3.deletebatch"), c.Retries(), &err)
+	err = c.retry(func() error { return c.svc.DeleteBatch(c.env, bucket, keys) })
+	return err
 }
 
 // WaitFor polls until bucket/key exists (the receiver side of the exchange:

@@ -25,6 +25,7 @@ import (
 	"lambada/internal/awssim/pricing"
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/netmodel"
+	"lambada/internal/obs"
 )
 
 // Errors returned by the service.
@@ -127,6 +128,34 @@ type Service struct {
 	rng     *lockedRand
 	// readBytes totals the billed bytes served by Get/GetRange.
 	readBytes atomic.Int64
+	// trace receives billed-cost attribution (nil = off). Each chargeTrace
+	// call sits adjacent to the matching Meter.Charge, so summing span
+	// costs reproduces the meter movement exactly.
+	trace *obs.Tracer
+}
+
+// SetTracer installs the tracer billed requests are attributed to. Must be
+// set before traffic; nil disables attribution.
+func (s *Service) SetTracer(tr *obs.Tracer) { s.trace = tr }
+
+// chargeTrace attributes one billed request under label to the span bound
+// to env's environment.
+func (s *Service) chargeTrace(env simenv.Env, label string) {
+	if s.trace == nil {
+		return
+	}
+	var c obs.Cost
+	switch label {
+	case pricing.LabelS3Read:
+		c.S3Get = 1
+	case pricing.LabelS3Write:
+		c.S3Put = 1
+	case pricing.LabelS3List:
+		c.S3List = 1
+	default:
+		return
+	}
+	s.trace.ChargeTo(env, c)
 }
 
 // New returns a service with the given configuration.
@@ -213,12 +242,14 @@ func (s *Service) injected(env simenv.Env, f faults.Fault, label string, price p
 	case faults.KindTransient:
 		if label != "" {
 			s.cfg.Meter.Charge(label, price)
+			s.chargeTrace(env, label)
 		}
 		s.sleepDist(env, lat)
 		return fmt.Errorf("s3: %w", faults.ErrInternal)
 	case faults.KindTimeout:
 		if label != "" {
 			s.cfg.Meter.Charge(label, price)
+			s.chargeTrace(env, label)
 		}
 		s.sleepDist(env, lat)
 		return fmt.Errorf("s3: %w", faults.ErrTimeout)
@@ -247,17 +278,22 @@ func (s *Service) put(env simenv.Env, bucketName, key string, obj *Object) error
 	s.mu.Unlock()
 
 	s.cfg.Meter.Charge(pricing.LabelS3Write, pricing.S3Write)
+	s.chargeTrace(env, pricing.LabelS3Write)
 	s.sleepDist(env, s.cfg.PutLatency)
 
 	s.mu.Lock()
 	b.objects[key] = obj
 	s.mu.Unlock()
-	// Wake every waiter parked on the completion signal: the exchange's
-	// receivers (WaitFor heads, List polls, commit-marker waits) block on
-	// exactly this event — a sender's file appearing — so they re-check on
-	// the signal instead of burning the fixed poll interval. The timed poll
-	// remains the fallback for waiters whose file never comes.
-	simenv.Broadcast(env)
+	// Wake the waiters parked on this key's completion topic: the
+	// exchange's receivers (WaitFor heads, List polls, commit-marker waits)
+	// block on exactly this event — a sender's file appearing — so they
+	// re-check on the signal instead of burning the fixed poll interval.
+	// The topic is keyed by object key (bucket deliberately omitted: one
+	// prefix subscription covers a boundary sharded across buckets), so a
+	// hundred-sender fleet no longer wakes every waiter on every write.
+	// The timed poll remains the fallback for waiters whose file never
+	// comes.
+	simenv.BroadcastKey(env, "s3/"+key)
 	return nil
 }
 
@@ -295,6 +331,7 @@ func (s *Service) Head(env simenv.Env, bucketName, key string) (int64, error) {
 	s.mu.Unlock()
 
 	s.cfg.Meter.Charge(pricing.LabelS3Read, pricing.S3Read)
+	s.chargeTrace(env, pricing.LabelS3Read)
 	s.sleepDist(env, s.cfg.GetLatency)
 	if !okKey {
 		return 0, fmt.Errorf("%w: %s/%s", ErrNoSuchKey, bucketName, key)
@@ -325,6 +362,7 @@ func (s *Service) get(env simenv.Env, bucketName, key string) (*Object, error) {
 	s.mu.Unlock()
 
 	s.cfg.Meter.Charge(pricing.LabelS3Read, pricing.S3Read)
+	s.chargeTrace(env, pricing.LabelS3Read)
 	s.sleepDist(env, s.cfg.GetLatency)
 	if !okKey {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNoSuchKey, bucketName, key)
@@ -339,6 +377,9 @@ func (s *Service) Get(env simenv.Env, bucketName, key string) ([]byte, int64, er
 		return nil, 0, err
 	}
 	s.readBytes.Add(o.Size)
+	if s.trace != nil {
+		s.trace.ChargeTo(env, obs.Cost{S3ReadBytes: o.Size})
+	}
 	if o.data == nil {
 		return nil, o.Size, nil
 	}
@@ -366,6 +407,9 @@ func (s *Service) GetRange(env simenv.Env, bucketName, key string, off, n int64)
 		n = o.Size - off
 	}
 	s.readBytes.Add(n)
+	if s.trace != nil {
+		s.trace.ChargeTo(env, obs.Cost{S3ReadBytes: n})
+	}
 	if o.data == nil {
 		return nil, n, nil
 	}
@@ -410,6 +454,7 @@ func (s *Service) List(env simenv.Env, bucketName, prefix string) ([]ListEntry, 
 	s.mu.Unlock()
 
 	s.cfg.Meter.Charge(pricing.LabelS3List, pricing.S3List)
+	s.chargeTrace(env, pricing.LabelS3List)
 	s.sleepDist(env, s.cfg.ListLatency)
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out, nil

@@ -10,6 +10,7 @@ package simenv
 
 import (
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,9 +43,15 @@ func (e *Immediate) Now() time.Duration { return time.Duration(e.elapsed.Load())
 // poll-sized Sleep. GoRuntime gives each worker its own Immediate, so the
 // signal is process-wide rather than per-env — a worker's SQS Send must
 // wake the driver's poller even though they hold different clocks.
+// Keyed waiters park on per-topic channels (topicChs); a NotifyKey closes
+// (and retires) every topic channel the written key falls under, plus the
+// wildcard channel. notifyWakeups counts waiters actually woken by a
+// broadcast — the contention metric keying exists to reduce.
 var (
-	notifyMu sync.Mutex
-	notifyCh = make(chan struct{})
+	notifyMu      sync.Mutex
+	notifyCh      = make(chan struct{})
+	topicChs      = make(map[string]chan struct{})
+	notifyWakeups atomic.Uint64
 )
 
 // Notify broadcasts a completion signal (work was produced — e.g. a
@@ -52,10 +59,21 @@ var (
 // Immediate poll-sized Sleep. Spurious wakeups are harmless: Sleep credits
 // its virtual time before parking, so a woken poller simply re-checks its
 // condition.
-func Notify() {
+func Notify() { NotifyKey("") }
+
+// NotifyKey broadcasts a completion signal for key: waiters parked on a
+// matching topic (prefix of key; the wildcard waiters always) wake. An
+// empty key is the wildcard broadcast and wakes everyone.
+func NotifyKey(key string) {
 	notifyMu.Lock()
 	close(notifyCh)
 	notifyCh = make(chan struct{})
+	for topic, ch := range topicChs {
+		if key == "" || strings.HasPrefix(key, topic) {
+			close(ch)
+			delete(topicChs, topic)
+		}
+	}
 	notifyMu.Unlock()
 }
 
@@ -95,10 +113,17 @@ type Notifier interface {
 	Env
 	// NotifyAll broadcasts the completion signal to every parked waiter.
 	NotifyAll()
+	// NotifyKey broadcasts the completion signal for a written key, waking
+	// only waiters parked on a matching topic (a prefix of key).
+	NotifyKey(key string)
 	// WaitNotify parks the caller until the next completion broadcast or
 	// until d of virtual time passed, whichever comes first, and reports
 	// whether the broadcast arrived.
 	WaitNotify(d time.Duration) bool
+	// WaitNotifyKey parks the caller until a broadcast whose key matches
+	// topic (prefix match; empty topic matches everything) or until d of
+	// virtual time passed, and reports whether the broadcast arrived.
+	WaitNotifyKey(topic string, d time.Duration) bool
 }
 
 // Broadcast signals work completion through env's native channel: the DES
@@ -110,6 +135,18 @@ func Broadcast(env Env) {
 		return
 	}
 	Notify()
+}
+
+// BroadcastKey signals that something became visible under key: services
+// call it at every write that may unblock a parked barrier (an S3 object,
+// a DynamoDB item, an SQS message), routed through env's native keyed
+// channel so only waiters on a matching topic wake.
+func BroadcastKey(env Env, key string) {
+	if n, ok := env.(Notifier); ok {
+		n.NotifyKey(key)
+		return
+	}
+	NotifyKey(key)
 }
 
 // WaitNotify parks env's caller for at most d of virtual time, waking early
@@ -124,8 +161,33 @@ func WaitNotify(env Env, d time.Duration) bool {
 	return false
 }
 
+// WaitNotifyKey parks env's caller for at most d of virtual time, waking
+// early on a completion broadcast whose key matches topic, and reports
+// whether the broadcast arrived. Envs without a Notifier implementation
+// fall back to a plain timed Sleep.
+func WaitNotifyKey(env Env, topic string, d time.Duration) bool {
+	if n, ok := env.(Notifier); ok {
+		return n.WaitNotifyKey(topic, d)
+	}
+	env.Sleep(d)
+	return false
+}
+
+// Wakeups returns the number of keyed-or-wildcard waiter wake-ups the
+// process-wide completion signal has performed (Immediate envs; the DES
+// kernel keeps its own counter on simclock.Kernel).
+func Wakeups() uint64 { return notifyWakeups.Load() }
+
 // NotifyAll broadcasts the process-wide completion signal (Notifier).
 func (e *Immediate) NotifyAll() { Notify() }
+
+// NotifyKey broadcasts the process-wide completion signal for key
+// (Notifier).
+func (e *Immediate) NotifyKey(key string) { NotifyKey(key) }
+
+// CompletionWakeups exposes the process-wide wakeup counter through the
+// same interface assertion the driver uses for *simclock.Proc.
+func (e *Immediate) CompletionWakeups() uint64 { return notifyWakeups.Load() }
 
 // WaitNotify parks until the next completion signal with the pollGuard
 // timer as the real-time fallback (Notifier). Every wake-up — notified or
@@ -136,16 +198,32 @@ func (e *Immediate) NotifyAll() { Notify() }
 // as unrelated broadcasts keep arriving. (DES processes don't have this
 // problem: their kernel clock advances to the broadcast's true instant.)
 func (e *Immediate) WaitNotify(d time.Duration) bool {
+	return e.WaitNotifyKey("", d)
+}
+
+// WaitNotifyKey parks on the topic's channel (the wildcard channel when
+// topic is empty) with the pollGuard real-time fallback, charging the
+// full d of virtual time like WaitNotify (Notifier).
+func (e *Immediate) WaitNotifyKey(topic string, d time.Duration) bool {
 	if d > 0 {
 		e.elapsed.Add(int64(d))
 	}
 	notifyMu.Lock()
 	ch := notifyCh
+	if topic != "" {
+		if tc, ok := topicChs[topic]; ok {
+			ch = tc
+		} else {
+			ch = make(chan struct{})
+			topicChs[topic] = ch
+		}
+	}
 	notifyMu.Unlock()
 	t := time.NewTimer(pollGuard)
 	defer t.Stop()
 	select {
 	case <-ch:
+		notifyWakeups.Add(1)
 		return true
 	case <-t.C:
 		return false

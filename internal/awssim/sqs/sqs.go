@@ -19,6 +19,7 @@ import (
 	"lambada/internal/awssim/pricing"
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/netmodel"
+	"lambada/internal/obs"
 )
 
 // ErrNoSuchQueue is returned for operations on missing queues.
@@ -65,6 +66,19 @@ type Service struct {
 	cfg    Config
 	queues map[string][]Message
 	rng    *lockedRand
+	// trace receives billed-request attribution (nil = off), charged
+	// adjacent to every Meter.Charge.
+	trace *obs.Tracer
+}
+
+// SetTracer installs the tracer billed requests are attributed to. Must be
+// set before traffic; nil disables attribution.
+func (s *Service) SetTracer(tr *obs.Tracer) { s.trace = tr }
+
+func (s *Service) chargeTrace(env simenv.Env) {
+	if s.trace != nil {
+		s.trace.ChargeTo(env, obs.Cost{SQSRequests: 1})
+	}
 }
 
 type lockedRand struct {
@@ -103,10 +117,12 @@ func (s *Service) injected(env simenv.Env, f faults.Fault, lat netmodel.Dist) er
 	switch f.Kind {
 	case faults.KindTransient:
 		s.cfg.Meter.Charge(pricing.LabelSQS, pricing.SQSPerRequest)
+		s.chargeTrace(env)
 		s.sleep(env, lat)
 		return fmt.Errorf("sqs: %w", faults.ErrInternal)
 	case faults.KindTimeout:
 		s.cfg.Meter.Charge(pricing.LabelSQS, pricing.SQSPerRequest)
+		s.chargeTrace(env)
 		s.sleep(env, lat)
 		return fmt.Errorf("sqs: %w", faults.ErrTimeout)
 	}
@@ -138,11 +154,13 @@ func (s *Service) Send(env simenv.Env, queue string, body []byte) error {
 	s.mu.Unlock()
 
 	s.cfg.Meter.Charge(pricing.LabelSQS, pricing.SQSPerRequest)
-	// Completion signal: wake pollers parked on the completion notify —
-	// DES processes in Proc.WaitNotify and Immediate-env pollers blocked in
+	s.chargeTrace(env)
+	// Completion signal: wake pollers parked on this queue's topic — DES
+	// processes in Proc.WaitNotifyKey and Immediate-env pollers blocked in
 	// Sleep — so result collectors react to the message at its exact arrival
-	// instant instead of on their next throttled poll tick.
-	simenv.Broadcast(env)
+	// instant instead of on their next throttled poll tick, and collectors
+	// of other queues stay parked.
+	simenv.BroadcastKey(env, "sqs/"+queue)
 	s.sleep(env, s.cfg.SendLatency)
 	return nil
 }
@@ -182,6 +200,7 @@ func (s *Service) Receive(env simenv.Env, queue string, max int) ([]Message, err
 	s.mu.Unlock()
 
 	s.cfg.Meter.Charge(pricing.LabelSQS, pricing.SQSPerRequest)
+	s.chargeTrace(env)
 	s.sleep(env, s.cfg.ReceiveLatency)
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/lpq"
+	"lambada/internal/obs"
 	"lambada/internal/simclock"
 	"lambada/internal/tpch"
 )
@@ -204,4 +205,76 @@ func BenchmarkStagedSelectiveScan(b *testing.B) {
 	b.ReportMetric(float64(virtual)/float64(b.N)/1e6, "vms/op")
 	b.ReportMetric(float64(gets)/float64(b.N), "billed_get_requests/op")
 	b.ReportMetric(float64(bytes)/float64(b.N), "billed_bytes/op")
+}
+
+// BenchmarkStagedCriticalPath runs traced staged q12 under DES and splits
+// the query's critical path between worker-side and driver-side virtual
+// time: critpath_worker_vms is the latency bounded by spans inside worker
+// invocations (the part more compute parallelism could shrink),
+// critpath_driver_vms the remainder (invocation, barriers, collection —
+// the part only protocol changes can shrink). The two sum to vms/op by
+// the tiling property.
+func BenchmarkStagedCriticalPath(b *testing.B) {
+	g := tpch.Gen{SF: 0.002, Seed: 33}
+	li := g.Generate()
+	orders := g.OrdersFor(li)
+	var virtual, worker time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := simclock.New()
+		dep := NewSimulated(k, 47)
+		dep.EnableTracing(obs.New())
+		k.Go("driver", func(p *simclock.Proc) {
+			cfg := DefaultConfig()
+			cfg.PollInterval = 50 * time.Millisecond
+			d := New(dep, p, cfg)
+			if err := d.Install(); err != nil {
+				b.Error(err)
+				return
+			}
+			liRefs, err := d.UploadTable("tpch", "lineitem", li, 4, lpq.WriterOptions{RowGroupRows: 2000})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			ordRefs, err := d.UploadTable("tpch", "orders", orders, 2, lpq.WriterOptions{RowGroupRows: 2000})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			scfg := DefaultStageConfig()
+			scfg.Partitions = 2
+			scfg.BroadcastRowLimit = -1
+			out, rep, err := d.RunSQLStaged(q12ExactSQL, TableFiles{"lineitem": liRefs, "orders": ordRefs}, scfg)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if out.NumRows() == 0 {
+				b.Error("empty result")
+				return
+			}
+			virtual += rep.Duration
+			spans := rep.Trace.Spans()
+			underInvoke := func(id obs.SpanID) bool {
+				for id != 0 {
+					s := spans[id-1]
+					if s.Kind == obs.KindInvoke {
+						return true
+					}
+					id = s.Parent
+				}
+				return false
+			}
+			for _, seg := range obs.CriticalPath(spans, rep.Span) {
+				if underInvoke(seg.Span) {
+					worker += seg.Duration()
+				}
+			}
+		})
+		k.Run()
+	}
+	b.ReportMetric(float64(virtual)/float64(b.N)/1e6, "vms/op")
+	b.ReportMetric(float64(worker)/float64(b.N)/1e6, "critpath_worker_vms/op")
+	b.ReportMetric(float64(virtual-worker)/float64(b.N)/1e6, "critpath_driver_vms/op")
 }

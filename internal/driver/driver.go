@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"lambada/internal/awssim/dynamo"
@@ -26,6 +27,7 @@ import (
 	"lambada/internal/invoke"
 	"lambada/internal/lpq"
 	"lambada/internal/netmodel"
+	"lambada/internal/obs"
 	"lambada/internal/resilience"
 	"lambada/internal/scan"
 	"lambada/internal/simclock"
@@ -50,6 +52,23 @@ type Deployment struct {
 	// deployment (NewChaos) — held here for reporting injected-fault counts.
 	// Nil on fault-free deployments.
 	Faults *faults.Injector
+
+	// Trace is the deployment-wide tracer (nil = tracing off). Install it
+	// with EnableTracing before any query traffic: every service attributes
+	// its billed requests to the span bound to the calling environment, the
+	// driver opens query/stage spans, and workers get invocation spans.
+	Trace *obs.Tracer
+}
+
+// EnableTracing installs tr on the deployment and every service, so billed
+// requests, retries and invocations are recorded as a span tree. Call it
+// once, before Install and before any traffic; nil disables tracing again.
+func (dep *Deployment) EnableTracing(tr *obs.Tracer) {
+	dep.Trace = tr
+	dep.S3.SetTracer(tr)
+	dep.Lambda.SetTracer(tr)
+	dep.SQS.SetTracer(tr)
+	dep.Dynamo.SetTracer(tr)
 }
 
 // NewLocal returns a functional-layer deployment: real goroutine workers,
@@ -230,7 +249,7 @@ func (d *Driver) retryBudget() *resilience.Budget {
 // reproducible across runs.
 func (d *Driver) newRetryScope(seed int64) *retryScope {
 	s := &retryScope{budget: d.retryBudget(), stats: &resilience.Stats{}}
-	s.policy = resilience.Policy{Budget: s.budget, Stats: s.stats, Seed: seed}
+	s.policy = resilience.Policy{Budget: s.budget, Stats: s.stats, Seed: seed, Trace: d.dep.Trace}
 	return s
 }
 
@@ -360,6 +379,18 @@ func (d *Driver) workerHandler(ctx *lambdasvc.Ctx, payload []byte) error {
 	// seal the scheduler can act on.
 	ws := d.newRetryScope(int64(p.StageID)<<32 + int64(p.WorkerID)<<8 + int64(p.Attempt) + 1)
 
+	// Identify this invocation's span: queryID/stage/attempt tags turn the
+	// flat invocation list into the query → stage → attempt taxonomy.
+	if tr := d.dep.Trace; tr.Enabled() && ctx.Span != 0 {
+		tr.SetTag(ctx.Span, "query", p.QueryID)
+		if p.StageID != 0 || len(p.StageSpec) > 0 {
+			tr.SetTag(ctx.Span, "stage", strconv.Itoa(p.StageID))
+		}
+		if p.Attempt > 0 {
+			tr.SetTag(ctx.Span, "attempt", strconv.Itoa(p.Attempt))
+		}
+	}
+
 	// First-generation workers launch their children before their own
 	// fragment (§4.2).
 	if len(p.Children) > 0 {
@@ -372,7 +403,7 @@ func (d *Driver) workerHandler(ctx *lambdasvc.Ctx, payload []byte) error {
 			}
 			body := ch
 			if err := ws.policy.Do(ctx.Env, "lambda.Invoke", func() error {
-				return d.dep.Lambda.Invoke(ctx.Env, d.cfg.FunctionName, body, lambdasvc.InvokeOptions{WorkerID: cp.WorkerID, Pipelined: true})
+				return d.dep.Lambda.Invoke(ctx.Env, d.cfg.FunctionName, body, lambdasvc.InvokeOptions{WorkerID: cp.WorkerID, Pipelined: true, Span: ctx.Span})
 			}); err != nil {
 				d.postResult(ctx.Env, ws, p, fmt.Errorf("invoking child %d: %w", cp.WorkerID, err), nil, 0, ctx.Cold)
 				return err

@@ -9,6 +9,7 @@ import (
 	"lambada/internal/columnar"
 	"lambada/internal/engine"
 	"lambada/internal/exchange"
+	"lambada/internal/obs"
 	"lambada/internal/scan"
 )
 
@@ -75,6 +76,16 @@ func (d *Driver) RunPlanExchanged(plan engine.Plan, table string, files []scan.F
 
 	costBefore := d.costSnapshot()
 	startTime := d.env.Now()
+
+	// Query span: see runPlan — binds driver-side traffic, closed with the
+	// cost window.
+	tr := d.dep.Trace
+	var qspan obs.SpanID
+	if tr.Enabled() {
+		qspan = tr.StartSpan(obs.KindQuery, queryID, 0, startTime)
+		tr.Bind(d.env, qspan)
+		defer func() { tr.Release(d.env, d.env.Now()) }()
+	}
 
 	driverClient := s3.NewClient(d.dep.S3, d.env)
 	metaSrc := scan.New(driverClient, d.cfg.Scan, files[0])
@@ -148,7 +159,7 @@ func (d *Driver) RunPlanExchanged(plan engine.Plan, table string, files []scan.F
 	}
 
 	invokeStart := d.env.Now()
-	if err := d.invokeAll(payloads); err != nil {
+	if err := d.invokeAll(payloads, qspan); err != nil {
 		return nil, nil, err
 	}
 	invocation := d.env.Now() - invokeStart
@@ -167,13 +178,19 @@ func (d *Driver) RunPlanExchanged(plan engine.Plan, table string, files []scan.F
 	if err != nil {
 		return nil, nil, err
 	}
+	d.quiesce()
+	endTime := d.env.Now()
 	rep := &Report{
 		QueryID:          queryID,
 		Workers:          workers,
-		Duration:         d.env.Now() - startTime,
+		Duration:         endTime - startTime,
 		Invocation:       invocation,
 		WorkerProcessing: processing,
 		ColdWorkers:      cold,
+	}
+	if tr.Enabled() {
+		tr.EndSpan(qspan, endTime)
+		rep.Trace, rep.Span = tr, qspan
 	}
 	d.fillCostDelta(rep, costBefore)
 	return result, rep, nil

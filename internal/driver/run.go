@@ -16,6 +16,7 @@ import (
 	"lambada/internal/engine"
 	"lambada/internal/invoke"
 	"lambada/internal/lpq"
+	"lambada/internal/obs"
 	"lambada/internal/scan"
 	"lambada/internal/sqlfe"
 )
@@ -68,6 +69,19 @@ type Report struct {
 	// awssim internals.
 	S3GetRequests int64
 	S3ReadBytes   int64
+	// LambdaMiBNs is the billed Lambda duration of the query as exact
+	// MiB·nanoseconds (the integer basis of the GB-second duration charge).
+	LambdaMiBNs int64
+	// Wakeups counts completion-signal wakeups delivered during the query —
+	// the keyed-broadcast layer's efficiency metric (0 when the environment
+	// does not expose a wakeup counter).
+	Wakeups uint64
+	// Trace and Span expose the query's span tree when the deployment runs
+	// with EnableTracing: Span is the root query span, Trace holds the whole
+	// recording (shared across queries of the deployment). Nil/0 when
+	// tracing is off.
+	Trace *obs.Tracer
+	Span  obs.SpanID
 }
 
 // StageStat is one stage's slice of a staged execution.
@@ -82,14 +96,20 @@ type StageStat struct {
 	// Speculated counts backup attempts invoked for this stage's
 	// stragglers.
 	Speculated int
+	// Span is the stage's span (0 when tracing is off) — the anchor for
+	// per-stage cost attribution in Report.Profile.
+	Span obs.SpanID
 }
 
 // costSnap is the meter state captured around a query: per-label dollar
-// totals plus the raw S3 read request/byte counters.
+// totals plus the raw S3 read request/byte, Lambda duration and wakeup
+// counters.
 type costSnap struct {
 	cost        map[string]float64
 	s3Gets      int64
 	s3ReadBytes int64
+	lambdaMiBNs int64
+	wakeups     uint64
 }
 
 // costSnapshot captures the meter's current per-label totals.
@@ -100,7 +120,34 @@ func (d *Driver) costSnapshot() costSnap {
 	}
 	snap.s3Gets = d.dep.Meter.Count(pricing.LabelS3Read)
 	snap.s3ReadBytes = d.dep.S3.ReadBytes()
+	snap.lambdaMiBNs = d.dep.Lambda.BilledMiBNs()
+	snap.wakeups = d.wakeupCount()
 	return snap
+}
+
+// wakeupCount reads the environment's completion-wakeup counter when it has
+// one (DES kernel processes and the Immediate environment both do).
+func (d *Driver) wakeupCount() uint64 {
+	if c, ok := d.env.(interface{ CompletionWakeups() uint64 }); ok {
+		return c.CompletionWakeups()
+	}
+	return 0
+}
+
+// quiesce, on traced runs, waits until no worker invocation is still
+// executing before the cost window closes. Straggler losers — speculation
+// backups whose original won, zombie attempts — bill their Lambda duration
+// when their handler returns; waiting for them makes the per-span cost
+// attribution sum exactly to the Report's meter deltas, at the price of the
+// traced Duration including the straggler tail. Untraced runs keep the
+// historical window (report the instant the result is complete).
+func (d *Driver) quiesce() {
+	if !d.dep.Trace.Enabled() {
+		return
+	}
+	for d.dep.Lambda.Running() > 0 {
+		simenv.WaitNotify(d.env, d.cfg.PollInterval)
+	}
 }
 
 // fillCostDelta records what the query cost: the meter movement since the
@@ -116,6 +163,8 @@ func (d *Driver) fillCostDelta(rep *Report, before costSnap) {
 	}
 	rep.S3GetRequests = d.dep.Meter.Count(pricing.LabelS3Read) - before.s3Gets
 	rep.S3ReadBytes = d.dep.S3.ReadBytes() - before.s3ReadBytes
+	rep.LambdaMiBNs = d.dep.Lambda.BilledMiBNs() - before.lambdaMiBNs
+	rep.Wakeups = d.wakeupCount() - before.wakeups
 	rep.DriverRetries = d.retry.stats.Retries()
 	rep.WorkerRetries = d.workerRetries
 	if d.dep.Faults != nil {
@@ -180,9 +229,10 @@ func (d *Driver) drainResults(queryID string, n int, onMsg func(rm resultMsg) er
 			return fmt.Errorf("driver: %d results missing after %v", n, d.cfg.MaxWait)
 		}
 		if len(msgs) == 0 {
-			// Park on the completion signal sqs.Send broadcasts — wake at
-			// the next message's exact arrival instant, timed poll fallback.
-			simenv.WaitNotify(d.env, d.cfg.PollInterval)
+			// Park on the result queue's completion topic — wake at the next
+			// message's exact arrival instant, timed poll fallback; sends to
+			// other queues (or other substrate writes) leave us parked.
+			simenv.WaitNotifyKey(d.env, "sqs/"+d.cfg.ResultQueue, d.cfg.PollInterval)
 		}
 	}
 	return nil
@@ -271,6 +321,18 @@ func (d *Driver) runPlan(plan engine.Plan, table string, files []scan.FileRef, b
 	costBefore := d.costSnapshot()
 	startTime := d.env.Now()
 
+	// Query span: the root of this query's span tree. Binding it to the
+	// driver environment routes every driver-side billed request (schema
+	// reads, invokes, result polling) into op spans beneath it; Release in
+	// the defer closes any still-open driver-side span on error paths.
+	tr := d.dep.Trace
+	var qspan obs.SpanID
+	if tr.Enabled() {
+		qspan = tr.StartSpan(obs.KindQuery, queryID, 0, startTime)
+		tr.Bind(d.env, qspan)
+		defer func() { tr.Release(d.env, d.env.Now()) }()
+	}
+
 	// Resolve the table schema from the first file's footer (driver-side
 	// metadata read).
 	driverClient := s3.NewClient(d.dep.S3, d.env)
@@ -343,7 +405,7 @@ func (d *Driver) runPlan(plan engine.Plan, table string, files []scan.FileRef, b
 
 	// Invoke the fleet.
 	invokeStart := d.env.Now()
-	if err := d.invokeAll(payloads); err != nil {
+	if err := d.invokeAll(payloads, qspan); err != nil {
 		return nil, nil, err
 	}
 	invocation := d.env.Now() - invokeStart
@@ -356,7 +418,7 @@ func (d *Driver) runPlan(plan engine.Plan, table string, files []scan.FileRef, b
 	var cold, speculated int
 	if d.cfg.Speculate.Enabled {
 		var err error
-		chunks, processing, cold, speculated, err = d.collectWithSpeculation(queryID, payloads, invokeStart, d.cfg.Speculate)
+		chunks, processing, cold, speculated, err = d.collectWithSpeculation(queryID, payloads, invokeStart, d.cfg.Speculate, qspan)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -380,14 +442,23 @@ func (d *Driver) runPlan(plan engine.Plan, table string, files []scan.FileRef, b
 		return nil, nil, err
 	}
 
+	// Close the cost window only after every invocation — speculation
+	// losers included — finished billing, so per-span attribution and the
+	// Report deltas agree exactly (no-op when tracing is off).
+	d.quiesce()
+	endTime := d.env.Now()
 	rep := &Report{
 		QueryID:          queryID,
 		Workers:          workers,
-		Duration:         d.env.Now() - startTime,
+		Duration:         endTime - startTime,
 		Invocation:       invocation,
 		WorkerProcessing: processing,
 		ColdWorkers:      cold,
 		Speculated:       speculated,
+	}
+	if tr.Enabled() {
+		tr.EndSpan(qspan, endTime)
+		rep.Trace, rep.Span = tr, qspan
 	}
 	d.fillCostDelta(rep, costBefore)
 	return result, rep, nil
@@ -397,16 +468,19 @@ func (d *Driver) runPlan(plan engine.Plan, table string, files []scan.FileRef, b
 // Like every substrate call the driver makes, it runs under the query's
 // retry policy: transient invoke errors retry with backoff, quota
 // rejections (throttle-class Invoke errors are permanent capacity answers,
-// not blips) and payload errors stay fatal.
-func (d *Driver) invokeOne(payload []byte, workerID int) error {
+// not blips) and payload errors stay fatal. span parents the invocation's
+// trace span — the stage span on staged runs, the query span otherwise.
+func (d *Driver) invokeOne(payload []byte, workerID int, span obs.SpanID) error {
 	return d.retry.policy.Do(d.env, "lambda.Invoke", func() error {
 		return d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, payload,
-			lambdasvc.InvokeOptions{WorkerID: workerID, Pipelined: true})
+			lambdasvc.InvokeOptions{WorkerID: workerID, Pipelined: true, Span: span})
 	})
 }
 
-// invokeAll launches the fleet, directly or via the two-level tree.
-func (d *Driver) invokeAll(payloads [][]byte) error {
+// invokeAll launches the fleet, directly or via the two-level tree; span
+// parents the invocation spans (tree children parent under their invoking
+// first-generation worker instead, mirroring the real invocation topology).
+func (d *Driver) invokeAll(payloads [][]byte, span obs.SpanID) error {
 	if !invoke.UseTree(d.cfg.TreeInvoke, len(payloads)) {
 		pacing := invoke.DriverPacing(d.cfg.Region, d.cfg.InvokeThreads)
 		for i, p := range payloads {
@@ -414,7 +488,7 @@ func (d *Driver) invokeAll(payloads [][]byte) error {
 			// round trips; the loop paces at the effective rate (Table 1).
 			body, id := p, i
 			if err := d.retry.policy.Do(d.env, "lambda.Invoke", func() error {
-				return d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, body, lambdasvc.InvokeOptions{WorkerID: id, Pipelined: true})
+				return d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, body, lambdasvc.InvokeOptions{WorkerID: id, Pipelined: true, Span: span})
 			}); err != nil {
 				return err
 			}
@@ -438,7 +512,7 @@ func (d *Driver) invokeAll(payloads [][]byte) error {
 		}
 		id := fg
 		if err := d.retry.policy.Do(d.env, "lambda.Invoke", func() error {
-			return d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, body, lambdasvc.InvokeOptions{WorkerID: id})
+			return d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, body, lambdasvc.InvokeOptions{WorkerID: id, Span: span})
 		}); err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@ import (
 	"lambada/internal/awssim/sqs"
 	"lambada/internal/columnar"
 	"lambada/internal/lpq"
+	"lambada/internal/obs"
 )
 
 // SpeculateConfig enables driver-side straggler mitigation: once a quorum
@@ -159,8 +160,9 @@ func reattempt(payload []byte, attempt int) ([]byte, error) {
 
 // collectWithSpeculation gathers one result per worker of a single-scope
 // query, re-invoking stragglers per the shared policy. It returns the first
-// result chunk per worker plus bookkeeping for the report.
-func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launchAt time.Duration, spec SpeculateConfig) ([]*columnar.Chunk, []time.Duration, int, int, error) {
+// result chunk per worker plus bookkeeping for the report. span parents the
+// backup invocations' trace spans (the query span; 0 when tracing is off).
+func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launchAt time.Duration, spec SpeculateConfig, span obs.SpanID) ([]*columnar.Chunk, []time.Duration, int, int, error) {
 	workers := len(payloads)
 	got := make(map[int]bool, workers)
 	pol := newStragglerPolicy(spec, workers, launchAt)
@@ -223,17 +225,17 @@ func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launc
 			if err != nil {
 				return nil, nil, 0, 0, err
 			}
-			if err := d.invokeOne(body, w); err != nil {
+			if err := d.invokeOne(body, w, span); err != nil {
 				return nil, nil, 0, 0, fmt.Errorf("driver: backup invocation of worker %d: %w", w, err)
 			}
 		}
 		if d.env.Now()-launchAt > d.cfg.MaxWait {
 			return nil, nil, 0, 0, fmt.Errorf("driver: timed out with %d/%d workers", len(got), workers)
 		}
-		// Park on the completion signal sqs.Send broadcasts — wake at the
-		// next result's exact arrival instant, timed poll fallback (the
-		// timed wake also paces the straggler checks above).
-		simenv.WaitNotify(d.env, d.cfg.PollInterval)
+		// Park on the result queue's completion topic — wake at the next
+		// result's exact arrival instant, timed poll fallback (the timed
+		// wake also paces the straggler checks above).
+		simenv.WaitNotifyKey(d.env, "sqs/"+d.cfg.ResultQueue, d.cfg.PollInterval)
 	}
 	return chunks, processing, cold, speculated, nil
 }

@@ -19,6 +19,7 @@ import (
 	"lambada/internal/exchange"
 	"lambada/internal/invoke"
 	"lambada/internal/lpq"
+	"lambada/internal/obs"
 	"lambada/internal/scan"
 	"lambada/internal/sqlfe"
 	"lambada/internal/stageplan"
@@ -253,6 +254,9 @@ type stageRun struct {
 	winners    map[int]int
 	policy     stragglerPolicy
 	speculated int
+	// span is the stage's trace span (0 when tracing is off): opened at
+	// payload build, re-timed to the launch instant, ended at the seal.
+	span obs.SpanID
 }
 
 // RunPlanStaged optimizes plan against the tables' footer schemas,
@@ -281,6 +285,20 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 
 	costBefore := d.costSnapshot()
 	startTime := d.env.Now()
+
+	// Query span: root of the span tree. Bound to the driver environment so
+	// every driver-side billed request — schema reads, the epoch fence,
+	// sweeps, invokes, seal polling — lands in op spans beneath it; the
+	// deferred Release closes any still-open driver-side span on error
+	// paths. Registered before the boundary-sweep defer below, so the
+	// error-path sweep's requests are still attributed (defers run LIFO).
+	tr := d.dep.Trace
+	var qspan obs.SpanID
+	if tr.Enabled() {
+		qspan = tr.StartSpan(obs.KindQuery, queryID, 0, startTime)
+		tr.Bind(d.env, qspan)
+		defer func() { tr.Release(d.env, d.env.Now()) }()
+	}
 
 	// Resolve every table's schema from its lpq footers — driver-side
 	// metadata reads only.
@@ -460,6 +478,9 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 			return nil, nil, err
 		}
 		r := &stageRun{st: st, payloads: ps, winners: map[int]int{}}
+		if tr.Enabled() {
+			r.span = tr.StartSpan(obs.KindStage, "stage-"+strconv.Itoa(st.ID), qspan, d.env.Now())
+		}
 		runs = append(runs, r)
 		byID[st.ID] = r
 	}
@@ -501,7 +522,8 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 		// wide query, say) launch directly even when big scan fleets go
 		// through the invocation tree.
 		invokeStart := d.env.Now()
-		if err := d.invokeAll(bodies); err != nil {
+		tr.SetStart(r.span, invokeStart)
+		if err := d.invokeAll(bodies, r.span); err != nil {
 			return err
 		}
 		invocation += d.env.Now() - invokeStart
@@ -544,6 +566,7 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	var processing []time.Duration
 	cold, speculated := 0, 0
 	failureSeals := 0
+	zombieDiscards, loserDiscards := 0, 0
 	sealedCount := 0
 	backupPacing := invoke.DriverPacing(d.cfg.Region, d.cfg.InvokeThreads)
 	deadline := d.env.Now() + d.cfg.MaxWait
@@ -565,13 +588,16 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 				// Leftover of an earlier aborted query — including a zombie
 				// worker of an aborted identically-numbered run posting its
 				// seal after this run's purge: its older epoch fences it out.
+				zombieDiscards++
 				continue
 			}
 			r := byID[rm.Stage]
 			if r == nil || r.state != stageLaunched {
+				loserDiscards++
 				continue // unknown stage, or a loser sealing after the stage did
 			}
 			if _, dup := r.winners[rm.WorkerID]; dup {
+				loserDiscards++
 				continue // losing half of a backup pair — files swept later
 			}
 			d.workerRetries += rm.Retries
@@ -597,7 +623,7 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 					if err != nil {
 						return nil, nil, err
 					}
-					if err := d.invokeOne(body, rm.WorkerID); err != nil {
+					if err := d.invokeOne(body, rm.WorkerID, r.span); err != nil {
 						return nil, nil, fmt.Errorf("driver: relaunching stage %d worker %d: %w", rm.Stage, rm.WorkerID, err)
 					}
 					continue
@@ -625,6 +651,13 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 				}
 				r.state = stageSealed
 				r.sealedAt = d.env.Now()
+				if tr.Enabled() {
+					tr.SetTag(r.span, "workers", strconv.Itoa(len(r.payloads)))
+					if r.speculated > 0 {
+						tr.SetTag(r.span, "speculated", strconv.Itoa(r.speculated))
+					}
+					tr.EndSpan(r.span, r.sealedAt)
+				}
 				sealedCount++
 				if err := launchReady(); err != nil {
 					return nil, nil, err
@@ -663,7 +696,7 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 				if err != nil {
 					return nil, nil, err
 				}
-				if err := d.invokeOne(body, w); err != nil {
+				if err := d.invokeOne(body, w, r.span); err != nil {
 					return nil, nil, fmt.Errorf("driver: backup invocation of stage %d worker %d: %w", r.st.ID, w, err)
 				}
 				if i < len(backups)-1 {
@@ -681,11 +714,12 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 			return nil, nil, fmt.Errorf("driver: %d seal messages missing after %v", missing, d.cfg.MaxWait)
 		}
 		if len(msgs) == 0 {
-			// Park on the completion signal sqs.Send broadcasts: the loop
-			// wakes at the instant the next seal lands instead of rounding
-			// the whole query up to the next PollInterval tick, with the
-			// timed poll as fallback.
-			simenv.WaitNotify(d.env, d.cfg.PollInterval)
+			// Park on the result queue's completion topic: the loop wakes at
+			// the instant the next seal lands instead of rounding the whole
+			// query up to the next PollInterval tick, with the timed poll as
+			// fallback — and stays parked through unrelated broadcasts
+			// (boundary puts, ready markers) that used to wake it.
+			simenv.WaitNotifyKey(d.env, "sqs/"+d.cfg.ResultQueue, d.cfg.PollInterval)
 		}
 	}
 
@@ -718,12 +752,17 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	swept = true
 
 	sort.Slice(processing, func(i, j int) bool { return processing[i] < processing[j] })
+	// Close the cost window only after every invocation — speculation and
+	// relaunch losers included — finished billing, so per-span attribution
+	// and the Report deltas agree exactly (no-op when tracing is off).
+	d.quiesce()
+	endTime := d.env.Now()
 	rep := &Report{
 		QueryID:          queryID,
 		Epoch:            epoch,
 		Workers:          totalWorkers,
 		Stages:           len(sp.Stages),
-		Duration:         d.env.Now() - startTime,
+		Duration:         endTime - startTime,
 		Invocation:       invocation,
 		WorkerProcessing: processing,
 		ColdWorkers:      cold,
@@ -737,7 +776,18 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 			Launched:   r.launchedAt - startTime,
 			Sealed:     r.sealedAt - startTime,
 			Speculated: r.speculated,
+			Span:       r.span,
 		})
+	}
+	if tr.Enabled() {
+		if zombieDiscards > 0 {
+			tr.SetTag(qspan, "zombieDiscards", strconv.Itoa(zombieDiscards))
+		}
+		if loserDiscards > 0 {
+			tr.SetTag(qspan, "loserDiscards", strconv.Itoa(loserDiscards))
+		}
+		tr.EndSpan(qspan, endTime)
+		rep.Trace, rep.Span = tr, qspan
 	}
 	d.fillCostDelta(rep, costBefore)
 	return result, rep, nil
@@ -949,9 +999,20 @@ func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, ws *retryScope, client *s3
 	if err != nil {
 		return nil, err
 	}
+	// Exchange-volume tags: output rows of the fragment and bytes collected
+	// from upstream boundaries, read off the invocation span for the
+	// per-stage profile (rows/bytes exchanged).
+	tr := d.dep.Trace
+	if tr.Enabled() && ctx.Span != 0 {
+		tr.SetTag(ctx.Span, "rows.out", strconv.FormatInt(int64(out.NumRows()), 10))
+		if n := client.BytesRead(); n > 0 {
+			tr.SetTag(ctx.Span, "bytes.in", strconv.FormatInt(n, 10))
+		}
+	}
 	if spec.Output == nil {
 		return out, nil
 	}
+	wrote := client.BytesWritten()
 	err = exchange.PublishStage(client, opts, exchange.Boundary{
 		Stage:      spec.StageID,
 		Attempt:    p.Attempt,
@@ -960,6 +1021,9 @@ func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, ws *retryScope, client *s3
 	}, p.WorkerID, out, spec.Output.Keys)
 	if err != nil {
 		return nil, fmt.Errorf("publishing stage %d output: %w", spec.StageID, err)
+	}
+	if tr.Enabled() && ctx.Span != 0 {
+		tr.SetTag(ctx.Span, "bytes.out", strconv.FormatInt(client.BytesWritten()-wrote, 10))
 	}
 	// The seal travels through the result queue: an empty chunk.
 	return nil, nil
@@ -986,6 +1050,8 @@ func (d *Driver) waitSealed(ctx *lambdasvc.Ctx, ws *retryScope, spec *stageSpec,
 		if ctx.Env.Now() >= deadline {
 			return fmt.Errorf("stage %d never sealed: %w", stageID, err)
 		}
-		simenv.WaitNotify(ctx.Env, time.Duration(spec.PollNs))
+		// Park on this marker's exact completion topic: only the dynamo.Put
+		// of this (query, epoch, stage) ready marker wakes the worker early.
+		simenv.WaitNotifyKey(ctx.Env, "dynamo/"+spec.SealTable+"/"+sealKey(spec.QueryID, spec.Epoch, stageID), time.Duration(spec.PollNs))
 	}
 }

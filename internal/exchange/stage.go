@@ -344,7 +344,10 @@ func waitAllCommitted(client *s3.Client, opts Options, b Boundary) (map[int]int,
 			return nil, fmt.Errorf("exchange: %d/%d senders of stage %d committed after %v",
 				len(committed), b.Senders, b.Stage, opts.MaxWait)
 		}
-		simenv.WaitNotify(client.Env(), opts.Poll)
+		// Park on the stage's commit namespace: only a commit-marker Put of
+		// THIS boundary wakes the receiver early (bucket is omitted from
+		// completion topics, so one prefix covers all shard buckets).
+		simenv.WaitNotifyKey(client.Env(), "s3/"+dir, opts.Poll)
 	}
 }
 
@@ -399,7 +402,9 @@ func collectStageCombined(client *s3.Client, opts Options, b Boundary, part int)
 		if client.Env().Now() >= deadline {
 			return nil, fmt.Errorf("exchange: %d/%d senders committed after %v", len(best), b.Senders, opts.MaxWait)
 		}
-		simenv.WaitNotify(client.Env(), opts.Poll)
+		// Park on the boundary's combined-object namespace: only a sender's
+		// atomic Put into this stage's `snd…` prefix wakes the receiver.
+		simenv.WaitNotifyKey(client.Env(), "s3/"+prefix, opts.Poll)
 	}
 	senders := make([]int, 0, len(best))
 	for s := range best {

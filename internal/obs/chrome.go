@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event ("X" complete event). Field
+// order and map-key order are fixed (encoding/json sorts map keys), so
+// under DES the export is byte-identical across runs.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ExportChromeTrace writes the span set as Chrome trace-event JSON,
+// loadable directly in Perfetto / chrome://tracing. Spans are emitted in
+// ID (allocation) order as "X" complete events; each worker invocation
+// gets its own thread track (tid = invocation span ID), everything else
+// rides the driver track (tid 1). Tags and non-zero cost counters are
+// attached as args. Timestamps are virtual microseconds since the
+// simulation epoch — under DES the output is byte-identical across runs
+// of the same seeded query.
+func ExportChromeTrace(w io.Writer, spans []Span) error {
+	byID := make(map[SpanID]*Span, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	// track returns the thread: the span's nearest invoke ancestor (or
+	// itself when it is an invocation), else the driver track.
+	track := func(s *Span) int {
+		for cur := s; cur != nil; cur = byID[cur.Parent] {
+			if cur.Kind == KindInvoke {
+				return int(cur.ID) + 1 // keep tid 1 for the driver
+			}
+		}
+		return 1
+	}
+	events := make([]chromeEvent, 0, len(spans))
+	for i := range spans {
+		s := &spans[i]
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  string(s.Kind),
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Duration().Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  track(s),
+		}
+		args := make(map[string]any)
+		args["span"] = int(s.ID)
+		if s.Parent != 0 {
+			args["parent"] = int(s.Parent)
+		}
+		for _, k := range sortedTagKeys(s.Tags) {
+			args["tag."+k] = s.Tags[k]
+		}
+		if !s.Cost.IsZero() {
+			args["cost"] = s.Cost
+		}
+		ev.Args = args
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ValidateChromeTrace checks data against the trace-event schema subset
+// this package emits: a top-level traceEvents array whose entries all
+// carry name/cat/ph/ts/pid/tid, with ph "X" events also carrying a
+// non-negative dur. Returns the event count.
+func ValidateChromeTrace(data []byte) (int, error) {
+	var doc struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("trace: missing traceEvents array")
+	}
+	for i, ev := range doc.TraceEvents {
+		var ph, name string
+		if err := requireString(ev, "ph", &ph); err != nil {
+			return 0, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if err := requireString(ev, "name", &name); err != nil {
+			return 0, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		var ts float64
+		if err := requireNumber(ev, "ts", &ts); err != nil {
+			return 0, fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+		}
+		for _, field := range []string{"pid", "tid"} {
+			var n float64
+			if err := requireNumber(ev, field, &n); err != nil {
+				return 0, fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+			}
+		}
+		if ph == "X" {
+			var dur float64
+			if err := requireNumber(ev, "dur", &dur); err != nil {
+				return 0, fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+			}
+			if dur < 0 {
+				return 0, fmt.Errorf("trace: event %d (%s): negative dur %v", i, name, dur)
+			}
+		}
+	}
+	return len(doc.TraceEvents), nil
+}
+
+func requireString(ev map[string]json.RawMessage, field string, out *string) error {
+	raw, ok := ev[field]
+	if !ok {
+		return fmt.Errorf("missing %q", field)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("field %q: %w", field, err)
+	}
+	return nil
+}
+
+func requireNumber(ev map[string]json.RawMessage, field string, out *float64) error {
+	raw, ok := ev[field]
+	if !ok {
+		return fmt.Errorf("missing %q", field)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("field %q: %w", field, err)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// CriticalSegment is one interval of the critical path: the most
+// specific span that bounded end-to-end latency during [From, To).
+// Intervals no recorded span covers are attributed to the root span
+// itself (driver-side work between spans).
+type CriticalSegment struct {
+	Span SpanID
+	From time.Duration
+	To   time.Duration
+}
+
+// Duration is the segment's extent.
+func (c CriticalSegment) Duration() time.Duration { return c.To - c.From }
+
+// CriticalPath extracts the latency-bounding chain from a span tree: a
+// sequence of segments that exactly tiles [root.Start, root.End] in
+// chronological order. At every instant the chosen span is the deepest
+// (latest-starting) span in root's subtree still active at that time,
+// found by a backward sweep from root.End: repeatedly pick the span
+// whose end reaches the current cursor, walk the cursor back to that
+// span's start, and attribute uncovered gaps to the root.
+//
+// Because the segments tile the root interval by construction, their
+// durations sum exactly to the root span's duration — the end-to-end
+// virtual latency. This is the per-query signal a cost-based optimizer
+// needs: shortening any span NOT on the critical path cannot improve
+// latency.
+func CriticalPath(spans []Span, root SpanID) []CriticalSegment {
+	if root <= 0 || int(root) > len(spans) {
+		return nil
+	}
+	rs := spans[root-1]
+	if rs.End <= rs.Start {
+		return nil
+	}
+
+	// Subtree membership (excluding the root itself).
+	children := childIndex(spans)
+	member := make(map[SpanID]bool, len(spans))
+	var walk func(SpanID)
+	walk = func(id SpanID) {
+		for _, ch := range children[id] {
+			member[ch] = true
+			walk(ch)
+		}
+	}
+	walk(root)
+
+	var segs []CriticalSegment
+	cur := rs.End
+	for cur > rs.Start {
+		// Best candidate: active before cur, reaching furthest toward
+		// cur; prefer the latest-starting (most specific) span, then the
+		// highest ID, so the choice is deterministic.
+		var best *Span
+		var bestEff time.Duration
+		for i := range spans {
+			s := &spans[i]
+			if !member[s.ID] || s.End <= s.Start {
+				continue
+			}
+			if s.Start >= cur || s.End <= rs.Start {
+				continue
+			}
+			eff := s.End
+			if eff > cur {
+				eff = cur
+			}
+			if best == nil || eff > bestEff ||
+				(eff == bestEff && (s.Start > best.Start || (s.Start == best.Start && s.ID > best.ID))) {
+				best, bestEff = s, eff
+			}
+		}
+		if best == nil {
+			segs = append(segs, CriticalSegment{Span: root, From: rs.Start, To: cur})
+			break
+		}
+		if bestEff < cur {
+			// Nothing covered (bestEff, cur): root-attributed gap.
+			segs = append(segs, CriticalSegment{Span: root, From: bestEff, To: cur})
+			cur = bestEff
+			continue
+		}
+		from := best.Start
+		if from < rs.Start {
+			from = rs.Start
+		}
+		segs = append(segs, CriticalSegment{Span: best.ID, From: from, To: cur})
+		cur = from
+	}
+
+	// Backward sweep emitted latest-first; return chronological.
+	sort.Slice(segs, func(i, j int) bool { return segs[i].From < segs[j].From })
+	return segs
+}

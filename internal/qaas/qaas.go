@@ -11,6 +11,7 @@
 package qaas
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -146,3 +147,55 @@ func pow(x, e float64) float64 {
 	}
 	return math.Pow(x, e)
 }
+
+// SpecFor maps a CLI query name to its billing spec. Only the paper's two
+// benchmark queries have calibrated QaaS models.
+func SpecFor(name string) (QuerySpec, bool) {
+	switch name {
+	case "q1", "Q1":
+		return Q1, true
+	case "q6", "Q6":
+		return Q6, true
+	}
+	return QuerySpec{}, false
+}
+
+// Comparison pits one measured Lambada execution against the two modeled
+// QaaS competitors at the same scale factor (§5.4): our side carries the
+// billed dollars and virtual latency straight from the driver report, the
+// competitor sides come from the calibrated Athena/BigQuery models.
+type Comparison struct {
+	Spec QuerySpec
+	SF   float64
+	// Ours is the execution's billed cost (sum of the metered Lambda, S3,
+	// SQS and DynamoDB charges) and Latency its end-to-end virtual time.
+	Ours    pricing.USD
+	Latency time.Duration
+
+	Athena   Result
+	BigQuery Result
+}
+
+// Compare builds the three-way comparison for one execution.
+func Compare(q QuerySpec, sf float64, billed pricing.USD, latency time.Duration) Comparison {
+	return Comparison{
+		Spec:     q,
+		SF:       sf,
+		Ours:     billed,
+		Latency:  latency,
+		Athena:   DefaultAthena().Run(q, sf),
+		BigQuery: DefaultBigQuery().Run(q, sf),
+	}
+}
+
+// String renders the comparison as an aligned three-line table.
+func (c Comparison) String() string {
+	s := fmt.Sprintf("QaaS comparison (%s, SF %g):\n", c.Spec.Name, c.SF)
+	s += fmt.Sprintf("  %-10s %12s  %12s\n", "lambada", c.Ours, round10ms(c.Latency))
+	s += fmt.Sprintf("  %-10s %12s  %12s\n", "athena", c.Athena.Cost, round10ms(c.Athena.Latency))
+	s += fmt.Sprintf("  %-10s %12s  %12s  (+%s load)\n",
+		"bigquery", c.BigQuery.Cost, round10ms(c.BigQuery.Latency), round10ms(c.BigQuery.LoadTime))
+	return s
+}
+
+func round10ms(d time.Duration) time.Duration { return d.Round(10 * time.Millisecond) }

@@ -22,11 +22,13 @@ package resilience
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"lambada/internal/awssim/faults"
 	"lambada/internal/awssim/simenv"
+	"lambada/internal/obs"
 )
 
 // Class is an error's retry classification.
@@ -201,6 +203,11 @@ type Policy struct {
 	Seed int64
 	// Stats, when non-nil, accumulates retry counts for reporting.
 	Stats *Stats
+	// Trace, when non-nil, wraps each Do in an op span (named opName,
+	// tagged with retries consumed and outcome) under the span currently
+	// bound to the calling environment. Ops with no bound span are not
+	// traced, so setup traffic stays out of query traces.
+	Trace *obs.Tracer
 }
 
 func (p Policy) base() time.Duration {
@@ -255,19 +262,47 @@ func (p Policy) Backoff(op string, attempt int) time.Duration {
 // two exhaustion cases return an *ExhaustedError wrapping the last error.
 // All waiting is virtual-time via env.Sleep, so DES runs stay deterministic.
 func (p Policy) Do(env simenv.Env, opName string, op func() error) error {
+	var sp obs.SpanID
+	if p.Trace != nil {
+		if parent := p.Trace.Current(env); parent != 0 {
+			sp = p.Trace.StartSpan(obs.KindOp, opName, parent, env.Now())
+			p.Trace.Bind(env, sp)
+		}
+	}
+	retries := 0
 	var err error
+	defer func() {
+		if sp == 0 {
+			return
+		}
+		if retries > 0 {
+			p.Trace.SetTag(sp, "retries", strconv.Itoa(retries))
+		}
+		if err != nil {
+			if IsExhausted(err) {
+				p.Trace.SetTag(sp, "outcome", "exhausted")
+			} else {
+				p.Trace.SetTag(sp, "outcome", "error")
+			}
+		}
+		p.Trace.Pop(env)
+		p.Trace.EndSpan(sp, env.Now())
+	}()
 	for attempt := 0; ; attempt++ {
 		err = op()
 		if err == nil || p.classify(err) != ClassRetryable {
 			return err
 		}
 		if attempt >= p.maxRetries() {
-			return &ExhaustedError{Op: opName, Attempts: attempt + 1, Last: err}
+			err = &ExhaustedError{Op: opName, Attempts: attempt + 1, Last: err}
+			return err
 		}
 		if !p.Budget.Take() {
-			return &ExhaustedError{Op: opName, Attempts: attempt + 1, BudgetSpent: true, Last: err}
+			err = &ExhaustedError{Op: opName, Attempts: attempt + 1, BudgetSpent: true, Last: err}
+			return err
 		}
 		p.Stats.Add(1)
+		retries++
 		env.Sleep(p.Backoff(opName, attempt+1))
 	}
 }

@@ -29,9 +29,21 @@ type Kernel struct {
 	live   int
 	steps  uint64
 	limits Limits
-	// completion is the kernel-wide completion signal (see Completion),
-	// created on first use.
-	completion *Signal
+	// compWaiters are the processes parked in WaitNotifyKey, each with the
+	// topic it subscribed to. compWakeups counts every process woken by a
+	// completion broadcast — the contention metric the keyed signal exists
+	// to reduce.
+	compWaiters []compWaiter
+	compWakeups uint64
+	// unkeyedCompletion disables topic matching: every broadcast wakes
+	// every waiter, the pre-keying behavior. Kept as a kernel flag so
+	// regression tests can measure the keyed/unkeyed wakeup ratio.
+	unkeyedCompletion bool
+}
+
+type compWaiter struct {
+	p     *Proc
+	topic string
 }
 
 // Limits bounds a simulation run to protect against runaway models.
@@ -213,27 +225,103 @@ func (k *Kernel) wakeCancel(p *Proc) {
 	k.scheduleAt(k.now, p)
 }
 
-// Completion returns the kernel-wide completion signal: services broadcast
-// it when they produce work another process may be polling for (an object
-// or marker appearing, a message arriving), and pollers park on it through
-// Proc.WaitNotify instead of burning fixed poll intervals. It is the DES
-// counterpart of simenv.Notify.
-func (k *Kernel) Completion() *Signal {
-	if k.completion == nil {
-		k.completion = k.NewSignal()
+// SetCompletionKeying toggles topic matching on the completion signal.
+// With keying off every broadcast wakes every parked waiter — the
+// pre-keying behavior. On by default; the off switch exists so regression
+// tests can measure the wakeup reduction keying buys. Must be set before
+// Run.
+func (k *Kernel) SetCompletionKeying(on bool) { k.unkeyedCompletion = !on }
+
+// CompletionWakeups returns the number of waiter wake-ups completion
+// broadcasts have performed so far. A fleet of S senders waking W waiters
+// each write costs S·W wakeups unkeyed; keying cuts it to the waiters
+// whose topic actually matched.
+func (k *Kernel) CompletionWakeups() uint64 { return k.compWakeups }
+
+// CompletionWakeups exposes the kernel counter on the process so driver
+// code holding only a simenv.Env can read it through an interface
+// assertion.
+func (p *Proc) CompletionWakeups() uint64 { return p.k.compWakeups }
+
+// topicMatch reports whether a broadcast for key wakes a waiter parked on
+// topic. An empty key is a wildcard broadcast (wakes everyone); an empty
+// topic is a wildcard subscription (woken by everything); otherwise the
+// waiter wakes when the written key falls under its topic prefix.
+func topicMatch(key, topic string) bool {
+	if key == "" || topic == "" {
+		return true
 	}
-	return k.completion
+	return len(key) >= len(topic) && key[:len(topic)] == topic
 }
 
-// NotifyAll broadcasts the kernel's completion signal, waking every process
-// parked in WaitNotify at the current virtual instant.
-func (p *Proc) NotifyAll() { p.k.Completion().Broadcast() }
+// notifyKey wakes every waiter whose topic matches key at the current
+// virtual instant.
+func (k *Kernel) notifyKey(key string) {
+	if k.unkeyedCompletion {
+		key = ""
+	}
+	kept := k.compWaiters[:0]
+	for _, w := range k.compWaiters {
+		if topicMatch(key, w.topic) {
+			w.p.notified = true
+			k.wakeCancel(w.p)
+			k.compWakeups++
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	k.compWaiters = kept
+}
 
-// WaitNotify parks p until the next completion broadcast or until d of
-// virtual time passed, whichever comes first, and reports whether the
-// broadcast arrived. Together with NotifyAll it satisfies simenv.Notifier,
-// so barriers built on simenv.WaitNotify resolve at the exact virtual
-// instant of the write they await instead of at the next poll boundary.
+// NotifyAll broadcasts the completion signal with the wildcard key, waking
+// every process parked in WaitNotify/WaitNotifyKey at the current virtual
+// instant.
+func (p *Proc) NotifyAll() { p.k.notifyKey("") }
+
+// NotifyKey broadcasts the completion signal for key: services call it at
+// the instant they make something visible (an object under an S3 key, a
+// DynamoDB item, an SQS message), waking only the waiters parked on a
+// matching topic.
+func (p *Proc) NotifyKey(key string) { p.k.notifyKey(key) }
+
+// WaitNotify parks p until the next completion broadcast (any key) or
+// until d of virtual time passed, whichever comes first, and reports
+// whether the broadcast arrived. Together with NotifyAll it satisfies
+// simenv.Notifier, so barriers built on simenv.WaitNotify resolve at the
+// exact virtual instant of the write they await instead of at the next
+// poll boundary.
 func (p *Proc) WaitNotify(d time.Duration) bool {
-	return p.k.Completion().WaitTimeout(p, d)
+	return p.WaitNotifyKey("", d)
+}
+
+// WaitNotifyKey parks p until a completion broadcast whose key matches
+// topic (prefix match; empty topic matches everything) or until d of
+// virtual time passed, and reports whether the broadcast arrived. Keyed
+// parking is what lets hundred-sender fleets coexist with parked
+// barriers: an exchange write wakes the one consumer waiting on that
+// stage's prefix, not every waiter in the simulation.
+func (p *Proc) WaitNotifyKey(topic string, d time.Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	if k.unkeyedCompletion {
+		topic = ""
+	}
+	k.compWaiters = append(k.compWaiters, compWaiter{p: p, topic: topic})
+	p.notified = false
+	k.scheduleAt(k.now+d, p)
+	p.yield()
+	if p.notified {
+		p.notified = false
+		return true
+	}
+	// Timed out: withdraw from the waiter list.
+	for i, w := range k.compWaiters {
+		if w.p == p {
+			k.compWaiters = append(k.compWaiters[:i], k.compWaiters[i+1:]...)
+			break
+		}
+	}
+	return false
 }
