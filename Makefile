@@ -1,13 +1,13 @@
 GO ?= go
 # bench-json knobs: the PR-numbered output file, the previous PR's file the
 # comparability check runs against, and the per-benchmark time.
-BENCH_JSON ?= BENCH_PR8.json
-BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR9.json
+BENCH_BASELINE ?= BENCH_PR8.json
 BENCHTIME ?= 300ms
 # trace-smoke output file (Chrome trace-event JSON; also the CI artifact).
 TRACE_OUT ?= trace-smoke.json
 
-.PHONY: build test race race-staged chaos bench bench-json vet trace-smoke
+.PHONY: build test race race-staged chaos scale-smoke bench bench-json vet trace-smoke
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,19 @@ race:
 # race-staged runs the staged-execution suites (scheduler, speculation,
 # epoch fencing, exchange boundaries, stage planner, and the DES/notify
 # primitives under them) race-instrumented at a fixed GOMAXPROCS so
-# goroutine interleavings actually happen on 1-CPU runners.
+# goroutine interleavings actually happen on 1-CPU runners. -short skips
+# the 1k-worker scale smoke, which runs uninstrumented via scale-smoke.
 race-staged:
-	GOMAXPROCS=4 $(GO) test -race ./internal/driver/ ./internal/exchange/ ./internal/stageplan/ ./internal/simclock/ ./internal/awssim/dynamo/ ./internal/lpq/ ./internal/scan/
+	GOMAXPROCS=4 $(GO) test -race -short ./internal/driver/ ./internal/exchange/ ./internal/stageplan/ ./internal/simclock/ ./internal/awssim/dynamo/ ./internal/lpq/ ./internal/scan/
+
+# scale-smoke is the multi-level acceptance point: staged q12 on the DES
+# kernel at 512 partitions (a 1k+ worker fleet), checking the resolved
+# boundary variants and that the billed S3 requests match the analytic
+# request model integer-exactly. Uninstrumented — the run is allocation-
+# heavy and race mode would triple its time for no interleaving coverage
+# the -short race suites don't already have.
+scale-smoke:
+	$(GO) test -run 'TestStagedQ12ScaleSmoke|TestMultiLevelRequestsMatchModel' -v -timeout 10m ./internal/driver/ ./internal/exchange/
 
 # chaos runs the deterministic fault-injection suites race-instrumented:
 # the injector/resilience unit tests, the per-service fault tests, and the

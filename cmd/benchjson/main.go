@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	benchjson [-out bench.json] [-bench regex] [-benchtime 300ms]
+//	benchjson [-out bench.json] [-bench regex] [-benchtime 300ms] [-timeout 30m]
 //	          [-baseline BENCH_PR3.json] [-require-same-cpu] pkg...
 package main
 
@@ -76,6 +76,7 @@ func main() {
 	out := flag.String("out", "bench.json", "output JSON path")
 	bench := flag.String("bench", ".", "benchmark regex passed to -bench")
 	benchtime := flag.String("benchtime", "300ms", "benchtime passed to go test")
+	timeout := flag.String("timeout", "30m", "per-package go test timeout (the driver fleet sweep outlives the 10m default)")
 	baseline := flag.String("baseline", "", "previous BENCH_PR<N>.json to check num_cpu comparability against")
 	requireCPU := flag.Bool("require-same-cpu", false, "refuse (exit 1) when the baseline's num_cpu differs instead of flagging it")
 	flag.Parse()
@@ -105,7 +106,7 @@ func main() {
 	}
 	// One `go test` per package so every result line can be attributed.
 	for _, pkg := range pkgs {
-		args := []string{"test", "-run", "NONE", "-bench", *bench, "-benchmem", "-benchtime", *benchtime, pkg}
+		args := []string{"test", "-run", "NONE", "-bench", *bench, "-benchmem", "-benchtime", *benchtime, "-timeout", *timeout, pkg}
 		cmd := exec.Command("go", args...)
 		var buf bytes.Buffer
 		cmd.Stdout = &buf

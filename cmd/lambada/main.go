@@ -87,6 +87,9 @@ func main() {
 		pipe    = flag.Bool("pipelined", true, "launch consumer stages before their producers seal (with -exchange); false = wave-gated launch")
 		spec    = flag.Bool("speculate", false, "re-invoke stragglers as backup attempts once a quorum reported (single-scope and staged runs)")
 		stgWait = flag.Duration("max-stage-wait", time.Minute, "no-progress liveness cap: a runnable stage with no worker response for this long (window restarts per response) has its missing workers re-invoked as the next attempt (with -exchange -speculate; 0 disables)")
+		xlevels = flag.Int("exchange-levels", 0, "force every stage boundary's round count: 1 = single-round, 2 = multi-level (intermediate regroup round); 0 = resolve per boundary from the analytic request model (with -exchange)")
+		xcomb   = flag.Bool("exchange-combining", true, "write-combine boundary publishes: one combined object per sender with part offsets in the name (with -exchange)")
+		maxParts = flag.Int("max-partitions", 0, "cap the autotuned boundary fan-in (0 = stageplan default; with -exchange -partitions 0)")
 		fplan   = flag.String("fault-plan", "", "JSON fault plan file injected into the simulated substrate (with -mode des); see internal/awssim/faults")
 		fseed   = flag.Int64("fault-seed", 0, "override the fault plan's seed (0 = keep the plan's own; with -fault-plan)")
 		profile = flag.Bool("profile", false, "EXPLAIN ANALYZE: record a trace and print the per-stage profile and critical path")
@@ -184,6 +187,9 @@ func main() {
 			scfg.BroadcastRowLimit = *bcast
 			scfg.Pipelined = *pipe
 			scfg.MaxStageWait = *stgWait
+			scfg.ExchangeLevels = *xlevels
+			scfg.Exchange.Variant.WriteCombining = *xcomb
+			scfg.MaxAutoPartitions = *maxParts
 			out, rep, err = d.RunPlanStaged(plan, tf, scfg)
 		case len(aux) > 0:
 			fmt.Printf("uploaded %d files (%s total)\n", len(refs), byteSize(dep.S3.TotalBytes("tpch")))

@@ -114,7 +114,41 @@
 // row counts: a genuinely small build side ships inside worker payloads as
 // before, everything else shuffles. Boundary fan-in autotunes from the
 // same row counts when unset (stageplan.AutoRowsPerPartition rows per
-// partition, capped at stageplan.MaxAutoPartitions).
+// partition, capped at stageplan.MaxAutoPartitions — raise the ceiling per
+// query through driver.StageConfig.MaxAutoPartitions / -max-partitions
+// when driving multi-thousand-worker fleets).
+//
+// # Multi-level exchange boundaries
+//
+// A single-round boundary with S senders and P receivers costs O(S·P) S3
+// requests — the dominant bill at scale (§4.4's central observation). Each
+// boundary therefore carries an exchange.Variant resolved independently per
+// edge: stageplan.ChooseVariant prices every candidate with the exact
+// analytic request model (exchange.Variant.Requests — puts, gets and lists
+// as closed-form functions of S, P and the shard-bucket count) and keeps
+// single-round for narrow edges while sending wide ones through the
+// multi-level protocol (§4.4.2). Multi-level inserts one intermediate
+// regroup round: senders write their P partition files grouped into
+// G = exchange.Groups(P) ≈ √P combined objects, a synthetic regroup fleet of
+// G workers (one per group, scheduled as a first-class stage with the same
+// launch, seal, speculation and epoch machinery) merges each group's
+// fragments into one object per group laying receiver slices contiguously,
+// and each receiver range-reads exactly its slice from the G merged objects
+// — O(S·G + P·G) requests instead of O(S·P). Attempt versioning carries
+// through both rounds: a regroup worker merges each sender's first
+// committed round-1 attempt, and its own output is attempt-versioned and
+// committed the same way, so first-committed-attempt semantics and the
+// epoch fence hold unchanged; the fence/speculation/chaos suites re-run
+// over forced
+// multi-level boundaries, and TestStagedQ12ScaleSmoke pins the billed
+// request counts of a 1k-worker staged q12 to the model integer-exactly.
+// -exchange-levels forces a round count (1 or 2) for ablations, and the
+// profile output reports each boundary's resolved variant.
+//
+// Invocation itself is the other O(S·P) hazard: every stage's fleet
+// launches through the invoke.TreeFanout protocol (first workers re-invoke
+// the rest, §4.2), so driver-side launch work per stage is O(fanout) while
+// the event loop stays O(1) per completion event at 4k workers.
 //
 // The driver runs the DAG on an event-driven stage scheduler (pending →
 // launched → sealed) rather than in lock-step dependency waves. Every

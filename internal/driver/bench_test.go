@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"lambada/internal/awssim/pricing"
 	"lambada/internal/awssim/simenv"
 	"lambada/internal/lpq"
 	"lambada/internal/obs"
@@ -205,6 +206,80 @@ func BenchmarkStagedSelectiveScan(b *testing.B) {
 	b.ReportMetric(float64(virtual)/float64(b.N)/1e6, "vms/op")
 	b.ReportMetric(float64(gets)/float64(b.N), "billed_get_requests/op")
 	b.ReportMetric(float64(bytes)/float64(b.N), "billed_bytes/op")
+}
+
+// benchStagedFleet runs staged q12 on the DES deployment at the given
+// partition count and reports the modeled latency (vms/op), the billed S3
+// request total (the multi-level exchange's target metric: requests, not
+// bytes, dominate boundary cost at scale), and the modeled dollar cost.
+// forceLevels pins the boundary round count (0 = the analytic resolver).
+func benchStagedFleet(b *testing.B, parts, forceLevels int) {
+	g := tpch.Gen{SF: 0.002, Seed: 33}
+	li := g.Generate()
+	orders := g.OrdersFor(li)
+	var virtual time.Duration
+	var requests int64
+	var workers int
+	var usd float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := simclock.New()
+		dep := NewSimulated(k, 7)
+		k.Go("driver", func(p *simclock.Proc) {
+			cfg := DefaultConfig()
+			cfg.PollInterval = 50 * time.Millisecond
+			d := New(dep, p, cfg)
+			if err := d.Install(); err != nil {
+				b.Error(err)
+				return
+			}
+			liRefs, err := d.UploadTable("tpch", "lineitem", li, 4, lpq.WriterOptions{RowGroupRows: 2000})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			ordRefs, err := d.UploadTable("tpch", "orders", orders, 2, lpq.WriterOptions{RowGroupRows: 2000})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			before := dep.Meter.Count(pricing.LabelS3Read) + dep.Meter.Count(pricing.LabelS3Write) + dep.Meter.Count(pricing.LabelS3List)
+			scfg := DefaultStageConfig()
+			scfg.Partitions = parts
+			scfg.BroadcastRowLimit = -1
+			scfg.ExchangeLevels = forceLevels
+			scfg.Exchange.Poll = 100 * time.Millisecond
+			out, rep, err := d.RunSQLStaged(q12ExactSQL, TableFiles{"lineitem": liRefs, "orders": ordRefs}, scfg)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if out.NumRows() == 0 {
+				b.Error("empty result")
+				return
+			}
+			virtual += rep.Duration
+			requests += dep.Meter.Count(pricing.LabelS3Read) + dep.Meter.Count(pricing.LabelS3Write) + dep.Meter.Count(pricing.LabelS3List) - before
+			workers = rep.Workers
+			usd += rep.TotalCost
+		})
+		k.Run()
+	}
+	b.ReportMetric(float64(virtual)/float64(b.N)/1e6, "vms/op")
+	b.ReportMetric(float64(requests)/float64(b.N), "billed_requests/op")
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(usd/float64(b.N), "usd/op")
+}
+
+// BenchmarkStagedQ12Fleet sweeps the staged q12 fleet size across the
+// multi-level cutover: 64-ish workers stay single-round, the 1k and 4k
+// points go multi-level automatically — the 1kSingleRound pin is the
+// direct O(S·P) vs O(√P·S) request comparison at matching (S, P).
+func BenchmarkStagedQ12Fleet(b *testing.B) {
+	b.Run("Fleet64", func(b *testing.B) { benchStagedFleet(b, 30, 0) })
+	b.Run("Fleet1k", func(b *testing.B) { benchStagedFleet(b, 512, 0) })
+	b.Run("Fleet1kSingleRound", func(b *testing.B) { benchStagedFleet(b, 512, 1) })
+	b.Run("Fleet4k", func(b *testing.B) { benchStagedFleet(b, 2048, 0) })
 }
 
 // BenchmarkStagedCriticalPath runs traced staged q12 under DES and splits

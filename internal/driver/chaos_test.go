@@ -143,6 +143,10 @@ func TestStagedChaosDeterministicByteIdentical(t *testing.T) {
 			scfg.Exchange.Variant.Levels = 1
 			scfg.Exchange.Variant.WriteCombining = false
 		}},
+		{"multilevel", func(cfg *Config, scfg *StageConfig) {
+			cfg.Speculate = DefaultSpeculateConfig()
+			scfg.ExchangeLevels = 2
+		}},
 	}
 	for _, v := range variants {
 		t.Run(v.name, func(t *testing.T) {

@@ -331,6 +331,11 @@ type workerPayload struct {
 	// or posts it to the result queue.
 	StageID   int             `json:"stageId,omitempty"`
 	StageSpec json.RawMessage `json:"stageSpec,omitempty"`
+	// Regroup marks a plan-less regroup invocation of a multi-level stage
+	// boundary (driver/regroup.go): the worker merges one partition group
+	// across all senders and republishes it per partition, posting a bare
+	// seal when done.
+	Regroup json.RawMessage `json:"regroup,omitempty"`
 	// Attempt versions this invocation: 0 is the original, higher numbers
 	// are speculation backups for the same (stage, worker). Stage boundary
 	// publishes are namespaced by it so backups never race originals.
@@ -491,16 +496,21 @@ func engineMemoryBudget(memoryMiB int) int64 {
 }
 
 func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, ws *retryScope, p *workerPayload) (*columnar.Chunk, error) {
-	plan, err := engine.UnmarshalPlan(p.Plan)
-	if err != nil {
-		return nil, err
-	}
 	opts := []s3.ClientOption{s3.WithBudget(ws.budget)}
 	if d.dep.Shaped {
 		opts = append(opts, s3.WithShaper(d.dep.Net, ctx.MemoryMiB))
 	}
 	client := s3.NewClient(d.dep.S3, ctx.Env, opts...)
 	defer func() { ws.stats.Add(client.Retries()) }()
+	// Regroup invocations carry no plan fragment at all: the whole task is
+	// the intermediate round of a multi-level boundary.
+	if len(p.Regroup) > 0 {
+		return nil, d.runRegroup(ctx, ws, client, p)
+	}
+	plan, err := engine.UnmarshalPlan(p.Plan)
+	if err != nil {
+		return nil, err
+	}
 	cat := engine.Catalog{}
 	if len(p.Files) > 0 {
 		src := scan.New(client, d.cfg.Scan, p.Files...)

@@ -36,6 +36,12 @@ type StageProfile struct {
 	Launched   time.Duration
 	Sealed     time.Duration
 	Speculated int
+	// Variant is the stage's resolved output-boundary exchange algorithm
+	// ("1l-wc", "2l", ...); empty for the result stage. Regroup marks the
+	// synthetic intermediate fleet of a multi-level boundary — StageID is
+	// then the producing stage whose boundary it regroups.
+	Variant string
+	Regroup bool
 	// Attempts counts the worker invocations traced under the stage
 	// (original fleet + failure re-invocations + speculation backups).
 	Attempts int
@@ -86,6 +92,8 @@ func (rep *Report) Profile() *Profile {
 			Launched:   ss.Launched,
 			Sealed:     ss.Sealed,
 			Speculated: ss.Speculated,
+			Variant:    ss.Variant,
+			Regroup:    ss.Regroup,
 		}
 		if ss.Span != 0 {
 			sp.Cost = obs.SubtreeCost(spans, ss.Span)
@@ -152,8 +160,16 @@ func WriteReport(w io.Writer, rep *Report, opts RenderOptions) {
 		rep.Workers, stages, rep.Duration.Round(time.Millisecond), rep.Invocation.Round(time.Millisecond),
 		rep.ColdWorkers, rep.Speculated)
 	for _, ss := range rep.StageStats {
-		fmt.Fprintf(w, "  stage %d: %d workers   launched +%v   sealed +%v   speculated %d\n",
-			ss.StageID, ss.Workers, ss.Launched.Round(time.Millisecond), ss.Sealed.Round(time.Millisecond), ss.Speculated)
+		label := "stage"
+		if ss.Regroup {
+			label = "regroup"
+		}
+		boundary := ""
+		if ss.Variant != "" {
+			boundary = "   boundary " + ss.Variant
+		}
+		fmt.Fprintf(w, "  %s %d: %d workers   launched +%v   sealed +%v   speculated %d%s\n",
+			label, ss.StageID, ss.Workers, ss.Launched.Round(time.Millisecond), ss.Sealed.Round(time.Millisecond), ss.Speculated, boundary)
 	}
 	fmt.Fprintf(w, "query cost: $%.6f\n", rep.TotalCost)
 	for _, l := range sortedStringKeys(rep.CostDelta) {
@@ -188,12 +204,20 @@ func writeProfile(w io.Writer, rep *Report) {
 	}
 	if len(p.Stages) > 0 {
 		fmt.Fprintln(w, "stage profile:")
-		fmt.Fprintf(w, "  %-6s %8s %9s %12s %12s %12s %12s %12s\n",
-			"stage", "attempts", "wall", "rows", "bytes in", "bytes out", "billed $", "s3 gets")
+		fmt.Fprintf(w, "  %-6s %8s %8s %9s %12s %12s %12s %12s %12s\n",
+			"stage", "boundary", "attempts", "wall", "rows", "bytes in", "bytes out", "billed $", "s3 gets")
 		for _, sp := range p.Stages {
 			wall := sp.Sealed - sp.Launched
-			fmt.Fprintf(w, "  %-6d %8d %9v %12d %12d %12d %12.6f %12d\n",
-				sp.StageID, sp.Attempts, wall.Round(time.Millisecond),
+			id := strconv.Itoa(sp.StageID)
+			if sp.Regroup {
+				id += "rg"
+			}
+			boundary := sp.Variant
+			if boundary == "" {
+				boundary = "-"
+			}
+			fmt.Fprintf(w, "  %-6s %8s %8d %9v %12d %12d %12d %12.6f %12d\n",
+				id, boundary, sp.Attempts, wall.Round(time.Millisecond),
 				sp.Rows, sp.BytesIn, sp.BytesOut, float64(sp.USD), sp.Cost.S3Get)
 		}
 	}

@@ -99,6 +99,13 @@ type StageStat struct {
 	// Span is the stage's span (0 when tracing is off) — the anchor for
 	// per-stage cost attribution in Report.Profile.
 	Span obs.SpanID
+	// Variant is the stage's output-boundary exchange algorithm as resolved
+	// by the driver ("1l", "2l-wc", ...); empty for the result stage, which
+	// posts to the queue instead of publishing a boundary.
+	Variant string
+	// Regroup marks the synthetic regroup fleet of a multi-level boundary;
+	// StageID is then the PRODUCING stage whose boundary it regroups.
+	Regroup bool
 }
 
 // costSnap is the meter state captured around a query: per-label dollar

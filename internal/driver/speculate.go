@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"time"
 
 	"lambada/internal/awssim/simenv"
@@ -49,9 +50,14 @@ func DefaultSpeculateConfig() SpeculateConfig {
 // seals arrive and, once a quorum reported and the median-based deadline
 // passed, nominates the missing workers for a backup attempt.
 type stragglerPolicy struct {
-	cfg       SpeculateConfig
-	workers   int
-	launchAt  time.Duration
+	cfg      SpeculateConfig
+	workers  int
+	launchAt time.Duration
+	// responses holds the per-response latencies, kept SORTED by record's
+	// binary-search insert: the median read in stragglers is O(1) instead of
+	// a re-sort per event-loop pass — at 4k workers the driver's loop calls
+	// stragglers once per message batch per stage, and the old copy+sort
+	// made each of those calls O(n²).
 	responses []time.Duration
 	// attempts counts the backup attempts issued per worker; attempts[w]
 	// is also the attempt number of the latest invocation of w.
@@ -84,10 +90,15 @@ func (sp *stragglerPolicy) armCap(cap, from time.Duration) {
 // capArmed reports whether the liveness cap has started ticking.
 func (sp *stragglerPolicy) capArmed() bool { return sp.capFrom >= 0 && sp.cap > 0 }
 
-// record notes one worker's response at virtual time now. Progress defers
-// the liveness cap: its window restarts at the latest response.
+// record notes one worker's response at virtual time now, inserting its
+// latency into the sorted responses slice. Progress defers the liveness
+// cap: its window restarts at the latest response.
 func (sp *stragglerPolicy) record(now time.Duration) {
-	sp.responses = append(sp.responses, now-sp.launchAt)
+	d := now - sp.launchAt
+	i := sort.Search(len(sp.responses), func(i int) bool { return sp.responses[i] > d })
+	sp.responses = append(sp.responses, 0)
+	copy(sp.responses[i+1:], sp.responses[i:])
+	sp.responses[i] = d
 	if sp.capFrom >= 0 {
 		sp.capFrom = now
 	}
@@ -117,9 +128,7 @@ func (sp *stragglerPolicy) stragglers(now time.Duration, reported func(w int) bo
 	}
 	armed := false
 	if len(sp.responses) >= quorum {
-		sorted := append([]time.Duration(nil), sp.responses...)
-		sortDur(sorted)
-		median := sorted[len(sorted)/2]
+		median := sp.responses[len(sp.responses)/2] // responses stay sorted
 		deadline := sp.launchAt + time.Duration(float64(median)*sp.cfg.LatencyFactor)
 		armed = now > deadline
 	}
@@ -240,10 +249,3 @@ func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launc
 	return chunks, processing, cold, speculated, nil
 }
 
-func sortDur(ds []time.Duration) {
-	for i := 1; i < len(ds); i++ {
-		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
-			ds[j], ds[j-1] = ds[j-1], ds[j]
-		}
-	}
-}

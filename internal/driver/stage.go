@@ -58,6 +58,19 @@ type StageConfig struct {
 	// and a sub-quorum stall. stageplan.Stage.MaxStageWait overrides it per
 	// stage; 0 disables the cap (the pre-PR 5 behavior).
 	MaxStageWait time.Duration
+	// ExchangeLevels forces every stage boundary's round count: 1 pins
+	// single-round, 2 pins the multi-level boundary (one intermediate
+	// regrouping round, §4.4.2). 0 — the default — resolves each boundary
+	// from the analytic request model (stageplan.ChooseVariant) once the
+	// sender fleet size is known: large fleets go multi-level automatically,
+	// small ones stay single-round. Write combining is inherited from
+	// Exchange.Variant.WriteCombining either way.
+	ExchangeLevels int
+	// MaxAutoPartitions caps the autotuned boundary fan-in
+	// (0 = stageplan.MaxAutoPartitions). Paper-scale fleets raise it: with
+	// multi-level boundaries the boundary request count grows as O(√P·S)
+	// instead of O(S·P), so wide fan-ins stay affordable.
+	MaxAutoPartitions int
 }
 
 // DefaultStageConfig shuffles through the write-combining exchange with
@@ -77,6 +90,10 @@ type stageSpec struct {
 	Inputs  []stageInputSpec  `json:"inputs,omitempty"`
 	Output  *stageplan.Output `json:"output,omitempty"`
 
+	// Variant is the fallback boundary algorithm, used only when an input or
+	// the output carries no resolved variant of its own (the driver resolves
+	// every boundary before payload build, so in practice it is the
+	// single-round base the resolution started from).
 	Variant   exchange.Variant `json:"variant"`
 	Buckets   []string         `json:"buckets"`
 	Prefix    string           `json:"prefix"`
@@ -90,11 +107,20 @@ type stageSpec struct {
 	Epoch     int    `json:"epoch"`
 }
 
-// stageInputSpec is the planner's Input plus the runtime sender count.
+// stageInputSpec is the planner's Input plus the runtime sender count and
+// the resolved boundary variant.
 type stageInputSpec struct {
 	stageplan.Input
 	// Senders is the producing stage's worker count.
 	Senders int `json:"senders"`
+	// Variant is the producing boundary's resolved exchange algorithm; the
+	// collector must read with the same variant the senders wrote with.
+	Variant exchange.Variant `json:"inVariant"`
+	// RegroupStage, for multi-level boundaries, is the synthetic regroup
+	// fleet's stage ID: the consumer's ready barrier waits on ITS seal (the
+	// round-2 objects exist only once every regroup worker committed), not
+	// the producer's.
+	RegroupStage int `json:"regroupStage,omitempty"`
 }
 
 // stagesTableName names the DynamoDB seal/ready table of an installation.
@@ -257,6 +283,14 @@ type stageRun struct {
 	// span is the stage's trace span (0 when tracing is off): opened at
 	// payload build, re-timed to the launch instant, ended at the seal.
 	span obs.SpanID
+	// boundary is the stage's output-boundary variant as resolved by the
+	// driver (zero for the result stage); regroup runs carry the boundary
+	// they regroup.
+	boundary exchange.Variant
+	// regroup marks a synthetic regroup fleet (multi-level boundaries);
+	// regroupFor is then the producing stage whose boundary it regroups.
+	regroup    bool
+	regroupFor int
 }
 
 // RunPlanStaged optimizes plan against the tables' footer schemas,
@@ -345,6 +379,7 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	sp, err := stageplan.Decompose(opt, stats, stageplan.Config{
 		Partitions:        cfg.Partitions,
 		BroadcastRowLimit: cfg.BroadcastRowLimit,
+		MaxAutoPartitions: cfg.MaxAutoPartitions,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -467,6 +502,22 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 		return nil, nil, fmt.Errorf("driver: stage plan has no result stage")
 	}
 
+	// Resolve every boundary's exchange variant now that fleet sizes are
+	// known: plan-pinned variants (Output.Variant.Levels > 0) stand, the
+	// rest come from the analytic request model — multi-level only when the
+	// request savings at this (S, P, B) pay for the regroup fleet, or when
+	// cfg.ExchangeLevels forces it.
+	for _, st := range sp.Stages {
+		if st.Output == nil {
+			continue
+		}
+		if st.Output.Variant.Levels == 0 {
+			st.Output.Variant = stageplan.ChooseVariant(
+				workers[st.ID], st.Output.Partitions, len(buckets),
+				cfg.Exchange.Variant, cfg.ExchangeLevels)
+		}
+	}
+
 	// Every stage's payloads are computable up front (worker counts depend
 	// only on file and partition counts), so pipelined launch can invoke
 	// consumers before their producers seal.
@@ -478,11 +529,42 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 			return nil, nil, err
 		}
 		r := &stageRun{st: st, payloads: ps, winners: map[int]int{}}
+		if st.Output != nil {
+			r.boundary = st.Output.Variant
+		}
 		if tr.Enabled() {
 			r.span = tr.StartSpan(obs.KindStage, "stage-"+strconv.Itoa(st.ID), qspan, d.env.Now())
 		}
 		runs = append(runs, r)
 		byID[st.ID] = r
+	}
+
+	// Synthetic regroup fleets: every multi-level boundary gets its own
+	// Groups(P)-worker stage between producer and consumers, scheduled like
+	// any other — pipelined launch, speculation, failure-seal relaunch and
+	// the liveness cap all apply. Consumers additionally depend on the
+	// regroup seal (their round-2 objects exist only then).
+	for _, st := range sp.Stages {
+		if st.Output == nil || st.Output.Variant.Levels < 2 {
+			continue
+		}
+		r, err := d.regroupRun(queryID, epoch, st, workers[st.ID], buckets, sealTable, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if tr.Enabled() {
+			r.span = tr.StartSpan(obs.KindStage, "regroup-"+strconv.Itoa(st.ID), qspan, d.env.Now())
+		}
+		runs = append(runs, r)
+		byID[r.st.ID] = r
+		for _, c := range sp.Stages {
+			for _, dep := range c.DependsOn {
+				if dep == st.ID {
+					c.DependsOn = append(c.DependsOn, r.st.ID)
+					break
+				}
+			}
+		}
 	}
 
 	sealedID := func(id int) bool {
@@ -770,14 +852,22 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 		FailureSeals:     failureSeals,
 	}
 	for _, r := range runs {
-		rep.StageStats = append(rep.StageStats, StageStat{
+		ss := StageStat{
 			StageID:    r.st.ID,
 			Workers:    len(r.payloads),
 			Launched:   r.launchedAt - startTime,
 			Sealed:     r.sealedAt - startTime,
 			Speculated: r.speculated,
 			Span:       r.span,
-		})
+		}
+		if r.regroup {
+			ss.StageID = r.regroupFor
+			ss.Regroup = true
+		}
+		if r.boundary.Levels > 0 {
+			ss.Variant = r.boundary.String()
+		}
+		rep.StageStats = append(rep.StageStats, ss)
 	}
 	if tr.Enabled() {
 		if zombieDiscards > 0 {
@@ -837,7 +927,7 @@ func (d *Driver) stagePayloads(queryID string, epoch int, st *stageplan.Stage, s
 	}
 	spec := stageSpec{
 		StageID:   st.ID,
-		Variant:   cfg.Exchange.Variant,
+		Variant:   exchange.Variant{Levels: 1, WriteCombining: cfg.Exchange.Variant.WriteCombining},
 		Buckets:   buckets,
 		Prefix:    fmt.Sprintf("%s/%s/e%d", d.cfg.FunctionName, queryID, epoch),
 		PollNs:    int64(cfg.Exchange.Poll),
@@ -847,7 +937,16 @@ func (d *Driver) stagePayloads(queryID string, epoch int, st *stageplan.Stage, s
 		Epoch:     epoch,
 	}
 	for _, in := range st.Inputs {
-		spec.Inputs = append(spec.Inputs, stageInputSpec{Input: in, Senders: workers[in.StageID]})
+		is := stageInputSpec{Input: in, Senders: workers[in.StageID]}
+		for _, up := range sp.Stages {
+			if up.ID == in.StageID && up.Output != nil {
+				is.Variant = up.Output.Variant
+				if up.Output.Variant.Levels >= 2 {
+					is.RegroupStage = regroupStageID(in.StageID)
+				}
+			}
+		}
+		spec.Inputs = append(spec.Inputs, is)
 	}
 	spec.Output = st.Output
 	specJSON, err := json.Marshal(spec)
@@ -964,11 +1063,21 @@ func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, ws *retryScope, client *s3
 		// Ready barrier: the driver marks a stage sealed in DynamoDB once
 		// every producer reported through SQS. Under pipelined launch this
 		// worker was invoked before its producers sealed, so the wait here
-		// is where cold start and upstream execution overlap.
-		if err := d.waitSealed(ctx, ws, &spec, in.StageID, sealDeadline); err != nil {
+		// is where cold start and upstream execution overlap. Multi-level
+		// boundaries gate on the regroup fleet's seal instead — the round-2
+		// objects this worker reads exist only once every regroup worker
+		// committed.
+		waitStage := in.StageID
+		if in.RegroupStage != 0 && in.Variant.Levels >= 2 {
+			waitStage = in.RegroupStage
+		}
+		if err := d.waitSealed(ctx, ws, &spec, waitStage, sealDeadline); err != nil {
 			return nil, err
 		}
 		copts := opts
+		if in.Variant.Levels > 0 {
+			copts.Variant = in.Variant
+		}
 		if rem := sealDeadline - ctx.Env.Now(); rem < copts.MaxWait {
 			if rem < 0 {
 				rem = 0
@@ -1013,7 +1122,11 @@ func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, ws *retryScope, client *s3
 		return out, nil
 	}
 	wrote := client.BytesWritten()
-	err = exchange.PublishStage(client, opts, exchange.Boundary{
+	popts := opts
+	if spec.Output.Variant.Levels > 0 {
+		popts.Variant = spec.Output.Variant
+	}
+	err = exchange.PublishStage(client, popts, exchange.Boundary{
 		Stage:      spec.StageID,
 		Attempt:    p.Attempt,
 		Senders:    p.NumWorkers,

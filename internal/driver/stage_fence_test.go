@@ -39,7 +39,7 @@ ORDER BY o_orderpriority`
 // purge/sweep, publishes its boundary files and posts its seal mid-retry —
 // and the retry must not notice: the zombie's artifacts all carry epoch 1,
 // the retry runs as epoch 2.
-func runStagedZombieSeal(t *testing.T, wc bool) (*columnar.Chunk, *Report, time.Duration, float64) {
+func runStagedZombieSeal(t *testing.T, wc bool, levels int) (*columnar.Chunk, *Report, time.Duration, float64) {
 	t.Helper()
 	const zombieStall = 28 * time.Second
 	k := simclock.New()
@@ -91,6 +91,7 @@ func runStagedZombieSeal(t *testing.T, wc bool) (*columnar.Chunk, *Report, time.
 		// retry launches.
 		scfg.Exchange.MaxWait = 20 * time.Second
 		scfg.Exchange.Variant = exchange.Variant{Levels: 1, WriteCombining: wc}
+		scfg.ExchangeLevels = levels
 
 		d1Start := p.Now()
 		if _, _, err := d1.RunSQLStaged(q12PoisonSQL, tables, scfg); err == nil {
@@ -189,7 +190,7 @@ func TestStagedZombieSealDiscarded(t *testing.T) {
 		"orders":   engine.NewMemSource(tpch.OrdersSchema(), orders),
 	})
 	for _, wc := range []bool{false, true} {
-		out, rep, _, _ := runStagedZombieSeal(t, wc)
+		out, rep, _, _ := runStagedZombieSeal(t, wc, 1)
 		chunksIdentical(t, out, want)
 		if rep.QueryID != "q1" {
 			t.Errorf("wc=%v: retry ran as %s, want q1 (test premise broken)", wc, rep.QueryID)
@@ -204,8 +205,8 @@ func TestStagedZombieSealDiscarded(t *testing.T) {
 // fence increment, discarded stale seal and all — resolves identically
 // across DES runs.
 func TestStagedZombieSealDESDeterministic(t *testing.T) {
-	_, _, d1, c1 := runStagedZombieSeal(t, true)
-	_, _, d2, c2 := runStagedZombieSeal(t, true)
+	_, _, d1, c1 := runStagedZombieSeal(t, true, 1)
+	_, _, d2, c2 := runStagedZombieSeal(t, true, 1)
 	if d1 != d2 || c1 != c2 {
 		t.Errorf("zombie scenario not deterministic: (%v,%v) vs (%v,%v)", d1, c1, d2, c2)
 	}

@@ -1,0 +1,263 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"lambada/internal/awssim/s3"
+	"lambada/internal/columnar"
+	"lambada/internal/engine"
+	"lambada/internal/exchange"
+	"lambada/internal/lpq"
+	"lambada/internal/simclock"
+	"lambada/internal/stageplan"
+	"lambada/internal/tpch"
+)
+
+// TestStagedMultiLevelByteIdentity forces every stage boundary through the
+// multi-level protocol (one regroup round) at a small partition count the
+// analytic model would never pick it for, and checks the answer is still
+// byte-identical to single-node execution — for both write-combining modes —
+// with the report attributing a regroup fleet to every boundary.
+func TestStagedMultiLevelByteIdentity(t *testing.T) {
+	for _, wc := range []bool{false, true} {
+		d, tables, li, orders := stagedSetup(t, 0.002, 6, 4)
+		cfg := DefaultStageConfig()
+		cfg.Partitions = 5
+		cfg.BroadcastRowLimit = -1
+		cfg.Exchange.Variant.WriteCombining = wc
+		cfg.ExchangeLevels = 2
+
+		got, rep, err := d.RunSQLStaged(q12ExactSQL, tables, cfg)
+		if err != nil {
+			t.Fatalf("wc=%v: %v", wc, err)
+		}
+		want := singleNode(t, q12ExactSQL, engine.Catalog{
+			"lineitem": engine.NewMemSource(tpch.Schema(), li),
+			"orders":   engine.NewMemSource(tpch.OrdersSchema(), orders),
+		})
+		chunksIdentical(t, got, want)
+
+		wantVariant := exchange.Variant{Levels: 2, WriteCombining: wc}.String()
+		boundaries, regroups := 0, 0
+		for _, ss := range rep.StageStats {
+			if ss.Regroup {
+				regroups++
+				if ss.Variant != wantVariant {
+					t.Errorf("wc=%v: regroup of stage %d ran variant %q, want %q", wc, ss.StageID, ss.Variant, wantVariant)
+				}
+				if ss.Workers != exchange.Groups(cfg.Partitions) {
+					t.Errorf("wc=%v: regroup fleet of stage %d has %d workers, want Groups(%d)=%d",
+						wc, ss.StageID, ss.Workers, cfg.Partitions, exchange.Groups(cfg.Partitions))
+				}
+				continue
+			}
+			if ss.Variant != "" {
+				boundaries++
+				if ss.Variant != wantVariant {
+					t.Errorf("wc=%v: stage %d boundary ran variant %q, want %q", wc, ss.StageID, ss.Variant, wantVariant)
+				}
+			}
+		}
+		// q12 has three boundaries: two scan stages feeding the join and the
+		// join+partial stage feeding the final merge.
+		if boundaries != 3 || regroups != 3 {
+			t.Errorf("wc=%v: %d boundaries / %d regroup fleets in stage stats, want 3/3: %+v",
+				wc, boundaries, regroups, rep.StageStats)
+		}
+		// Report.Stages counts planner stages only; regroup fleets are
+		// bookkept under their producer.
+		if rep.Stages != 4 {
+			t.Errorf("wc=%v: stages = %d, want 4", wc, rep.Stages)
+		}
+	}
+}
+
+// TestStagedQ12ScaleSmoke is the scale acceptance point: staged q12 on the
+// DES kernel at 512 partitions — a fleet past 1024 workers. The variant
+// resolver must send the wide boundaries through the multi-level exchange on
+// its own (no forcing), the billed S3 requests against the shard buckets
+// must match the per-boundary analytic model integer-exactly (puts/gets; the
+// driver's two namespace sweeps add lists on top), and the answer stays
+// byte-identical to single-node execution.
+func TestStagedQ12ScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-worker DES run skipped in -short mode")
+	}
+	const parts = 512
+	k := simclock.New()
+	dep := NewSimulated(k, 29)
+	var out *columnar.Chunk
+	var rep *Report
+	var li, orders *columnar.Chunk
+	var buckets []string
+	var before []s3.Stats
+	var scfg StageConfig
+	k.Go("driver", func(p *simclock.Proc) {
+		cfg := DefaultConfig()
+		cfg.PollInterval = 50 * time.Millisecond
+		d := New(dep, p, cfg)
+		if err := d.Install(); err != nil {
+			t.Error(err)
+			return
+		}
+		g := tpch.Gen{SF: 0.002, Seed: 33}
+		li = g.Generate()
+		orders = g.OrdersFor(li)
+		liRefs, err := d.UploadTable("tpch", "lineitem", li, 4, lpq.WriterOptions{RowGroupRows: 2000})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ordRefs, err := d.UploadTable("tpch", "orders", orders, 2, lpq.WriterOptions{RowGroupRows: 2000})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		scfg = DefaultStageConfig()
+		scfg.Partitions = parts
+		scfg.BroadcastRowLimit = -1
+		scfg.Exchange.Poll = 100 * time.Millisecond
+
+		// Snapshot the shard buckets before the query: the deltas are exactly
+		// the boundary traffic (table data lives in the tpch bucket).
+		buckets = d.InstallExchange(scfg.Exchange)
+		for _, b := range buckets {
+			st, err := dep.S3.BucketStats(b)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			before = append(before, st)
+		}
+		out, rep, err = d.RunSQLStaged(q12ExactSQL, TableFiles{"lineitem": liRefs, "orders": ordRefs}, scfg)
+		if err != nil {
+			t.Errorf("scale run failed: %v", err)
+		}
+	})
+	k.Run()
+	if k.Deadlocked() {
+		t.Fatal("DES deadlocked")
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	want := singleNode(t, q12ExactSQL, engine.Catalog{
+		"lineitem": engine.NewMemSource(tpch.Schema(), li),
+		"orders":   engine.NewMemSource(tpch.OrdersSchema(), orders),
+	})
+	chunksIdentical(t, out, want)
+
+	if rep.Workers < 1024 {
+		t.Errorf("fleet = %d workers, want >= 1024", rep.Workers)
+	}
+
+	// Reconstruct the analytic request model boundary by boundary: each
+	// non-regroup stage with a boundary reports its resolved variant, which
+	// must be exactly what ChooseVariant picks for its (S, P, B) — and the
+	// wide join boundary (S = partitions senders) must have gone multi-level.
+	var model exchange.RequestCount
+	joinMulti := false
+	for _, ss := range rep.StageStats {
+		if ss.Regroup || ss.Variant == "" {
+			continue
+		}
+		v := stageplan.ChooseVariant(ss.Workers, parts, len(buckets), scfg.Exchange.Variant, 0)
+		if ss.Variant != v.String() {
+			t.Errorf("stage %d (S=%d) ran variant %q, want model choice %q", ss.StageID, ss.Workers, ss.Variant, v.String())
+		}
+		rc := v.Requests(ss.Workers, parts, len(buckets))
+		model.Puts += rc.Puts
+		model.Gets += rc.Gets
+		model.Lists += rc.Lists
+		if ss.Workers == parts {
+			if v.Levels < 2 {
+				t.Errorf("join boundary (S=%d, P=%d) resolved to %q, want multi-level", ss.Workers, parts, ss.Variant)
+			}
+			joinMulti = true
+		}
+	}
+	if !joinMulti {
+		t.Error("no wide join boundary found in stage stats")
+	}
+
+	var got exchange.RequestCount
+	for i, b := range buckets {
+		st, err := dep.S3.BucketStats(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Puts += st.Puts - before[i].Puts
+		got.Gets += st.Gets - before[i].Gets
+		got.Lists += st.Lists - before[i].Lists
+	}
+	if got.Puts != model.Puts || got.Gets != model.Gets {
+		t.Errorf("billed boundary requests (puts=%d gets=%d) != analytic model (puts=%d gets=%d)",
+			got.Puts, got.Gets, model.Puts, model.Gets)
+	}
+	// The pre-launch and post-merge sweeps List every shard bucket once each
+	// on top of the protocol's own discovery lists.
+	if got.Lists < model.Lists || got.Lists > model.Lists+2*int64(len(buckets)) {
+		t.Errorf("billed lists %d outside [model %d, model+2B %d]",
+			got.Lists, model.Lists, model.Lists+2*int64(len(buckets)))
+	}
+}
+
+// TestStagedMultiLevelSpeculationCompletesViaBackup re-runs the straggler
+// scenario over forced multi-level boundaries: the regroup round must merge
+// the backup attempt's round-1 files (first committed attempt wins across
+// rounds), and a chased second query is untouched.
+func TestStagedMultiLevelSpeculationCompletesViaBackup(t *testing.T) {
+	const stall = 10 * time.Minute
+	g := tpch.Gen{SF: 0.002, Seed: 17}
+	li := g.Generate()
+	orders := g.OrdersFor(li)
+	want := singleNode(t, q12ExactSQL, engine.Catalog{
+		"lineitem": engine.NewMemSource(tpch.Schema(), li),
+		"orders":   engine.NewMemSource(tpch.OrdersSchema(), orders),
+	})
+	first, second, rep := runStagedWithStraggler(t, true, 2, stall)
+	if t.Failed() {
+		return
+	}
+	chunksIdentical(t, first, want)
+	chunksIdentical(t, second, want)
+	if rep.Speculated == 0 {
+		t.Error("no backup attempts issued for the straggler")
+	}
+	if rep.Duration >= stall {
+		t.Errorf("latency %v waited out the %v stall", rep.Duration, stall)
+	}
+	found := false
+	for _, ss := range rep.StageStats {
+		if ss.StageID == 0 && !ss.Regroup && ss.Speculated > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stage stats did not attribute the backup: %+v", rep.StageStats)
+	}
+}
+
+// TestStagedMultiLevelZombieSealDiscarded re-runs the epoch-fence zombie
+// scenario over forced multi-level boundaries: the zombie's grouped round-1
+// files and its seal all carry the losing epoch, and neither the retry's
+// regroup fleets nor its receivers can see them.
+func TestStagedMultiLevelZombieSealDiscarded(t *testing.T) {
+	g := tpch.Gen{SF: 0.002, Seed: 41}
+	li := g.Generate()
+	orders := g.OrdersFor(li)
+	want := singleNode(t, q12ExactSQL, engine.Catalog{
+		"lineitem": engine.NewMemSource(tpch.Schema(), li),
+		"orders":   engine.NewMemSource(tpch.OrdersSchema(), orders),
+	})
+	out, rep, _, _ := runStagedZombieSeal(t, true, 2)
+	chunksIdentical(t, out, want)
+	if rep.QueryID != "q1" {
+		t.Errorf("retry ran as %s, want q1 (test premise broken)", rep.QueryID)
+	}
+	if rep.Epoch != 2 {
+		t.Errorf("retry epoch = %d, want 2 (aborted run took 1)", rep.Epoch)
+	}
+}

@@ -21,7 +21,7 @@ import (
 // first (the stalled loser is still in flight then — its late seal and
 // boundary files must not leak into it). It returns both queries' results
 // and the first report.
-func runStagedWithStraggler(t *testing.T, wc bool, stall time.Duration) (first, second *columnar.Chunk, rep *Report) {
+func runStagedWithStraggler(t *testing.T, wc bool, levels int, stall time.Duration) (first, second *columnar.Chunk, rep *Report) {
 	t.Helper()
 	k := simclock.New()
 	dep := NewSimulated(k, 53)
@@ -61,6 +61,7 @@ func runStagedWithStraggler(t *testing.T, wc bool, stall time.Duration) (first, 
 		scfg.BroadcastRowLimit = -1
 		scfg.Exchange.Poll = 100 * time.Millisecond
 		scfg.Exchange.Variant = exchange.Variant{Levels: 1, WriteCombining: wc}
+		scfg.ExchangeLevels = levels
 		first, rep, err = d.RunSQLStaged(q12ExactSQL, tables, scfg)
 		if err != nil {
 			t.Errorf("wc=%v: straggler query failed: %v", wc, err)
@@ -96,7 +97,7 @@ func TestStagedSpeculationCompletesViaBackup(t *testing.T) {
 		"orders":   engine.NewMemSource(tpch.OrdersSchema(), orders),
 	})
 	for _, wc := range []bool{false, true} {
-		first, second, rep := runStagedWithStraggler(t, wc, stall)
+		first, second, rep := runStagedWithStraggler(t, wc, 1, stall)
 		if t.Failed() {
 			return
 		}
@@ -125,7 +126,7 @@ func TestStagedSpeculationCompletesViaBackup(t *testing.T) {
 // cost across runs, injected straggler and all.
 func TestStagedSpeculationDESDeterministic(t *testing.T) {
 	run := func() (int64, time.Duration) {
-		first, _, rep := runStagedWithStraggler(t, true, 2*time.Minute)
+		first, _, rep := runStagedWithStraggler(t, true, 1, 2*time.Minute)
 		if t.Failed() {
 			t.FailNow()
 		}

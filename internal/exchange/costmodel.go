@@ -14,13 +14,14 @@ import (
 	"lambada/internal/awssim/pricing"
 )
 
-// Variant identifies one exchange algorithm of Table 2.
+// Variant identifies one exchange algorithm of Table 2. The JSON tags are
+// the wire form stage plans and worker payloads ship boundary variants in.
 type Variant struct {
 	// Levels is the number of exchange rounds (1 = BasicExchange).
-	Levels int
+	Levels int `json:"levels"`
 	// WriteCombining writes all partitions of a worker into a single file
 	// whose part offsets are encoded in the file name (§4.4.3).
-	WriteCombining bool
+	WriteCombining bool `json:"writeCombining,omitempty"`
 }
 
 // String renders like the paper: "1l", "2l-wc", ...
@@ -103,6 +104,67 @@ func (v Variant) RequestsPerBucketPerRound(p, buckets int) float64 {
 		buckets = 1
 	}
 	return float64(p) * math.Pow(float64(p), 1/k) / float64(buckets)
+}
+
+// RequestCount is the exact billed S3 request breakdown of one S→P stage
+// boundary under a variant — the analytic counterpart of what the pricing
+// meter observes. Unlike the Table 2 asymptotics above (symmetric P-worker
+// grid exchange), these counts are exact for the asymmetric stage-boundary
+// protocol of stage.go/multilevel.go in a fault-free run: collects happen
+// after the producing fleet sealed, so every discovery List runs exactly one
+// round, and empty partitions still ship (schema-only lpq blobs), so no
+// request is ever skipped data-dependently. The scale tests hold the meter
+// to these numbers integer-exactly.
+type RequestCount struct {
+	Puts, Gets, Lists int64
+}
+
+// Total sums all billed requests.
+func (c RequestCount) Total() int64 { return c.Puts + c.Gets + c.Lists }
+
+// Cost prices the request breakdown.
+func (c RequestCount) Cost() pricing.USD {
+	return pricing.USD(c.Puts)*pricing.S3Write +
+		pricing.USD(c.Gets)*pricing.S3Read +
+		pricing.USD(c.Lists)*pricing.S3List
+}
+
+// Requests predicts the exact billed request counts of one S-sender,
+// P-partition stage boundary over the given shard-bucket count. Writing G
+// for Groups(P) and nb for min(S, buckets) (contiguous sender IDs cover
+// min(S, B) distinct shard buckets):
+//
+//	1l       S·(P+1) puts   P·S gets       P·nb lists
+//	1l-wc    S puts         P·S gets       P·nb lists
+//	2l       S·G+S+P+G puts G·S+P gets     G·nb+P lists
+//	2l-wc    S+G puts       G·S+P gets     G·nb+P lists
+//
+// The multi-level rows are the paper's O(k·P·P^(1/k)) shape: the S·P term is
+// gone — receivers touch one group object instead of S sender objects.
+// Stage boundaries flatten Levels > 2 to one regroup round, so k > 2
+// predicts like k = 2.
+func (v Variant) Requests(senders, partitions, buckets int) RequestCount {
+	s, p := int64(senders), int64(partitions)
+	if buckets < 1 {
+		buckets = 1
+	}
+	nb := s
+	if int64(buckets) < nb {
+		nb = int64(buckets)
+	}
+	if v.Levels >= 2 {
+		g := int64(Groups(partitions))
+		rc := RequestCount{Puts: s + g, Gets: g*s + p, Lists: g*nb + p}
+		if !v.WriteCombining {
+			rc.Puts = s*g + s + p + g
+		}
+		return rc
+	}
+	rc := RequestCount{Puts: s, Gets: p * s, Lists: p * nb}
+	if !v.WriteCombining {
+		rc.Puts = s*p + s
+	}
+	return rc
 }
 
 // Factorize splits P into k near-equal factors (s1 ≥ s2 ≥ ... with

@@ -19,8 +19,11 @@ import (
 // its output rows into P partitions through S3, and a consuming stage of P
 // workers each collects exactly one partition from every sender. Unlike the
 // multi-level grid (which requires senders == receivers), a boundary is a
-// single round; bucket sharding (by partition in the basic variant, by
-// sender when write-combining) keeps the §4.4.1 rate-limit multiplication,
+// single round when Variant.Levels == 1 (multilevel.go adds the §4.4.2
+// regrouping round for Levels >= 2: senders write √-grouped objects, a
+// regroup fleet merges per group, receivers touch one group object instead
+// of S sender objects); bucket sharding (by partition in the basic variant,
+// by sender when write-combining) keeps the §4.4.1 rate-limit multiplication,
 // and the write-combining variant keeps the §4.4.3 trick of encoding
 // cumulative partition offsets in the file name so each receiver
 // range-reads its slice of one combined object per sender.
@@ -116,17 +119,24 @@ func (o *Options) stageWcName(stage, attempt, sender int, offsets []int64) strin
 // parseStageWcName extracts sender, attempt and offsets from a combined
 // stage-boundary object name (`snd<s>-a<n>-off<o0_o1_…>`).
 func parseStageWcName(key string) (sender, attempt int, offsets []int64, err error) {
+	return parseWcTail(key, "snd")
+}
+
+// parseWcTail parses a `<tag><id>-a<n>-off<o0_o1_…>` combined-object base
+// name — the shared shape of single-round (`snd`), round-1 grouped
+// (`r1snd`) and regroup (`rg`) write-combined objects.
+func parseWcTail(key, tag string) (id, attempt int, offsets []int64, err error) {
 	base := key[strings.LastIndex(key, "/")+1:]
-	if !strings.HasPrefix(base, "snd") {
+	if !strings.HasPrefix(base, tag) {
 		return 0, 0, nil, fmt.Errorf("exchange: bad stage wc file name %q", key)
 	}
-	rest := base[3:]
+	rest := base[len(tag):]
 	ai := strings.Index(rest, "-a")
 	oi := strings.Index(rest, "-off")
 	if ai < 0 || oi < 0 || oi < ai {
 		return 0, 0, nil, fmt.Errorf("exchange: bad stage wc file name %q", key)
 	}
-	if sender, err = strconv.Atoi(rest[:ai]); err != nil {
+	if id, err = strconv.Atoi(rest[:ai]); err != nil {
 		return 0, 0, nil, err
 	}
 	if attempt, err = strconv.Atoi(rest[ai+2 : oi]); err != nil {
@@ -139,7 +149,7 @@ func parseStageWcName(key string) (sender, attempt int, offsets []int64, err err
 		}
 		offsets = append(offsets, v)
 	}
-	return sender, attempt, offsets, nil
+	return id, attempt, offsets, nil
 }
 
 // HashPartition maps row i of the key columns to its partition in
@@ -189,6 +199,9 @@ func PublishStage(client *s3.Client, opts Options, b Boundary, sender int, chunk
 	}
 	if b.Partitions < 1 {
 		return fmt.Errorf("exchange: boundary with %d partitions", b.Partitions)
+	}
+	if opts.Variant.Levels >= 2 {
+		return publishStageGrouped(client, opts, b, sender, chunk, keys)
 	}
 	sel, err := partitionRows(chunk, keys, b.Partitions)
 	if err != nil {
@@ -245,10 +258,13 @@ func CollectStage(client *s3.Client, opts Options, b Boundary, part int) (*colum
 	if b.Senders < 1 {
 		return nil, fmt.Errorf("exchange: stage %d has no senders", b.Stage)
 	}
+	if opts.Variant.Levels >= 2 {
+		return collectStageMultiLevel(client, opts, b, part)
+	}
 	if opts.Variant.WriteCombining {
 		return collectStageCombined(client, opts, b, part)
 	}
-	attempts, err := waitAllCommitted(client, opts, b)
+	attempts, err := waitAllCommitted(client, opts, b, opts.stageCommitDir(b.Stage))
 	if err != nil {
 		return nil, err
 	}
@@ -306,16 +322,17 @@ func bucketDone(senders []int, committed map[int]int) bool {
 }
 
 // waitAllCommitted waits until every sender of the boundary has committed
-// at least one attempt and returns, per sender, the first committed attempt
-// observed (ties broken toward the lowest attempt number) — the rule that
-// makes backup attempts race-free. Discovery is batched and incremental:
-// one List of the stage's commit namespace per shard bucket per round, only
-// for buckets that still host uncommitted senders, with results cached
-// across rounds; between rounds the receiver parks on the completion signal
-// s3.Put broadcasts, with the timed poll as the fallback.
-func waitAllCommitted(client *s3.Client, opts Options, b Boundary) (map[int]int, error) {
+// at least one attempt under the given commit namespace and returns, per
+// sender, the first committed attempt observed (ties broken toward the
+// lowest attempt number) — the rule that makes backup attempts race-free.
+// Discovery is batched and incremental: one List of the commit namespace
+// per shard bucket per round, only for buckets that still host uncommitted
+// senders, with results cached across rounds; between rounds the receiver
+// parks on the completion signal s3.Put broadcasts, with the timed poll as
+// the fallback. The dir parameter selects the round: the single-round
+// commit namespace, or the r1commit namespace of a multi-level boundary.
+func waitAllCommitted(client *s3.Client, opts Options, b Boundary, dir string) (map[int]int, error) {
 	byBucket := senderBuckets(opts, b)
-	dir := opts.stageCommitDir(b.Stage)
 	committed := make(map[int]int, b.Senders)
 	deadline := client.Env().Now() + opts.MaxWait
 	for {
@@ -359,17 +376,17 @@ type stageWcFile struct {
 	offsets []int64
 }
 
-// collectStageCombined lists the boundary's combined objects across the
+// discoverCombined lists a boundary's write-combined objects across the
 // senders' shard buckets until every sender has committed at least one
-// attempt, then range-reads this partition's slice of each sender's first
-// observed attempt (lowest wins within a round). Extra objects from losing
-// attempts are ignored. Like waitAllCommitted, discovery is incremental:
-// found senders are cached across rounds, a bucket is re-listed only while
-// it still hosts unfound senders, and the receiver parks on the completion
-// signal between rounds.
-func collectStageCombined(client *s3.Client, opts Options, b Boundary, part int) (*columnar.Chunk, error) {
+// attempt, returning each sender's first observed attempt (lowest wins
+// within a round). Discovery is incremental — found senders are cached
+// across rounds, a bucket is re-listed only while it still hosts unfound
+// senders, and the caller parks on the completion signal between rounds.
+// The prefix/tag pair selects the round (single-round `snd` objects with
+// slots = partitions, or round-1 `r1snd` grouped objects with slots =
+// groups); every object must carry slots+1 cumulative offsets.
+func discoverCombined(client *s3.Client, opts Options, b Boundary, prefix, tag string, slots int) (map[int]stageWcFile, error) {
 	byBucket := senderBuckets(opts, b)
-	prefix := opts.stageWcPrefix(b.Stage)
 	deadline := client.Env().Now() + opts.MaxWait
 	best := make(map[int]stageWcFile, b.Senders)
 	found := make(map[int]int, b.Senders) // attempt per sender, for bucketDone
@@ -383,12 +400,12 @@ func collectStageCombined(client *s3.Client, opts Options, b Boundary, part int)
 				return nil, err
 			}
 			for _, e := range entries {
-				sender, attempt, offsets, err := parseStageWcName(e.Key)
+				sender, attempt, offsets, err := parseWcTail(e.Key, tag)
 				if err != nil {
 					return nil, err
 				}
-				if len(offsets) != b.Partitions+1 {
-					return nil, fmt.Errorf("exchange: %d offsets for %d partitions in %q", len(offsets), b.Partitions, e.Key)
+				if len(offsets) != slots+1 {
+					return nil, fmt.Errorf("exchange: %d offsets for %d slots in %q", len(offsets), slots, e.Key)
 				}
 				if cur, ok := best[sender]; !ok || attempt < cur.attempt {
 					best[sender] = stageWcFile{bucket: bs.bucket, key: e.Key, attempt: attempt, offsets: offsets}
@@ -397,14 +414,29 @@ func collectStageCombined(client *s3.Client, opts Options, b Boundary, part int)
 			}
 		}
 		if len(best) >= b.Senders {
-			break
+			return best, nil
 		}
 		if client.Env().Now() >= deadline {
 			return nil, fmt.Errorf("exchange: %d/%d senders committed after %v", len(best), b.Senders, opts.MaxWait)
 		}
 		// Park on the boundary's combined-object namespace: only a sender's
-		// atomic Put into this stage's `snd…` prefix wakes the receiver.
+		// atomic Put into this stage's prefix wakes the receiver.
 		simenv.WaitNotifyKey(client.Env(), "s3/"+prefix, opts.Poll)
+	}
+}
+
+// collectStageCombined lists the boundary's combined objects across the
+// senders' shard buckets until every sender has committed at least one
+// attempt, then range-reads this partition's slice of each sender's first
+// observed attempt (lowest wins within a round). Extra objects from losing
+// attempts are ignored. Like waitAllCommitted, discovery is incremental:
+// found senders are cached across rounds, a bucket is re-listed only while
+// it still hosts unfound senders, and the receiver parks on the completion
+// signal between rounds.
+func collectStageCombined(client *s3.Client, opts Options, b Boundary, part int) (*columnar.Chunk, error) {
+	best, err := discoverCombined(client, opts, b, opts.stageWcPrefix(b.Stage), "snd", b.Partitions)
+	if err != nil {
+		return nil, err
 	}
 	senders := make([]int, 0, len(best))
 	for s := range best {

@@ -69,6 +69,12 @@ type ColumnChunkMeta struct {
 	// DistinctEst estimates the chunk's distinct value count (v2 footers;
 	// 0 = unknown). Exact for the row-group sizes the writer produces.
 	DistinctEst int64
+	// NullCount is the chunk's null-value count (v2 footers; 0 = none or
+	// unknown). The columnar layer has no null representation, so the
+	// writer always emits 0, but readers honor counts written by other
+	// producers: an all-null chunk prunes its row group for any predicate
+	// on the column, and partial counts tighten row estimates.
+	NullCount int64
 	// Pages is the v2 page index: the chunk split at WriterOptions.PageRows
 	// boundaries, every page separately encoded (with the chunk's encoding)
 	// and compressed. Nil for v1 files and chunks of at most one page, whose
@@ -304,6 +310,7 @@ func encodeFooter(m *FileMeta, v2 bool) []byte {
 			out = putStats(out, c.Stats)
 			if v2 {
 				out = putUvarint(out, uint64(c.DistinctEst))
+				out = putUvarint(out, uint64(c.NullCount))
 				out = putPageIndex(out, c.Pages, m.Schema.Fields[ci].Type)
 			}
 		}
@@ -386,6 +393,11 @@ func decodeFooter(data []byte, v2 bool) (*FileMeta, error) {
 					return nil, err
 				}
 				cc.DistinctEst = int64(de)
+				nc, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				cc.NullCount = int64(nc)
 				if cc.Pages, err = readPageIndex(r, schema.Fields[c].Type, rg.NumRows); err != nil {
 					return nil, err
 				}

@@ -253,6 +253,9 @@ func (p *Predicate) Admits(st Stats, t columnar.Type) bool {
 
 // PruneRowGroups returns the row-group indices that may contain matching
 // rows, using footer statistics. Row groups without statistics are kept.
+// A group whose predicate column is entirely null (v2 null counts) is
+// pruned regardless of its min/max bounds: no row can satisfy a min/max
+// predicate on a null value.
 func PruneRowGroups(meta *FileMeta, preds []Predicate) []int {
 	var keep []int
 	for g := range meta.RowGroups {
@@ -263,7 +266,12 @@ func PruneRowGroups(meta *FileMeta, preds []Predicate) []int {
 			if ci < 0 {
 				continue
 			}
-			if !p.Admits(rg.Columns[ci].Stats, meta.Schema.Fields[ci].Type) {
+			cc := &rg.Columns[ci]
+			if cc.NullCount >= rg.NumRows && rg.NumRows > 0 {
+				match = false
+				break
+			}
+			if !p.Admits(cc.Stats, meta.Schema.Fields[ci].Type) {
 				match = false
 				break
 			}
@@ -320,7 +328,10 @@ func PrunePages(meta *FileMeta, g int, preds []Predicate) []bool {
 // EstimateRows bounds the number of rows of the file that may satisfy
 // preds, at page granularity: pruned row groups contribute nothing, pruned
 // pages of surviving groups contribute nothing, everything else counts in
-// full. With no predicates this is exactly TotalRows.
+// full. Null counts (v2 footers) cap a surviving group's contribution at
+// NumRows minus the largest null count over its predicate columns — a null
+// never satisfies a min/max predicate. With no predicates this is exactly
+// TotalRows.
 func EstimateRows(meta *FileMeta, preds []Predicate) int64 {
 	if len(preds) == 0 {
 		return meta.TotalRows
@@ -328,10 +339,23 @@ func EstimateRows(meta *FileMeta, preds []Predicate) int64 {
 	var est int64
 	for _, g := range PruneRowGroups(meta, preds) {
 		rg := &meta.RowGroups[g]
+		avail := rg.NumRows
+		for _, p := range preds {
+			ci := meta.Schema.Index(p.Column)
+			if ci < 0 {
+				continue
+			}
+			if n := rg.NumRows - rg.Columns[ci].NullCount; n < avail {
+				avail = n
+			}
+		}
+		if avail < 0 {
+			avail = 0
+		}
 		keep := PrunePages(meta, g, preds)
 		if len(keep) == 1 {
 			if keep[0] {
-				est += rg.NumRows
+				est += avail
 			}
 			continue
 		}
@@ -347,14 +371,16 @@ func EstimateRows(meta *FileMeta, preds []Predicate) int64 {
 			}
 		}
 		if rows == nil {
-			est += rg.NumRows
+			est += avail
 			continue
 		}
+		var kept int64
 		for i, k := range keep {
 			if k {
-				est += rows[i]
+				kept += rows[i]
 			}
 		}
+		est += min(kept, avail)
 	}
 	return est
 }

@@ -341,3 +341,86 @@ func TestAdmitsMissingStats(t *testing.T) {
 		t.Error("disjoint float interval admitted")
 	}
 }
+
+// TestNullCountFooterRoundTrip: v2 footers carry per-chunk null counts
+// losslessly; v1 footers have no slot for them and decode to zero.
+func TestNullCountFooterRoundTrip(t *testing.T) {
+	schema := columnar.NewSchema(
+		columnar.Field{Name: "a", Type: columnar.Int64},
+		columnar.Field{Name: "b", Type: columnar.Float64},
+	)
+	m := &FileMeta{Schema: schema, TotalRows: 300, RowGroups: []RowGroupMeta{
+		{NumRows: 200, Columns: []ColumnChunkMeta{
+			{CompressedLen: 10, UncompressedLen: 10, DistinctEst: 7},
+			{Offset: 10, CompressedLen: 20, UncompressedLen: 20, DistinctEst: 3, NullCount: 123},
+		}},
+		{NumRows: 100, Columns: []ColumnChunkMeta{
+			{Offset: 30, CompressedLen: 5, UncompressedLen: 5, NullCount: 100},
+			{Offset: 35, CompressedLen: 5, UncompressedLen: 5, NullCount: 1},
+		}},
+	}}
+	got, err := decodeFooter(encodeFooter(m, true), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("v2 footer round trip:\n got %+v\nwant %+v", got, m)
+	}
+	got1, err := decodeFooter(encodeFooter(m, false), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range got1.RowGroups {
+		for c, cc := range got1.RowGroups[g].Columns {
+			if cc.NullCount != 0 {
+				t.Errorf("v1 chunk [%d][%d] decoded NullCount %d, want 0", g, c, cc.NullCount)
+			}
+		}
+	}
+}
+
+// TestNullCountPruning: an all-null predicate column prunes its row group
+// even when its min/max bounds admit, and partial null counts cap the row
+// estimate of surviving groups. The writer itself always records zero
+// nulls (the columnar layer cannot represent them), so the counts are
+// planted on the decoded footer the way a null-bearing producer would
+// write them.
+func TestNullCountPruning(t *testing.T) {
+	c := makeChunk(300, 7)
+	_, r := writeRead(t, testSchema(), WriterOptions{RowGroupRows: 100}, c)
+	meta := r.Meta()
+	ci := meta.Schema.Index("id")
+	for g := range meta.RowGroups {
+		for _, cc := range meta.RowGroups[g].Columns {
+			if cc.NullCount != 0 {
+				t.Fatalf("writer emitted NullCount %d, want 0", cc.NullCount)
+			}
+		}
+	}
+
+	// A predicate matching every group's id range keeps all three groups.
+	wide := []Predicate{{Column: "id", Min: 0, Max: 1e9, HasInt: true, MinInt: 0, MaxInt: 1e9}}
+	if keep := PruneRowGroups(meta, wide); len(keep) != 3 {
+		t.Fatalf("premise: wide predicate kept %v, want all 3 groups", keep)
+	}
+	base := EstimateRows(meta, wide)
+	if base != meta.TotalRows {
+		t.Fatalf("premise: wide estimate %d, want %d", base, meta.TotalRows)
+	}
+
+	// Group 1 entirely null on id: pruned despite admitting bounds.
+	meta.RowGroups[1].Columns[ci].NullCount = meta.RowGroups[1].NumRows
+	if keep := PruneRowGroups(meta, wide); !reflect.DeepEqual(keep, []int{0, 2}) {
+		t.Errorf("all-null group kept: %v, want [0 2]", keep)
+	}
+	// Group 2 partially null: its contribution shrinks by the null count.
+	meta.RowGroups[2].Columns[ci].NullCount = 40
+	want := meta.TotalRows - meta.RowGroups[1].NumRows - 40
+	if est := EstimateRows(meta, wide); est != want {
+		t.Errorf("EstimateRows = %d, want %d (all-null group dropped, 40 nulls capped)", est, want)
+	}
+	// A predicate on a different column ignores id's null counts.
+	if keep := PruneRowGroups(meta, []Predicate{{Column: "zzz", Min: 0, Max: 0}}); len(keep) != 3 {
+		t.Errorf("unrelated predicate pruned by null counts: kept %v", keep)
+	}
+}

@@ -262,6 +262,9 @@ func (w *Writer) flushRowGroup() error {
 		}
 		if !w.opts.FormatV1 {
 			cc.DistinctEst = distinctEstimate(col)
+			// The columnar layer stores no nulls; the footer records that
+			// fact exactly rather than leaving the count unknown.
+			cc.NullCount = 0
 			if len(cc.Pages) > 0 && !pageStatsUseful(cc.Pages, cc.Stats) {
 				for p := range cc.Pages {
 					cc.Pages[p].Stats = Stats{}

@@ -27,8 +27,10 @@ import (
 	"sort"
 	"time"
 
+	"lambada/internal/awssim/pricing"
 	"lambada/internal/columnar"
 	"lambada/internal/engine"
+	"lambada/internal/exchange"
 )
 
 // Output is a stage's exchange boundary: its result rows are hash-
@@ -39,6 +41,11 @@ type Output struct {
 	Keys []string `json:"keys"`
 	// Partitions is the consuming stage's worker count.
 	Partitions int `json:"partitions"`
+	// Variant selects the boundary's exchange algorithm. The zero value
+	// (Levels 0) means "unresolved": the driver picks per boundary from the
+	// analytic request model (ChooseVariant) once it knows the sender fleet
+	// size, falling back to its configured single-round default.
+	Variant exchange.Variant `json:"variant,omitempty"`
 }
 
 // Input binds one upstream stage's boundary into a stage's catalog.
@@ -133,6 +140,11 @@ type Config struct {
 	// BroadcastRowLimit: a join build side of at most this many rows stays
 	// a broadcast join (0 = 65536; negative = never broadcast).
 	BroadcastRowLimit int64
+	// MaxAutoPartitions caps the autotuned fan-in (0 = MaxAutoPartitions).
+	// Paper-scale fleets raise it: with multi-level boundaries the request
+	// count grows as O(√P·S) instead of O(S·P), so wide fan-ins stay
+	// affordable.
+	MaxAutoPartitions int
 }
 
 // DefaultBroadcastRowLimit is the build-side row count up to which shipping
@@ -169,10 +181,65 @@ func (c Config) partitions(stats Stats) int {
 	if p < 1 {
 		p = 1
 	}
-	if p > MaxAutoPartitions {
-		p = MaxAutoPartitions
+	if cap := c.maxAutoPartitions(); p > cap {
+		p = cap
 	}
 	return p
+}
+
+func (c Config) maxAutoPartitions() int {
+	if c.MaxAutoPartitions > 0 {
+		return c.MaxAutoPartitions
+	}
+	return MaxAutoPartitions
+}
+
+// MinMultiLevelPartitions is the fan-in floor below which ChooseVariant
+// keeps a boundary single-round regardless of raw request arithmetic. The
+// regroup round adds a whole extra fleet of Groups(P) workers plus one
+// round of S3 latency to the critical path; below this fan-in the absolute
+// request savings are cents-invisible while the latency cost is not, and
+// small deterministic test fixtures should not flip algorithms when a row
+// estimate wiggles.
+const MinMultiLevelPartitions = 32
+
+// ChooseVariant resolves one stage boundary's exchange algorithm from the
+// analytic request model (exchange.RequestCount). forceLevels pins the
+// round count (1 or 2) when the user forced it via flag or plan JSON;
+// 0 lets the model decide: multi-level is chosen only when the fan-in
+// reaches MinMultiLevelPartitions and the billed-request savings exceed
+// the regroup fleet's own cost (Groups(P) extra invocations priced at
+// Lambda rates). Write combining is inherited from base either way —
+// it is strictly fewer requests, so it is never un-chosen here.
+func ChooseVariant(senders, partitions, buckets int, base exchange.Variant, forceLevels int) exchange.Variant {
+	single := exchange.Variant{Levels: 1, WriteCombining: base.WriteCombining}
+	multi := exchange.Variant{Levels: 2, WriteCombining: base.WriteCombining}
+	switch {
+	case forceLevels == 1:
+		return single
+	case forceLevels >= 2:
+		return multi
+	}
+	if partitions < MinMultiLevelPartitions || senders < 1 {
+		return single
+	}
+	costSingle := single.Requests(senders, partitions, buckets).Cost()
+	costMulti := multi.Requests(senders, partitions, buckets).Cost() +
+		pricing.USD(exchange.Groups(partitions))*regroupWorkerOverhead()
+	if costMulti < costSingle {
+		return multi
+	}
+	return single
+}
+
+// regroupWorkerOverhead prices one regroup worker's non-S3 footprint — its
+// invocation, a conservative half second of 1.75 GiB Lambda duration, and
+// its SQS result message — so boundaries only go multi-level when request
+// savings actually pay for the extra fleet.
+func regroupWorkerOverhead() pricing.USD {
+	return pricing.LambdaPerRequest +
+		pricing.USD(1.75*0.5)*pricing.LambdaGBSecond +
+		pricing.SQSPerRequest
 }
 
 func (c Config) broadcastLimit() int64 {
