@@ -1,13 +1,13 @@
 GO ?= go
 # bench-json knobs: the PR-numbered output file, the previous PR's file the
 # comparability check runs against, and the per-benchmark time.
-BENCH_JSON ?= BENCH_PR9.json
-BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR10.json
+BENCH_BASELINE ?= BENCH_PR9.json
 BENCHTIME ?= 300ms
 # trace-smoke output file (Chrome trace-event JSON; also the CI artifact).
 TRACE_OUT ?= trace-smoke.json
 
-.PHONY: build test race race-staged chaos scale-smoke bench bench-json vet trace-smoke
+.PHONY: build test race race-staged chaos scale-smoke bench bench-json vet trace-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,14 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) -baseline $(BENCH_BASELINE) \
 		-require-same-cpu -benchtime $(BENCHTIME) \
 		./internal/engine ./internal/scan ./internal/exchange ./internal/driver
+
+# serve-smoke boots the resident query service end to end in both modes
+# (goroutine workers in real time; DES virtual time with request batching),
+# runs the fresh/cached/invalidate query sequence over HTTP, and exits
+# non-zero on any divergence. The CI face of cmd/lambada-serve.
+serve-smoke:
+	$(GO) run ./cmd/lambada-serve -smoke -sf 0.002 -files 4
+	$(GO) run ./cmd/lambada-serve -smoke -mode des -sf 0.002 -files 4
 
 # trace-smoke runs a traced staged query under the DES kernel, exports the
 # Chrome trace-event JSON, and validates it against the schema subset the

@@ -71,28 +71,28 @@ ORDER BY o_orderpriority`
 
 func main() {
 	var (
-		sf      = flag.Float64("sf", 0.005, "TPC-H scale factor of the generated LINEITEM data")
-		files   = flag.Int("files", 8, "number of lpq files the table is stored as")
-		query   = flag.String("query", "q1", "q1, q6, join, q12 (two-large-sides join), or a SQL string over lineitem, supplier, orders")
-		memory  = flag.Int("m", 1792, "worker memory in MiB")
-		fPerW   = flag.Int("f", 1, "files per worker")
-		tree    = flag.Bool("tree", true, "use the two-level invocation tree")
-		gz      = flag.Bool("gzip", true, "GZIP-compress column chunks")
-		mode    = flag.String("mode", "local", "local (goroutine workers) or des (virtual-time simulation)")
-		seed    = flag.Int64("seed", 42, "data generation seed")
-		explain = flag.Bool("v", false, "print per-worker processing times")
-		useXchg = flag.Bool("exchange", false, "run through the stage planner: joins shuffle through the serverless exchange when both sides are large, grouped aggregations repartition on their group keys")
-		parts   = flag.Int("partitions", 0, "exchange boundary fan-in (workers per join/final-merge stage, with -exchange); 0 = autotune from footer row counts")
-		bcast   = flag.Int64("broadcast-limit", 0, "build sides up to this many rows broadcast instead of shuffling (0 = default, negative = always shuffle; with -exchange)")
-		pipe    = flag.Bool("pipelined", true, "launch consumer stages before their producers seal (with -exchange); false = wave-gated launch")
-		spec    = flag.Bool("speculate", false, "re-invoke stragglers as backup attempts once a quorum reported (single-scope and staged runs)")
-		stgWait = flag.Duration("max-stage-wait", time.Minute, "no-progress liveness cap: a runnable stage with no worker response for this long (window restarts per response) has its missing workers re-invoked as the next attempt (with -exchange -speculate; 0 disables)")
-		xlevels = flag.Int("exchange-levels", 0, "force every stage boundary's round count: 1 = single-round, 2 = multi-level (intermediate regroup round); 0 = resolve per boundary from the analytic request model (with -exchange)")
-		xcomb   = flag.Bool("exchange-combining", true, "write-combine boundary publishes: one combined object per sender with part offsets in the name (with -exchange)")
+		sf       = flag.Float64("sf", 0.005, "TPC-H scale factor of the generated LINEITEM data")
+		files    = flag.Int("files", 8, "number of lpq files the table is stored as")
+		query    = flag.String("query", "q1", "q1, q6, join, q12 (two-large-sides join), or a SQL string over lineitem, supplier, orders")
+		memory   = flag.Int("m", 1792, "worker memory in MiB")
+		fPerW    = flag.Int("f", 1, "files per worker")
+		tree     = flag.Bool("tree", true, "use the two-level invocation tree")
+		gz       = flag.Bool("gzip", true, "GZIP-compress column chunks")
+		mode     = flag.String("mode", "local", "local (goroutine workers) or des (virtual-time simulation)")
+		seed     = flag.Int64("seed", 42, "data generation seed")
+		explain  = flag.Bool("v", false, "print per-worker processing times")
+		useXchg  = flag.Bool("exchange", false, "run through the stage planner: joins shuffle through the serverless exchange when both sides are large, grouped aggregations repartition on their group keys")
+		parts    = flag.Int("partitions", 0, "exchange boundary fan-in (workers per join/final-merge stage, with -exchange); 0 = autotune from footer row counts")
+		bcast    = flag.Int64("broadcast-limit", 0, "build sides up to this many rows broadcast instead of shuffling (0 = default, negative = always shuffle; with -exchange)")
+		pipe     = flag.Bool("pipelined", true, "launch consumer stages before their producers seal (with -exchange); false = wave-gated launch")
+		spec     = flag.Bool("speculate", false, "re-invoke stragglers as backup attempts once a quorum reported (single-scope and staged runs)")
+		stgWait  = flag.Duration("max-stage-wait", time.Minute, "no-progress liveness cap: a runnable stage with no worker response for this long (window restarts per response) has its missing workers re-invoked as the next attempt (with -exchange -speculate; 0 disables)")
+		xlevels  = flag.Int("exchange-levels", 0, "force every stage boundary's round count: 1 = single-round, 2 = multi-level (intermediate regroup round); 0 = resolve per boundary from the analytic request model (with -exchange)")
+		xcomb    = flag.Bool("exchange-combining", true, "write-combine boundary publishes: one combined object per sender with part offsets in the name (with -exchange)")
 		maxParts = flag.Int("max-partitions", 0, "cap the autotuned boundary fan-in (0 = stageplan default; with -exchange -partitions 0)")
-		fplan   = flag.String("fault-plan", "", "JSON fault plan file injected into the simulated substrate (with -mode des); see internal/awssim/faults")
-		fseed   = flag.Int64("fault-seed", 0, "override the fault plan's seed (0 = keep the plan's own; with -fault-plan)")
-		profile = flag.Bool("profile", false, "EXPLAIN ANALYZE: record a trace and print the per-stage profile and critical path")
+		fplan    = flag.String("fault-plan", "", "JSON fault plan file injected into the simulated substrate (with -mode des); see internal/awssim/faults")
+		fseed    = flag.Int64("fault-seed", 0, "override the fault plan's seed (0 = keep the plan's own; with -fault-plan)")
+		profile  = flag.Bool("profile", false, "EXPLAIN ANALYZE: record a trace and print the per-stage profile and critical path")
 		traceOut = flag.String("trace-out", "", "write the query's Chrome trace-event JSON to this file (implies tracing; open in Perfetto or chrome://tracing)")
 	)
 	flag.Parse()

@@ -235,6 +235,60 @@
 // response) has its missing workers re-invoked as the next attempt — the
 // no-response and sub-quorum stalls quorum arithmetic can never arm for.
 //
+// # Resident query service
+//
+// The one-shot driver is a thin veneer over a resident session. A
+// driver.Session binds to a deployment once — installs the worker function,
+// owns the admission controller and the result cache — and then runs many
+// queries, sequentially or concurrently, against that warm state; Driver
+// itself is now Session plus a default environment, so the single-query API
+// is unchanged. Each query runs on its own per-query scheduler with three
+// isolation planes:
+//
+//	results   every query gets its own SQS result queue (<base>-q<N>),
+//	          created at query start and deleted at close — a zombie seal
+//	          from a finished query lands in a deleted queue, not in a
+//	          sibling's mailbox
+//	names     the epoch fence already namespaces S3 boundaries, ready
+//	          markers and seal messages per (query, epoch); concurrent
+//	          queries never share a prefix
+//	budgets   retry budgets and fault scopes stay per-query
+//
+// Admission replaces per-query invocation pacing with a deployment-wide
+// budget (invoke.Admission, Config.MaxInFlight): every invocation across
+// all live queries acquires a slot, released by the Lambda service's
+// completion hook. Staged launches acquire partially — a stage launches
+// as many workers as there are free slots and the remainder as slots free
+// up — so N queries make progress under one cap instead of deadlocking on
+// whole-fleet acquisition; recovery and speculation re-invokes use an
+// overflow class that may exceed the cap rather than wait behind the very
+// queries they are unsticking. The interleaved-session test pins the
+// meter: the in-flight peak never exceeds the cap, and K = 4 concurrent
+// staged queries on one session produce byte-identical results to the
+// same queries run one-shot, deterministically across seeded DES runs on
+// both exchange variants.
+//
+// Repeated queries skip the fleet entirely: the session caches final
+// result chunks keyed by (stageplan.Fingerprint of the logical plan,
+// sorted table file lists), so a hit is a driver-local decode with zero
+// invocations and zero new billed requests. Invalidation is explicit
+// (Session.InvalidateTable / InvalidateAll) and automatic on UploadTable,
+// which overwrites objects under the same FileRefs.
+//
+// internal/service wraps a session in an HTTP/JSON endpoint and
+// cmd/lambada-serve runs it: POST /query takes a named query or raw SQL
+// with :name parameters, and every response carries the rows, a per-query
+// profile (workers, stages, cold starts, speculated attempts, billed $,
+// S3 requests/bytes, cache hit) and — for queries with a calibrated QaaS
+// spec — the modeled Athena/BigQuery price/latency comparison, the paper's
+// §5.4 table as a per-request field. A Runner abstraction picks the
+// execution substrate: GoRunner serves each request inline on a real-time
+// local deployment; DESRunner batches concurrent HTTP requests inside a
+// real-time window into one interleaved virtual-time run on the DES
+// kernel, so even the simulated deployment serves concurrent traffic.
+// `make serve-smoke` boots both modes in CI and drives the
+// fresh/cached/invalidate sequence end to end.
+//
 // # Failure model and resilience
 //
 // The simulated substrate injects failures deterministically: every service

@@ -175,11 +175,27 @@ type Service struct {
 	// integer counterpart of the meter's float GB-second dollars, so span
 	// sums can be compared to service totals without rounding.
 	billedMiBNs atomic.Int64
+	// onSettle, when set, runs in the worker's environment every time a
+	// container finishes — handler return, timeout and crash paths alike
+	// (wherever the running gauge decrements). A resident session's
+	// admission controller hooks its token release here so capacity frees
+	// autonomously as containers die, never gated on a driver event loop.
+	onSettle func(env simenv.Env)
 }
 
 // SetTracer installs the tracer invocation spans and cost attribution are
 // recorded on. Must be set before traffic; nil disables tracing.
 func (s *Service) SetTracer(tr *obs.Tracer) { s.trace = tr }
+
+// SetCompletionHook installs fn, called in the worker's environment each
+// time a container settles (normal return, timeout, or crash). One hook per
+// service: a deployment hosts one resident session. Set before traffic;
+// nil disables.
+func (s *Service) SetCompletionHook(fn func(env simenv.Env)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onSettle = fn
+}
 
 // BilledMiBNs returns the cumulative billed duration over all
 // invocations, in exact memoryMiB·nanoseconds.
@@ -317,7 +333,11 @@ func (s *Service) Invoke(env simenv.Env, name string, payload []byte, opts Invok
 			tr.EndSpan(span, wenv.Now())
 			s.mu.Lock()
 			s.running--
+			settle := s.onSettle
 			s.mu.Unlock()
+			if settle != nil {
+				settle(wenv)
+			}
 			return
 		}
 		henv := wenv
@@ -365,7 +385,11 @@ func (s *Service) Invoke(env simenv.Env, name string, payload []byte, opts Invok
 		if !crashed {
 			f.warm++ // container stays warm for subsequent invocations
 		}
+		settle := s.onSettle
 		s.mu.Unlock()
+		if settle != nil {
+			settle(wenv)
+		}
 		if !crashed && opts.OnDone != nil {
 			opts.OnDone(wenv, err)
 		}

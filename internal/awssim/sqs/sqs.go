@@ -110,6 +110,18 @@ func (s *Service) CreateQueue(name string) {
 	}
 }
 
+// DeleteQueue removes a queue and any messages still on it (idempotent,
+// free — the real API bills deletes at noise level). A resident session
+// runs each query over its own result queue and deletes it at query end so
+// the deployment does not accumulate one queue per query ever run; a
+// zombie worker posting to a deleted queue gets ErrNoSuchQueue, which is
+// harmless — its real work is long done and its debris is swept anyway.
+func (s *Service) DeleteQueue(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.queues, name)
+}
+
 // injected applies a fault-plan decision to a billed SQS request: transient
 // errors and timeouts charge the request (it reached the service) and pay
 // its latency before failing. Other kinds are handled by the caller.

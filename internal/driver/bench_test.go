@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -352,4 +353,82 @@ func BenchmarkStagedCriticalPath(b *testing.B) {
 	b.ReportMetric(float64(virtual)/float64(b.N)/1e6, "vms/op")
 	b.ReportMetric(float64(worker)/float64(b.N)/1e6, "critpath_worker_vms/op")
 	b.ReportMetric(float64(virtual-worker)/float64(b.N)/1e6, "critpath_driver_vms/op")
+}
+
+// BenchmarkConcurrentQueries measures the resident session under 1, 4 and
+// 16 concurrent query streams on the DES deployment: every stream runs the
+// staged q12 shuffle join as its own DES process on ONE session sharing the
+// warm pool and a 32-invocation admission cap. vms/op is the mean virtual
+// latency of one query at that concurrency; billed-usd/query the mean
+// billed dollars, taken from the deployment meter delta over the whole
+// batch (per-report cost windows overlap under concurrency, the meter
+// delta does not double count).
+func BenchmarkConcurrentQueries(b *testing.B) {
+	g := tpch.Gen{SF: 0.002, Seed: 33}
+	li := g.Generate()
+	orders := g.OrdersFor(li)
+	for _, streams := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("Streams%d", streams), func(b *testing.B) {
+			var virtual time.Duration
+			var billed float64
+			queries := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := simclock.New()
+				dep := NewSimulated(k, 7)
+				cfg := DefaultConfig()
+				cfg.PollInterval = 50 * time.Millisecond
+				cfg.MaxInFlight = 32
+				sess := NewSession(dep, cfg)
+				var uploadUSD float64
+				k.Go("setup", func(p *simclock.Proc) {
+					if err := sess.Install(); err != nil {
+						b.Error(err)
+						return
+					}
+					liRefs, err := sess.UploadTable(p, "tpch", "lineitem", li, 4, lpq.WriterOptions{RowGroupRows: 2000})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					ordRefs, err := sess.UploadTable(p, "tpch", "orders", orders, 2, lpq.WriterOptions{RowGroupRows: 2000})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					tables := TableFiles{"lineitem": liRefs, "orders": ordRefs}
+					uploadUSD = float64(dep.Meter.Total())
+					for s := 0; s < streams; s++ {
+						k.Go(fmt.Sprintf("stream%d", s), func(p *simclock.Proc) {
+							scfg := DefaultStageConfig()
+							scfg.Partitions = 2
+							scfg.BroadcastRowLimit = -1
+							scfg.Exchange.Poll = 100 * time.Millisecond
+							out, rep, err := sess.RunSQLStaged(p, q12ExactSQL, tables, scfg)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if out.NumRows() == 0 {
+								b.Error("empty result")
+								return
+							}
+							virtual += rep.Duration
+							queries++
+						})
+					}
+				})
+				k.Run()
+				if k.Deadlocked() {
+					b.Fatal("DES deadlocked")
+				}
+				billed += float64(dep.Meter.Total()) - uploadUSD
+			}
+			if queries == 0 {
+				b.Fatal("no queries completed")
+			}
+			b.ReportMetric(float64(virtual)/float64(queries)/1e6, "vms/op")
+			b.ReportMetric(billed/float64(queries), "billed-usd/query")
+		})
+	}
 }

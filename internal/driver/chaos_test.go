@@ -381,6 +381,8 @@ func TestEpochSweepTTL(t *testing.T) {
 		cfg.EpochGCInterval = 1 // sweep on every acquire
 		cfg.EpochTTL = time.Hour
 		d := New(dep, p, cfg)
+		q := d.Session().newQuery(p)
+		defer q.close()
 		table := stagesTableName(cfg.FunctionName)
 		dep.Dynamo.CreateTable(table)
 		// A legacy-format item from before the sweep existed: bare epoch,
@@ -390,16 +392,16 @@ func TestEpochSweepTTL(t *testing.T) {
 			return
 		}
 
-		if e, err := d.acquireEpoch(table, "qA"); err != nil || e != 1 {
+		if e, err := q.acquireEpoch(table, "qA"); err != nil || e != 1 {
 			t.Errorf("qA epoch = %d, %v, want 1", e, err)
 		}
-		if e, err := d.acquireEpoch(table, "legacy"); err != nil || e != 8 {
+		if e, err := q.acquireEpoch(table, "legacy"); err != nil || e != 8 {
 			t.Errorf("legacy epoch = %d, %v, want 8 (parsed bare item)", e, err)
 		}
 
 		p.Sleep(2 * time.Hour) // both items now exceed the 1h TTL
 
-		if e, err := d.acquireEpoch(table, "qB"); err != nil || e != 1 {
+		if e, err := q.acquireEpoch(table, "qB"); err != nil || e != 1 {
 			t.Errorf("qB epoch = %d, %v, want 1", e, err)
 		}
 		// The sweep that ran inside that acquire collected qA and legacy.
@@ -411,12 +413,12 @@ func TestEpochSweepTTL(t *testing.T) {
 		}
 		// qB was just written — the next sweep must keep it, and its
 		// counter keeps fencing.
-		if e, err := d.acquireEpoch(table, "qB"); err != nil || e != 2 {
+		if e, err := q.acquireEpoch(table, "qB"); err != nil || e != 2 {
 			t.Errorf("qB epoch after sweep = %d, %v, want 2 (item retained)", e, err)
 		}
 		// An expired fence restarts at 1: the TTL exceeds any worker
 		// lifetime, so no zombie of the swept run can still be alive.
-		if e, err := d.acquireEpoch(table, "qA"); err != nil || e != 1 {
+		if e, err := q.acquireEpoch(table, "qA"); err != nil || e != 1 {
 			t.Errorf("qA epoch after expiry = %d, %v, want 1", e, err)
 		}
 	})

@@ -180,6 +180,20 @@ type Config struct {
 	// EpochGCInterval is the number of epoch acquisitions between lazy
 	// sweeps of expired fence items (0 = every 64th).
 	EpochGCInterval int
+	// MaxInFlight, when positive, caps the deployment-wide number of
+	// concurrently running worker containers across every query of the
+	// session: queries acquire invocation tokens from one shared admission
+	// controller (invoke.Admission) before launching, and each settling
+	// container releases one. It replaces per-query DriverPacing as the
+	// launch governor — the shared pacer splits the region's Invoke API
+	// rate across concurrent queries. 0 keeps the legacy per-query pacing
+	// with no concurrency cap.
+	MaxInFlight int
+	// ResultCacheEntries, when positive, enables the session's result
+	// cache: staged query results are memoized by (plan fingerprint, table
+	// files) and invalidated explicitly (InvalidateTable) or implicitly by
+	// UploadTable. 0 disables caching.
+	ResultCacheEntries int
 
 	// testWorkerDelay, when set by tests, stalls the given invocation
 	// before it executes its fragment — the straggler-injection seam.
@@ -205,21 +219,19 @@ func DefaultConfig() Config {
 	}
 }
 
-// Driver is a Lambada driver instance bound to one deployment.
+// Driver is the classic single-user façade over a Session: one resident
+// session plus one bound environment, serving one query at a time. All the
+// machinery lives in Session — Driver only forwards, so every pre-session
+// caller and test keeps working unchanged while multi-query users hold the
+// Session directly.
 type Driver struct {
+	sess *Session
+	env  simenv.Env
+
+	// dep and cfg mirror the session's deployment and normalized config so
+	// existing tests that reach into driver internals keep compiling.
 	dep *Deployment
 	cfg Config
-	env simenv.Env
-
-	queryCounter int
-	// retry is the driver-side retry scope, reset at the start of every
-	// query (a Driver serves one query at a time on the driver side).
-	retry *retryScope
-	// epochAcquires counts acquireEpoch calls to pace the lazy TTL sweep.
-	epochAcquires int
-	// workerRetries accumulates the substrate retries the current query's
-	// workers reported in their completion messages.
-	workerRetries int64
 }
 
 // retryScope bundles the retry machinery of one execution scope — the
@@ -232,71 +244,10 @@ type retryScope struct {
 	stats  *resilience.Stats
 }
 
-// retryBudget resolves Config.RetryBudget into a fresh per-scope budget.
-func (d *Driver) retryBudget() *resilience.Budget {
-	n := d.cfg.RetryBudget
-	if n == 0 {
-		n = 256
-	}
-	if n < 0 {
-		return nil // unlimited
-	}
-	return resilience.NewBudget(n)
-}
-
-// newRetryScope returns a scope whose backoff jitter stream is derived
-// from seed — distinct seeds decorrelate concurrent scopes while staying
-// reproducible across runs.
-func (d *Driver) newRetryScope(seed int64) *retryScope {
-	s := &retryScope{budget: d.retryBudget(), stats: &resilience.Stats{}}
-	s.policy = resilience.Policy{Budget: s.budget, Stats: s.stats, Seed: seed, Trace: d.dep.Trace}
-	return s
-}
-
 // New returns a driver using env as its local clock.
 func New(dep *Deployment, env simenv.Env, cfg Config) *Driver {
-	if cfg.FunctionName == "" {
-		cfg.FunctionName = "lambada-worker"
-	}
-	if cfg.ResultQueue == "" {
-		cfg.ResultQueue = "lambada-results"
-	}
-	if cfg.WorkerMemoryMiB == 0 {
-		cfg.WorkerMemoryMiB = 1792
-	}
-	if cfg.FilesPerWorker == 0 {
-		cfg.FilesPerWorker = 1
-	}
-	if cfg.PollInterval == 0 {
-		cfg.PollInterval = 25 * time.Millisecond
-	}
-	if cfg.MaxWait == 0 {
-		cfg.MaxWait = 10 * time.Minute
-	}
-	if cfg.Timeout == 0 {
-		cfg.Timeout = 5 * time.Minute
-	}
-	if cfg.Region == "" {
-		cfg.Region = netmodel.RegionEU
-	}
-	if cfg.EpochTTL == 0 {
-		cfg.EpochTTL = 24 * time.Hour
-	}
-	if cfg.EpochGCInterval == 0 {
-		cfg.EpochGCInterval = 64
-	}
-	if dep.Deterministic {
-		// DES processes must stay single-threaded; the shaper models the
-		// timing effect of scan concurrency instead.
-		cfg.Scan.DoubleBuffer = false
-		cfg.Scan.ParallelColumns = false
-		cfg.Scan.MetaPrefetch = false
-		cfg.Scan.ParallelFiles = 1
-		cfg.PipelineParallelism = 1
-	}
-	d := &Driver{dep: dep, cfg: cfg, env: env}
-	d.retry = d.newRetryScope(-1)
-	return d
+	s := NewSession(dep, cfg)
+	return &Driver{sess: s, env: env, dep: dep, cfg: s.cfg}
 }
 
 // Config returns the driver's configuration.
@@ -305,12 +256,12 @@ func (d *Driver) Config() Config { return d.cfg }
 // Deployment returns the bound deployment.
 func (d *Driver) Deployment() *Deployment { return d.dep }
 
+// Session returns the resident session the driver fronts.
+func (d *Driver) Session() *Session { return d.sess }
+
 // Install registers the worker function and creates the result queue —
 // the installation step of the usage model (Figure 2), done once.
-func (d *Driver) Install() error {
-	d.dep.SQS.CreateQueue(d.cfg.ResultQueue)
-	return d.dep.Lambda.CreateFunction(d.cfg.FunctionName, d.cfg.WorkerMemoryMiB, d.cfg.Timeout, d.workerHandler)
-}
+func (d *Driver) Install() error { return d.sess.Install() }
 
 // workerPayload is the invocation parameter blob (§3.3).
 type workerPayload struct {
@@ -354,12 +305,12 @@ type workerPayload struct {
 
 // resultMsg is the worker → driver completion message.
 type resultMsg struct {
-	QueryID      string `json:"queryId"`
-	WorkerID     int    `json:"workerId"`
-	Stage        int    `json:"stage,omitempty"`   // stage fragment's stage ID
-	Attempt      int    `json:"attempt,omitempty"` // invocation attempt number
-	Epoch        int    `json:"epoch,omitempty"`   // query epoch fence token
-	Err          string `json:"err,omitempty"`
+	QueryID  string `json:"queryId"`
+	WorkerID int    `json:"workerId"`
+	Stage    int    `json:"stage,omitempty"`   // stage fragment's stage ID
+	Attempt  int    `json:"attempt,omitempty"` // invocation attempt number
+	Epoch    int    `json:"epoch,omitempty"`   // query epoch fence token
+	Err      string `json:"err,omitempty"`
 	// Retryable marks a failure as transient — the worker died of exhausted
 	// retries or an injected crash-class error, not of a plan or data error
 	// — so the scheduler may re-invoke the fragment instead of failing the
@@ -373,7 +324,10 @@ type resultMsg struct {
 
 // workerHandler is the event handler running inside every serverless
 // worker: invoke children (tree), execute the plan fragment, post to SQS.
-func (d *Driver) workerHandler(ctx *lambdasvc.Ctx, payload []byte) error {
+// It hangs off the Session, not a query: workers of every concurrent query
+// share one installed function, and everything query-specific travels in
+// the payload (queryID, epoch, result queue).
+func (d *Session) workerHandler(ctx *lambdasvc.Ctx, payload []byte) error {
 	var p workerPayload
 	if err := json.Unmarshal(payload, &p); err != nil {
 		return err
@@ -495,7 +449,7 @@ func engineMemoryBudget(memoryMiB int) int64 {
 	return b
 }
 
-func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, ws *retryScope, p *workerPayload) (*columnar.Chunk, error) {
+func (d *Session) executeFragment(ctx *lambdasvc.Ctx, ws *retryScope, p *workerPayload) (*columnar.Chunk, error) {
 	opts := []s3.ClientOption{s3.WithBudget(ws.budget)}
 	if d.dep.Shaped {
 		opts = append(opts, s3.WithShaper(d.dep.Net, ctx.MemoryMiB))
@@ -545,7 +499,7 @@ func (d *Driver) executeFragment(ctx *lambdasvc.Ctx, ws *retryScope, p *workerPa
 	return d.runExchange(client, p, partial)
 }
 
-func (d *Driver) postResult(env simenv.Env, ws *retryScope, p workerPayload, execErr error, chunk *columnar.Chunk, processing time.Duration, cold bool) error {
+func (d *Session) postResult(env simenv.Env, ws *retryScope, p workerPayload, execErr error, chunk *columnar.Chunk, processing time.Duration, cold bool) error {
 	msg := resultMsg{QueryID: p.QueryID, WorkerID: p.WorkerID, Stage: p.StageID, Attempt: p.Attempt, Epoch: p.Epoch, ProcessingNs: processing.Nanoseconds(), Cold: cold}
 	if execErr != nil {
 		msg.Err = execErr.Error()
@@ -568,7 +522,10 @@ func (d *Driver) postResult(env simenv.Env, ws *retryScope, p workerPayload, exe
 	}
 	// The completion message is the worker's last word — losing it to a
 	// transient SQS error would strand the whole query, so it retries too.
+	// It goes to the payload's queue, not a session-wide one: each query
+	// collects on its own result queue, so concurrent queries never read
+	// (and destroy) each other's completions.
 	return ws.policy.Do(env, "sqs.Send", func() error {
-		return d.dep.SQS.Send(env, d.cfg.ResultQueue, body)
+		return d.dep.SQS.Send(env, p.ResultQueue, body)
 	})
 }

@@ -54,7 +54,7 @@ func exchangeBucketName(fn string, i int) string {
 }
 
 // InstallExchange creates the shard buckets (free, done once, §4.4.1).
-func (d *Driver) InstallExchange(cfg ExchangeConfig) []string {
+func (d *Session) InstallExchange(cfg ExchangeConfig) []string {
 	buckets := make([]string, cfg.Buckets)
 	for i := range buckets {
 		buckets[i] = exchangeBucketName(d.cfg.FunctionName, i)
@@ -63,16 +63,22 @@ func (d *Driver) InstallExchange(cfg ExchangeConfig) []string {
 	return buckets
 }
 
+// InstallExchange creates the shard buckets (free, done once, §4.4.1).
+func (d *Driver) InstallExchange(cfg ExchangeConfig) []string { return d.sess.InstallExchange(cfg) }
+
 // RunPlanExchanged executes a grouped aggregation with the exchange-merge
 // strategy: scan+partial aggregation per worker, serverless shuffle of the
 // partials by group key, local finalization, driver-side concatenation.
 func (d *Driver) RunPlanExchanged(plan engine.Plan, table string, files []scan.FileRef, xcfg ExchangeConfig) (*columnar.Chunk, *Report, error) {
+	return d.sess.RunPlanExchanged(d.env, plan, table, files, xcfg)
+}
+
+func (d *query) runPlanExchanged(plan engine.Plan, table string, files []scan.FileRef, xcfg ExchangeConfig) (*columnar.Chunk, *Report, error) {
 	if len(files) == 0 {
 		return nil, nil, fmt.Errorf("driver: no input files")
 	}
-	d.queryCounter++
-	queryID := fmt.Sprintf("q%d", d.queryCounter)
-	buckets := d.InstallExchange(xcfg)
+	queryID := d.id
+	buckets := d.s.InstallExchange(xcfg)
 
 	costBefore := d.costSnapshot()
 	startTime := d.env.Now()
@@ -197,7 +203,7 @@ func (d *Driver) RunPlanExchanged(plan engine.Plan, table string, files []scan.F
 }
 
 // runExchange is the worker-side shuffle+finalize step.
-func (d *Driver) runExchange(client *s3.Client, p *workerPayload, partial *columnar.Chunk) (*columnar.Chunk, error) {
+func (d *Session) runExchange(client *s3.Client, p *workerPayload, partial *columnar.Chunk) (*columnar.Chunk, error) {
 	var spec exchangeSpec
 	if err := json.Unmarshal(p.Exchange, &spec); err != nil {
 		return nil, err

@@ -54,7 +54,7 @@ type regroupSpec struct {
 // regroup fleet: Groups(P) attempt-0 payloads, depending on the producing
 // stage (the fleet is invoked pipelined like any eager stage and parks on
 // the producer's ready marker).
-func (d *Driver) regroupRun(queryID string, epoch int, st *stageplan.Stage, senders int, buckets []string, sealTable string, cfg StageConfig) (*stageRun, error) {
+func (d *query) regroupRun(queryID string, epoch int, st *stageplan.Stage, senders int, buckets []string, sealTable string, cfg StageConfig) (*stageRun, error) {
 	spec := regroupSpec{
 		QueryID:    queryID,
 		Epoch:      epoch,
@@ -110,7 +110,7 @@ func (d *Driver) regroupRun(queryID string, epoch int, st *stageplan.Stage, send
 // version their round-2 publishes exactly like sender attempts — first
 // committed attempt wins at the receivers). The seal travels back through
 // the result queue like any fragment's, with no chunk.
-func (d *Driver) runRegroup(ctx *lambdasvc.Ctx, ws *retryScope, client *s3.Client, p *workerPayload) error {
+func (d *Session) runRegroup(ctx *lambdasvc.Ctx, ws *retryScope, client *s3.Client, p *workerPayload) error {
 	var spec regroupSpec
 	if err := json.Unmarshal(p.Regroup, &spec); err != nil {
 		return err

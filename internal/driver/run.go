@@ -24,6 +24,9 @@ import (
 // Report summarizes one query execution.
 type Report struct {
 	QueryID string
+	// CacheHit marks a staged result served from the session's result cache
+	// — no workers ran, and every other field except Duration is zero.
+	CacheHit bool
 	// Epoch is the query's durable fence token (staged executions): the
 	// DynamoDB epoch item's value after the driver's atomic increment at
 	// query start. 1 on a clean deployment; higher when an aborted
@@ -120,7 +123,7 @@ type costSnap struct {
 }
 
 // costSnapshot captures the meter's current per-label totals.
-func (d *Driver) costSnapshot() costSnap {
+func (d *query) costSnapshot() costSnap {
 	snap := costSnap{cost: map[string]float64{}}
 	for _, l := range d.dep.Meter.Labels() {
 		snap.cost[l] = float64(d.dep.Meter.Get(l))
@@ -134,7 +137,7 @@ func (d *Driver) costSnapshot() costSnap {
 
 // wakeupCount reads the environment's completion-wakeup counter when it has
 // one (DES kernel processes and the Immediate environment both do).
-func (d *Driver) wakeupCount() uint64 {
+func (d *query) wakeupCount() uint64 {
 	if c, ok := d.env.(interface{ CompletionWakeups() uint64 }); ok {
 		return c.CompletionWakeups()
 	}
@@ -148,7 +151,7 @@ func (d *Driver) wakeupCount() uint64 {
 // attribution sum exactly to the Report's meter deltas, at the price of the
 // traced Duration including the straggler tail. Untraced runs keep the
 // historical window (report the instant the result is complete).
-func (d *Driver) quiesce() {
+func (d *query) quiesce() {
 	if !d.dep.Trace.Enabled() {
 		return
 	}
@@ -159,7 +162,10 @@ func (d *Driver) quiesce() {
 
 // fillCostDelta records what the query cost: the meter movement since the
 // snapshot, per label and in total.
-func (d *Driver) fillCostDelta(rep *Report, before costSnap) {
+// Note that the meters are deployment-wide: when other queries of the
+// session overlap this one's window, their spend shows up in this delta
+// too — exact per-query attribution needs tracing (Report.Profile).
+func (d *query) fillCostDelta(rep *Report, before costSnap) {
 	rep.CostDelta = map[string]float64{}
 	for _, l := range d.dep.Meter.Labels() {
 		delta := float64(d.dep.Meter.Get(l)) - before.cost[l]
@@ -189,7 +195,7 @@ func (d *Driver) fillCostDelta(rep *Report, before costSnap) {
 // onMsg. The single-scope and exchanged collectors run through it; the
 // staged scheduler has its own event loop (stage.go) with the same queryID
 // discard plus per-(stage,worker) attempt dedup.
-func (d *Driver) drainResults(queryID string, n int, onMsg func(rm resultMsg) error) error {
+func (d *query) drainResults(queryID string, n int, onMsg func(rm resultMsg) error) error {
 	deadline := d.env.Now() + d.cfg.MaxWait
 	seen := make(map[int]bool, n)
 	for n > 0 {
@@ -247,7 +253,7 @@ func (d *Driver) drainResults(queryID string, n int, onMsg func(rm resultMsg) er
 
 // collectResults drains n results and decodes their chunks in arrival
 // order.
-func (d *Driver) collectResults(queryID string, n int) (chunks []*columnar.Chunk, processing []time.Duration, cold int, err error) {
+func (d *query) collectResults(queryID string, n int) (chunks []*columnar.Chunk, processing []time.Duration, cold int, err error) {
 	err = d.drainResults(queryID, n, func(rm resultMsg) error {
 		if rm.Cold {
 			cold++
@@ -277,14 +283,13 @@ func decodeChunk(blob []byte) (*columnar.Chunk, error) {
 	return r.ReadAll()
 }
 
+// parseSQL fronts the SQL frontend for the session-level API.
+func parseSQL(sql string) (engine.Plan, error) { return sqlfe.Parse(sql) }
+
 // RunSQL parses, optimizes, distributes and runs a SQL query against the
 // lpq files of one table.
 func (d *Driver) RunSQL(sql string, table string, files []scan.FileRef) (*columnar.Chunk, *Report, error) {
-	plan, err := sqlfe.Parse(sql)
-	if err != nil {
-		return nil, nil, err
-	}
-	return d.RunPlan(plan, table, files)
+	return d.sess.RunSQL(d.env, sql, table, files)
 }
 
 // RunSQLBroadcast runs a SQL query whose INNER JOINs reference small
@@ -293,18 +298,14 @@ func (d *Driver) RunSQL(sql string, table string, files []scan.FileRef) (*column
 // worker payloads (§3.2's "reading small amounts of data locally that
 // should be broadcasted into the serverless workers").
 func (d *Driver) RunSQLBroadcast(sql string, table string, files []scan.FileRef, broadcast map[string]*columnar.Chunk) (*columnar.Chunk, *Report, error) {
-	plan, err := sqlfe.Parse(sql)
-	if err != nil {
-		return nil, nil, err
-	}
-	return d.runPlan(plan, table, files, broadcast)
+	return d.sess.RunSQLBroadcast(d.env, sql, table, files, broadcast)
 }
 
 // RunPlan optimizes and executes a logical plan on the serverless fleet:
 // the scan/filter/partial-aggregate scope runs in the workers; the final
 // merge scope runs on the driver (§3.2).
 func (d *Driver) RunPlan(plan engine.Plan, table string, files []scan.FileRef) (*columnar.Chunk, *Report, error) {
-	return d.runPlan(plan, table, files, nil)
+	return d.sess.RunPlan(d.env, plan, table, files)
 }
 
 // RunPlanBroadcast runs a plan whose joins reference small driver-side
@@ -312,18 +313,14 @@ func (d *Driver) RunPlan(plan engine.Plan, table string, files []scan.FileRef) (
 // "reading small amounts of data locally that should be broadcasted into
 // the serverless workers").
 func (d *Driver) RunPlanBroadcast(plan engine.Plan, table string, files []scan.FileRef, broadcast map[string]*columnar.Chunk) (*columnar.Chunk, *Report, error) {
-	return d.runPlan(plan, table, files, broadcast)
+	return d.sess.RunPlanBroadcast(d.env, plan, table, files, broadcast)
 }
 
-func (d *Driver) runPlan(plan engine.Plan, table string, files []scan.FileRef, broadcast map[string]*columnar.Chunk) (*columnar.Chunk, *Report, error) {
+func (d *query) runPlan(plan engine.Plan, table string, files []scan.FileRef, broadcast map[string]*columnar.Chunk) (*columnar.Chunk, *Report, error) {
 	if len(files) == 0 {
 		return nil, nil, fmt.Errorf("driver: no input files")
 	}
-	d.queryCounter++
-	queryID := fmt.Sprintf("q%d", d.queryCounter)
-	// Fresh driver-side retry scope: the budget is per query.
-	d.retry = d.newRetryScope(-1)
-	d.workerRetries = 0
+	queryID := d.id
 
 	costBefore := d.costSnapshot()
 	startTime := d.env.Now()
@@ -477,37 +474,69 @@ func (d *Driver) runPlan(plan engine.Plan, table string, files []scan.FileRef, b
 // rejections (throttle-class Invoke errors are permanent capacity answers,
 // not blips) and payload errors stay fatal. span parents the invocation's
 // trace span — the stage span on staged runs, the query span otherwise.
-func (d *Driver) invokeOne(payload []byte, workerID int, span obs.SpanID) error {
-	return d.retry.policy.Do(d.env, "lambda.Invoke", func() error {
+func (d *query) invokeOne(payload []byte, workerID int, span obs.SpanID) error {
+	adm := d.s.admission
+	// Recovery traffic — failure relaunches and speculation backups — must
+	// not queue behind tokens held by workers parked on the very fragment
+	// being recovered, so it is admitted past the cap (counted in Overflow)
+	// instead of blocking.
+	adm.AcquireOverflow(d.env)
+	adm.Pace(d.env)
+	if err := d.retry.policy.Do(d.env, "lambda.Invoke", func() error {
 		return d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, payload,
 			lambdasvc.InvokeOptions{WorkerID: workerID, Pipelined: true, Span: span})
-	})
+	}); err != nil {
+		// Invoke fails before any container spawns: hand the token back.
+		adm.Release(d.env, 1)
+		return err
+	}
+	return nil
 }
 
 // invokeAll launches the fleet, directly or via the two-level tree; span
 // parents the invocation spans (tree children parent under their invoking
 // first-generation worker instead, mirroring the real invocation topology).
-func (d *Driver) invokeAll(payloads [][]byte, span obs.SpanID) error {
+func (d *query) invokeAll(payloads [][]byte, span obs.SpanID) error {
+	adm := d.s.admission
 	if !invoke.UseTree(d.cfg.TreeInvoke, len(payloads)) {
 		pacing := invoke.DriverPacing(d.cfg.Region, d.cfg.InvokeThreads)
+		// Whole-fleet admission: single-scope fleets interdepend (an
+		// exchanged fleet shuffles all-to-all through S3), so launching a
+		// partial fleet could park token-holding workers behind peers that
+		// cannot launch. Acquire every token up front instead — one blocking
+		// call the workers of other queries unblock as they settle. Nil
+		// admission (MaxInFlight 0) keeps the legacy per-query pacing.
+		adm.Acquire(d.env, len(payloads))
+		spawned := 0
 		for i, p := range payloads {
 			// Pipelined: the driver's requester thread pool overlaps the
-			// round trips; the loop paces at the effective rate (Table 1).
+			// round trips; the loop paces at the effective rate (Table 1) —
+			// via the shared pacer under admission, per-query otherwise.
 			body, id := p, i
+			adm.Pace(d.env)
 			if err := d.retry.policy.Do(d.env, "lambda.Invoke", func() error {
 				return d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, body, lambdasvc.InvokeOptions{WorkerID: id, Pipelined: true, Span: span})
 			}); err != nil {
+				// Invoke errors fail before any container spawns: hand the
+				// whole un-launched remainder's tokens back.
+				adm.Release(d.env, len(payloads)-spawned)
 				return err
 			}
-			d.env.Sleep(pacing.Gap())
+			spawned++
+			if adm == nil {
+				d.env.Sleep(pacing.Gap())
+			}
 		}
 		return nil
 	}
 
 	firstGen, children := invoke.TreeFanout(len(payloads))
+	adm.Acquire(d.env, len(payloads))
+	spawned := 0
 	for gi, fg := range firstGen {
 		var p workerPayload
 		if err := json.Unmarshal(payloads[fg], &p); err != nil {
+			adm.Release(d.env, len(payloads)-spawned)
 			return err
 		}
 		for _, child := range children[gi] {
@@ -515,14 +544,22 @@ func (d *Driver) invokeAll(payloads [][]byte, span obs.SpanID) error {
 		}
 		body, err := json.Marshal(p)
 		if err != nil {
+			adm.Release(d.env, len(payloads)-spawned)
 			return err
 		}
 		id := fg
+		adm.Pace(d.env)
 		if err := d.retry.policy.Do(d.env, "lambda.Invoke", func() error {
 			return d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, body, lambdasvc.InvokeOptions{WorkerID: id, Span: span})
 		}); err != nil {
+			// The failed node spawned nothing; its token and every
+			// un-invoked node's (1 + children each) go back.
+			adm.Release(d.env, len(payloads)-spawned)
 			return err
 		}
+		// A tree node's Invoke spawns the first-generation worker plus its
+		// embedded children (invoked worker-side, past the driver).
+		spawned += 1 + len(children[gi])
 	}
 	return nil
 }

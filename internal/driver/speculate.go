@@ -171,7 +171,7 @@ func reattempt(payload []byte, attempt int) ([]byte, error) {
 // query, re-invoking stragglers per the shared policy. It returns the first
 // result chunk per worker plus bookkeeping for the report. span parents the
 // backup invocations' trace spans (the query span; 0 when tracing is off).
-func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launchAt time.Duration, spec SpeculateConfig, span obs.SpanID) ([]*columnar.Chunk, []time.Duration, int, int, error) {
+func (d *query) collectWithSpeculation(queryID string, payloads [][]byte, launchAt time.Duration, spec SpeculateConfig, span obs.SpanID) ([]*columnar.Chunk, []time.Duration, int, int, error) {
 	workers := len(payloads)
 	got := make(map[int]bool, workers)
 	pol := newStragglerPolicy(spec, workers, launchAt)
@@ -248,4 +248,3 @@ func (d *Driver) collectWithSpeculation(queryID string, payloads [][]byte, launc
 	}
 	return chunks, processing, cold, speculated, nil
 }
-

@@ -21,7 +21,6 @@ import (
 	"lambada/internal/lpq"
 	"lambada/internal/obs"
 	"lambada/internal/scan"
-	"lambada/internal/sqlfe"
 	"lambada/internal/stageplan"
 )
 
@@ -143,9 +142,8 @@ func epochKey(queryID string) string { return "epoch/" + queryID }
 // their seals, ready markers and boundary files all carry the losing epoch.
 // The uniqueness source is the durable counter itself (no wall clock, no
 // randomness), so DES runs stay deterministic.
-func (d *Driver) acquireEpoch(table, queryID string) (int, error) {
-	d.epochAcquires++
-	if d.epochAcquires%d.cfg.EpochGCInterval == 0 {
+func (d *query) acquireEpoch(table, queryID string) (int, error) {
+	if d.s.bumpEpochAcquires() {
 		d.sweepEpochs(table)
 	}
 	key := epochKey(queryID)
@@ -213,7 +211,7 @@ func parseEpochValue(v []byte) (epoch int, at int64, ok bool) {
 // effort: errors are ignored (the next sweep retries), and the
 // delete/re-acquire race is safe — acquireEpoch's conditional Put with a
 // non-nil expect fails on a missing item and re-reads.
-func (d *Driver) sweepEpochs(table string) {
+func (d *query) sweepEpochs(table string) {
 	items, err := d.dep.Dynamo.Scan(d.env, table, "epoch/")
 	if err != nil {
 		return
@@ -250,11 +248,7 @@ func (e *StageFailure) Error() string {
 // lpq footer row counts), grouped aggregations repartition on their group
 // keys, and the driver only merges the final stage's outputs.
 func (d *Driver) RunSQLStaged(sql string, tables TableFiles, cfg StageConfig) (*columnar.Chunk, *Report, error) {
-	plan, err := sqlfe.Parse(sql)
-	if err != nil {
-		return nil, nil, err
-	}
-	return d.RunPlanStaged(plan, tables, cfg)
+	return d.sess.RunSQLStaged(d.env, sql, tables, cfg)
 }
 
 // stageState tracks one stage through the event-driven scheduler.
@@ -271,6 +265,13 @@ type stageRun struct {
 	st       *stageplan.Stage
 	payloads []workerPayload // attempt-0 payloads, one per worker
 	state    stageState
+	// bodies are the marshaled attempt-0 payloads, built on first launch.
+	bodies [][]byte
+	// launched counts workers invoked so far: always the full fleet after
+	// one launch() in legacy mode, possibly a prefix under admission (the
+	// scheduler launches as many as TryAcquire grants and resumes from the
+	// cursor on later passes).
+	launched int
 
 	launchedAt time.Duration
 	sealedAt   time.Duration
@@ -308,14 +309,18 @@ type stageRun struct {
 // sealed attempt per worker wins, and the stale-drain collector sweeps the
 // boundary namespace afterwards.
 func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageConfig) (*columnar.Chunk, *Report, error) {
+	return d.sess.RunPlanStaged(d.env, plan, tables, cfg)
+}
+
+// runPlanStaged is the per-query scheduler instance: the whole staged state
+// machine runs on the query's private result queue and retry scope, so N of
+// these can interleave on one session, isolated by queryID+epoch and
+// queue-level routing.
+func (d *query) runPlanStaged(plan engine.Plan, tables TableFiles, cfg StageConfig) (*columnar.Chunk, *Report, error) {
 	if len(tables) == 0 {
 		return nil, nil, fmt.Errorf("driver: no input tables")
 	}
-	d.queryCounter++
-	queryID := fmt.Sprintf("q%d", d.queryCounter)
-	// Fresh driver-side retry scope: the budget is per query.
-	d.retry = d.newRetryScope(-1)
-	d.workerRetries = 0
+	queryID := d.id
 
 	costBefore := d.costSnapshot()
 	startTime := d.env.Now()
@@ -428,7 +433,7 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 		blobs[name] = blob
 	}
 
-	buckets := d.InstallExchange(cfg.Exchange)
+	buckets := d.s.InstallExchange(cfg.Exchange)
 	sealTable := stagesTableName(d.cfg.FunctionName)
 	d.dep.Dynamo.CreateTable(sealTable)
 
@@ -567,6 +572,7 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 		}
 	}
 
+	adm := d.s.admission
 	sealedID := func(id int) bool {
 		r := byID[id]
 		return r != nil && r.state == stageSealed
@@ -579,11 +585,32 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 		}
 		return true
 	}
+	// depsLaunched gates eager-pipelined launch under admission: a consumer
+	// may take tokens only once every producer it depends on has its whole
+	// fleet launched. Producers then always make progress with the tokens
+	// they hold, so token-holding consumers parked on a ready barrier are
+	// never waiting on a producer that admission starved — the inductive
+	// liveness argument bottoms out at scan stages, which depend on nothing.
+	depsLaunched := func(r *stageRun) bool {
+		for _, dep := range r.st.DependsOn {
+			if u := byID[dep]; u != nil && u.launched < len(u.payloads) {
+				return false
+			}
+		}
+		return true
+	}
 	launchable := func(r *stageRun) bool {
-		if r.state != stagePending {
-			return false
+		if adm == nil {
+			if r.state != stagePending {
+				return false
+			}
+		} else if r.launched == len(r.payloads) {
+			return false // fully launched; partial fleets stay launchable
 		}
 		if cfg.Pipelined && r.st.Eager {
+			if adm != nil {
+				return depsLaunched(r)
+			}
 			return true
 		}
 		return depsSealed(r)
@@ -592,23 +619,53 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	var invocation time.Duration
 	totalWorkers := 0
 	launch := func(r *stageRun) error {
-		bodies := make([][]byte, len(r.payloads))
-		for i := range r.payloads {
-			body, err := json.Marshal(&r.payloads[i])
-			if err != nil {
+		if r.bodies == nil {
+			r.bodies = make([][]byte, len(r.payloads))
+			for i := range r.payloads {
+				body, err := json.Marshal(&r.payloads[i])
+				if err != nil {
+					return err
+				}
+				r.bodies[i] = body
+			}
+		}
+		first := r.state == stagePending
+		invokeStart := d.env.Now()
+		if adm == nil {
+			// Invocation policy is per stage: small fleets (the final merge
+			// of a wide query, say) launch directly even when big scan
+			// fleets go through the invocation tree.
+			tr.SetStart(r.span, invokeStart)
+			if err := d.invokeAll(r.bodies, r.span); err != nil {
 				return err
 			}
-			bodies[i] = body
-		}
-		// Invocation policy is per stage: small fleets (the final merge of a
-		// wide query, say) launch directly even when big scan fleets go
-		// through the invocation tree.
-		invokeStart := d.env.Now()
-		tr.SetStart(r.span, invokeStart)
-		if err := d.invokeAll(bodies, r.span); err != nil {
-			return err
+			r.launched = len(r.bodies)
+		} else {
+			// Admission-governed partial launch: take tokens one worker at a
+			// time without ever blocking — a driver blocked in Acquire could
+			// not consume the seal messages that token-holding consumers are
+			// waiting on. Whatever the pool denies stays at the cursor; the
+			// event loop retries every pass as other containers settle.
+			for r.launched < len(r.bodies) && adm.TryAcquire(1) {
+				w := r.launched
+				adm.Pace(d.env)
+				if err := d.retry.policy.Do(d.env, "lambda.Invoke", func() error {
+					return d.dep.Lambda.Invoke(d.env, d.cfg.FunctionName, r.bodies[w],
+						lambdasvc.InvokeOptions{WorkerID: r.payloads[w].WorkerID, Pipelined: true, Span: r.span})
+				}); err != nil {
+					adm.Release(d.env, 1)
+					return err
+				}
+				r.launched++
+			}
+			if first && r.launched > 0 {
+				tr.SetStart(r.span, invokeStart)
+			}
 		}
 		invocation += d.env.Now() - invokeStart
+		if !first || r.launched == 0 {
+			return nil
+		}
 		r.state = stageLaunched
 		r.launchedAt = d.env.Now()
 		r.policy = newStragglerPolicy(d.cfg.Speculate, len(r.payloads), r.launchedAt)
@@ -653,6 +710,13 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 	backupPacing := invoke.DriverPacing(d.cfg.Region, d.cfg.InvokeThreads)
 	deadline := d.env.Now() + d.cfg.MaxWait
 	for sealedCount < len(runs) {
+		if adm != nil {
+			// Resume partial launches: containers of this or other queries
+			// settling since the last pass may have freed tokens.
+			if err := launchReady(); err != nil {
+				return nil, nil, err
+			}
+		}
 		var msgs []sqs.Message
 		if err := d.retry.policy.Do(d.env, "sqs.Receive", func() error {
 			var rerr error
@@ -767,7 +831,13 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 			if r.state != stageLaunched {
 				continue
 			}
-			reported := func(w int) bool { _, ok := r.winners[w]; return ok }
+			reported := func(w int) bool {
+				if w >= r.launched {
+					return true // never launched (admission backlog) — not a straggler
+				}
+				_, ok := r.winners[w]
+				return ok
+			}
 			backups := r.policy.stragglers(d.env.Now(), reported, r.st.MaxAttempts)
 			for i, w := range backups {
 				r.speculated++
@@ -889,7 +959,7 @@ func (d *Driver) RunPlanStaged(plan engine.Plan, tables TableFiles, cfg StageCon
 // hygiene, not a correctness mechanism: even a message posted after the
 // purge by a zombie worker of an aborted identically-numbered run is
 // discarded by its older epoch.
-func (d *Driver) purgeResults() error {
+func (d *query) purgeResults() error {
 	for {
 		var msgs []sqs.Message
 		if err := d.retry.policy.Do(d.env, "sqs.Receive", func() error {
@@ -920,7 +990,7 @@ func stageCap(st *stageplan.Stage, cfg StageConfig) time.Duration {
 
 // stagePayloads builds the invocation payloads of one stage (attempt 0),
 // every one stamped with the query's epoch fence token.
-func (d *Driver) stagePayloads(queryID string, epoch int, st *stageplan.Stage, sp *stageplan.Plan, tables TableFiles, workers map[int]int, blobs map[string][]byte, buckets []string, sealTable string, cfg StageConfig) ([]workerPayload, error) {
+func (d *query) stagePayloads(queryID string, epoch int, st *stageplan.Stage, sp *stageplan.Plan, tables TableFiles, workers map[int]int, blobs map[string][]byte, buckets []string, sealTable string, cfg StageConfig) ([]workerPayload, error) {
 	planJSON, err := engine.MarshalPlan(st.Plan)
 	if err != nil {
 		return nil, err
@@ -1002,7 +1072,7 @@ func (d *Driver) stagePayloads(queryID string, epoch int, st *stageplan.Stage, s
 
 // loadTable reads a small table's lpq files whole on the driver (the §3.2
 // "small amounts of data read locally" that broadcast joins ship).
-func (d *Driver) loadTable(client *s3.Client, files []scan.FileRef) (*columnar.Chunk, error) {
+func (d *query) loadTable(client *s3.Client, files []scan.FileRef) (*columnar.Chunk, error) {
 	if len(files) == 0 {
 		return nil, errors.New("no files")
 	}
@@ -1039,7 +1109,7 @@ func fragmentScans(p engine.Plan, table string) bool {
 // execute the fragment on the pipeline-graph scheduler, and either publish
 // the partitioned output into this stage's attempt namespace or hand the
 // chunk back for the SQS result post.
-func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, ws *retryScope, client *s3.Client, p *workerPayload, plan engine.Plan, cat engine.Catalog) (*columnar.Chunk, error) {
+func (d *Session) runStageFragment(ctx *lambdasvc.Ctx, ws *retryScope, client *s3.Client, p *workerPayload, plan engine.Plan, cat engine.Catalog) (*columnar.Chunk, error) {
 	var spec stageSpec
 	if err := json.Unmarshal(p.StageSpec, &spec); err != nil {
 		return nil, err
@@ -1148,7 +1218,7 @@ func (d *Driver) runStageFragment(ctx *lambdasvc.Ctx, ws *retryScope, client *s3
 // this run's barrier. Between checks the worker parks on the completion
 // signal dynamo.Put broadcasts — it wakes at the instant the marker lands
 // instead of at the next poll boundary — with the timed poll as fallback.
-func (d *Driver) waitSealed(ctx *lambdasvc.Ctx, ws *retryScope, spec *stageSpec, stageID int, deadline time.Duration) error {
+func (d *Session) waitSealed(ctx *lambdasvc.Ctx, ws *retryScope, spec *stageSpec, stageID int, deadline time.Duration) error {
 	for {
 		err := ws.policy.Do(ctx.Env, "dynamo.Get", func() error {
 			_, gerr := d.dep.Dynamo.Get(ctx.Env, spec.SealTable, sealKey(spec.QueryID, spec.Epoch, stageID))

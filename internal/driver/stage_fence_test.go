@@ -410,8 +410,10 @@ func TestAcquireEpochIncrementsDurably(t *testing.T) {
 	table := stagesTableName("fn")
 	dep.Dynamo.CreateTable(table)
 	d1 := New(dep, env, DefaultConfig())
+	q1 := d1.Session().newQuery(env)
+	defer q1.close()
 	for want := 1; want <= 3; want++ {
-		got, err := d1.acquireEpoch(table, "q1")
+		got, err := q1.acquireEpoch(table, "q1")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -421,11 +423,13 @@ func TestAcquireEpochIncrementsDurably(t *testing.T) {
 	}
 	// A fresh driver continues the counter — the whole point of the fence.
 	d2 := New(dep, simenv.NewImmediate(), DefaultConfig())
-	if got, err := d2.acquireEpoch(table, "q1"); err != nil || got != 4 {
+	q2 := d2.Session().newQuery(d2.env)
+	defer q2.close()
+	if got, err := q2.acquireEpoch(table, "q1"); err != nil || got != 4 {
 		t.Fatalf("fresh driver epoch = %d (%v), want 4", got, err)
 	}
 	// Other query IDs are independent.
-	if got, err := d2.acquireEpoch(table, "q2"); err != nil || got != 1 {
+	if got, err := q2.acquireEpoch(table, "q2"); err != nil || got != 1 {
 		t.Fatalf("q2 epoch = %d (%v), want 1", got, err)
 	}
 }

@@ -505,12 +505,18 @@ func TestStagedPipelinedMatchesWaves(t *testing.T) {
 // collector discards them by query ID and keeps polling for its own.
 func TestStagedDrainsStaleResults(t *testing.T) {
 	d, tables, li, orders := stagedSetup(t, 0.002, 4, 2)
-	// A leftover message from a query that aborted mid-wave.
+	// A leftover message from a query that aborted mid-wave. Queries now
+	// collect on per-query queues, so plant the zombie where the next query
+	// (q1 on this fresh session) will actually poll: a restarted driver
+	// reusing the counter inherits any queue a crashed predecessor left
+	// behind under the same name.
+	q1Queue := queryQueueName(d.cfg.ResultQueue, "q1")
+	d.dep.SQS.CreateQueue(q1Queue)
 	stale, err := json.Marshal(resultMsg{QueryID: "q999", WorkerID: 3, Stage: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.dep.SQS.Send(d.env, d.cfg.ResultQueue, stale); err != nil {
+	if err := d.dep.SQS.Send(d.env, q1Queue, stale); err != nil {
 		t.Fatal(err)
 	}
 	cfg := DefaultStageConfig()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"lambada/internal/awssim/simenv"
 	"lambada/internal/columnar"
 	"lambada/internal/lpq"
 	"lambada/internal/scan"
@@ -12,12 +13,15 @@ import (
 // UploadTable writes a relation into S3 as nfiles lpq objects of contiguous
 // row ranges (the paper stores LINEITEM as 320 Parquet files of ~500 MB)
 // and returns the file references for queries. The bucket is created if
-// missing.
-func (d *Driver) UploadTable(bucket, prefix string, data *columnar.Chunk, nfiles int, opts lpq.WriterOptions) ([]scan.FileRef, error) {
+// missing. Re-uploading under an existing prefix overwrites the objects in
+// place, so the session drops every cached result that read the bucket —
+// the file references alone can no longer tell old data from new.
+func (d *Session) UploadTable(env simenv.Env, bucket, prefix string, data *columnar.Chunk, nfiles int, opts lpq.WriterOptions) ([]scan.FileRef, error) {
 	d.dep.S3.MustCreateBucket(bucket)
 	if nfiles < 1 {
 		nfiles = 1
 	}
+	retry := d.newRetryScope(-1)
 	n := data.NumRows()
 	per := (n + nfiles - 1) / nfiles
 	var refs []scan.FileRef
@@ -36,13 +40,19 @@ func (d *Driver) UploadTable(bucket, prefix string, data *columnar.Chunk, nfiles
 			return nil, err
 		}
 		key := fmt.Sprintf("%s/part-%05d.lpq", prefix, idx)
-		if err := d.retry.policy.Do(d.env, "s3.Put", func() error {
-			return d.dep.S3.Put(d.env, bucket, key, buf.Bytes())
+		if err := retry.policy.Do(env, "s3.Put", func() error {
+			return d.dep.S3.Put(env, bucket, key, buf.Bytes())
 		}); err != nil {
 			return nil, err
 		}
 		refs = append(refs, scan.FileRef{Bucket: bucket, Key: key})
 		idx++
 	}
+	d.cache.clear()
 	return refs, nil
+}
+
+// UploadTable uploads through the façade's bound environment.
+func (d *Driver) UploadTable(bucket, prefix string, data *columnar.Chunk, nfiles int, opts lpq.WriterOptions) ([]scan.FileRef, error) {
+	return d.sess.UploadTable(d.env, bucket, prefix, data, nfiles, opts)
 }

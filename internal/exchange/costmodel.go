@@ -22,6 +22,14 @@ type Variant struct {
 	// WriteCombining writes all partitions of a worker into a single file
 	// whose part offsets are encoded in the file name (§4.4.3).
 	WriteCombining bool `json:"writeCombining,omitempty"`
+	// Buckets, when positive, narrows the shard-bucket pool the exchange
+	// spreads objects over to its first Buckets names: sharding (§4.4.2)
+	// exists only to stay under S3's per-prefix request-rate ceilings, and
+	// beyond that point extra buckets just multiply the List bill (every
+	// receiver lists min(S, B) buckets). stageplan.ChooseVariant picks the
+	// smallest count whose per-bucket round pressure fits the budget. Zero
+	// keeps the caller's full pool (the pre-PR10 behavior).
+	Buckets int `json:"buckets,omitempty"`
 }
 
 // String renders like the paper: "1l", "2l-wc", ...
@@ -35,9 +43,9 @@ func (v Variant) String() string {
 
 // AllVariants lists the six algorithms of Table 2 / Figure 9.
 var AllVariants = []Variant{
-	{1, false}, {1, true},
-	{2, false}, {2, true},
-	{3, false}, {3, true},
+	{Levels: 1}, {Levels: 1, WriteCombining: true},
+	{Levels: 2}, {Levels: 2, WriteCombining: true},
+	{Levels: 3}, {Levels: 3, WriteCombining: true},
 }
 
 // Reads returns the total read-request count for P workers (Table 2):
@@ -145,6 +153,9 @@ func (c RequestCount) Cost() pricing.USD {
 // predicts like k = 2.
 func (v Variant) Requests(senders, partitions, buckets int) RequestCount {
 	s, p := int64(senders), int64(partitions)
+	if v.Buckets > 0 && v.Buckets < buckets {
+		buckets = v.Buckets
+	}
 	if buckets < 1 {
 		buckets = 1
 	}

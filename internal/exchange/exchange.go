@@ -33,6 +33,18 @@ type Options struct {
 	MaxWait time.Duration
 }
 
+// shardPool narrows the bucket pool to the variant's chosen shard count
+// (Variant.Buckets). Applied at every stage-boundary entry point so that a
+// plan-chosen B takes effect no matter which worker role executes the
+// boundary; sweeps intentionally keep the full pool (debris from an earlier,
+// wider choice must still be found).
+func (o Options) shardPool() Options {
+	if n := o.Variant.Buckets; n > 0 && n < len(o.Buckets) {
+		o.Buckets = o.Buckets[:n]
+	}
+	return o
+}
+
 // DefaultOptions returns sensible functional-mode settings.
 func DefaultOptions(variant Variant, buckets ...string) Options {
 	return Options{
@@ -157,6 +169,7 @@ func parseWcName(key string) (sender int, offsets []int64, err error) {
 // PartitionOf(key, P) == w.ID resides at this worker. All P workers must
 // call Run concurrently (goroutines or DES processes).
 func (w Worker) Run(opts Options, input *columnar.Chunk, key string) (*columnar.Chunk, error) {
+	opts = opts.shardPool()
 	if len(opts.Buckets) == 0 {
 		return nil, errors.New("exchange: no buckets configured")
 	}

@@ -23,12 +23,12 @@ func TestVariantStringsAndTable2(t *testing.T) {
 		reads  float64
 		writes float64
 	}{
-		{Variant{1, false}, "1l", 1e6, 1e6}, // P^2 at P=1000
-		{Variant{1, true}, "1l-wc", 1e6, 1000},
-		{Variant{2, false}, "2l", 2 * 1000 * math.Sqrt(1000), 2 * 1000 * math.Sqrt(1000)},
-		{Variant{2, true}, "2l-wc", 2 * 1000 * math.Sqrt(1000), 2000},
-		{Variant{3, false}, "3l", 3 * 1000 * math.Cbrt(1000), 3 * 1000 * math.Cbrt(1000)},
-		{Variant{3, true}, "3l-wc", 3 * 1000 * math.Cbrt(1000), 3000},
+		{Variant{Levels: 1}, "1l", 1e6, 1e6}, // P^2 at P=1000
+		{Variant{Levels: 1, WriteCombining: true}, "1l-wc", 1e6, 1000},
+		{Variant{Levels: 2}, "2l", 2 * 1000 * math.Sqrt(1000), 2 * 1000 * math.Sqrt(1000)},
+		{Variant{Levels: 2, WriteCombining: true}, "2l-wc", 2 * 1000 * math.Sqrt(1000), 2000},
+		{Variant{Levels: 3}, "3l", 3 * 1000 * math.Cbrt(1000), 3 * 1000 * math.Cbrt(1000)},
+		{Variant{Levels: 3, WriteCombining: true}, "3l-wc", 3 * 1000 * math.Cbrt(1000), 3000},
 	}
 	for _, c := range cases {
 		if c.v.String() != c.name {
@@ -55,16 +55,16 @@ func TestFigure9CostShape(t *testing.T) {
 	// Figure 9 orderings (read+write bars): for any worker count, each
 	// optimization reduces the plotted cost.
 	for _, p := range []int{64, 256, 1024, 4096, 16384} {
-		c1 := Variant{1, false}.ReadWriteCost(p)
-		c1wc := Variant{1, true}.ReadWriteCost(p)
-		c2wc := Variant{2, true}.ReadWriteCost(p)
+		c1 := Variant{Levels: 1}.ReadWriteCost(p)
+		c1wc := Variant{Levels: 1, WriteCombining: true}.ReadWriteCost(p)
+		c2wc := Variant{Levels: 2, WriteCombining: true}.ReadWriteCost(p)
 		if !(c1 > c1wc && c1wc > c2wc) {
 			t.Errorf("P=%d: cost ordering violated: %v %v %v", p, c1, c1wc, c2wc)
 		}
 		// The third level pays off only at scale (its extra writes
 		// dominate at small P — the crossover visible in Figure 9).
 		if p >= 4096 {
-			v3wc := Variant{3, true}
+			v3wc := Variant{Levels: 3, WriteCombining: true}
 			if c3wc := v3wc.ReadWriteCost(p); c3wc >= c2wc {
 				t.Errorf("P=%d: 3l-wc %v not below 2l-wc %v", p, c3wc, c2wc)
 			}
@@ -73,7 +73,7 @@ func TestFigure9CostShape(t *testing.T) {
 	// 2l-wc brings request costs below worker costs in almost all
 	// configurations (§4.4.4) — check at 1 GiB × 3 scans upper band.
 	p := 4096
-	v2wc := Variant{2, true}
+	v2wc := Variant{Levels: 2, WriteCombining: true}
 	if req, wrk := v2wc.RequestCost(p), v2wc.WorkerCost(p, 1<<30); req > wrk {
 		t.Errorf("2l-wc requests %v exceed worker cost %v", req, wrk)
 	}
@@ -212,32 +212,32 @@ func runFunctionalExchange(t *testing.T, p int, v Variant, rowsPerWorker int) {
 }
 
 func TestBasicExchangeFunctional(t *testing.T) {
-	runFunctionalExchange(t, 6, Variant{1, false}, 40)
+	runFunctionalExchange(t, 6, Variant{Levels: 1}, 40)
 }
 
 func TestBasicExchangeWriteCombining(t *testing.T) {
-	runFunctionalExchange(t, 6, Variant{1, true}, 40)
+	runFunctionalExchange(t, 6, Variant{Levels: 1, WriteCombining: true}, 40)
 }
 
 func TestTwoLevelExchangeFunctional(t *testing.T) {
-	runFunctionalExchange(t, 16, Variant{2, false}, 25)
+	runFunctionalExchange(t, 16, Variant{Levels: 2}, 25)
 }
 
 func TestTwoLevelWriteCombining(t *testing.T) {
-	runFunctionalExchange(t, 16, Variant{2, true}, 25)
+	runFunctionalExchange(t, 16, Variant{Levels: 2, WriteCombining: true}, 25)
 }
 
 func TestThreeLevelExchangeFunctional(t *testing.T) {
-	runFunctionalExchange(t, 27, Variant{3, true}, 10)
+	runFunctionalExchange(t, 27, Variant{Levels: 3, WriteCombining: true}, 10)
 }
 
 func TestNonPerfectSquareWorkerCount(t *testing.T) {
-	runFunctionalExchange(t, 12, Variant{2, true}, 15)
+	runFunctionalExchange(t, 12, Variant{Levels: 2, WriteCombining: true}, 15)
 }
 
 func TestExchangeRequestCountsMatchModel(t *testing.T) {
 	// The executed request pattern must match Table 2's formulas.
-	for _, v := range []Variant{{1, false}, {1, true}, {2, false}, {2, true}} {
+	for _, v := range []Variant{{Levels: 1}, {Levels: 1, WriteCombining: true}, {Levels: 2}, {Levels: 2, WriteCombining: true}} {
 		meter := pricing.NewCostMeter()
 		svc := s3.New(s3.Config{Meter: meter})
 		buckets := []string{"b0", "b1"}
@@ -293,7 +293,7 @@ func TestSyntheticExchangeDES(t *testing.T) {
 		}
 		const p = 64
 		const bytesPer = int64(4 << 20)
-		opts := DefaultOptions(Variant{2, true}, buckets...)
+		opts := DefaultOptions(Variant{Levels: 2, WriteCombining: true}, buckets...)
 		opts.Poll = 100 * time.Millisecond
 		var mu sync.Mutex
 		var got []int64

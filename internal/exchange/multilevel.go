@@ -245,6 +245,7 @@ func collectGroup(client *s3.Client, opts Options, b Boundary, group int) (*colu
 // first committed regroup attempt). Deterministic inputs make every
 // attempt's objects byte-identical.
 func RegroupStage(client *s3.Client, opts Options, b Boundary, group int, keys []string) error {
+	opts = opts.shardPool()
 	if len(opts.Buckets) == 0 {
 		return errors.New("exchange: no buckets configured")
 	}

@@ -126,7 +126,7 @@ func TestMultiLevelRequestsMatchModel(t *testing.T) {
 	for s := 0; s < senders; s++ {
 		inputs[s] = stageTestChunk(s*25, 25)
 	}
-	for _, v := range []Variant{{1, false}, {1, true}, {2, false}, {2, true}} {
+	for _, v := range []Variant{{Levels: 1}, {Levels: 1, WriteCombining: true}, {Levels: 2}, {Levels: 2, WriteCombining: true}} {
 		env := simenv.NewImmediate()
 		svc := s3.New(s3.Config{})
 		buckets := []string{"xa", "xb", "xc"}

@@ -194,6 +194,7 @@ func partitionRows(chunk *columnar.Chunk, keys []string, parts int) ([][]int, er
 // for a deterministic input chunk, and re-publishing the same chunk under a
 // new attempt produces byte-identical files.
 func PublishStage(client *s3.Client, opts Options, b Boundary, sender int, chunk *columnar.Chunk, keys []string) error {
+	opts = opts.shardPool()
 	if len(opts.Buckets) == 0 {
 		return errors.New("exchange: no buckets configured")
 	}
@@ -252,6 +253,7 @@ func PublishStage(client *s3.Client, opts Options, b Boundary, sender int, chunk
 // ignored. The schema comes from the blobs themselves (lpq files are
 // self-describing), so boundaries need no schema plumbing.
 func CollectStage(client *s3.Client, opts Options, b Boundary, part int) (*columnar.Chunk, error) {
+	opts = opts.shardPool()
 	if len(opts.Buckets) == 0 {
 		return nil, errors.New("exchange: no buckets configured")
 	}

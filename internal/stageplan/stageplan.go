@@ -24,6 +24,7 @@ package stageplan
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"time"
 
@@ -32,6 +33,22 @@ import (
 	"lambada/internal/engine"
 	"lambada/internal/exchange"
 )
+
+// Fingerprint returns a stable identity for a logical plan — the FNV-64a
+// hash of its canonical JSON encoding. Two plans with the same fingerprint
+// compute the same result over the same table data, which makes the
+// fingerprint the plan half of a (plan, table files) result-cache key.
+// Callers must fingerprint the plan before Decompose/SplitDistributed
+// mutate it.
+func Fingerprint(p engine.Plan) (string, error) {
+	b, err := engine.MarshalPlan(p)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
 
 // Output is a stage's exchange boundary: its result rows are hash-
 // partitioned on Keys into Partitions partitions. The JSON tags are the
@@ -214,6 +231,8 @@ const MinMultiLevelPartitions = 32
 func ChooseVariant(senders, partitions, buckets int, base exchange.Variant, forceLevels int) exchange.Variant {
 	single := exchange.Variant{Levels: 1, WriteCombining: base.WriteCombining}
 	multi := exchange.Variant{Levels: 2, WriteCombining: base.WriteCombining}
+	single.Buckets = chooseShards(single, senders, partitions, buckets)
+	multi.Buckets = chooseShards(multi, senders, partitions, buckets)
 	switch {
 	case forceLevels == 1:
 		return single
@@ -230,6 +249,37 @@ func ChooseVariant(senders, partitions, buckets int, base exchange.Variant, forc
 		return multi
 	}
 	return single
+}
+
+// MaxBucketRoundRequests is the per-bucket request budget one exchange
+// round may put on a single shard bucket — buckets exist only to stay
+// under S3's per-prefix rate ceilings (§4.4.1: ~5500 reads/s, 3500
+// writes/s per prefix), so the budget sits safely below the read ceiling.
+// Every receiver lists min(S, B) buckets, so once the pressure fits, each
+// extra bucket only adds List requests.
+const MaxBucketRoundRequests = 3000
+
+// chooseShards returns the smallest shard-bucket count (of the available
+// pool) whose per-round per-bucket request pressure fits the budget, or 0
+// when the full pool is needed (Variant.Buckets zero = use all, the
+// pre-choice behavior). Sharding B thus becomes a chosen dimension of the
+// variant rather than a deployment constant.
+func chooseShards(v exchange.Variant, senders, partitions, available int) int {
+	if available <= 1 {
+		return 0
+	}
+	load := senders
+	if partitions > load {
+		load = partitions
+	}
+	b := 1
+	for b < available && v.RequestsPerBucketPerRound(load, b) > MaxBucketRoundRequests {
+		b++
+	}
+	if b >= available {
+		return 0
+	}
+	return b
 }
 
 // regroupWorkerOverhead prices one regroup worker's non-S3 footprint — its

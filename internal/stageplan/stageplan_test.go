@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lambada/internal/engine"
+	"lambada/internal/exchange"
 	"lambada/internal/sqlfe"
 	"lambada/internal/tpch"
 )
@@ -297,4 +298,56 @@ func findScan(p engine.Plan, table string) *engine.ScanPlan {
 		}
 	}
 	return nil
+}
+
+// TestChooseVariantPicksShardBuckets: sharding B is a chosen dimension of
+// the variant, not a deployment constant. The smallest bucket count whose
+// per-round per-bucket pressure (Variant.RequestsPerBucketPerRound) fits
+// MaxBucketRoundRequests wins; a small fleet collapses to one bucket, and
+// the pool is only exhausted (Buckets == 0, "use them all") when even the
+// full pool cannot absorb the pressure.
+func TestChooseVariantPicksShardBuckets(t *testing.T) {
+	base := exchange.Variant{}
+
+	// A small fleet puts 8*8 = 64 requests per round on one bucket — far
+	// under the budget, so one shard bucket suffices.
+	v := ChooseVariant(8, 8, 8, base, 1)
+	if v.Levels != 1 || v.Buckets != 1 {
+		t.Fatalf("small fleet: got %+v, want 1 level, 1 bucket", v)
+	}
+
+	// 512 senders single-level: 512^2/B <= 3000 first holds at B = 88.
+	v = ChooseVariant(512, 512, 128, base, 1)
+	if v.Buckets != 88 {
+		t.Fatalf("512-sender single-level: got B=%d, want 88", v.Buckets)
+	}
+	// Two-level spreads each round over sqrt(P) targets, so the same fleet
+	// needs only 512*sqrt(512)/B <= 3000, first held at B = 4.
+	v = ChooseVariant(512, 512, 128, base, 2)
+	if v.Levels != 2 || v.Buckets != 4 {
+		t.Fatalf("512-sender two-level: got %+v, want 2 levels, 4 buckets", v)
+	}
+
+	// Minimality on both sides of the chosen count.
+	single := exchange.Variant{Levels: 1}
+	if p := single.RequestsPerBucketPerRound(512, 88); p > MaxBucketRoundRequests {
+		t.Errorf("chosen B=88 still over budget: %.0f", p)
+	}
+	if p := single.RequestsPerBucketPerRound(512, 87); p <= MaxBucketRoundRequests {
+		t.Errorf("B=87 already fits (%.0f), chosen count not minimal", p)
+	}
+
+	// When the full pool cannot absorb the pressure, Buckets stays 0: use
+	// every available bucket rather than a narrowed subset.
+	v = ChooseVariant(512, 512, 16, base, 1)
+	if v.Buckets != 0 {
+		t.Fatalf("overloaded pool: got B=%d, want 0 (full pool)", v.Buckets)
+	}
+
+	// Variant.Buckets narrows the request model the same way it narrows the
+	// exchange: a variant pinned to 4 buckets bills like a 4-bucket pool.
+	pinned := exchange.Variant{Levels: 1, Buckets: 4}
+	if got, want := pinned.Requests(64, 64, 16), (exchange.Variant{Levels: 1}).Requests(64, 64, 4); got != want {
+		t.Fatalf("pinned-bucket request model: got %+v, want %+v", got, want)
+	}
 }
